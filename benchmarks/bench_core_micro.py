@@ -1,0 +1,80 @@
+"""Micro-benchmarks of the core primitives (proper timing, many rounds).
+
+Not paper artefacts; these track the per-stage costs that make up the
+O(n^2) bound — dual construction, BFS passes, boundary extraction,
+Complete-Cut, and one FM pass — so performance regressions in any stage
+are visible in CI.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.fiduccia_mattheyses import fiduccia_mattheyses
+from repro.core.algorithm1 import algorithm1, run_single_start
+from repro.core.boundary import boundary_graph
+from repro.core.complete_cut import complete_cut
+from repro.core.dual_cut import double_bfs_cut, random_longest_bfs_path
+from repro.core.intersection import intersection_graph
+from repro.generators.suite import load_instance
+
+
+@pytest.fixture(scope="module")
+def ic1():
+    h, _, _ = load_instance("IC1")
+    return h
+
+
+@pytest.fixture(scope="module")
+def ic1_dual(ic1):
+    return intersection_graph(ic1)
+
+
+def test_intersection_graph_construction(benchmark, ic1):
+    ig = benchmark(lambda: intersection_graph(ic1))
+    assert ig.num_nodes == ic1.num_edges
+
+
+def test_random_longest_bfs_path(benchmark, ic1_dual):
+    rng = random.Random(0)
+    benchmark(lambda: random_longest_bfs_path(ic1_dual.graph, rng=rng))
+
+
+def test_double_bfs_cut(benchmark, ic1_dual):
+    g = ic1_dual.graph
+    rng = random.Random(0)
+    u, v, _ = random_longest_bfs_path(g, rng=rng)
+    if u == v:  # pragma: no cover - depends on instance shape
+        pytest.skip("degenerate component")
+    cut = benchmark(lambda: double_bfs_cut(g, u, v))
+    assert cut.left and cut.right
+
+
+def test_complete_cut_on_boundary(benchmark, ic1_dual):
+    g = ic1_dual.graph
+    rng = random.Random(0)
+    u, v, _ = random_longest_bfs_path(g, rng=rng)
+    cut = double_bfs_cut(g, u, v)
+    bg = boundary_graph(g, cut)
+    result = benchmark(lambda: complete_cut(bg))
+    assert result.winners | result.losers == bg.nodes
+
+
+def test_single_start_end_to_end(benchmark, ic1, ic1_dual):
+    rng = random.Random(0)
+    trace = benchmark(lambda: run_single_start(ic1_dual, ic1, rng))
+    assert trace.bipartition.cutsize >= 0
+
+
+def test_algorithm1_ten_starts(benchmark, ic1):
+    result = benchmark.pedantic(
+        lambda: algorithm1(ic1, num_starts=10, seed=0), rounds=3, iterations=1
+    )
+    assert result.cutsize >= 0
+
+
+def test_fm_full_run(benchmark, ic1):
+    result = benchmark.pedantic(
+        lambda: fiduccia_mattheyses(ic1, seed=0), rounds=3, iterations=1
+    )
+    assert result.cutsize >= 0

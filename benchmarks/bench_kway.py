@@ -1,0 +1,40 @@
+"""K-way partitioning quality: recursive bisection ± pairwise refinement.
+
+Min-cut placement (the paper's application) is recursive bisection in
+disguise; this bench tracks the k-way objectives it induces across k and
+measures what the pairwise-FM refinement sweep buys on top.
+"""
+
+from repro.core.kway import recursive_bisection
+from repro.core.kway_refine import refine_kway
+from repro.generators.suite import load_instance
+
+
+def test_kway_quality(benchmark, save_table):
+    def run():
+        h, _, _ = load_instance("Bd3")
+        rows = []
+        for k in (2, 4, 8):
+            base = recursive_bisection(h, k, num_starts=10, seed=0)
+            refined = refine_kway(base, sweeps=2, seed=0)
+            rows.append(
+                {
+                    "k": k,
+                    "cut_nets": base.cutsize,
+                    "connectivity": base.connectivity,
+                    "refined_cut_nets": refined.cutsize,
+                    "refined_connectivity": refined.connectivity,
+                    "imbalance": refined.weight_imbalance_fraction,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("kway_quality", rows, title="K-way partitioning on Bd3 (242 mods, 502 sigs)")
+
+    for row in rows:
+        # Refinement is monotone in the connectivity objective.
+        assert row["refined_connectivity"] <= row["connectivity"]
+        assert row["imbalance"] <= 0.35
+    # Cutting into more blocks can only expose more nets.
+    assert rows[0]["refined_cut_nets"] <= rows[-1]["refined_cut_nets"] + 4

@@ -1,0 +1,60 @@
+"""Modern yardstick: Algorithm I vs the method that superseded it.
+
+Not a paper table — context the calibration demands: the dual
+intersection-graph heuristic was eventually dominated by multilevel
+partitioners (hMETIS/KaHyPar lineage).  This bench measures how far: on
+each suite instance, 50-start Algorithm I vs flat FM vs spectral vs our
+multilevel (heavy-edge coarsening + FM uncoarsening).
+
+Expected shape: multilevel at least matches every other method on the
+large clustered instances; Algorithm I stays competitive on strongly
+clustered/difficult inputs while being the cheapest construction.
+"""
+
+import random
+
+from repro.baselines import fiduccia_mattheyses, multilevel_bipartition, spectral_bisection
+from repro.core.algorithm1 import algorithm1
+from repro.generators.suite import load_instance
+
+INSTANCES = ("Bd1", "Bd3", "IC1", "IC2", "Diff1", "Diff3")
+
+
+def test_modern_yardstick(benchmark, save_table):
+    def run():
+        rng = random.Random(0)
+        rows = []
+        for name in INSTANCES:
+            h, recipe, gt = load_instance(name)
+            alg1 = algorithm1(
+                h, num_starts=50, seed=rng.randrange(2**31), balance_tolerance=0.1
+            ).cutsize
+            fm = fiduccia_mattheyses(h, seed=rng.randrange(2**31)).cutsize
+            ml = multilevel_bipartition(h, seed=rng.randrange(2**31)).cutsize
+            spectral = spectral_bisection(h, seed=rng.randrange(2**31)).cutsize
+            rows.append(
+                {
+                    "instance": name,
+                    "alg1_x50": alg1,
+                    "fm": fm,
+                    "multilevel": ml,
+                    "spectral": spectral,
+                    "optimum": gt.planted_cutsize if gt else float("nan"),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table(
+        "modern_yardstick",
+        rows,
+        title="Algorithm I vs flat FM vs multilevel vs spectral",
+        precision=0,
+    )
+
+    for row in rows:
+        # Multilevel is never far behind the best method...
+        best = min(row["alg1_x50"], row["fm"], row["multilevel"], row["spectral"])
+        assert row["multilevel"] <= 2.0 * best + 3
+        # ...and Algorithm I stays within a small factor of multilevel.
+        assert row["alg1_x50"] <= 2.0 * max(1, row["multilevel"]) + 3

@@ -1,0 +1,80 @@
+"""Application-level benchmark: placement wirelength across engines.
+
+Not a numbered table in the paper, but its motivating application
+(Section 1's min-cut placement) and the methods it positions against:
+recursive min-cut bisection (three partitioner engines), simulated
+annealing on HPWL (the Kirkpatrick/TimberWolf lineage), quadratic
+placement (the graph-space lineage), and a min-cut + annealing-polish
+pipeline.  Everything should beat random placement by a wide margin;
+min-cut and annealing should land in the same band.
+"""
+
+import random
+
+from repro.generators import clustered_netlist
+from repro.placement import (
+    PlacementSchedule,
+    SlotGrid,
+    annealing_place,
+    hpwl,
+    mincut_place,
+    quadratic_place,
+)
+
+
+def _make_netlist():
+    h = clustered_netlist(100, 190, "std_cell", seed=13)
+    for v in h.vertices:
+        h.set_vertex_weight(v, 1.0)
+    return h
+
+
+def test_placement_quality(benchmark, save_table):
+    def run():
+        netlist = _make_netlist()
+        grid = SlotGrid(10, 10)
+        rows = []
+        mincut_results = {}
+        for engine in ("algorithm1", "fm", "hybrid"):
+            result = mincut_place(netlist, grid, partitioner=engine, seed=1)
+            mincut_results[engine] = result
+            rows.append(
+                {
+                    "engine": f"mincut/{engine}",
+                    "hpwl": result.total_hpwl,
+                    "top_level_cut": result.cut_sizes[0],
+                }
+            )
+        sa = annealing_place(netlist, grid, seed=1)
+        rows.append({"engine": "annealing", "hpwl": sa.total_hpwl, "top_level_cut": ""})
+        quad = quadratic_place(netlist, grid)
+        rows.append({"engine": "quadratic", "hpwl": quad.total_hpwl, "top_level_cut": ""})
+        polish = annealing_place(
+            netlist,
+            grid,
+            initial=mincut_results["hybrid"].positions,
+            seed=1,
+            schedule=PlacementSchedule(alpha=0.85),
+        )
+        rows.append(
+            {"engine": "mincut+anneal", "hpwl": polish.total_hpwl, "top_level_cut": ""}
+        )
+        rng = random.Random(1)
+        slots = grid.full_region().slots()
+        rng.shuffle(slots)
+        coords = {
+            v: (float(c), float(r)) for v, (r, c) in zip(netlist.vertices, slots)
+        }
+        rows.append({"engine": "random", "hpwl": hpwl(netlist, coords), "top_level_cut": ""})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("placement_quality", rows, title="Placement HPWL by engine", precision=1)
+
+    hpwls = {row["engine"]: row["hpwl"] for row in rows}
+    assert hpwls["mincut/hybrid"] < hpwls["random"] / 1.5
+    assert hpwls["mincut/algorithm1"] < hpwls["random"]
+    assert hpwls["annealing"] < hpwls["random"]
+    assert hpwls["quadratic"] < hpwls["random"]
+    # The polish pipeline never loses to its starting point.
+    assert hpwls["mincut+anneal"] <= hpwls["mincut/hybrid"]

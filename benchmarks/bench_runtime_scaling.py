@@ -1,0 +1,39 @@
+"""Runtime claims: O(n^2) for Algorithm I and the Table 2 CPU ratios.
+
+The paper reports a theoretical O(n^2) bound ("tests verify this
+execution speed") versus O(n^2 log n) KL, and measured CPU ratios of
+1.0 : 110 : 120 against SA and KL.  Absolute 1989 seconds are
+unrecoverable; the reproducible shape:
+
+* Algorithm I's fitted log-log exponent stays at or below ~2 across the
+  size sweep (its BFS work is linear in |G| edges, so sparse duals often
+  fit below 2);
+* per-instance wall time of Algorithm I is far below SA and KL.
+"""
+
+from repro.experiments.theorems import run_scaling_experiment
+
+
+def test_runtime_scaling(benchmark, save_table):
+    rows = benchmark.pedantic(
+        lambda: run_scaling_experiment(sizes=(50, 100, 200, 400, 800), seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_table(
+        "runtime_scaling",
+        rows,
+        title="Wall time vs size (last row: fitted log-log exponents)",
+        precision=4,
+    )
+
+    data_rows = rows[:-1]
+    exponents = rows[-1]
+    # Algorithm I scales at most quadratically (with sampling noise slack).
+    assert exponents["seconds_algorithm1"] <= 2.4
+
+    # Single-start Algorithm I is faster than one KL run and one SA run on
+    # the largest instance (the Table 2 CPU ordering).
+    largest = data_rows[-1]
+    assert largest["seconds_algorithm1"] < largest["seconds_kl"]
+    assert largest["seconds_algorithm1"] < largest["seconds_sa"]

@@ -1,0 +1,29 @@
+"""Table 1 — large signals almost always cross the best heuristic cut.
+
+Paper protocol: 10 simulated-annealing runs per example; report the
+percentage of signals of size >= 20 / >= 14 / >= 8 crossing the best
+partition, per technology.  Published PCB row: 99 / 98 / 97 percent.
+
+Expected shape here: every technology's crossing fractions sit in the
+high nineties for k >= 14 and decrease mildly at k >= 8, NaN where a
+technology has no nets that large (std-cell rarely reaches 20 pins).
+"""
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_large_signal_crossing(benchmark, save_table):
+    rows = benchmark.pedantic(
+        lambda: run_table1(num_modules=150, num_signals=300, runs=10, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_table(
+        "table1_large_signals",
+        rows,
+        title="Table 1 — crossing fraction of large signals (10 SA runs)",
+    )
+    pcb = next(row for row in rows if row["technology"] == "pcb")
+    # The paper's qualitative claim: >= 90% crossing at the k >= 14 band.
+    assert pcb["crossing_k14"] >= 0.9 or pcb["crossing_k14"] != pcb["crossing_k14"]
+    assert len(rows) == 4

@@ -1,0 +1,40 @@
+"""Section 3 corollary — boundary set is a constant fraction of the dual.
+
+"For a connected intersection graph G with bounded degree <= d, the
+expected size of the boundary set, |B|, is cn ... So, partition quality
+does not vary with size of the input hypergraph."
+
+Also the closing observation: clustered netlists have dual graphs with
+*larger* diameter than degree-matched random hypergraphs, hence smaller
+boundary fractions — "our partitioning method is even better suited to
+circuit designs than to random hypergraphs".
+"""
+
+from repro.experiments.theorems import run_boundary_experiment
+
+
+def test_boundary_fraction_constant(benchmark, save_table):
+    rows = benchmark.pedantic(
+        lambda: run_boundary_experiment(sizes=(100, 200, 400, 800), trials=5, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_table(
+        "theorem_boundary",
+        rows,
+        title="Boundary fraction |B| / |G| vs instance size",
+    )
+
+    random_rows = [r for r in rows if r["kind"] == "random"]
+    netlist_rows = [r for r in rows if r["kind"] == "netlist"]
+
+    # Constant fraction: no systematic blow-up across a factor-8 sweep.
+    fractions = [r["mean_boundary_fraction"] for r in random_rows]
+    assert max(fractions) <= 3 * max(min(fractions), 0.02)
+
+    # Clustered netlists keep a (weakly) smaller boundary than random
+    # hypergraphs at the largest size.
+    assert (
+        netlist_rows[-1]["mean_boundary_fraction"]
+        <= random_rows[-1]["mean_boundary_fraction"] * 1.5
+    )

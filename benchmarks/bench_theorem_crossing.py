@@ -1,0 +1,37 @@
+"""Section 3 crossing theorem — the basis for large-edge filtering.
+
+"In a random hypergraph H, if an edge e has degree k, e will traverse
+the min-cut bipartition with probability 1 − O(2^−k)."
+
+Expected shape: measured crossing fraction rises with k, tracks the
+``1 − 2^(1−k)`` prediction, and is essentially 1 from k ≈ 10 on — which
+justifies ignoring size >= 10 edges during partitioning.
+"""
+
+from repro.experiments.theorems import run_crossing_experiment
+
+
+def test_crossing_probability_vs_size(benchmark, save_table):
+    rows = benchmark.pedantic(
+        lambda: run_crossing_experiment(
+            probe_sizes=(2, 3, 4, 6, 8, 10, 14, 20), trials=3, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_table(
+        "theorem_crossing",
+        rows,
+        title="Crossing probability of a size-k edge under a good bipartition",
+    )
+
+    by_size = {row["edge_size"]: row["measured_crossing"] for row in rows}
+    # Monotone-ish growth and saturation at the filtering threshold.
+    assert by_size[20] >= 0.95
+    assert by_size[14] >= 0.9
+    assert by_size[10] >= 0.85
+    assert by_size[2] <= by_size[10]
+    # Agreement with the prediction at the tail (within 10 points).
+    for row in rows:
+        if row["edge_size"] >= 10:
+            assert abs(row["measured_crossing"] - row["predicted_1_minus_2^(1-k)"]) <= 0.1

@@ -1,0 +1,32 @@
+"""Section 3 diameter theorems.
+
+* "The depth of BFS starting at a random node equals diam(G) − O(1) with
+  probability near 1" — the gap column must be a small constant that does
+  not grow with n.
+* (Bollobás–de la Vega) "The diameter of random connected graphs with
+  bounded degree is O(log n)" — the diameter / log2(n) column must be
+  roughly flat.
+"""
+
+from repro.experiments.theorems import run_diameter_experiment
+
+
+def test_bfs_depth_tracks_diameter(benchmark, save_table):
+    rows = benchmark.pedantic(
+        lambda: run_diameter_experiment(sizes=(50, 100, 200, 400), degree=3, trials=5, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_table(
+        "theorem_diameter",
+        rows,
+        title="BFS depth vs exact diameter on random 3-regular graphs",
+    )
+
+    # Gap stays a small constant across a factor-8 size sweep.
+    assert all(row["mean_gap"] <= 2.0 for row in rows)
+    assert all(row["max_gap"] <= 4 for row in rows)
+
+    # O(log n) growth: the normalized diameter stays in a narrow band.
+    ratios = [row["diameter_over_log2n"] for row in rows]
+    assert max(ratios) / min(ratios) < 2.0

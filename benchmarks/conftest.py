@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artefact (table / figure / claim),
+prints it, and archives it under ``benchmarks/output/`` so the numbers
+survive the pytest run.  EXPERIMENTS.md records the paper-vs-measured
+comparison for each artefact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import format_table
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    """Persist and echo an experiment table.
+
+    Usage::
+
+        rows = benchmark.pedantic(run_table1, ...)
+        save_table("table1", rows, title="Table 1 — ...")
+    """
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, rows, title: str | None = None, columns=None, precision: int = 3):
+        text = format_table(rows, columns=columns, precision=precision, title=title)
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}")
+        return text
+
+    return _save

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Difficult inputs: where Algorithm I provably shines (paper Section 4).
+
+Generates planted-bisection hypergraphs with smaller-than-expected
+minimum cutsize (the Bui et al. class ``c = o(n^(1-1/d))``), including
+the pathological disconnected case ``c = 0``, and shows how Algorithm I,
+Kernighan–Lin, simulated annealing and multi-start random compare against
+the known optimum.
+
+Run:  python examples/difficult_inputs.py
+"""
+
+from repro.baselines import kernighan_lin, random_cut, simulated_annealing
+from repro.baselines.simulated_annealing import AnnealingSchedule
+from repro.core.algorithm1 import algorithm1
+from repro.generators import difficult_cutsize, planted_bisection
+
+N, M = 300, 420
+
+
+def main() -> None:
+    suggested = difficult_cutsize(N, 5)
+    print(f"difficult class for n={N}, d=5: c = o(n^(1-1/d)); "
+          f"representative value c = {suggested}\n")
+
+    print(f"{'planted c':>9}  {'Alg I':>6}  {'KL':>6}  {'SA':>6}  {'random':>7}")
+    for c in (0, 1, suggested, 2 * suggested):
+        inst = planted_bisection(N, M, crossing_edges=c, seed=c * 7 + 1)
+        h = inst.hypergraph
+
+        alg1 = algorithm1(h, num_starts=50, seed=0).cutsize
+        kl = kernighan_lin(h, seed=0).cutsize
+        sa = simulated_annealing(
+            h, schedule=AnnealingSchedule(alpha=0.9), seed=0
+        ).cutsize
+        rand = random_cut(h, num_starts=50, seed=0).cutsize
+
+        marks = {
+            "alg1": "*" if alg1 <= c else " ",
+            "kl": "*" if kl <= c else " ",
+            "sa": "*" if sa <= c else " ",
+        }
+        print(f"{c:>9}  {alg1:>5}{marks['alg1']}  {kl:>5}{marks['kl']}  "
+              f"{sa:>5}{marks['sa']}  {rand:>7}")
+
+    print("\n(* = found the planted optimum)")
+    print("\nAt c = 0 the netlist is disconnected: Algorithm I detects it")
+    print("through BFS in the dual graph and packs whole components —")
+    print("'BFS in G finds the unconnectedness' — while random cuts sit")
+    print("near a constant fraction of |E|.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Validate the paper's Section-3 theorems empirically (small scale).
+
+Runs each analysis experiment with laptop-friendly parameters and prints
+the tables the full benchmark harness archives:
+
+* BFS depth ≈ diameter, diameter = O(log n),
+* boundary set = constant fraction of the dual graph,
+* crossing probability of a size-k net ≈ 1 − 2^(1−k),
+* runtime scaling (Algorithm I vs KL vs SA),
+* Rent exponents: hierarchy in netlists vs structureless random.
+
+Run:  python examples/theory_validation.py
+"""
+
+from repro.analysis.rent import rent_comparison_experiment
+from repro.experiments import (
+    format_table,
+    run_boundary_experiment,
+    run_crossing_experiment,
+    run_diameter_experiment,
+    run_scaling_experiment,
+)
+
+
+def main() -> None:
+    print(format_table(
+        run_diameter_experiment(sizes=(50, 100, 200), trials=3, seed=0),
+        title="BFS depth vs exact diameter (random 3-regular graphs)",
+    ))
+    print()
+    print(format_table(
+        run_boundary_experiment(sizes=(100, 200), trials=3, seed=0),
+        title="Boundary fraction |B| / |G|",
+    ))
+    print()
+    print(format_table(
+        run_crossing_experiment(probe_sizes=(2, 4, 8, 14), trials=2, seed=0),
+        title="Crossing probability vs net size k",
+    ))
+    print()
+    print(format_table(
+        run_scaling_experiment(sizes=(50, 100, 200), seed=0),
+        precision=4,
+        title="Runtime scaling (last row: fitted exponents)",
+    ))
+    print()
+    print(format_table(
+        rent_comparison_experiment(num_modules=120, num_signals=200, trials=2, seed=0),
+        title="Rent exponent: clustered netlists vs random hypergraphs",
+    ))
+    print("\nInterpretation: gaps stay O(1), the normalized diameter and")
+    print("boundary fraction stay flat, crossing saturates by k ~ 10 (the")
+    print("filtering threshold), Algorithm I scales flattest, and the")
+    print("netlists' low Rent exponent is the 'logical hierarchy' the")
+    print("paper's closing remark suspects.")
+
+
+if __name__ == "__main__":
+    main()

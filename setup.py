@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``.  This file exists so that
+``pip install -e .`` works on environments whose setuptools predates
+integrated wheel building (no ``wheel`` package available offline): pip
+falls back to the legacy ``setup.py develop`` editable path.
+"""
+
+from setuptools import setup
+
+setup()

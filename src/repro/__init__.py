@@ -1,0 +1,60 @@
+"""repro — reproduction of "Fast Hypergraph Partition" (Kahng, DAC 1989).
+
+A production-quality library for hypergraph min-cut bipartitioning in the
+VLSI/PCB placement setting, built around the paper's O(n^2)
+intersection-graph dual heuristic (*Algorithm I*), together with:
+
+* classic baselines (random cut, Kernighan–Lin, Fiduccia–Mattheyses,
+  simulated annealing, spectral bisection),
+* instance generators (bounded-degree random hypergraphs, planted
+  "difficult" inputs after Bui et al., clustered technology netlists),
+* cut/balance/quotient metrics, netlist & hMETIS I/O,
+* a min-cut placement application (recursive bisection + HPWL),
+* an analysis package validating the paper's probabilistic theorems,
+* a benchmark harness regenerating every table and figure of the paper.
+
+Quickstart::
+
+    >>> from repro import Hypergraph, algorithm1
+    >>> h = Hypergraph(edges={"A": [1, 2], "B": [2, 3], "C": [3, 4]})
+    >>> result = algorithm1(h, num_starts=5, seed=0)
+    >>> result.cutsize <= 1
+    True
+"""
+
+from repro.core import (
+    Algorithm1Result,
+    Bipartition,
+    Graph,
+    Hypergraph,
+    KWayPartition,
+    algorithm1,
+    branch_and_bound_min_cut,
+    complete_cut,
+    fm_refine,
+    filter_large_edges,
+    granularize,
+    intersection_graph,
+    project_partition,
+    recursive_bisection,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Hypergraph",
+    "Graph",
+    "Bipartition",
+    "algorithm1",
+    "Algorithm1Result",
+    "intersection_graph",
+    "complete_cut",
+    "filter_large_edges",
+    "granularize",
+    "project_partition",
+    "fm_refine",
+    "KWayPartition",
+    "recursive_bisection",
+    "branch_and_bound_min_cut",
+    "__version__",
+]

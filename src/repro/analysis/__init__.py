@@ -1,0 +1,52 @@
+"""Empirical validation of the paper's Section-3 theorems.
+
+Each module measures one probabilistic claim:
+
+* :mod:`repro.analysis.diameter` — BFS depth from a random start vs the
+  exact diameter ("depth = diam(G) − O(1) w.h.p.") and the ``O(log n)``
+  diameter of bounded-degree random graphs (Bollobás–de la Vega).
+* :mod:`repro.analysis.boundary` — boundary-set size as a fraction of the
+  intersection graph ("expected |B| is cn"), including the paper's
+  observation that netlists with logical hierarchy have *larger* dual
+  diameters and hence *smaller* boundaries than degree-matched random
+  hypergraphs.
+* :mod:`repro.analysis.crossing` — the probability that a size-k edge
+  crosses a good bipartition ("1 − O(2^−k)"), the basis for large-edge
+  filtering and Table 1.
+* :mod:`repro.analysis.scaling` — runtime scaling fits for the O(n^2)
+  claim and the Table 2 CPU ratios.
+* :mod:`repro.analysis.rent` — Rent-exponent estimation, quantifying the
+  closing observation that netlists carry "natural functional partitions
+  (logical hierarchy)".
+"""
+
+from repro.analysis.diameter import (
+    bfs_depth_vs_diameter,
+    diameter_growth_experiment,
+    pseudo_diameter_experiment,
+)
+from repro.analysis.boundary import boundary_fraction, boundary_fraction_experiment
+from repro.analysis.crossing import crossing_probability_experiment, predicted_crossing_probability
+from repro.analysis.scaling import fit_power_law, runtime_scaling_experiment
+from repro.analysis.rent import (
+    RentEstimate,
+    estimate_rent_exponent,
+    external_terminals,
+    rent_comparison_experiment,
+)
+
+__all__ = [
+    "bfs_depth_vs_diameter",
+    "pseudo_diameter_experiment",
+    "diameter_growth_experiment",
+    "boundary_fraction",
+    "boundary_fraction_experiment",
+    "crossing_probability_experiment",
+    "predicted_crossing_probability",
+    "fit_power_law",
+    "runtime_scaling_experiment",
+    "RentEstimate",
+    "estimate_rent_exponent",
+    "external_terminals",
+    "rent_comparison_experiment",
+]

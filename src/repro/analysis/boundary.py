@@ -1,0 +1,108 @@
+"""Boundary-set size experiments (Section 3 corollary).
+
+"For a connected intersection graph G with bounded degree <= d, the
+expected size of the boundary set, |B|, is cn, where c is a constant.
+So, partition quality does not vary with size of the input hypergraph."
+
+We measure |B| / |G| across instance sizes for (a) bounded-degree random
+hypergraphs and (b) clustered netlists; the paper predicts roughly
+constant fractions, with clustered netlists *lower* (their dual graphs
+have larger diameter, so the meeting frontier is relatively smaller).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.dual_cut import double_bfs_cut, random_longest_bfs_path
+from repro.core.hypergraph import Hypergraph
+from repro.core.intersection import intersection_graph
+from repro.generators.netlists import clustered_netlist
+from repro.generators.random_hypergraph import random_hypergraph
+
+
+@dataclass(frozen=True)
+class BoundarySample:
+    """Boundary statistics of one double-BFS cut."""
+
+    num_hyperedges: int
+    num_graph_nodes: int
+    boundary_size: int
+    bfs_depth: int
+
+    @property
+    def boundary_fraction(self) -> float:
+        if self.num_graph_nodes == 0:
+            return 0.0
+        return self.boundary_size / self.num_graph_nodes
+
+
+def boundary_fraction(hypergraph: Hypergraph, rng: random.Random) -> BoundarySample:
+    """Run steps <1>-<2> of Algorithm I once and report |B| / |G|."""
+    ig = intersection_graph(hypergraph)
+    g = ig.graph
+    u, v, depth = random_longest_bfs_path(g, rng=rng)
+    if u == v:
+        return BoundarySample(
+            num_hyperedges=hypergraph.num_edges,
+            num_graph_nodes=g.num_nodes,
+            boundary_size=0,
+            bfs_depth=0,
+        )
+    cut = double_bfs_cut(g, u, v, rng=rng)
+    return BoundarySample(
+        num_hyperedges=hypergraph.num_edges,
+        num_graph_nodes=g.num_nodes,
+        boundary_size=len(cut.boundary),
+        bfs_depth=depth,
+    )
+
+
+def boundary_fraction_experiment(
+    sizes: tuple[int, ...] = (100, 200, 400, 800),
+    edge_factor: float = 1.5,
+    trials: int = 5,
+    kind: str = "random",
+    seed: int | None = 0,
+) -> list[dict]:
+    """Mean boundary fraction per instance size.
+
+    Parameters
+    ----------
+    sizes:
+        Module counts to sweep.
+    edge_factor:
+        Signals per module (the suite instances average ~1.4–2.1).
+    trials:
+        Instances per size.
+    kind:
+        ``"random"`` (bounded-degree random hypergraphs) or
+        ``"netlist"`` (clustered std-cell netlists).
+    """
+    if kind not in ("random", "netlist"):
+        raise ValueError(f"kind must be 'random' or 'netlist', got {kind!r}")
+    rng = random.Random(seed)
+    rows: list[dict] = []
+    for n in sizes:
+        m = int(n * edge_factor)
+        fractions: list[float] = []
+        depths: list[int] = []
+        for _ in range(trials):
+            if kind == "random":
+                h = random_hypergraph(n, m, seed=rng, connect=True)
+            else:
+                h = clustered_netlist(n, m, "std_cell", seed=rng)
+            sample = boundary_fraction(h, rng)
+            fractions.append(sample.boundary_fraction)
+            depths.append(sample.bfs_depth)
+        rows.append(
+            {
+                "n_modules": n,
+                "n_signals": m,
+                "kind": kind,
+                "mean_boundary_fraction": sum(fractions) / len(fractions),
+                "mean_bfs_depth": sum(depths) / len(depths),
+            }
+        )
+    return rows

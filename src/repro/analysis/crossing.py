@@ -1,0 +1,137 @@
+"""Large-edge crossing probability (Section 3 theorem; basis of Table 1).
+
+"In a random hypergraph H, if an edge e has degree k, e will traverse
+the min-cut bipartition with probability 1 − O(2^−k)."
+
+Intuition: under a balanced cut each pin lands on one side roughly
+independently, so a k-pin net stays uncut with probability about
+``2 * (1/2)^k = 2^(1-k)``.  We validate empirically: plant edges of
+controlled sizes into random hypergraphs, find a good bipartition with a
+strong heuristic (as the paper did with SA/KL), and measure the crossing
+fraction per size.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.baselines.fiduccia_mattheyses import fiduccia_mattheyses
+from repro.baselines.simulated_annealing import simulated_annealing
+from repro.core.hypergraph import Hypergraph
+from repro.generators.random_hypergraph import random_hypergraph
+
+
+def predicted_crossing_probability(k: int) -> float:
+    """The theorem's leading-order prediction ``1 − 2^(1−k)`` for size k."""
+    if k < 2:
+        return 0.0
+    return 1.0 - 2.0 ** (1 - k)
+
+
+@dataclass(frozen=True)
+class CrossingRecord:
+    """Measured crossing fraction for one edge size."""
+
+    edge_size: int
+    num_edges: int
+    crossed: int
+    predicted: float
+
+    @property
+    def fraction(self) -> float:
+        if self.num_edges == 0:
+            return float("nan")
+        return self.crossed / self.num_edges
+
+
+def crossing_probability_experiment(
+    num_vertices: int = 200,
+    base_edges: int = 300,
+    probe_sizes: tuple[int, ...] = (2, 3, 4, 6, 8, 10, 14, 20),
+    probes_per_size: int = 20,
+    partitioner: str = "fm",
+    trials: int = 3,
+    seed: int | None = 0,
+) -> list[CrossingRecord]:
+    """Plant probe edges of each size; measure how often the best cut splits them.
+
+    Parameters
+    ----------
+    num_vertices, base_edges:
+        Backbone random hypergraph dimensions.
+    probe_sizes:
+        Edge sizes ``k`` to measure.
+    probes_per_size:
+        Probe edges planted per size per trial.
+    partitioner:
+        ``"fm"`` (fast) or ``"sa"`` (the paper used annealing).
+    trials:
+        Independent backbone instances to average over.
+    """
+    if partitioner not in ("fm", "sa"):
+        raise ValueError(f"partitioner must be 'fm' or 'sa', got {partitioner!r}")
+    rng = random.Random(seed)
+    crossed = {k: 0 for k in probe_sizes}
+    counted = {k: 0 for k in probe_sizes}
+
+    for _ in range(trials):
+        h = random_hypergraph(num_vertices, base_edges, seed=rng, connect=True)
+        probe_names: dict[int, list] = {k: [] for k in probe_sizes}
+        probe_index = 0
+        for k in probe_sizes:
+            if k > num_vertices:
+                continue
+            for _ in range(probes_per_size):
+                name = ("probe", probe_index)
+                probe_index += 1
+                h.add_edge(rng.sample(range(num_vertices), k), name=name)
+                probe_names[k].append(name)
+
+        if partitioner == "fm":
+            result = fiduccia_mattheyses(h, seed=rng)
+        else:
+            result = simulated_annealing(h, seed=rng)
+        bp = result.bipartition
+
+        for k, names in probe_names.items():
+            for name in names:
+                counted[k] += 1
+                if bp.edge_crosses(name):
+                    crossed[k] += 1
+
+    return [
+        CrossingRecord(
+            edge_size=k,
+            num_edges=counted[k],
+            crossed=crossed[k],
+            predicted=predicted_crossing_probability(k),
+        )
+        for k in probe_sizes
+    ]
+
+
+def table1_crossing_stats(
+    hypergraph: Hypergraph,
+    thresholds: tuple[int, ...] = (20, 14, 8),
+    runs: int = 10,
+    seed: int | None = 0,
+) -> dict[int, float]:
+    """Table 1 protocol: crossing % of size>=k signals, averaged over SA runs.
+
+    Returns ``threshold -> mean crossing fraction`` (nan when the netlist
+    has no signal that large).
+    """
+    from repro.metrics.cut import crossing_fraction_by_size
+
+    rng = random.Random(seed)
+    sums = {k: 0.0 for k in thresholds}
+    counts = {k: 0 for k in thresholds}
+    for _ in range(runs):
+        result = simulated_annealing(hypergraph, seed=rng)
+        fractions = crossing_fraction_by_size(result.bipartition, thresholds)
+        for k, frac in fractions.items():
+            if frac == frac:  # skip NaN (no edges that large)
+                sums[k] += frac
+                counts[k] += 1
+    return {k: (sums[k] / counts[k] if counts[k] else float("nan")) for k in thresholds}

@@ -1,0 +1,106 @@
+"""Diameter experiments: pseudo-diameter quality and O(log n) growth.
+
+Section 3 justifies step <1> of Algorithm I with two theorems:
+
+* "For a connected random graph G with bounded degree, the depth of BFS
+  starting at a random node equals diam(G) − O(1) with probability near
+  1" — so a random longest BFS path is a near-diameter for free.
+* (Bollobás–de la Vega) "The diameter of random connected graphs with
+  bounded degree is O(log n)."
+
+The experiment functions return plain records (lists of dicts) so the
+benchmark harness can print them as tables without plotting machinery.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.graph import Graph
+from repro.generators.random_hypergraph import random_regular_graph
+
+
+@dataclass(frozen=True)
+class DepthVsDiameter:
+    """One sample: BFS depth from a random start vs the exact diameter."""
+
+    num_nodes: int
+    degree: int
+    bfs_depth: int
+    diameter: int
+
+    @property
+    def gap(self) -> int:
+        return self.diameter - self.bfs_depth
+
+
+def bfs_depth_vs_diameter(graph: Graph, rng: random.Random) -> tuple[int, int]:
+    """(BFS depth from one random start, exact diameter) for ``graph``.
+
+    Exact diameter costs all-pairs BFS; keep the graph modest.
+    """
+    nodes = graph.nodes
+    start = nodes[rng.randrange(len(nodes))]
+    _, depth = graph.bfs_farthest(start, rng)
+    return depth, graph.diameter()
+
+
+def pseudo_diameter_experiment(
+    sizes: tuple[int, ...] = (50, 100, 200, 400),
+    degree: int = 3,
+    trials: int = 5,
+    seed: int | None = 0,
+) -> list[DepthVsDiameter]:
+    """Sample BFS depth vs diameter on random d-regular graphs.
+
+    Validates "depth = diam − O(1)": the returned gaps should be small
+    constants that do not grow with n.
+    """
+    rng = random.Random(seed)
+    records: list[DepthVsDiameter] = []
+    for n in sizes:
+        for _ in range(trials):
+            g = random_regular_graph(n, degree, seed=rng)
+            if not g.is_connected():
+                continue
+            depth, diam = bfs_depth_vs_diameter(g, rng)
+            records.append(
+                DepthVsDiameter(num_nodes=n, degree=degree, bfs_depth=depth, diameter=diam)
+            )
+    return records
+
+
+def diameter_growth_experiment(
+    sizes: tuple[int, ...] = (50, 100, 200, 400, 800),
+    degree: int = 3,
+    trials: int = 3,
+    seed: int | None = 0,
+) -> list[dict]:
+    """Mean diameter per size, with the diam/log2(n) ratio.
+
+    Validates Bollobás–de la Vega: the ratio column should be roughly
+    flat across sizes.
+    """
+    rng = random.Random(seed)
+    rows: list[dict] = []
+    for n in sizes:
+        diameters: list[int] = []
+        for _ in range(trials):
+            g = random_regular_graph(n, degree, seed=rng)
+            if g.is_connected():
+                diameters.append(g.diameter())
+        if not diameters:
+            continue
+        mean_diam = sum(diameters) / len(diameters)
+        rows.append(
+            {
+                "n": n,
+                "degree": degree,
+                "mean_diameter": mean_diam,
+                "diameter_over_log2n": mean_diam / math.log2(n),
+                "samples": len(diameters),
+            }
+        )
+    return rows

@@ -1,0 +1,88 @@
+"""Runtime scaling: the O(n^2) claim and the Table 2 CPU ratio row.
+
+The paper reports CPU ratios of 1.0 : 110 : 120 for Algorithm I : SA :
+MinCut-KL, and an O(n^2) bound for Algorithm I versus O(n^2 log n) for
+2-opt KL.  Absolute 1989 seconds are unrecoverable; we measure (a)
+wall-clock ratios on the same interpreter and (b) fitted log-log
+exponents across an instance-size sweep — the *shape* comparisons the
+repro targets.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.baselines.kernighan_lin import kernighan_lin
+from repro.baselines.simulated_annealing import simulated_annealing
+from repro.core.algorithm1 import algorithm1
+from repro.core.hypergraph import Hypergraph
+from repro.generators.netlists import clustered_netlist
+
+
+def fit_power_law(sizes: list[float], times: list[float]) -> float:
+    """Least-squares slope of log(time) vs log(size) — the scaling exponent.
+
+    Requires at least two strictly positive samples.
+    """
+    if len(sizes) != len(times) or len(sizes) < 2:
+        raise ValueError("need >= 2 matching (size, time) samples")
+    if min(sizes) <= 0 or min(times) <= 0:
+        raise ValueError("sizes and times must be positive for a log-log fit")
+    slope, _ = np.polyfit(np.log(np.asarray(sizes)), np.log(np.asarray(times)), 1)
+    return float(slope)
+
+
+def _time_call(fn: Callable[[], object], repeats: int = 1) -> float:
+    """Best-of-``repeats`` wall time of ``fn`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def runtime_scaling_experiment(
+    sizes: tuple[int, ...] = (50, 100, 200, 400),
+    edge_factor: float = 1.5,
+    algorithms: tuple[str, ...] = ("algorithm1", "kl", "sa"),
+    seed: int | None = 0,
+    repeats: int = 1,
+) -> list[dict]:
+    """Time each algorithm across an instance-size sweep.
+
+    Returns one row per size with per-algorithm seconds; feed the columns
+    to :func:`fit_power_law` for exponents.  Algorithm I runs single-start
+    here (the bound is per start); SA uses a shortened schedule so the
+    sweep completes in reasonable pure-Python time — ratios remain
+    meaningful because every algorithm sees the same instances.
+    """
+    from repro.baselines.simulated_annealing import AnnealingSchedule
+
+    rng = random.Random(seed)
+    runners: dict[str, Callable[[Hypergraph], object]] = {
+        "algorithm1": lambda h: algorithm1(h, num_starts=1, seed=0),
+        "kl": lambda h: kernighan_lin(h, seed=0),
+        "sa": lambda h: simulated_annealing(
+            h,
+            seed=0,
+            schedule=AnnealingSchedule(moves_per_temperature=None, alpha=0.9),
+        ),
+    }
+    unknown = set(algorithms) - set(runners)
+    if unknown:
+        raise ValueError(f"unknown algorithms {sorted(unknown)}; choose from {sorted(runners)}")
+
+    rows: list[dict] = []
+    for n in sizes:
+        h = clustered_netlist(n, int(n * edge_factor), "std_cell", seed=rng)
+        row: dict = {"n_modules": n, "n_signals": h.num_edges}
+        for name in algorithms:
+            runner = runners[name]
+            row[f"seconds_{name}"] = _time_call(lambda r=runner: r(h), repeats=repeats)
+        rows.append(row)
+    return rows

@@ -1,0 +1,252 @@
+"""Incremental cut evaluation shared by the move-based partitioners.
+
+Kernighan–Lin, Fiduccia–Mattheyses and simulated annealing all need the
+same primitive: given a current two-way assignment, what does moving one
+vertex do to the cutsize — answered in time proportional to the vertex's
+pin count, not the netlist size.
+
+The classic mechanism (Fiduccia–Mattheyses, 1982) keeps, per hyperedge,
+the number of pins on each side.  For vertex ``v`` on side ``s``:
+
+* an incident edge with **zero** pins on the other side becomes cut when
+  ``v`` moves  → gain contribution ``-w(e)``;
+* an incident edge with exactly **one** pin on ``s`` (i.e. only ``v``)
+  becomes uncut → gain contribution ``+w(e)``.
+
+``gain(v) = Σ (+w) − Σ (−w)`` is maintained incrementally across moves.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Iterable, Mapping, Set
+
+from repro.core.hypergraph import Hypergraph
+from repro.core.partition import Bipartition
+
+Vertex = Hashable
+EdgeName = Hashable
+
+LEFT = 0
+RIGHT = 1
+
+
+class CutState:
+    """Mutable two-way assignment with O(pins)-per-move cut maintenance.
+
+    Parameters
+    ----------
+    hypergraph:
+        The netlist being partitioned.
+    left:
+        Initial left side; everything else starts on the right.
+
+    Notes
+    -----
+    ``cutsize`` counts crossing hyperedges (unweighted), matching the
+    paper's objective; ``weighted_cutsize`` tracks edge weights in
+    parallel for the weighted variants.
+    """
+
+    def __init__(self, hypergraph: Hypergraph, left: Iterable[Vertex]) -> None:
+        self.h = hypergraph
+        left_set = set(left)
+        self.side: dict[Vertex, int] = {
+            v: (LEFT if v in left_set else RIGHT) for v in hypergraph.vertices
+        }
+        unknown = left_set - set(self.side)
+        if unknown:
+            raise ValueError(f"left side contains unknown vertices: {sorted(map(repr, unknown))}")
+
+        #: pins per side, per edge: {edge: [count_left, count_right]}
+        self.pins: dict[EdgeName, list[int]] = {}
+        self.cutsize = 0
+        self.weighted_cutsize = 0.0
+        for name in hypergraph.edge_names:
+            counts = [0, 0]
+            for pin in hypergraph.edge_members(name):
+                counts[self.side[pin]] += 1
+            self.pins[name] = counts
+            if counts[LEFT] and counts[RIGHT]:
+                self.cutsize += 1
+                self.weighted_cutsize += hypergraph.edge_weight(name)
+
+        self.side_sizes = [0, 0]
+        self.side_weights = [0.0, 0.0]
+        for v, s in self.side.items():
+            self.side_sizes[s] += 1
+            self.side_weights[s] += hypergraph.vertex_weight(v)
+
+        #: number of single-move gain/apply operations performed (cost proxy)
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def gain(self, v: Vertex) -> int:
+        """Cutsize decrease if ``v`` moved to the other side (may be < 0)."""
+        s = self.side[v]
+        other = 1 - s
+        g = 0
+        for name in self.h.incident_edges(v):
+            counts = self.pins[name]
+            if counts[other] == 0:
+                g -= 1
+            elif counts[s] == 1:
+                g += 1
+        self.evaluations += 1
+        return g
+
+    def weighted_gain(self, v: Vertex) -> float:
+        """Weighted-cutsize decrease if ``v`` moved."""
+        s = self.side[v]
+        other = 1 - s
+        g = 0.0
+        for name in self.h.incident_edges(v):
+            counts = self.pins[name]
+            if counts[other] == 0:
+                g -= self.h.edge_weight(name)
+            elif counts[s] == 1:
+                g += self.h.edge_weight(name)
+        self.evaluations += 1
+        return g
+
+    def swap_gain(self, a: Vertex, b: Vertex) -> int:
+        """Exact cutsize decrease for swapping ``a`` and ``b`` (KL pairs).
+
+        ``gain(a) + gain(b)`` double-counts edges containing both; the
+        correction is computed edge-by-edge over the (short) incidence
+        intersection.
+        """
+        if self.side[a] == self.side[b]:
+            raise ValueError("swap requires vertices on opposite sides")
+        base = self.gain(a) + self.gain(b)
+        shared = self.h.incident_edges(a) & self.h.incident_edges(b)
+        correction = 0
+        for name in shared:
+            counts = self.pins[name]
+            size = self.h.edge_size(name)
+            sa = self.side[a]
+            before_cut = 1 if (counts[LEFT] and counts[RIGHT]) else 0
+            after = counts.copy()
+            after[sa] -= 1
+            after[1 - sa] += 1  # a moves
+            sb = self.side[b]
+            after[sb] -= 1
+            after[1 - sb] += 1  # b moves
+            after_cut = 1 if (after[LEFT] and after[RIGHT]) else 0
+            true_delta = before_cut - after_cut
+            # what gain(a)+gain(b) claimed for this edge:
+            claimed = 0
+            if counts[1 - sa] == 0:
+                claimed -= 1
+            elif counts[sa] == 1:
+                claimed += 1
+            if counts[1 - sb] == 0:
+                claimed -= 1
+            elif counts[sb] == 1:
+                claimed += 1
+            correction += true_delta - claimed
+        return base + correction
+
+    @property
+    def left(self) -> set[Vertex]:
+        return {v for v, s in self.side.items() if s == LEFT}
+
+    @property
+    def right(self) -> set[Vertex]:
+        return {v for v, s in self.side.items() if s == RIGHT}
+
+    def imbalance(self) -> int:
+        return abs(self.side_sizes[LEFT] - self.side_sizes[RIGHT])
+
+    def weight_imbalance(self) -> float:
+        return abs(self.side_weights[LEFT] - self.side_weights[RIGHT])
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def apply_move(self, v: Vertex) -> None:
+        """Move ``v`` to the other side, updating all incremental state."""
+        s = self.side[v]
+        other = 1 - s
+        for name in self.h.incident_edges(v):
+            counts = self.pins[name]
+            was_cut = bool(counts[LEFT] and counts[RIGHT])
+            counts[s] -= 1
+            counts[other] += 1
+            now_cut = bool(counts[LEFT] and counts[RIGHT])
+            if was_cut and not now_cut:
+                self.cutsize -= 1
+                self.weighted_cutsize -= self.h.edge_weight(name)
+            elif now_cut and not was_cut:
+                self.cutsize += 1
+                self.weighted_cutsize += self.h.edge_weight(name)
+        self.side[v] = other
+        self.side_sizes[s] -= 1
+        self.side_sizes[other] += 1
+        w = self.h.vertex_weight(v)
+        self.side_weights[s] -= w
+        self.side_weights[other] += w
+        self.evaluations += 1
+
+    def apply_swap(self, a: Vertex, b: Vertex) -> None:
+        """Swap sides of ``a`` and ``b`` (KL primitive)."""
+        self.apply_move(a)
+        self.apply_move(b)
+
+    # ------------------------------------------------------------------
+    # conversion
+    # ------------------------------------------------------------------
+
+    def to_bipartition(self) -> Bipartition:
+        """Snapshot the current assignment as an immutable Bipartition."""
+        return Bipartition(self.h, self.left, self.right)
+
+    def snapshot(self) -> Mapping[Vertex, int]:
+        """Copy of the current side map (for best-prefix rollback)."""
+        return dict(self.side)
+
+    def restore(self, snapshot: Mapping[Vertex, int]) -> None:
+        """Return to a previously snapshotted assignment."""
+        for v, s in snapshot.items():
+            if self.side[v] != s:
+                self.apply_move(v)
+
+    def validate(self) -> None:
+        """Recompute everything from scratch; raise on drift (test hook)."""
+        fresh = CutState(self.h, self.left)
+        if fresh.cutsize != self.cutsize:
+            raise AssertionError(
+                f"cutsize drift: incremental={self.cutsize}, recomputed={fresh.cutsize}"
+            )
+        if fresh.pins != self.pins:
+            raise AssertionError("pin-count drift")
+        if fresh.side_sizes != self.side_sizes:
+            raise AssertionError("side-size drift")
+
+
+def random_balanced_sides(
+    hypergraph: Hypergraph, rng: random.Random
+) -> tuple[set[Vertex], set[Vertex]]:
+    """A uniformly random bisection (|L| and |R| differ by at most one)."""
+    vertices = list(hypergraph.vertices)
+    rng.shuffle(vertices)
+    half = len(vertices) // 2
+    return set(vertices[:half]), set(vertices[half:])
+
+
+def initial_state(
+    hypergraph: Hypergraph,
+    initial: Bipartition | Set[Vertex] | None,
+    rng: random.Random,
+) -> CutState:
+    """Build a CutState from a Bipartition, an explicit left side, or randomly."""
+    if initial is None:
+        left, _ = random_balanced_sides(hypergraph, rng)
+        return CutState(hypergraph, left)
+    if isinstance(initial, Bipartition):
+        return CutState(hypergraph, initial.left)
+    return CutState(hypergraph, initial)

@@ -1,0 +1,234 @@
+"""Fiduccia–Mattheyses partitioning (cited as [9]; also the refinement engine).
+
+FM improves on KL by moving *single cells* instead of swapping pairs and
+by keeping cells indexed in *gain buckets*, so selecting the best legal
+move and updating gains after a move are both (amortized) constant-time —
+the celebrated linear-time-per-pass heuristic.
+
+Pass anatomy
+------------
+All cells start free.  Repeatedly: take the highest-gain free cell whose
+move keeps the weight balance within tolerance (ties prefer the heavier
+side, so balance self-corrects), move it, lock it, and incrementally
+update the gains of cells on its *critical* nets via the standard
+before/after pin-count rules.  After all cells are locked, roll back to
+the best prefix of the move sequence.  Passes repeat until one yields no
+improvement.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable
+
+from repro.baselines.cutstate import LEFT, RIGHT, CutState, initial_state
+from repro.baselines.result import BaselineResult
+from repro.core.hypergraph import Hypergraph
+from repro.core.partition import Bipartition
+
+Vertex = Hashable
+
+
+class _GainBuckets:
+    """Gain-indexed buckets with a lazily maintained max pointer, per side."""
+
+    def __init__(self) -> None:
+        self.buckets: list[dict[int, set[Vertex]]] = [{}, {}]
+        self.max_gain: list[int | None] = [None, None]
+        self.location: dict[Vertex, tuple[int, int]] = {}
+
+    def insert(self, v: Vertex, side: int, gain: int) -> None:
+        self.buckets[side].setdefault(gain, set()).add(v)
+        self.location[v] = (side, gain)
+        if self.max_gain[side] is None or gain > self.max_gain[side]:
+            self.max_gain[side] = gain
+
+    def remove(self, v: Vertex) -> None:
+        side, gain = self.location.pop(v)
+        bucket = self.buckets[side][gain]
+        bucket.discard(v)
+        if not bucket:
+            del self.buckets[side][gain]
+
+    def update(self, v: Vertex, delta: int) -> None:
+        side, gain = self.location[v]
+        self.remove(v)
+        self.insert(v, side, gain + delta)
+
+    def gain_of(self, v: Vertex) -> int:
+        return self.location[v][1]
+
+    def contains(self, v: Vertex) -> bool:
+        return v in self.location
+
+    def best(self, side: int) -> tuple[Vertex, int] | None:
+        """Highest-gain free cell on ``side`` (deterministic tie-break).
+
+        The number of distinct gain values is bounded by the gain range
+        (at most twice the max vertex degree), so a direct max over the
+        bucket keys is effectively constant-time.
+        """
+        buckets = self.buckets[side]
+        if not buckets:
+            return None
+        g = max(buckets)
+        self.max_gain[side] = g
+        v = min(buckets[g], key=repr)
+        return v, g
+
+
+def fiduccia_mattheyses(
+    hypergraph: Hypergraph,
+    initial: Bipartition | None = None,
+    max_passes: int = 10,
+    balance_tolerance: float = 0.1,
+    seed: int | random.Random | None = None,
+    fixed: frozenset[Vertex] | set[Vertex] | None = None,
+) -> BaselineResult:
+    """Partition ``hypergraph`` with the Fiduccia–Mattheyses heuristic.
+
+    Parameters
+    ----------
+    hypergraph:
+        Netlist to cut; needs at least two vertices.
+    initial:
+        Starting cut (random balanced split when omitted).  When given,
+        FM acts as a refiner and never returns something worse.
+    max_passes:
+        Upper bound on passes; stops at the first non-improving pass.
+    balance_tolerance:
+        Allowed weight-imbalance fraction.  Moves may exceed it only when
+        they shrink the current imbalance (so unbalanced starts can heal).
+    seed:
+        Integer seed or :class:`random.Random` (initial split only).
+    fixed:
+        Vertices that must never move (terminal-propagation anchors in
+        min-cut placement).  Requires ``initial`` so their sides are
+        well-defined.
+    """
+    if hypergraph.num_vertices < 2:
+        raise ValueError("need at least two vertices to bipartition")
+    if balance_tolerance < 0:
+        raise ValueError("balance_tolerance must be non-negative")
+    fixed_set = frozenset(fixed) if fixed else frozenset()
+    if fixed_set and initial is None:
+        raise ValueError("fixed vertices require an explicit initial partition")
+    unknown = fixed_set - set(hypergraph.vertices)
+    if unknown:
+        raise ValueError(f"fixed vertices not in hypergraph: {sorted(map(repr, unknown))}")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    state = initial_state(hypergraph, initial, rng)
+
+    history: list[int] = []
+    passes = 0
+    for _ in range(max_passes):
+        passes += 1
+        improvement = _fm_pass(state, balance_tolerance, fixed_set)
+        history.append(state.cutsize)
+        if improvement <= 0:
+            break
+
+    return BaselineResult(
+        bipartition=state.to_bipartition(),
+        iterations=passes,
+        evaluations=state.evaluations,
+        history=tuple(history),
+    )
+
+
+def _move_allowed(state: CutState, v: Vertex, tolerance: float) -> bool:
+    """Balance rule: stay within tolerance, or strictly improve balance."""
+    total = state.side_weights[LEFT] + state.side_weights[RIGHT]
+    if total == 0:
+        return True
+    s = state.side[v]
+    w = state.h.vertex_weight(v)
+    new_left = state.side_weights[LEFT] + (w if s == RIGHT else -w)
+    new_imbalance = abs(2 * new_left - total)
+    old_imbalance = abs(2 * state.side_weights[LEFT] - total)
+    if new_imbalance <= tolerance * total:
+        return True
+    return new_imbalance < old_imbalance
+
+
+def _fm_pass(state: CutState, tolerance: float, fixed: frozenset[Vertex] = frozenset()) -> int:
+    """One FM pass with rollback; returns the realized gain."""
+    h = state.h
+    buckets = _GainBuckets()
+    for v in h.vertices:
+        if v not in fixed:
+            buckets.insert(v, state.side[v], state.gain(v))
+
+    moves: list[Vertex] = []
+    cumulative = 0
+    best_cumulative = 0
+    best_prefix = 0
+    free = set(h.vertices) - fixed
+
+    while free:
+        candidates: list[tuple[int, float, int, Vertex]] = []
+        for side in (LEFT, RIGHT):
+            top = buckets.best(side)
+            if top is None:
+                continue
+            v, g = top
+            if _move_allowed(state, v, tolerance):
+                # prefer higher gain; tie-break toward the heavier side
+                candidates.append((g, state.side_weights[side], side, v))
+        if not candidates:
+            break
+        candidates.sort(key=lambda item: (-item[0], -item[1], item[2]))
+        gain_value, _, _, chosen = candidates[0]
+
+        buckets.remove(chosen)
+        free.discard(chosen)
+        _apply_with_gain_updates(state, buckets, chosen)
+        moves.append(chosen)
+        cumulative += gain_value
+        if cumulative > best_cumulative:
+            best_cumulative = cumulative
+            best_prefix = len(moves)
+
+    for v in reversed(moves[best_prefix:]):
+        state.apply_move(v)
+    return best_cumulative
+
+
+def _apply_with_gain_updates(state: CutState, buckets: _GainBuckets, v: Vertex) -> None:
+    """Move ``v`` and apply the classic FM critical-net gain updates.
+
+    For each net on ``v``: before the move, a net with 0 (resp. 1) pins on
+    the *to* side raises (resp. lowers) neighbouring free-cell gains;
+    after the move the symmetric rule applies on the *from* side.
+    """
+    h = state.h
+    from_side = state.side[v]
+    to_side = 1 - from_side
+
+    for name in h.incident_edges(v):
+        counts = state.pins[name]
+        members = h.edge_members(name)
+        if counts[to_side] == 0:
+            for u in members:
+                if u != v and buckets.contains(u):
+                    buckets.update(u, +1)
+        elif counts[to_side] == 1:
+            for u in members:
+                if u != v and state.side[u] == to_side and buckets.contains(u):
+                    buckets.update(u, -1)
+                    break
+
+    state.apply_move(v)
+
+    for name in h.incident_edges(v):
+        counts = state.pins[name]
+        members = h.edge_members(name)
+        if counts[from_side] == 0:
+            for u in members:
+                if u != v and buckets.contains(u):
+                    buckets.update(u, -1)
+        elif counts[from_side] == 1:
+            for u in members:
+                if u != v and state.side[u] == from_side and buckets.contains(u):
+                    buckets.update(u, +1)
+                    break

@@ -1,0 +1,129 @@
+"""Min-cut Kernighan–Lin for hypergraphs (Table 2's "MinCut-KL" column).
+
+Kernighan–Lin (1970) improves a bisection through *passes*: every pass
+tentatively swaps vertex pairs — each vertex at most once — always taking
+the best-gain available swap (even when negative, to climb out of shallow
+minima), then rolls back to the best prefix of the swap sequence.  The
+netlist adaptation follows Schweikert–Kernighan: gains are computed on
+hyperedge cut counts rather than graph edges.
+
+Pair selection
+--------------
+Scanning all ``|L| x |R|`` pairs per step is the textbook O(n^2 log n)
+2-opt bound but cubic constants in Python; like practical CAD
+implementations we shortlist the top ``k`` single-move gains per side
+(default 8) and evaluate the exact swap gain — including the shared-edge
+correction — only on the ``k^2`` shortlist.  With ``k = n`` this recovers
+the exhaustive rule; tests cover that equivalence on small inputs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from collections.abc import Hashable
+
+from repro.baselines.cutstate import CutState, initial_state
+from repro.baselines.result import BaselineResult
+from repro.core.hypergraph import Hypergraph
+from repro.core.partition import Bipartition
+
+Vertex = Hashable
+
+
+def kernighan_lin(
+    hypergraph: Hypergraph,
+    initial: Bipartition | None = None,
+    max_passes: int = 10,
+    shortlist: int = 8,
+    seed: int | random.Random | None = None,
+) -> BaselineResult:
+    """Partition ``hypergraph`` with hypergraph Kernighan–Lin.
+
+    Parameters
+    ----------
+    hypergraph:
+        Netlist to cut; needs at least two vertices.
+    initial:
+        Starting bisection (random balanced split when omitted).
+    max_passes:
+        Upper bound on improvement passes; the loop stops early at the
+        first pass with non-positive total gain.
+    shortlist:
+        Single-move-gain candidates per side whose pairings are scored
+        exactly each step; larger is slower and closer to textbook KL.
+    seed:
+        Integer seed or :class:`random.Random` (used for the initial
+        split only; passes are deterministic).
+    """
+    if hypergraph.num_vertices < 2:
+        raise ValueError("need at least two vertices to bipartition")
+    if shortlist < 1:
+        raise ValueError(f"shortlist must be >= 1, got {shortlist}")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    state = initial_state(hypergraph, initial, rng)
+
+    history: list[int] = []
+    passes = 0
+    for _ in range(max_passes):
+        passes += 1
+        improvement = _kl_pass(state, shortlist)
+        history.append(state.cutsize)
+        if improvement <= 0:
+            break
+
+    return BaselineResult(
+        bipartition=state.to_bipartition(),
+        iterations=passes,
+        evaluations=state.evaluations,
+        history=tuple(history),
+    )
+
+
+def _kl_pass(state: CutState, shortlist: int) -> int:
+    """One KL pass; returns the realized (rolled-back-to-best) gain."""
+    h = state.h
+    gains: dict[Vertex, int] = {v: state.gain(v) for v in h.vertices}
+    unlocked_left = set(state.left)
+    unlocked_right = set(state.right)
+
+    swaps: list[tuple[Vertex, Vertex]] = []
+    cumulative = 0
+    best_cumulative = 0
+    best_prefix = 0
+
+    while unlocked_left and unlocked_right:
+        cand_left = heapq.nlargest(
+            shortlist, unlocked_left, key=lambda v: (gains[v], repr(v))
+        )
+        cand_right = heapq.nlargest(
+            shortlist, unlocked_right, key=lambda v: (gains[v], repr(v))
+        )
+        best_pair: tuple[Vertex, Vertex] | None = None
+        best_gain = None
+        for a in cand_left:
+            for b in cand_right:
+                g = state.swap_gain(a, b)
+                if best_gain is None or g > best_gain:
+                    best_gain = g
+                    best_pair = (a, b)
+        assert best_pair is not None and best_gain is not None
+        a, b = best_pair
+
+        affected = {a, b} | h.neighbors(a) | h.neighbors(b)
+        state.apply_swap(a, b)
+        for v in affected:
+            gains[v] = state.gain(v)
+
+        unlocked_left.discard(a)
+        unlocked_right.discard(b)
+        swaps.append((a, b))
+        cumulative += best_gain
+        if cumulative > best_cumulative:
+            best_cumulative = cumulative
+            best_prefix = len(swaps)
+
+    # Roll back everything after the best prefix (KL's hallmark step).
+    for a, b in reversed(swaps[best_prefix:]):
+        state.apply_swap(b, a)
+    return best_cumulative

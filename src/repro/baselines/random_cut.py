@@ -1,0 +1,57 @@
+"""Random balanced cuts — the constant-factor strawman of Section 1.
+
+"In an easy problem instance, even a random cut will differ from the
+optimum cut by at most a constant factor" — so any heuristic worth its
+salt must beat multi-start random.  The difficult-input benches use this
+as the floor.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines.cutstate import CutState, random_balanced_sides
+from repro.baselines.result import BaselineResult
+from repro.core.hypergraph import Hypergraph
+
+
+def random_cut(
+    hypergraph: Hypergraph,
+    num_starts: int = 1,
+    seed: int | random.Random | None = None,
+) -> BaselineResult:
+    """Best of ``num_starts`` uniformly random bisections.
+
+    Parameters
+    ----------
+    hypergraph:
+        Netlist to cut; needs at least two vertices.
+    num_starts:
+        Independent random bisections to draw.
+    seed:
+        Integer seed or a :class:`random.Random`.
+    """
+    if hypergraph.num_vertices < 2:
+        raise ValueError("need at least two vertices to bipartition")
+    if num_starts < 1:
+        raise ValueError(f"num_starts must be >= 1, got {num_starts}")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+
+    best_state: CutState | None = None
+    history: list[int] = []
+    evaluations = 0
+    for _ in range(num_starts):
+        left, _ = random_balanced_sides(hypergraph, rng)
+        state = CutState(hypergraph, left)
+        evaluations += hypergraph.num_edges
+        if best_state is None or state.cutsize < best_state.cutsize:
+            best_state = state
+        history.append(best_state.cutsize)
+
+    assert best_state is not None
+    return BaselineResult(
+        bipartition=best_state.to_bipartition(),
+        iterations=num_starts,
+        evaluations=evaluations,
+        history=tuple(history),
+    )

@@ -1,0 +1,38 @@
+"""Common result type for all baseline partitioners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.partition import Bipartition
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Outcome of a baseline partitioner run.
+
+    Attributes
+    ----------
+    bipartition:
+        The best cut found.
+    iterations:
+        Algorithm-specific progress count (KL/FM passes, SA temperature
+        steps, random-cut restarts).
+    evaluations:
+        Number of single-move cut evaluations performed — a
+        machine-independent cost measure used by the runtime-comparison
+        benches alongside wall-clock time.
+    history:
+        Best-cutsize trajectory (one entry per iteration), for
+        convergence plots and the "stuck at a terrible bipartition"
+        observations of Section 4.
+    """
+
+    bipartition: Bipartition
+    iterations: int
+    evaluations: int
+    history: tuple[int, ...] = field(default=(), repr=False)
+
+    @property
+    def cutsize(self) -> int:
+        return self.bipartition.cutsize

@@ -1,0 +1,178 @@
+"""Simulated annealing partitioner (Table 2's "SA" column; ref [18]).
+
+Move class: relocate a single module to the other side.  The cost blends
+the hyperedge cutsize with a quadratic weight-imbalance penalty — the
+penalty-term formulation of Fukunaga et al. that the paper's Section 1
+describes as "very natural".  Acceptance follows Metropolis; the
+temperature schedule is geometric with an automatic initial temperature
+calibrated so that the configured initial acceptance ratio holds on a
+random-move sample (standard Kirkpatrick-style tuning).
+
+Table 1's experiments ("averaged over 10 simulated annealing runs") are
+driven through this module with ten seeds.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.baselines.cutstate import LEFT, initial_state
+from repro.baselines.result import BaselineResult
+from repro.core.hypergraph import Hypergraph
+from repro.core.partition import Bipartition
+
+
+@dataclass(frozen=True)
+class AnnealingSchedule:
+    """Cooling-schedule knobs for :func:`simulated_annealing`.
+
+    Attributes
+    ----------
+    initial_temperature:
+        Starting temperature; ``None`` auto-calibrates from a sample of
+        random moves so that ``initial_acceptance`` of them would be
+        accepted.
+    alpha:
+        Geometric cooling factor per temperature step (0 < alpha < 1).
+    moves_per_temperature:
+        Inner-loop length; ``None`` uses ``10 * num_vertices``.
+    min_temperature:
+        Stop when the temperature falls below this.
+    max_total_moves:
+        Hard cap on attempted moves (guards pure-Python runtimes).
+    initial_acceptance:
+        Target acceptance ratio for auto-calibration.
+    frozen_after:
+        Stop after this many consecutive temperature steps without any
+        accepted move.
+    """
+
+    initial_temperature: float | None = None
+    alpha: float = 0.95
+    moves_per_temperature: int | None = None
+    min_temperature: float = 1e-3
+    max_total_moves: int = 2_000_000
+    initial_acceptance: float = 0.9
+    frozen_after: int = 3
+
+
+def simulated_annealing(
+    hypergraph: Hypergraph,
+    initial: Bipartition | None = None,
+    schedule: AnnealingSchedule | None = None,
+    imbalance_penalty: float = 1.0,
+    balance_tolerance: float = 0.1,
+    seed: int | random.Random | None = None,
+) -> BaselineResult:
+    """Partition ``hypergraph`` by simulated annealing.
+
+    Parameters
+    ----------
+    hypergraph:
+        Netlist to cut; needs at least two vertices.
+    initial:
+        Starting cut (random balanced split when omitted).
+    schedule:
+        Cooling schedule (defaults to :class:`AnnealingSchedule`).
+    imbalance_penalty:
+        Weight of the quadratic imbalance penalty, in units of "cut edges
+        per (normalized imbalance)^2 times number of edges".
+    balance_tolerance:
+        A state only becomes the incumbent best if its weight-imbalance
+        fraction is within this bound (mirrors the other baselines).
+    seed:
+        Integer seed or :class:`random.Random`.
+    """
+    if hypergraph.num_vertices < 2:
+        raise ValueError("need at least two vertices to bipartition")
+    schedule = schedule or AnnealingSchedule()
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    state = initial_state(hypergraph, initial, rng)
+
+    total_weight = hypergraph.total_vertex_weight or 1.0
+    scale = imbalance_penalty * max(1, hypergraph.num_edges)
+
+    def penalty(weight_left: float) -> float:
+        frac = abs(2.0 * weight_left - total_weight) / total_weight
+        return scale * frac * frac
+
+    def move_delta(v) -> float:
+        """Cost change if ``v`` moved (cut delta minus gain, plus balance)."""
+        cut_delta = -state.gain(v)
+        w = hypergraph.vertex_weight(v)
+        shift = -w if state.side[v] == LEFT else w
+        new_left = state.side_weights[LEFT] + shift
+        return cut_delta + penalty(new_left) - penalty(state.side_weights[LEFT])
+
+    vertices = list(hypergraph.vertices)
+
+    temperature = schedule.initial_temperature
+    if temperature is None:
+        temperature = _calibrate_temperature(state, vertices, move_delta, rng, schedule)
+
+    moves_per_temp = schedule.moves_per_temperature or 10 * len(vertices)
+    best_snapshot = state.snapshot()
+    best_cut = state.cutsize
+    best_feasible = state.weight_imbalance() / total_weight <= balance_tolerance
+
+    history: list[int] = []
+    total_moves = 0
+    frozen_steps = 0
+    temperature_steps = 0
+
+    while (
+        temperature > schedule.min_temperature
+        and total_moves < schedule.max_total_moves
+        and frozen_steps < schedule.frozen_after
+    ):
+        accepted_any = False
+        for _ in range(moves_per_temp):
+            total_moves += 1
+            v = vertices[rng.randrange(len(vertices))]
+            delta = move_delta(v)
+            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                state.apply_move(v)
+                accepted_any = True
+                feasible = state.weight_imbalance() / total_weight <= balance_tolerance
+                better = (feasible and not best_feasible) or (
+                    feasible == best_feasible and state.cutsize < best_cut
+                )
+                if better:
+                    best_snapshot = state.snapshot()
+                    best_cut = state.cutsize
+                    best_feasible = feasible
+            if total_moves >= schedule.max_total_moves:
+                break
+        history.append(best_cut)
+        temperature_steps += 1
+        frozen_steps = 0 if accepted_any else frozen_steps + 1
+        temperature *= schedule.alpha
+
+    state.restore(best_snapshot)
+    return BaselineResult(
+        bipartition=state.to_bipartition(),
+        iterations=temperature_steps,
+        evaluations=state.evaluations,
+        history=tuple(history),
+    )
+
+
+def _calibrate_temperature(state, vertices, move_delta, rng, schedule) -> float:
+    """Pick T0 so ~``initial_acceptance`` of sampled uphill moves accept.
+
+    Kirkpatrick's rule of thumb: ``T0 = mean(uphill deltas) / -ln(p0)``.
+    """
+    sample = min(200, 5 * len(vertices))
+    uphill: list[float] = []
+    for _ in range(sample):
+        v = vertices[rng.randrange(len(vertices))]
+        delta = move_delta(v)
+        if delta > 0:
+            uphill.append(delta)
+    if not uphill:
+        return 1.0
+    mean_uphill = sum(uphill) / len(uphill)
+    p0 = min(max(schedule.initial_acceptance, 1e-6), 1 - 1e-6)
+    return mean_uphill / -math.log(p0)

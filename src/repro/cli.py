@@ -1,0 +1,334 @@
+"""Command-line interface: partition, generate, place, experiment.
+
+Examples
+--------
+Partition an hMETIS file with 50-start Algorithm I::
+
+    repro-partition partition design.hgr --algorithm algorithm1 --starts 50
+
+Generate a suite instance and save it::
+
+    repro-partition generate --name IC1 --out ic1.hgr
+
+Regenerate a paper table::
+
+    repro-partition experiment table2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.algorithm1 import algorithm1
+from repro.core.hypergraph import Hypergraph
+
+
+def _load_hypergraph(path: str, fmt: str | None) -> Hypergraph:
+    from repro.io import read_hgr, read_json, read_netlist
+
+    suffix = (fmt or Path(path).suffix.lstrip(".")).lower()
+    readers = {"hgr": read_hgr, "netlist": read_netlist, "net": read_netlist, "json": read_json}
+    if suffix not in readers:
+        raise SystemExit(
+            f"cannot infer format from {path!r}; pass --format hgr|netlist|json"
+        )
+    return readers[suffix](path)
+
+
+def _save_hypergraph(h: Hypergraph, path: str) -> None:
+    from repro.io import write_hgr, write_json, write_netlist
+
+    suffix = Path(path).suffix.lstrip(".").lower()
+    writers = {"hgr": write_hgr, "netlist": write_netlist, "net": write_netlist, "json": write_json}
+    if suffix not in writers:
+        raise SystemExit(f"unsupported output extension {suffix!r} (use .hgr/.netlist/.json)")
+    writers[suffix](h, path)
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    h = _load_hypergraph(args.file, args.format)
+    if args.k > 2:
+        from repro.core.kway import recursive_bisection
+
+        kp = recursive_bisection(h, args.k, num_starts=args.starts, seed=args.seed)
+        print(f"k                  : {kp.k}")
+        print(f"cut nets           : {kp.cutsize}")
+        print(f"sum ext. degrees   : {kp.sum_external_degrees}")
+        print(f"connectivity (l-1) : {kp.connectivity}")
+        print(f"block sizes        : {sorted(len(b) for b in kp.blocks)}")
+        print(f"weight imbalance   : {kp.weight_imbalance_fraction:.3f}")
+        if args.assignment:
+            payload = {str(v): kp.block_of(v) for v in sorted(h.vertices, key=repr)}
+            Path(args.assignment).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+            print(f"assignment written : {args.assignment}")
+        if args.parts:
+            from repro.io.parts import write_parts
+
+            write_parts(kp, args.parts)
+            print(f"parts written      : {args.parts}")
+        if args.report:
+            from repro.report import kway_report
+
+            Path(args.report).write_text(kway_report(kp) + "\n", encoding="utf-8")
+            print(f"report written     : {args.report}")
+        return 0
+    if args.algorithm == "algorithm1":
+        result = algorithm1(
+            h,
+            num_starts=args.starts,
+            seed=args.seed,
+            edge_size_threshold=args.threshold,
+            weighted_balance=args.weighted_balance,
+            balance_tolerance=args.balance_tolerance,
+        )
+        bp = result.bipartition
+    else:
+        from repro.baselines import (
+            fiduccia_mattheyses,
+            kernighan_lin,
+            random_cut,
+            simulated_annealing,
+            spectral_bisection,
+        )
+
+        runners = {
+            "fm": lambda: fiduccia_mattheyses(h, seed=args.seed),
+            "kl": lambda: kernighan_lin(h, seed=args.seed),
+            "sa": lambda: simulated_annealing(h, seed=args.seed),
+            "random": lambda: random_cut(h, num_starts=args.starts, seed=args.seed),
+            "spectral": lambda: spectral_bisection(h, seed=args.seed),
+        }
+        bp = runners[args.algorithm]().bipartition
+
+    print(f"cutsize            : {bp.cutsize}")
+    print(f"weighted cutsize   : {bp.weighted_cutsize:g}")
+    print(f"|left| / |right|   : {len(bp.left)} / {len(bp.right)}")
+    print(f"weight imbalance   : {bp.weight_imbalance_fraction:.3f}")
+    print(f"quotient cut       : {bp.quotient_cut:.4f}")
+    if args.assignment:
+        payload = {str(v): side for v, side in sorted(bp.as_dict().items(), key=lambda kv: repr(kv[0]))}
+        Path(args.assignment).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"assignment written : {args.assignment}")
+    if args.parts:
+        from repro.io.parts import write_parts
+
+        write_parts(bp, args.parts)
+        print(f"parts written      : {args.parts}")
+    if args.report:
+        from repro.report import full_report
+
+        Path(args.report).write_text(full_report(bp), encoding="utf-8")
+        print(f"report written     : {args.report}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.name:
+        from repro.generators.suite import load_instance
+
+        h, recipe, _ = load_instance(args.name)
+        print(f"{args.name}: {h.num_vertices} modules, {h.num_edges} signals ({recipe.kind})")
+    elif args.kind == "netlist":
+        from repro.generators.netlists import clustered_netlist
+
+        h = clustered_netlist(args.modules, args.signals, args.technology, seed=args.seed)
+    elif args.kind == "difficult":
+        from repro.generators.difficult import planted_bisection
+
+        inst = planted_bisection(
+            args.modules, args.signals, crossing_edges=args.planted_cut, seed=args.seed
+        )
+        h = inst.hypergraph
+        print(f"planted optimum cutsize: {inst.planted_cutsize}")
+    else:
+        from repro.generators.random_hypergraph import random_hypergraph
+
+        h = random_hypergraph(args.modules, args.signals, seed=args.seed, connect=True)
+    _save_hypergraph(h, args.out)
+    print(f"wrote {args.out}: {h.num_vertices} vertices, {h.num_edges} edges, {h.num_pins} pins")
+    return 0
+
+
+def _cmd_place(args: argparse.Namespace) -> int:
+    from repro.placement import SlotGrid, mincut_place
+
+    h = _load_hypergraph(args.file, args.format)
+    grid = SlotGrid(args.rows, args.cols) if args.rows and args.cols else None
+    result = mincut_place(h, grid=grid, partitioner=args.partitioner, seed=args.seed)
+    print(f"grid               : {result.grid.rows} x {result.grid.cols}")
+    print(f"total HPWL         : {result.total_hpwl:.1f}")
+    print(f"top-level cutsize  : {result.cut_sizes[0] if result.cut_sizes else 0}")
+    if args.assignment:
+        payload = {str(v): list(slot) for v, slot in sorted(result.positions.items(), key=lambda kv: repr(kv[0]))}
+        Path(args.assignment).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"placement written  : {args.assignment}")
+    if args.report:
+        from repro.report import placement_report
+
+        Path(args.report).write_text(placement_report(result) + "\n", encoding="utf-8")
+        print(f"report written     : {args.report}")
+    return 0
+
+
+def _run_rent(seed: int = 0, trials: int = 3) -> list:
+    from repro.analysis.rent import rent_comparison_experiment
+
+    return rent_comparison_experiment(trials=trials, seed=seed)
+
+
+def _cmd_portfolio(args: argparse.Namespace) -> int:
+    from repro.portfolio import DEFAULT_METHODS, best_partition
+
+    h = _load_hypergraph(args.file, args.format)
+    methods = tuple(args.methods.split(",")) if args.methods else DEFAULT_METHODS
+    result = best_partition(
+        h,
+        methods=methods,
+        balance_tolerance=args.balance_tolerance,
+        num_starts=args.starts,
+        seed=args.seed,
+    )
+    print(f"{'method':<12} {'cutsize':>8} {'imbalance':>10} {'feasible':>9} {'seconds':>8}")
+    for entry in result.entries:
+        print(
+            f"{entry.method:<12} {entry.cutsize:>8} "
+            f"{entry.weight_imbalance_fraction:>10.3f} "
+            f"{str(entry.feasible):>9} {entry.seconds:>8.2f}"
+        )
+    print(f"\nwinner: {result.winner} (cutsize {result.cutsize})")
+    if args.parts:
+        from repro.io.parts import write_parts
+
+        write_parts(result.bipartition, args.parts)
+        print(f"parts written: {args.parts}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro import experiments as ex
+
+    quick = args.quick
+    runs: dict[str, tuple] = {
+        "table1": (ex.run_table1, dict(runs=3 if quick else 10)),
+        "table2": (
+            ex.run_table2,
+            dict(instances=("Bd1", "Diff1") if quick else None, alg1_starts=10 if quick else 50),
+        ),
+        "difficult": (
+            ex.run_difficult_sweep,
+            dict(trials=2 if quick else 5, planted_cutsizes=(0, 2) if quick else (0, 1, 2, 4, 8)),
+        ),
+        "diameter": (ex.run_diameter_experiment, dict(trials=2 if quick else 5)),
+        "boundary": (ex.run_boundary_experiment, dict(trials=2 if quick else 5)),
+        "crossing": (ex.run_crossing_experiment, dict(trials=1 if quick else 3)),
+        "scaling": (ex.run_scaling_experiment, dict(sizes=(50, 100) if quick else (50, 100, 200, 400))),
+        "multistart": (ex.run_multistart_ablation, dict(trials=1 if quick else 3)),
+        "filtering": (ex.run_filtering_ablation, dict(trials=1 if quick else 3)),
+        "variants": (ex.run_completion_variant_ablation, dict(trials=1 if quick else 3)),
+        "balance": (ex.run_weighted_balance_ablation, dict(trials=1 if quick else 3)),
+        "refinement": (ex.run_refinement_ablation, dict(trials=1 if quick else 3)),
+        "quotient": (ex.run_quotient_cut_study, dict(trials=1 if quick else 3)),
+        "granularization": (ex.run_granularization_study, dict(trials=1 if quick else 3)),
+        "variance": (ex.run_variance_study, dict(runs=3 if quick else 10)),
+        "rent": (_run_rent, dict(trials=1 if quick else 3)),
+    }
+    if args.which == "all":
+        names = list(runs)
+    elif args.which in runs:
+        names = [args.which]
+    else:
+        raise SystemExit(f"unknown experiment {args.which!r}; choose from {sorted(runs)} or 'all'")
+    for name in names:
+        fn, kwargs = runs[name]
+        rows = fn(seed=args.seed, **kwargs)
+        print(ex.format_table(rows, title=f"== {name} =="))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-partition",
+        description="Fast Hypergraph Partition (Kahng, DAC 1989) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("partition", help="bipartition a hypergraph file")
+    p.add_argument("file")
+    p.add_argument("--format", choices=["hgr", "netlist", "json"], default=None)
+    p.add_argument(
+        "--algorithm",
+        choices=["algorithm1", "fm", "kl", "sa", "random", "spectral"],
+        default="algorithm1",
+    )
+    p.add_argument("--starts", type=int, default=50, help="multi-start count")
+    p.add_argument("--k", type=int, default=2, help="k-way via recursive bisection (k > 2)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--threshold", type=int, default=10, help="large-edge ignore threshold")
+    p.add_argument("--weighted-balance", action="store_true", help="engineer's rule")
+    p.add_argument(
+        "--balance-tolerance",
+        type=float,
+        default=0.1,
+        help="prefer cuts within this weight-imbalance fraction "
+        "(pass a large value like 1.0 for the paper's unconstrained behaviour)",
+    )
+    p.add_argument("--assignment", help="write vertex->side JSON here")
+    p.add_argument("--parts", help="write an hMETIS-style .part file here")
+    p.add_argument("--report", help="write a markdown report here")
+    p.set_defaults(fn=_cmd_partition)
+
+    g = sub.add_parser("generate", help="generate an instance file")
+    g.add_argument("--name", help="suite instance name (Bd1..IC2, Diff1..3)")
+    g.add_argument("--kind", choices=["netlist", "difficult", "random"], default="netlist")
+    g.add_argument("--modules", type=int, default=100)
+    g.add_argument("--signals", type=int, default=180)
+    g.add_argument("--technology", default="std_cell")
+    g.add_argument("--planted-cut", type=int, default=2)
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--out", required=True, help="output path (.hgr/.netlist/.json)")
+    g.set_defaults(fn=_cmd_generate)
+
+    pl = sub.add_parser("place", help="min-cut placement onto a slot grid")
+    pl.add_argument("file")
+    pl.add_argument("--format", choices=["hgr", "netlist", "json"], default=None)
+    pl.add_argument("--rows", type=int, default=0)
+    pl.add_argument("--cols", type=int, default=0)
+    pl.add_argument("--partitioner", choices=["algorithm1", "fm", "hybrid"], default="hybrid")
+    pl.add_argument("--seed", type=int, default=0)
+    pl.add_argument("--assignment", help="write module->[row,col] JSON here")
+    pl.add_argument("--report", help="write a markdown report here")
+    pl.set_defaults(fn=_cmd_place)
+
+    pf = sub.add_parser("portfolio", help="run several engines, keep the best cut")
+    pf.add_argument("file")
+    pf.add_argument("--format", choices=["hgr", "netlist", "json"], default=None)
+    pf.add_argument("--methods", help="comma-separated engine list (default: all)")
+    pf.add_argument("--starts", type=int, default=25)
+    pf.add_argument("--balance-tolerance", type=float, default=0.1)
+    pf.add_argument("--seed", type=int, default=0)
+    pf.add_argument("--parts", help="write the winning cut as a .part file")
+    pf.set_defaults(fn=_cmd_portfolio)
+
+    e = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    e.add_argument("which", help="table1|table2|difficult|diameter|boundary|crossing|scaling|multistart|filtering|variants|balance|refinement|quotient|granularization|variance|rent|all")
+    e.add_argument("--seed", type=int, default=0)
+    e.add_argument("--quick", action="store_true", help="small parameters for smoke runs")
+    e.set_defaults(fn=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro-partition`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Core contribution of the paper: intersection-graph dual bipartitioning.
+
+This package implements Algorithm I of Kahng, "Fast Hypergraph Partition"
+(DAC 1989) together with every data structure it is defined on:
+
+* :class:`~repro.core.hypergraph.Hypergraph` — the circuit netlist model
+  (modules = vertices, signal nets = hyperedges).
+* :class:`~repro.core.graph.Graph` — plain undirected graphs, used for the
+  dual intersection graph ``G`` and the bipartite boundary graph ``G'``.
+* :func:`~repro.core.intersection.intersection_graph` — the dual
+  construction at the heart of the method.
+* :mod:`~repro.core.dual_cut` — random longest-BFS-path selection and the
+  double-BFS graph cut that yields a *partial bipartition* of the
+  hypergraph.
+* :mod:`~repro.core.boundary` / :mod:`~repro.core.complete_cut` — the
+  bipartite boundary graph and the greedy ``Complete-Cut`` completion that
+  is provably within one of the optimum completion.
+* :func:`~repro.core.algorithm1.algorithm1` — the end-to-end heuristic with
+  multi-start, large-edge filtering and weight balancing.
+"""
+
+from repro.core.hypergraph import Hypergraph
+from repro.core.graph import Graph
+from repro.core.partition import Bipartition
+from repro.core.intersection import IntersectionGraph, intersection_graph
+from repro.core.dual_cut import GraphCut, double_bfs_cut, random_longest_bfs_path
+from repro.core.boundary import BoundaryGraph, boundary_graph
+from repro.core.complete_cut import CompletionResult, complete_cut
+from repro.core.algorithm1 import Algorithm1Result, algorithm1
+from repro.core.filtering import filter_large_edges
+from repro.core.granularize import granularize, project_partition
+from repro.core.refinement import fm_refine
+from repro.core.kway import KWayPartition, recursive_bisection
+from repro.core.kway_refine import refine_kway
+from repro.core.exact import branch_and_bound_min_cut
+
+__all__ = [
+    "Hypergraph",
+    "Graph",
+    "Bipartition",
+    "IntersectionGraph",
+    "intersection_graph",
+    "GraphCut",
+    "double_bfs_cut",
+    "random_longest_bfs_path",
+    "BoundaryGraph",
+    "boundary_graph",
+    "CompletionResult",
+    "complete_cut",
+    "Algorithm1Result",
+    "algorithm1",
+    "filter_large_edges",
+    "granularize",
+    "project_partition",
+    "fm_refine",
+    "KWayPartition",
+    "recursive_bisection",
+    "refine_kway",
+    "branch_and_bound_min_cut",
+]

@@ -1,0 +1,442 @@
+"""Algorithm I — the end-to-end fast hypergraph bipartitioner.
+
+Pipeline (paper Section 2.3, with the Section 3/5 refinements):
+
+1. *Filter*: heuristically ignore hyperedges of size ≥ threshold (they
+   almost surely cross the optimum cut anyway; Table 1).
+2. *Dualize*: build the intersection graph ``G`` of the filtered
+   hypergraph.
+3. *Cut ``G``* (per start): random longest BFS path gives seeds ``(u, v)``;
+   double BFS from the seeds partitions the G-nodes; boundary set ``B``.
+4. *Project*: non-boundary G-nodes force their pins to a side — a partial
+   bipartition of ``H`` (consistent by construction).
+5. *Complete*: run Complete-Cut (or its weighted engineer's-rule form) on
+   the bipartite boundary graph ``G'``; winners commit their pins,
+   losers cross.
+6. *Balance*: vertices still free (pins only of losers / filtered /
+   isolated modules) are assigned greedily to the lighter side.
+7. *Multi-start*: repeat 3–6 for ``num_starts`` random longest paths and
+   keep the best final cut (the paper's test runs used 50).
+
+Total complexity ``O(num_starts * n^2)`` with ``n`` hyperedges, matching
+the paper's bound; the completion step is ``O(n log n)``.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable
+from dataclasses import dataclass, field
+
+from repro.core.boundary import BoundaryGraph, boundary_graph
+from repro.core.complete_cut import (
+    CompletionResult,
+    complete_cut,
+    complete_cut_weighted,
+)
+from repro.core.dual_cut import (
+    GraphCut,
+    PartialBipartition,
+    double_bfs_cut,
+    partial_bipartition,
+    random_longest_bfs_path,
+)
+from repro.core.filtering import DEFAULT_EDGE_SIZE_THRESHOLD, filter_large_edges
+from repro.core.hypergraph import Hypergraph
+from repro.core.intersection import IntersectionGraph, intersection_graph
+from repro.core.partition import Bipartition
+
+Vertex = Hashable
+EdgeName = Hashable
+
+
+class Algorithm1Error(ValueError):
+    """Raised on inputs Algorithm I cannot bipartition (e.g. < 2 vertices)."""
+
+
+@dataclass(frozen=True)
+class StartRecord:
+    """Diagnostics for one multi-start attempt."""
+
+    seed_u: EdgeName
+    seed_v: EdgeName | None
+    bfs_depth: int
+    boundary_size: int
+    num_losers: int
+    cutsize: int
+    weight_imbalance: float
+
+
+@dataclass(frozen=True)
+class Algorithm1Result:
+    """Best bipartition found plus per-start diagnostics.
+
+    Attributes
+    ----------
+    bipartition:
+        The winning cut, evaluated against the *original* (unfiltered)
+        hypergraph.
+    ignored_edges:
+        Hyperedges excluded from the intersection graph by the size
+        filter (they still count in ``bipartition.cutsize``).
+    starts:
+        One :class:`StartRecord` per multi-start attempt, in order.
+    intersection:
+        The dual graph used (of the filtered hypergraph), for analysis.
+    """
+
+    bipartition: Bipartition
+    ignored_edges: frozenset[EdgeName]
+    starts: tuple[StartRecord, ...]
+    intersection: IntersectionGraph = field(repr=False)
+
+    @property
+    def cutsize(self) -> int:
+        return self.bipartition.cutsize
+
+    @property
+    def best_start(self) -> StartRecord:
+        return min(self.starts, key=lambda s: (s.cutsize, s.weight_imbalance))
+
+
+@dataclass(frozen=True)
+class SingleRunTrace:
+    """All intermediate artefacts of one Algorithm I start (for tests/teaching)."""
+
+    cut: GraphCut
+    partial: PartialBipartition
+    boundary: BoundaryGraph
+    completion: CompletionResult
+    bipartition: Bipartition
+
+
+def _balance_free_vertices(
+    hypergraph: Hypergraph,
+    left: set[Vertex],
+    right: set[Vertex],
+    free: list[Vertex],
+    rng: random.Random,
+) -> None:
+    """Greedily assign leftover vertices to the lighter side (in place).
+
+    Heaviest-first (LPT rule) keeps the final weight imbalance at most the
+    weight of one module.  Ties in side weight break randomly so that
+    multi-start explores different completions.
+    """
+    free_sorted = sorted(free, key=lambda v: (-hypergraph.vertex_weight(v), repr(v)))
+    wl = sum(hypergraph.vertex_weight(v) for v in left)
+    wr = sum(hypergraph.vertex_weight(v) for v in right)
+    for v in free_sorted:
+        if wl < wr or (wl == wr and rng.random() < 0.5):
+            left.add(v)
+            wl += hypergraph.vertex_weight(v)
+        else:
+            right.add(v)
+            wr += hypergraph.vertex_weight(v)
+
+
+def _ensure_nonempty_sides(
+    hypergraph: Hypergraph, left: set[Vertex], right: set[Vertex]
+) -> None:
+    """Move one lightest vertex if a side came out empty (in place)."""
+    if hypergraph.num_vertices < 2:
+        return
+    if not left:
+        donor = min(right, key=lambda v: (hypergraph.vertex_weight(v), repr(v)))
+        right.discard(donor)
+        left.add(donor)
+    elif not right:
+        donor = min(left, key=lambda v: (hypergraph.vertex_weight(v), repr(v)))
+        left.discard(donor)
+        right.add(donor)
+
+
+def run_single_start(
+    intersection: IntersectionGraph,
+    original: Hypergraph,
+    rng: random.Random,
+    start_node: EdgeName | None = None,
+    variant: str = "min_degree",
+    weighted_balance: bool = False,
+    double_sweep: bool = False,
+    bfs_mode: str = "balanced",
+) -> SingleRunTrace:
+    """One complete pass of steps 3–6 from the given (or random) start node.
+
+    Exposed separately so the paper's worked example (Figure 4) and the
+    ablation benchmarks can pin the seeds and inspect every intermediate.
+    """
+    g = intersection.graph
+    working = intersection.hypergraph
+    u, v, depth = random_longest_bfs_path(g, rng=rng, start=start_node, double_sweep=double_sweep)
+
+    if u == v:
+        # Degenerate single-node BFS component: fall back to an arbitrary
+        # one-vs-rest graph cut (no boundary arises across components).
+        others = [n for n in g.nodes if n != u]
+        cut = GraphCut(
+            left=frozenset([u]),
+            right=frozenset(others),
+            boundary_left=frozenset(n for n in [u] if g.neighbors(n) & set(others)),
+            boundary_right=frozenset(n for n in others if u in g.neighbors(n)),
+            seed_u=u,
+            seed_v=u,
+        )
+    else:
+        cut = double_bfs_cut(g, u, v, rng=rng, mode=bfs_mode)
+
+    partial = partial_bipartition(intersection, cut)
+    bg = boundary_graph(g, cut)
+
+    left: set[Vertex] = set(partial.placed_left)
+    right: set[Vertex] = set(partial.placed_right)
+
+    if weighted_balance:
+        assigned = {pin: "L" for pin in left}
+        assigned.update({pin: "R" for pin in right})
+        completion = complete_cut_weighted(
+            bg,
+            working,
+            initial_left_weight=sum(working.vertex_weight(p) for p in left),
+            initial_right_weight=sum(working.vertex_weight(p) for p in right),
+            assigned=assigned,
+            variant=variant,
+            rng=rng,
+        )
+    else:
+        completion = complete_cut(bg, variant=variant, rng=rng)
+
+    for name in completion.winners_left:
+        left.update(p for p in working.edge_members(name) if p not in right)
+    for name in completion.winners_right:
+        right.update(p for p in working.edge_members(name) if p not in left)
+
+    free = [p for p in original.vertices if p not in left and p not in right]
+    _balance_free_vertices(original, left, right, free, rng)
+    _ensure_nonempty_sides(original, left, right)
+
+    bipartition = Bipartition(original, left, right)
+    return SingleRunTrace(
+        cut=cut, partial=partial, boundary=bg, completion=completion, bipartition=bipartition
+    )
+
+
+def _pack_components(
+    original: Hypergraph,
+    working: Hypergraph,
+    components: list[set[EdgeName]],
+    rng: random.Random,
+) -> Bipartition:
+    """Zero-cut bipartition of a disconnected dual graph by block packing.
+
+    Each G-component's hyperedges cover a disjoint module block; blocks
+    are distributed heaviest-first onto the lighter side (LPT), then any
+    modules in no working edge are balanced individually.
+    """
+    blocks: list[set[Vertex]] = []
+    for component in components:
+        block: set[Vertex] = set()
+        for name in component:
+            block.update(working.edge_members(name))
+        blocks.append(block)
+    blocks.sort(key=lambda b: (-sum(original.vertex_weight(v) for v in b), repr(sorted(b, key=repr))))
+
+    left: set[Vertex] = set()
+    right: set[Vertex] = set()
+    wl = wr = 0.0
+    for block in blocks:
+        block_weight = sum(original.vertex_weight(v) for v in block)
+        if wl <= wr:
+            left |= block
+            wl += block_weight
+        else:
+            right |= block
+            wr += block_weight
+
+    free = [v for v in original.vertices if v not in left and v not in right]
+    _balance_free_vertices(original, left, right, free, rng)
+    _ensure_nonempty_sides(original, left, right)
+    return Bipartition(original, left, right)
+
+
+def algorithm1(
+    hypergraph: Hypergraph,
+    num_starts: int = 1,
+    seed: int | random.Random | None = None,
+    edge_size_threshold: int | None = DEFAULT_EDGE_SIZE_THRESHOLD,
+    variant: str = "min_degree",
+    weighted_balance: bool = False,
+    double_sweep: bool = False,
+    balance_tolerance: float | None = None,
+    bfs_mode: str = "balanced",
+    objective: str = "edges",
+) -> Algorithm1Result:
+    """Bipartition ``hypergraph`` with Algorithm I.
+
+    Parameters
+    ----------
+    hypergraph:
+        The netlist to cut; must have at least two vertices.
+    num_starts:
+        Number of random longest BFS paths to try; best cut wins (the
+        paper's experiments used 50).
+    seed:
+        Integer seed or a :class:`random.Random` for reproducibility.
+    edge_size_threshold:
+        Ignore hyperedges of at least this many pins when building the
+        intersection graph (``None`` disables filtering).  Default 10, per
+        the paper's analysis.
+    variant:
+        Complete-Cut winner-selection variant (see
+        :data:`repro.core.complete_cut.VARIANTS`).
+    weighted_balance:
+        Use the engineer's rule so vertex-weight equipartition is pursued
+        during completion (slightly higher cutsizes, much better balance —
+        exactly the paper's observed trade-off).
+    double_sweep:
+        Refine seed selection with a second BFS sweep (extension).
+    balance_tolerance:
+        When set, multi-start selection prefers cuts whose weight
+        imbalance fraction is within this bound: the ranking key is
+        (infeasible?, cutsize, imbalance).  The paper observes the basic
+        algorithm is near-balanced "with high probability" on clustered
+        netlists; this knob makes the preference explicit for fair
+        comparison against bisection-constrained baselines.
+    bfs_mode:
+        Double-BFS growth discipline: ``"balanced"`` (equal node-rate
+        growth, default) or ``"level"`` (lock-step levels) — see
+        :func:`repro.core.dual_cut.double_bfs_cut`.
+    objective:
+        Multi-start ranking objective: ``"edges"`` (crossing-net count,
+        the paper's) or ``"weight"`` (total crossing-net weight; pair
+        with ``variant="min_loser_weight"`` so the completion pulls in
+        the same direction).
+
+    Returns
+    -------
+    Algorithm1Result
+        Best bipartition over all starts plus per-start diagnostics.
+    """
+    if hypergraph.num_vertices < 2:
+        raise Algorithm1Error("need at least two vertices to bipartition")
+    if num_starts < 1:
+        raise Algorithm1Error(f"num_starts must be >= 1, got {num_starts}")
+    if objective not in ("edges", "weight"):
+        raise Algorithm1Error(f"objective must be 'edges' or 'weight', got {objective!r}")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+
+    if edge_size_threshold is None:
+        working, ignored = hypergraph, frozenset()
+    else:
+        working, ignored = filter_large_edges(hypergraph, edge_size_threshold)
+        if working.num_edges == 0 and hypergraph.num_edges > 0:
+            # Filtering removed everything (tiny dense instances): disable it.
+            working, ignored = hypergraph, frozenset()
+
+    intersection = intersection_graph(working)
+
+    if intersection.num_nodes == 0:
+        # Edgeless hypergraph: any balanced split is optimal (cutsize 0).
+        left: set[Vertex] = set()
+        right: set[Vertex] = set()
+        _balance_free_vertices(hypergraph, left, right, list(hypergraph.vertices), rng)
+        _ensure_nonempty_sides(hypergraph, left, right)
+        bipartition = Bipartition(hypergraph, left, right)
+        record = StartRecord(
+            seed_u=None,
+            seed_v=None,
+            bfs_depth=0,
+            boundary_size=0,
+            num_losers=0,
+            cutsize=bipartition.cutsize,
+            weight_imbalance=bipartition.weight_imbalance,
+        )
+        return Algorithm1Result(
+            bipartition=bipartition,
+            ignored_edges=ignored,
+            starts=(record,),
+            intersection=intersection,
+        )
+
+    total_weight = hypergraph.total_vertex_weight or 1.0
+
+    def score(bp: Bipartition) -> float:
+        return bp.cutsize if objective == "edges" else bp.weighted_cutsize
+
+    def rank(bp: Bipartition) -> tuple:
+        if balance_tolerance is None:
+            return (score(bp), bp.weight_imbalance)
+        infeasible = bp.weight_imbalance / total_weight > balance_tolerance
+        return (infeasible, score(bp), bp.weight_imbalance)
+
+    components = intersection.graph.connected_components()
+    if len(components) > 1:
+        # The c = 0 pathological case: "BFS in G finds the unconnectedness
+        # while standard heuristics will often output a locally minimum cut
+        # of size Θ(|E|)."  Whole G-components map to vertex-disjoint module
+        # blocks (edges in different components cannot share a module), so
+        # packing blocks two ways yields a zero cut of the working
+        # hypergraph; only filtered-out large edges can still cross.
+        #
+        # Packing is only the *answer* when it comes out reasonably
+        # balanced (one giant component forces a lopsided split — there a
+        # real cut through the giant component is required and we fall
+        # through to the multi-start machinery, which attaches the small
+        # components side by side).
+        bipartition = _pack_components(hypergraph, working, components, rng)
+        packing_limit = balance_tolerance if balance_tolerance is not None else 0.25
+        total = hypergraph.total_vertex_weight or 1.0
+        if bipartition.weight_imbalance / total <= packing_limit:
+            record = StartRecord(
+                seed_u=None,
+                seed_v=None,
+                bfs_depth=0,
+                boundary_size=0,
+                num_losers=0,
+                cutsize=bipartition.cutsize,
+                weight_imbalance=bipartition.weight_imbalance,
+            )
+            return Algorithm1Result(
+                bipartition=bipartition,
+                ignored_edges=ignored,
+                starts=(record,),
+                intersection=intersection,
+            )
+
+    best: Bipartition | None = None
+    records: list[StartRecord] = []
+    for _ in range(num_starts):
+        trace = run_single_start(
+            intersection,
+            hypergraph,
+            rng,
+            variant=variant,
+            weighted_balance=weighted_balance,
+            double_sweep=double_sweep,
+            bfs_mode=bfs_mode,
+        )
+        bp = trace.bipartition
+        depth = 0
+        if trace.cut.seed_u != trace.cut.seed_v:
+            depth = intersection.graph.bfs_levels(trace.cut.seed_u).get(trace.cut.seed_v, 0)
+        records.append(
+            StartRecord(
+                seed_u=trace.cut.seed_u,
+                seed_v=trace.cut.seed_v,
+                bfs_depth=depth,
+                boundary_size=len(trace.cut.boundary),
+                num_losers=trace.completion.num_losers,
+                cutsize=bp.cutsize,
+                weight_imbalance=bp.weight_imbalance,
+            )
+        )
+        if best is None or rank(bp) < rank(best):
+            best = bp
+
+    assert best is not None
+    return Algorithm1Result(
+        bipartition=best,
+        ignored_edges=ignored,
+        starts=tuple(records),
+        intersection=intersection,
+    )

@@ -1,0 +1,76 @@
+"""The bipartite boundary graph ``G'`` of Section 2.2.
+
+Given a graph cut of the intersection graph ``G`` with boundary sets
+``B_L`` and ``B_R``, the *boundary graph* ``G'`` is the subgraph of ``G``
+induced by ``B = B_L ∪ B_R`` with all intra-side edges deleted — only
+edges between ``B_L`` and ``B_R`` survive, so ``G'`` is bipartite by
+construction.
+
+In the optimal completion of the hypergraph partition each node of ``G'``
+(a hyperedge of ``H``) either crosses the final cut (*loser*) or has all
+its modules on one side (*winner*).  The Fact driving Complete-Cut: if a
+boundary node is a winner, every node adjacent to it in ``G'`` must be a
+loser — minimizing losers therefore minimizes the completion's cutsize.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+from repro.core.dual_cut import GraphCut
+from repro.core.graph import Graph
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class BoundaryGraph:
+    """The bipartite graph ``G'`` over the boundary set.
+
+    Attributes
+    ----------
+    graph:
+        Nodes are exactly ``B_L ∪ B_R``; edges only run between the two
+        sides (intra-side intersections of ``G`` are dropped).
+    left, right:
+        The two color classes ``B_L`` and ``B_R``.
+    """
+
+    graph: Graph
+    left: frozenset[Node]
+    right: frozenset[Node]
+
+    @property
+    def nodes(self) -> frozenset[Node]:
+        return self.left | self.right
+
+    def side_of(self, node: Node) -> str:
+        if node in self.left:
+            return "L"
+        if node in self.right:
+            return "R"
+        raise KeyError(f"node {node!r} not on the boundary")
+
+    def is_trivial(self) -> bool:
+        """True when ``G'`` has no edges (nothing can be forced to lose)."""
+        return self.graph.num_edges == 0
+
+
+def boundary_graph(graph: Graph, cut: GraphCut) -> BoundaryGraph:
+    """Build ``G'`` from the full intersection graph and a cut of it.
+
+    Only adjacency *across* the cut is retained: an edge of ``G`` between
+    two boundary nodes on the same side does not force a winner/loser
+    relation and is deleted, exactly as in the paper.
+    """
+    g = Graph()
+    for node in cut.boundary_left | cut.boundary_right:
+        g.add_vertex(node, weight=graph.node_weight(node))
+    for node in cut.boundary_left:
+        for nbr in graph.neighbors(node):
+            if nbr in cut.boundary_right:
+                g.add_edge(node, nbr)
+    return BoundaryGraph(
+        graph=g, left=frozenset(cut.boundary_left), right=frozenset(cut.boundary_right)
+    )

@@ -1,0 +1,272 @@
+"""Complete-Cut: greedy completion of a partial bipartition (Section 2.2).
+
+Nodes of the bipartite boundary graph ``G'`` are hyperedges of ``H`` that
+may still either cross the final cut (*losers*) or land wholly on one side
+(*winners*).  The paper's Fact — a winner's ``G'``-neighbours are all
+losers — reduces optimal completion to a maximum-independent-set problem
+on ``G'``; Complete-Cut is the greedy:
+
+    <1> pick the minimum-degree remaining node ``v``; mark it a winner;
+    <2> mark all remaining neighbours of ``v`` losers;
+    <3> delete ``v`` and the losers; repeat while ``G'`` is non-trivial.
+
+Theorem (paper): on a connected ``G'`` this yields a cutsize within one of
+the optimum completion.  We also provide:
+
+* :func:`complete_cut_weighted` — the *engineer's rule* for weighted
+  r-bipartition (Section 3): always pick the next winner from the lighter
+  side of the running partition.
+* :func:`optimal_completion_losers` — an exact reference via König's
+  theorem (max independent set in a bipartite graph = n − max matching),
+  used by the tests and the ablation benchmarks to measure the greedy's
+  true gap.
+* Alternative greedy variants (Section 5 Extensions: "we have found
+  success with several variants of the Complete-Cut method").
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from collections.abc import Hashable, Mapping
+from dataclasses import dataclass, field
+
+from repro.core.boundary import BoundaryGraph
+from repro.core.hypergraph import Hypergraph
+
+Node = Hashable
+Vertex = Hashable
+
+#: Greedy winner-selection variants.
+VARIANTS = ("min_degree", "random_min_degree", "min_loser_weight")
+
+
+class CompletionError(ValueError):
+    """Raised on invalid completion parameters."""
+
+
+@dataclass(frozen=True)
+class CompletionResult:
+    """Outcome of completing a partial bipartition.
+
+    ``winners_left`` / ``winners_right`` are boundary hyperedges committed
+    wholly to a side; ``losers`` are boundary hyperedges that cross the
+    final cut.  ``order`` records the winner-selection sequence for
+    diagnostics and the ablation benches.
+    """
+
+    winners_left: frozenset[Node]
+    winners_right: frozenset[Node]
+    losers: frozenset[Node]
+    order: tuple[Node, ...] = field(default=(), repr=False)
+
+    @property
+    def num_losers(self) -> int:
+        return len(self.losers)
+
+    @property
+    def winners(self) -> frozenset[Node]:
+        return self.winners_left | self.winners_right
+
+
+def _pick_winner(
+    graph,
+    candidates: set[Node],
+    variant: str,
+    rng: random.Random | None,
+    loser_weight: Mapping[Node, float] | None,
+) -> Node:
+    """Select the next winner from ``candidates`` according to ``variant``."""
+    if variant == "min_degree":
+        return min(candidates, key=lambda v: (graph.degree(v), repr(v)))
+    if variant == "random_min_degree":
+        lowest = min(graph.degree(v) for v in candidates)
+        pool = [v for v in candidates if graph.degree(v) == lowest]
+        chooser = rng if rng is not None else random
+        return pool[chooser.randrange(len(pool))]
+    if variant == "min_loser_weight":
+        weights = loser_weight or {}
+
+        def cost(v: Node) -> tuple[float, int, str]:
+            total = sum(weights.get(u, 1.0) for u in graph.neighbors(v))
+            return (total, graph.degree(v), repr(v))
+
+        return min(candidates, key=cost)
+    raise CompletionError(f"unknown Complete-Cut variant {variant!r}; choose from {VARIANTS}")
+
+
+def complete_cut(
+    boundary: BoundaryGraph,
+    variant: str = "min_degree",
+    rng: random.Random | None = None,
+) -> CompletionResult:
+    """Run Complete-Cut on the boundary graph (unweighted form).
+
+    Isolated ``G'`` nodes are winners for free (no neighbour is forced to
+    lose).  Runs in ``O(n log n)``-ish time: each node is examined a
+    constant number of times and winner selection scans the shrinking
+    candidate set.
+    """
+    g = boundary.graph.copy()
+    loser_weight = {v: g.node_weight(v) for v in g.nodes}
+    winners_left: set[Node] = set()
+    winners_right: set[Node] = set()
+    losers: set[Node] = set()
+    order: list[Node] = []
+    remaining = set(g.nodes)
+
+    while remaining:
+        winner = _pick_winner(g, remaining, variant, rng, loser_weight)
+        order.append(winner)
+        if winner in boundary.left:
+            winners_left.add(winner)
+        else:
+            winners_right.add(winner)
+        beaten = set(g.neighbors(winner))
+        losers |= beaten
+        for node in beaten | {winner}:
+            g.remove_vertex(node)
+            remaining.discard(node)
+
+    return CompletionResult(
+        winners_left=frozenset(winners_left),
+        winners_right=frozenset(winners_right),
+        losers=frozenset(losers),
+        order=tuple(order),
+    )
+
+
+def complete_cut_weighted(
+    boundary: BoundaryGraph,
+    hypergraph: Hypergraph,
+    initial_left_weight: float,
+    initial_right_weight: float,
+    assigned: Mapping[Vertex, str] | None = None,
+    variant: str = "min_degree",
+    rng: random.Random | None = None,
+) -> CompletionResult:
+    """The engineer's rule (Section 3, "The r-bipartition Constraint").
+
+    Side weight = total weight of H-vertices already committed to that
+    side (non-boundary plus winners so far).  Each round picks the
+    smallest-degree remaining ``G'`` node *on the lighter side*; a side
+    with no remaining candidates cedes the pick to the other side.
+
+    Parameters
+    ----------
+    initial_left_weight, initial_right_weight:
+        Weight already committed by the partial bipartition.
+    assigned:
+        Vertex -> side ("L"/"R") for vertices already placed; winner
+        hyperedges only add the weight of their not-yet-assigned pins.
+    """
+    g = boundary.graph.copy()
+    loser_weight = {v: g.node_weight(v) for v in g.nodes}
+    committed: dict[Vertex, str] = dict(assigned) if assigned else {}
+    side_weight = {"L": float(initial_left_weight), "R": float(initial_right_weight)}
+    winners_left: set[Node] = set()
+    winners_right: set[Node] = set()
+    losers: set[Node] = set()
+    order: list[Node] = []
+    remaining_left = set(boundary.left)
+    remaining_right = set(boundary.right)
+
+    def commit(edge: Node, side: str) -> None:
+        for pin in hypergraph.edge_members(edge):
+            if pin not in committed:
+                committed[pin] = side
+                side_weight[side] += hypergraph.vertex_weight(pin)
+
+    while remaining_left or remaining_right:
+        if side_weight["L"] <= side_weight["R"]:
+            candidates = remaining_left or remaining_right
+        else:
+            candidates = remaining_right or remaining_left
+        winner = _pick_winner(g, candidates, variant, rng, loser_weight)
+        order.append(winner)
+        if winner in boundary.left:
+            winners_left.add(winner)
+            commit(winner, "L")
+        else:
+            winners_right.add(winner)
+            commit(winner, "R")
+        beaten = set(g.neighbors(winner))
+        losers |= beaten
+        for node in beaten | {winner}:
+            g.remove_vertex(node)
+            remaining_left.discard(node)
+            remaining_right.discard(node)
+
+    return CompletionResult(
+        winners_left=frozenset(winners_left),
+        winners_right=frozenset(winners_right),
+        losers=frozenset(losers),
+        order=tuple(order),
+    )
+
+
+# ----------------------------------------------------------------------
+# Exact reference (König's theorem) for tests and ablations
+# ----------------------------------------------------------------------
+
+
+def _max_bipartite_matching(boundary: BoundaryGraph) -> dict[Node, Node]:
+    """Maximum matching of ``G'`` by augmenting paths (Hungarian-style).
+
+    Returns match partner per matched node (symmetric entries).
+    Complexity ``O(V * E)`` — the boundary set is a constant fraction of
+    the hyperedges, and this is only used as a test/ablation oracle.
+    """
+    match: dict[Node, Node] = {}
+    graph = boundary.graph
+
+    def try_augment(u: Node, visited: set[Node]) -> bool:
+        for w in graph.neighbors(u):
+            if w in visited:
+                continue
+            visited.add(w)
+            if w not in match or try_augment(match[w], visited):
+                match[w] = u
+                match[u] = w
+                return True
+        return False
+
+    for u in boundary.left:
+        if u not in match:
+            try_augment(u, set())
+    return match
+
+
+def optimal_completion_losers(boundary: BoundaryGraph) -> frozenset[Node]:
+    """Exact minimum loser set via König's theorem.
+
+    Minimum #losers = minimum vertex cover of ``G'`` = size of a maximum
+    matching (König, ``G'`` bipartite).  The cover is recovered by the
+    standard alternating-path construction: from unmatched left nodes,
+    alternate unmatched/matched edges; the cover is (unreached left) ∪
+    (reached right).
+    """
+    match = _max_bipartite_matching(boundary)
+    graph = boundary.graph
+
+    reached_left: set[Node] = {u for u in boundary.left if u not in match}
+    reached_right: set[Node] = set()
+    queue = deque(reached_left)
+    while queue:
+        u = queue.popleft()
+        for w in graph.neighbors(u):
+            if w in reached_right:
+                continue
+            reached_right.add(w)
+            partner = match.get(w)
+            if partner is not None and partner not in reached_left:
+                reached_left.add(partner)
+                queue.append(partner)
+
+    cover = (set(boundary.left) - reached_left) | reached_right
+    return frozenset(cover)
+
+
+def optimal_completion_size(boundary: BoundaryGraph) -> int:
+    """Size of the optimum completion's loser set (exact)."""
+    return len(optimal_completion_losers(boundary))

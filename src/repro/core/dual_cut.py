@@ -1,0 +1,245 @@
+"""Cutting the intersection graph: random longest BFS paths + double BFS.
+
+This module implements steps <1> and <2> of Algorithm I:
+
+<1> Pick an arbitrary (random) node ``u`` in ``G`` and use BFS to find a
+    node ``v`` furthest from ``u`` — a *random longest BFS path*.  The
+    paper's Section 3 theorem justifies this as a pseudo-diameter: for a
+    connected random graph of bounded degree the BFS depth from a random
+    node equals ``diam(G) - O(1)`` with probability near 1.
+
+<2> Grow BFS regions from ``u`` and ``v`` simultaneously until the two
+    expanding sets meet; the meeting line is a cut of ``G`` into node sets
+    ``V_L`` (grown from ``u``) and ``V_R`` (grown from ``v``).  Nodes of
+    one side adjacent to the other side form the *boundary set* ``B``.
+
+Every non-boundary G-node is a hyperedge of ``H`` whose pins are wholly
+committed to one side — together they induce a *partial bipartition* of
+the H-vertices which is provably consistent (two non-boundary nodes on
+opposite sides cannot share an H-vertex, else they would be adjacent and
+therefore boundary).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from collections.abc import Hashable
+from dataclasses import dataclass, field
+
+from repro.core.graph import Graph, GraphError
+from repro.core.intersection import IntersectionGraph
+
+Node = Hashable
+Vertex = Hashable
+
+
+class DualCutError(ValueError):
+    """Raised when a graph cut cannot be produced (e.g. empty graph)."""
+
+
+@dataclass(frozen=True)
+class GraphCut:
+    """A two-sided cut of the intersection graph ``G``.
+
+    ``left`` / ``right`` partition all G-nodes; ``boundary_left`` /
+    ``boundary_right`` are the subsets adjacent to the opposite side.
+    """
+
+    left: frozenset[Node]
+    right: frozenset[Node]
+    boundary_left: frozenset[Node]
+    boundary_right: frozenset[Node]
+    seed_u: Node
+    seed_v: Node
+
+    @property
+    def boundary(self) -> frozenset[Node]:
+        """The full boundary set ``B = B_L ∪ B_R``."""
+        return self.boundary_left | self.boundary_right
+
+    @property
+    def interior_left(self) -> frozenset[Node]:
+        """Left nodes *not* on the boundary (signals that never cross)."""
+        return self.left - self.boundary_left
+
+    @property
+    def interior_right(self) -> frozenset[Node]:
+        return self.right - self.boundary_right
+
+
+@dataclass(frozen=True)
+class PartialBipartition:
+    """Vertex placement implied by the non-boundary G-nodes.
+
+    ``placed_left`` / ``placed_right`` are H-vertices forced to a side;
+    ``free`` are H-vertices belonging only to boundary hyperedges (or to
+    no hyperedge at all) — they are placed later, during completion.
+    """
+
+    placed_left: frozenset[Vertex]
+    placed_right: frozenset[Vertex]
+    free: frozenset[Vertex] = field(default=frozenset())
+
+    def __post_init__(self) -> None:
+        overlap = self.placed_left & self.placed_right
+        if overlap:
+            raise DualCutError(
+                "inconsistent partial bipartition — vertices forced to both sides: "
+                f"{sorted(map(repr, overlap))[:5]}"
+            )
+
+
+def random_longest_bfs_path(
+    graph: Graph,
+    rng: random.Random | None = None,
+    start: Node | None = None,
+    double_sweep: bool = False,
+) -> tuple[Node, Node, int]:
+    """Step <1>: endpoints ``(u, v)`` of a random longest BFS path and its depth.
+
+    ``u`` is ``start`` if given, else a node chosen uniformly at random;
+    ``v`` is a node at maximum BFS distance from ``u`` (random among ties).
+    With ``double_sweep=True`` a second sweep from ``v`` replaces ``u`` by
+    a node furthest from ``v`` — a strictly better pseudo-diameter at the
+    cost of one more BFS (still ``O(n^2)`` overall; listed in the paper's
+    Extensions spirit).
+    """
+    if graph.num_nodes == 0:
+        raise DualCutError("cannot find a BFS path in an empty graph")
+    rng = rng if rng is not None else random.Random()
+    if start is None:
+        nodes = graph.nodes
+        start = nodes[rng.randrange(len(nodes))]
+    elif start not in graph:
+        raise GraphError(f"no such node {start!r}")
+    far, depth = graph.bfs_farthest(start, rng)
+    if double_sweep:
+        far2, depth2 = graph.bfs_farthest(far, rng)
+        if depth2 >= depth:
+            return far, far2, depth2
+    return start, far, depth
+
+
+def double_bfs_cut(
+    graph: Graph,
+    u: Node,
+    v: Node,
+    rng: random.Random | None = None,
+    mode: str = "balanced",
+) -> GraphCut:
+    """Step <2>: grow BFS from ``u`` and ``v`` simultaneously; cut where they meet.
+
+    Each node belongs to whichever search claims it first.  Two growth
+    disciplines are provided (the paper — "doing breadth-first search
+    from two distant nodes of G until the two expanding sets meet to
+    define a cutline" — does not pin one down):
+
+    * ``"balanced"`` (default): on every step the search whose claimed
+      set is currently smaller expands one node from its FIFO frontier.
+      The two regions therefore grow at equal node rates, so the cutline
+      lands near the size midpoint even when one seed sits closer to a
+      dense core — essential on hub-heavy duals of real netlists.
+    * ``"level"``: classic lock-step level-synchronous expansion.  On
+      expander-like bounded-degree graphs (the paper's analysis model)
+      this behaves like "balanced"; on hub-heavy graphs the side nearer
+      the core floods the graph.  Kept for the ablation benches.
+
+    When ``u == v`` (single-node components) the right side would be
+    empty; callers must special-case that (Algorithm I does).
+
+    Nodes unreachable from both seeds (other connected components of
+    ``G``) are attached wholesale to the currently smaller side; being in
+    separate components they can never become boundary nodes, which is
+    exactly the paper's ``c = 0`` observation — "BFS in G finds the
+    unconnectedness".
+    """
+    if u not in graph or v not in graph:
+        raise GraphError(f"seed not in graph: {u!r} / {v!r}")
+    if u == v:
+        raise DualCutError("double BFS needs two distinct seeds")
+    if mode not in ("balanced", "level"):
+        raise DualCutError(f"unknown double-BFS mode {mode!r}")
+
+    side: dict[Node, int] = {u: 0, v: 1}
+    frontiers: list[deque[Node]] = [deque([u]), deque([v])]
+
+    if mode == "balanced":
+        claimed = [1, 1]
+        turn = 0 if rng is None else rng.randrange(2)
+        while frontiers[0] or frontiers[1]:
+            if not frontiers[turn]:
+                turn = 1 - turn
+            node = frontiers[turn].popleft()
+            for nbr in graph.neighbors(node):
+                if nbr not in side:
+                    side[nbr] = turn
+                    claimed[turn] += 1
+                    frontiers[turn].append(nbr)
+            if frontiers[1 - turn] and claimed[1 - turn] <= claimed[turn]:
+                turn = 1 - turn
+    else:
+        turn = 0 if rng is None else rng.randrange(2)
+        while frontiers[0] or frontiers[1]:
+            current = frontiers[turn]
+            next_frontier: deque[Node] = deque()
+            while current:
+                node = current.popleft()
+                for nbr in graph.neighbors(node):
+                    if nbr not in side:
+                        side[nbr] = turn
+                        next_frontier.append(nbr)
+            frontiers[turn] = next_frontier
+            turn = 1 - turn
+
+    left = {n for n, s in side.items() if s == 0}
+    right = {n for n, s in side.items() if s == 1}
+
+    # Other components: attach each whole component to the smaller side.
+    unreached = [n for n in graph.nodes if n not in side]
+    if unreached:
+        remaining = set(unreached)
+        while remaining:
+            seed = next(iter(remaining))
+            component = set(graph.bfs_levels(seed)) & remaining
+            if len(left) <= len(right):
+                left |= component
+            else:
+                right |= component
+            remaining -= component
+
+    boundary_left = {n for n in left if graph.neighbors(n) & right}
+    boundary_right = {n for n in right if graph.neighbors(n) & left}
+    return GraphCut(
+        left=frozenset(left),
+        right=frozenset(right),
+        boundary_left=frozenset(boundary_left),
+        boundary_right=frozenset(boundary_right),
+        seed_u=u,
+        seed_v=v,
+    )
+
+
+def partial_bipartition(
+    intersection: IntersectionGraph, cut: GraphCut
+) -> PartialBipartition:
+    """Project a graph cut of ``G`` down to a partial bipartition of ``H``.
+
+    Every H-vertex belonging to some *non-boundary* hyperedge is forced to
+    that hyperedge's side; vertices touched only by boundary hyperedges
+    (or by nothing) stay free.  Consistency (no vertex forced both ways)
+    is guaranteed by the boundary definition and re-checked here.
+    """
+    h = intersection.hypergraph
+    placed_left: set[Vertex] = set()
+    placed_right: set[Vertex] = set()
+    for name in cut.interior_left:
+        placed_left.update(h.edge_members(name))
+    for name in cut.interior_right:
+        placed_right.update(h.edge_members(name))
+    free = set(h.vertices) - placed_left - placed_right
+    return PartialBipartition(
+        placed_left=frozenset(placed_left),
+        placed_right=frozenset(placed_right),
+        free=frozenset(free),
+    )

@@ -1,0 +1,148 @@
+"""Exact hypergraph min-cut bipartitioning by branch and bound.
+
+Hypergraph min-cut bisection is NP-complete (Garey–Johnson, cited by the
+paper), but small instances — up to ~30 vertices, well past the
+exhaustive oracle's 18 — are solvable exactly with a standard
+branch-and-bound:
+
+* vertices are assigned L/R one at a time in descending-degree order
+  (high-degree vertices decide many edges early, tightening the bound);
+* the running lower bound is the number of hyperedges already *forced*
+  to cross (pins on both sides); branches at or above the incumbent are
+  pruned;
+* side-capacity constraints prune balance-infeasible branches early;
+* the first vertex is fixed to the left (side symmetry).
+
+Used by the tests as ground truth on planted instances too big for
+:func:`repro.core.validation.brute_force_min_cut`, and exposed publicly
+because an exact reference is a genuinely useful part of a partitioning
+toolkit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.core.hypergraph import Hypergraph
+from repro.core.partition import Bipartition
+
+Vertex = Hashable
+
+#: Soft guard: beyond this the search space is unreasonable in Python.
+MAX_BNB_VERTICES = 32
+
+
+class ExactSolverError(ValueError):
+    """Raised on infeasible exact-solver requests."""
+
+
+def branch_and_bound_min_cut(
+    hypergraph: Hypergraph,
+    require_bisection: bool = False,
+    max_imbalance: int | None = None,
+    node_limit: int = 5_000_000,
+) -> Bipartition:
+    """Exact minimum cut (optionally balance-constrained) of a small hypergraph.
+
+    Parameters
+    ----------
+    hypergraph:
+        At least two and at most :data:`MAX_BNB_VERTICES` vertices.
+    require_bisection:
+        Restrict to cuts with ``| |L| - |R| | <= 1``.
+    max_imbalance:
+        Alternatively restrict the cardinality difference to this bound.
+    node_limit:
+        Hard cap on explored search nodes; exceeding it raises, so a
+        pathological instance fails loudly instead of hanging.
+
+    Returns
+    -------
+    Bipartition
+        A provably minimum cut under the given constraints.
+    """
+    n = hypergraph.num_vertices
+    if n < 2:
+        raise ExactSolverError("need at least two vertices")
+    if n > MAX_BNB_VERTICES:
+        raise ExactSolverError(
+            f"branch and bound limited to {MAX_BNB_VERTICES} vertices, got {n}"
+        )
+    if require_bisection and max_imbalance is not None:
+        raise ExactSolverError("give either require_bisection or max_imbalance, not both")
+
+    imbalance_cap = 1 if require_bisection else max_imbalance
+    if imbalance_cap is not None and imbalance_cap < 0:
+        raise ExactSolverError("max_imbalance must be non-negative")
+    if imbalance_cap is not None:
+        max_side = (n + imbalance_cap) // 2
+        if max_side < 1 or n - max_side > max_side + imbalance_cap:
+            raise ExactSolverError("no bipartition satisfies the balance constraint")
+    else:
+        max_side = n - 1  # both sides non-empty
+
+    order = sorted(hypergraph.vertices, key=lambda v: (-hypergraph.vertex_degree(v), repr(v)))
+    edge_names = hypergraph.edge_names
+    edge_index = {name: i for i, name in enumerate(edge_names)}
+    incident = [
+        [edge_index[e] for e in hypergraph.incident_edges(v)] for v in order
+    ]
+
+    pins_left = [0] * len(edge_names)
+    pins_right = [0] * len(edge_names)
+
+    best_cut = len(edge_names) + 1
+    best_assignment: list[int] | None = None
+    assignment = [0] * n
+    nodes_explored = 0
+
+    def feasible_completion(depth: int, size_left: int, size_right: int) -> bool:
+        remaining = n - depth
+        if size_left > max_side or size_right > max_side:
+            return False
+        # Even sending every remaining vertex to one side must be able to
+        # lift the smaller side above the floor implied by max_side.
+        return size_left + remaining >= n - max_side and size_right + remaining >= n - max_side
+
+    def search(depth: int, size_left: int, size_right: int, cut: int) -> None:
+        nonlocal best_cut, best_assignment, nodes_explored
+        nodes_explored += 1
+        if nodes_explored > node_limit:
+            raise ExactSolverError(f"node limit {node_limit} exceeded")
+        if cut >= best_cut:
+            return
+        if depth == n:
+            if size_left == 0 or size_right == 0:
+                return
+            if size_left > max_side or size_right > max_side:
+                return
+            best_cut = cut
+            best_assignment = assignment[:n].copy()
+            return
+        if not feasible_completion(depth, size_left, size_right):
+            return
+
+        sides = (0,) if depth == 0 else (0, 1)  # symmetry break at the root
+        for side in sides:
+            delta = 0
+            touched: list[int] = []
+            mine, other = (pins_left, pins_right) if side == 0 else (pins_right, pins_left)
+            for ei in incident[depth]:
+                if mine[ei] == 0 and other[ei] > 0:
+                    delta += 1  # this edge becomes cut
+                mine[ei] += 1
+                touched.append(ei)
+            assignment[depth] = side
+            new_left = size_left + (1 - side)
+            new_right = size_right + side
+            search(depth + 1, new_left, new_right, cut + delta)
+            for ei in touched:
+                mine[ei] -= 1
+
+    search(0, 0, 0, 0)
+    if best_assignment is None:
+        raise ExactSolverError("no feasible bipartition found")
+
+    left = {order[i] for i in range(n) if best_assignment[i] == 0}
+    right = set(order) - left
+    return Bipartition(hypergraph, left, right)

@@ -1,0 +1,284 @@
+"""Plain undirected graphs and the BFS machinery Algorithm I is built on.
+
+The dual intersection graph ``G`` and the bipartite boundary graph ``G'``
+are both instances of :class:`Graph`.  The class is a thin dict-of-sets
+adjacency structure with exactly the traversals the paper needs:
+
+* single-source BFS levels (for longest-BFS-path / pseudo-diameter),
+* exact eccentricity and diameter by all-pairs BFS (used by the analysis
+  package to validate the paper's "BFS depth = diam(G) - O(1)" theorem on
+  graphs small enough to afford it),
+* connected components (the ``c = 0`` pathological case of Section 4 is
+  detected as disconnectedness of ``G``),
+* bipartiteness check with 2-coloring (the boundary graph is bipartite by
+  construction; tests assert it through this).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from collections.abc import Hashable, Iterable, Mapping
+from typing import Iterator
+
+Node = Hashable
+
+
+class GraphError(ValueError):
+    """Raised on structurally invalid graph operations."""
+
+
+class Graph:
+    """Simple undirected graph with optional node weights.
+
+    Self-loops are rejected (they are meaningless for cuts) and parallel
+    edges collapse.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[Node] | Mapping[Node, float] | None = None,
+        edges: Iterable[tuple[Node, Node]] | None = None,
+    ) -> None:
+        self._adj: dict[Node, set[Node]] = {}
+        self._weights: dict[Node, float] = {}
+        if nodes is not None:
+            if isinstance(nodes, Mapping):
+                for v, w in nodes.items():
+                    self.add_vertex(v, w)
+            else:
+                for v in nodes:
+                    self.add_vertex(v)
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, v: Node, weight: float = 1.0) -> Node:
+        if v not in self._adj:
+            self._adj[v] = set()
+        self._weights[v] = float(weight)
+        return v
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        if u == v:
+            raise GraphError(f"self-loop at {u!r} not allowed")
+        if u not in self._adj:
+            self.add_vertex(u)
+        if v not in self._adj:
+            self.add_vertex(v)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        if v not in self._adj.get(u, ()):
+            raise GraphError(f"no edge {u!r} -- {v!r}")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+
+    def remove_vertex(self, v: Node) -> None:
+        if v not in self._adj:
+            raise GraphError(f"no such node {v!r}")
+        for u in self._adj[v]:
+            self._adj[u].discard(v)
+        del self._adj[v]
+        del self._weights[v]
+
+    def copy(self) -> "Graph":
+        g = Graph()
+        for v, w in self._weights.items():
+            g.add_vertex(v, w)
+        for v, nbrs in self._adj.items():
+            g._adj[v] = set(nbrs)
+        return g
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[Node]:
+        return list(self._adj)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def __contains__(self, v: Node) -> bool:
+        return v in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    def neighbors(self, v: Node) -> frozenset[Node]:
+        try:
+            return frozenset(self._adj[v])
+        except KeyError:
+            raise GraphError(f"no such node {v!r}") from None
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return v in self._adj.get(u, ())
+
+    def degree(self, v: Node) -> int:
+        try:
+            return len(self._adj[v])
+        except KeyError:
+            raise GraphError(f"no such node {v!r}") from None
+
+    def node_weight(self, v: Node) -> float:
+        try:
+            return self._weights[v]
+        except KeyError:
+            raise GraphError(f"no such node {v!r}") from None
+
+    def max_degree(self) -> int:
+        if not self._adj:
+            return 0
+        return max(len(nbrs) for nbrs in self._adj.values())
+
+    def edges(self) -> Iterator[tuple[Node, Node]]:
+        """Each undirected edge yielded exactly once."""
+        seen: set[Node] = set()
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if v not in seen:
+                    yield (u, v)
+            seen.add(u)
+
+    def induced(self, subset: Iterable[Node]) -> "Graph":
+        """Subgraph induced by ``subset`` (weights preserved)."""
+        keep = set(subset)
+        unknown = keep - set(self._adj)
+        if unknown:
+            raise GraphError(f"nodes not in graph: {sorted(map(repr, unknown))}")
+        g = Graph()
+        for v in keep:
+            g.add_vertex(v, self._weights[v])
+        for v in keep:
+            g._adj[v] = self._adj[v] & keep
+        return g
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+
+    def bfs_levels(self, source: Node) -> dict[Node, int]:
+        """Distance (in hops) from ``source`` to every reachable node."""
+        if source not in self._adj:
+            raise GraphError(f"no such node {source!r}")
+        dist = {source: 0}
+        queue = deque([source])
+        while queue:
+            v = queue.popleft()
+            dv = dist[v]
+            for u in self._adj[v]:
+                if u not in dist:
+                    dist[u] = dv + 1
+                    queue.append(u)
+        return dist
+
+    def bfs_farthest(self, source: Node, rng: random.Random | None = None) -> tuple[Node, int]:
+        """A node at maximum BFS distance from ``source`` and that distance.
+
+        Ties among deepest nodes are broken uniformly at random when a
+        ``rng`` is supplied (the paper starts BFS "from a random vertex"
+        and we extend the randomness to the far endpoint so that repeated
+        multi-start runs explore distinct diameters).
+        """
+        levels = self.bfs_levels(source)
+        depth = max(levels.values())
+        deepest = [v for v, d in levels.items() if d == depth]
+        if rng is None:
+            far = deepest[0]
+        else:
+            far = deepest[rng.randrange(len(deepest))]
+        return far, depth
+
+    def eccentricity(self, v: Node) -> int:
+        """Max BFS distance from ``v`` within its component."""
+        return max(self.bfs_levels(v).values())
+
+    def diameter(self) -> int:
+        """Exact diameter by all-pairs BFS. O(V * (V + E)) — small graphs only.
+
+        Raises :class:`GraphError` on a disconnected or empty graph.
+        """
+        if not self._adj:
+            raise GraphError("diameter of empty graph is undefined")
+        best = 0
+        n = len(self._adj)
+        for v in self._adj:
+            levels = self.bfs_levels(v)
+            if len(levels) != n:
+                raise GraphError("diameter of disconnected graph is undefined")
+            best = max(best, max(levels.values()))
+        return best
+
+    def connected_components(self) -> list[set[Node]]:
+        seen: set[Node] = set()
+        out: list[set[Node]] = []
+        for start in self._adj:
+            if start in seen:
+                continue
+            comp = set(self.bfs_levels(start))
+            seen |= comp
+            out.append(comp)
+        return out
+
+    def is_connected(self) -> bool:
+        if not self._adj:
+            return True
+        first = next(iter(self._adj))
+        return len(self.bfs_levels(first)) == len(self._adj)
+
+    def is_bipartite(self) -> tuple[bool, dict[Node, int]]:
+        """2-colorability check.
+
+        Returns ``(True, coloring)`` with colors in {0, 1}, or
+        ``(False, partial_coloring)`` when an odd cycle exists.
+        """
+        color: dict[Node, int] = {}
+        for start in self._adj:
+            if start in color:
+                continue
+            color[start] = 0
+            queue = deque([start])
+            while queue:
+                v = queue.popleft()
+                for u in self._adj[v]:
+                    if u not in color:
+                        color[u] = 1 - color[v]
+                        queue.append(u)
+                    elif color[u] == color[v]:
+                        return False, color
+        return True, color
+
+    def min_degree_node(self, candidates: Iterable[Node] | None = None) -> Node:
+        """A node of minimum degree (deterministic: first in iteration order)."""
+        pool = self._adj if candidates is None else list(candidates)
+        if not pool:
+            raise GraphError("no candidates")
+        return min(pool, key=lambda v: (len(self._adj[v]), repr(v)))
+
+    def to_networkx(self):
+        """Interop: export to a :mod:`networkx` graph (weights as attrs)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        for v, w in self._weights.items():
+            g.add_node(v, weight=w)
+        g.add_edges_from(self.edges())
+        return g
+
+    def __repr__(self) -> str:
+        return f"Graph(num_nodes={self.num_nodes}, num_edges={self.num_edges})"

@@ -1,0 +1,104 @@
+"""The dual intersection graph — the central construction of the paper.
+
+Given a hypergraph ``H``, the *intersection graph* ``G`` has one node per
+hyperedge of ``H`` (one per signal net), with two nodes adjacent if and
+only if the corresponding hyperedges intersect (the signals share a
+module).  Section 2 of the paper: "we use the graph cut in G to obtain a
+handle on the original hypergraph partition problem."
+
+For a given ``H`` the graph ``G`` is well defined; there is no unique
+reverse construction, so :class:`IntersectionGraph` keeps the originating
+hypergraph alongside the dual for all later phases (cutting, boundary
+extraction, completion).
+
+Complexity: each H-vertex ``v`` induces a clique over its ``deg(v)``
+incident hyperedges, so construction costs ``O(sum_v deg(v)^2)`` — with the
+bounded node degree ``d`` the paper assumes for circuit netlists, this is
+``O(d * pins) = O(n)``-ish, and never worse than ``O(n^2)`` overall.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass, field
+
+from repro.core.graph import Graph
+from repro.core.hypergraph import Hypergraph
+
+EdgeName = Hashable
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class IntersectionGraph:
+    """The dual graph ``G`` together with its source hypergraph.
+
+    Attributes
+    ----------
+    hypergraph:
+        The original ``H`` (with large edges already filtered out, if the
+        caller applied :func:`repro.core.filtering.filter_large_edges`).
+    graph:
+        The dual ``G``; node labels are exactly the hyperedge names of
+        ``hypergraph``.
+    shared_vertices:
+        For each adjacent pair ``(a, b)`` of G-nodes (stored with
+        ``repr(a) <= repr(b)``), the H-vertices the two hyperedges share.
+        This witnesses adjacency and is used when projecting G-structures
+        back onto ``H``.
+    """
+
+    hypergraph: Hypergraph
+    graph: Graph
+    shared_vertices: dict[tuple[EdgeName, EdgeName], frozenset[Vertex]] = field(repr=False)
+
+    def shared(self, a: EdgeName, b: EdgeName) -> frozenset[Vertex]:
+        """H-vertices shared by hyperedges ``a`` and ``b`` (empty if none)."""
+        key = (a, b) if repr(a) <= repr(b) else (b, a)
+        return self.shared_vertices.get(key, frozenset())
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+
+def intersection_graph(hypergraph: Hypergraph) -> IntersectionGraph:
+    """Build the intersection graph ``G`` dual to ``hypergraph``.
+
+    Every hyperedge becomes a G-node, even isolated ones (single-pin nets
+    or nets sharing no module with any other net become isolated G-nodes).
+
+    Examples
+    --------
+    Figure 1 of the paper — edges A={1,2,3}, B={3,4}, C={4,5,6},
+    D={6,7}, E={7,8} form a path A-B-C-D-E in G::
+
+        >>> h = Hypergraph(edges={"A": [1, 2, 3], "B": [3, 4], "C": [4, 5, 6],
+        ...                       "D": [6, 7], "E": [7, 8]})
+        >>> ig = intersection_graph(h)
+        >>> sorted(ig.graph.neighbors("C"), key=str)
+        ['B', 'D']
+    """
+    g = Graph()
+    for name in hypergraph.edge_names:
+        g.add_vertex(name, weight=hypergraph.edge_weight(name))
+
+    shared: dict[tuple[EdgeName, EdgeName], set[Vertex]] = {}
+    for v in hypergraph.vertices:
+        incident = sorted(hypergraph.incident_edges(v), key=repr)
+        for i, a in enumerate(incident):
+            for b in incident[i + 1 :]:
+                key = (a, b) if repr(a) <= repr(b) else (b, a)
+                bucket = shared.get(key)
+                if bucket is None:
+                    bucket = set()
+                    shared[key] = bucket
+                    g.add_edge(a, b)
+                bucket.add(v)
+
+    frozen = {key: frozenset(vals) for key, vals in shared.items()}
+    return IntersectionGraph(hypergraph=hypergraph, graph=g, shared_vertices=frozen)

@@ -1,0 +1,222 @@
+"""K-way partitioning by recursive bisection.
+
+Min-cut placement (Breuer) applies the bipartitioner recursively; the
+same construction yields a general k-way netlist partition.  This module
+packages it as a first-class API: split the vertex set into ``k`` blocks
+of near-equal weight by recursively halving with any 2-way engine
+(Algorithm I by default), and score the result with the standard k-way
+objectives:
+
+* **cut nets** — nets spanning more than one block,
+* **sum of external degrees (SOED)** — Σ over cut nets of the number of
+  blocks they touch,
+* **connectivity** (λ − 1) — Σ over nets of (blocks touched − 1), the
+  hMETIS objective.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.core.algorithm1 import algorithm1
+from repro.core.hypergraph import Hypergraph
+
+Vertex = Hashable
+EdgeName = Hashable
+
+#: A 2-way engine: (sub-hypergraph, rng) -> (left vertex set, right vertex set).
+Bisector = Callable[[Hypergraph, random.Random], tuple[set, set]]
+
+
+class KWayError(ValueError):
+    """Raised on infeasible k-way partitioning requests."""
+
+
+@dataclass(frozen=True)
+class KWayPartition:
+    """An immutable k-way partition with its quality measures."""
+
+    hypergraph: Hypergraph
+    blocks: tuple[frozenset[Vertex], ...]
+
+    def __post_init__(self) -> None:
+        seen: set[Vertex] = set()
+        for block in self.blocks:
+            if not block:
+                raise KWayError("empty block")
+            overlap = seen & block
+            if overlap:
+                raise KWayError(f"blocks overlap on {sorted(map(repr, overlap))[:5]}")
+            seen |= block
+        if seen != set(self.hypergraph.vertices):
+            raise KWayError("blocks do not cover the vertex set")
+
+    @property
+    def k(self) -> int:
+        return len(self.blocks)
+
+    def block_of(self, v: Vertex) -> int:
+        for i, block in enumerate(self.blocks):
+            if v in block:
+                return i
+        raise KWayError(f"vertex {v!r} not in partition")
+
+    @cached_property
+    def _block_index(self) -> dict[Vertex, int]:
+        return {v: i for i, block in enumerate(self.blocks) for v in block}
+
+    def blocks_touched(self, name: EdgeName) -> int:
+        """Number of blocks hyperedge ``name`` has pins in (its λ)."""
+        index = self._block_index
+        return len({index[v] for v in self.hypergraph.edge_members(name)})
+
+    @cached_property
+    def cut_nets(self) -> frozenset[EdgeName]:
+        """Nets spanning more than one block."""
+        return frozenset(
+            name for name in self.hypergraph.edge_names if self.blocks_touched(name) > 1
+        )
+
+    @property
+    def cutsize(self) -> int:
+        return len(self.cut_nets)
+
+    @cached_property
+    def sum_external_degrees(self) -> int:
+        """SOED: Σ over cut nets of blocks touched."""
+        return sum(self.blocks_touched(name) for name in self.cut_nets)
+
+    @cached_property
+    def connectivity(self) -> int:
+        """λ − 1 objective: Σ over all nets of (blocks touched − 1)."""
+        return sum(self.blocks_touched(name) - 1 for name in self.hypergraph.edge_names)
+
+    def block_weights(self) -> list[float]:
+        return [
+            sum(self.hypergraph.vertex_weight(v) for v in block) for block in self.blocks
+        ]
+
+    @property
+    def weight_imbalance_fraction(self) -> float:
+        """(max block − ideal) / ideal, the hMETIS-style imbalance."""
+        weights = self.block_weights()
+        ideal = sum(weights) / len(weights)
+        if ideal == 0:
+            return 0.0
+        return (max(weights) - ideal) / ideal
+
+    def __repr__(self) -> str:
+        return f"KWayPartition(k={self.k}, cutsize={self.cutsize}, connectivity={self.connectivity})"
+
+
+def _default_bisector(num_starts: int) -> Bisector:
+    def bisect(sub: Hypergraph, rng: random.Random) -> tuple[set, set]:
+        result = algorithm1(
+            sub, num_starts=num_starts, seed=rng, balance_tolerance=0.1
+        )
+        return set(result.bipartition.left), set(result.bipartition.right)
+
+    return bisect
+
+
+def _rebalance(
+    hypergraph: Hypergraph,
+    left: set[Vertex],
+    right: set[Vertex],
+    target_left_weight: float,
+    rng: random.Random,
+) -> None:
+    """Shift lightest vertices until the left side's weight ~ target."""
+
+    def side_weight(side: set) -> float:
+        return sum(hypergraph.vertex_weight(v) for v in side)
+
+    guard = 4 * (len(left) + len(right))
+    while guard > 0:
+        guard -= 1
+        wl = side_weight(left)
+        total = wl + side_weight(right)
+        # Move toward the target only while a single lightest move helps.
+        if wl > target_left_weight and len(left) > 1:
+            donor = min(left, key=lambda v: (hypergraph.vertex_weight(v), repr(v)))
+            if abs((wl - hypergraph.vertex_weight(donor)) - target_left_weight) < abs(
+                wl - target_left_weight
+            ):
+                left.discard(donor)
+                right.add(donor)
+                continue
+        elif wl < target_left_weight and len(right) > 1:
+            donor = min(right, key=lambda v: (hypergraph.vertex_weight(v), repr(v)))
+            if abs((wl + hypergraph.vertex_weight(donor)) - target_left_weight) < abs(
+                wl - target_left_weight
+            ):
+                right.discard(donor)
+                left.add(donor)
+                continue
+        break
+
+
+def recursive_bisection(
+    hypergraph: Hypergraph,
+    k: int,
+    bisector: Bisector | None = None,
+    num_starts: int = 10,
+    seed: int | random.Random | None = None,
+) -> KWayPartition:
+    """Partition ``hypergraph`` into ``k`` near-equal-weight blocks.
+
+    Parameters
+    ----------
+    hypergraph:
+        Netlist to split; needs at least ``k`` vertices.
+    k:
+        Number of blocks (>= 1; any integer, not just powers of two —
+        uneven splits carry proportional weight targets down the
+        recursion).
+    bisector:
+        Custom 2-way engine; defaults to multi-start Algorithm I.
+    num_starts:
+        Multi-start count for the default bisector.
+    seed:
+        Integer seed or :class:`random.Random`.
+    """
+    if k < 1:
+        raise KWayError(f"k must be >= 1, got {k}")
+    if hypergraph.num_vertices < k:
+        raise KWayError(f"cannot split {hypergraph.num_vertices} vertices into {k} blocks")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    engine = bisector or _default_bisector(num_starts)
+
+    blocks: list[frozenset[Vertex]] = []
+
+    def split(vertices: set[Vertex], parts: int) -> None:
+        if parts == 1:
+            blocks.append(frozenset(vertices))
+            return
+        sub = hypergraph.induced(vertices)
+        parts_left = parts // 2
+        parts_right = parts - parts_left
+        if len(vertices) == parts:  # exactly one vertex per block remains
+            ordered = sorted(vertices, key=repr)
+            left, right = set(ordered[:parts_left]), set(ordered[parts_left:])
+        else:
+            left, right = engine(sub, rng)
+            target = sub.total_vertex_weight * parts_left / parts
+            _rebalance(sub, left, right, target, rng)
+            # Guarantee feasibility of the sub-splits.
+            while len(left) < parts_left:
+                donor = min(right, key=lambda v: (hypergraph.vertex_weight(v), repr(v)))
+                right.discard(donor)
+                left.add(donor)
+            while len(right) < parts_right:
+                donor = min(left, key=lambda v: (hypergraph.vertex_weight(v), repr(v)))
+                left.discard(donor)
+                right.add(donor)
+        split(left, parts_left)
+        split(right, parts_right)
+
+    split(set(hypergraph.vertices), k)
+    return KWayPartition(hypergraph=hypergraph, blocks=tuple(blocks))

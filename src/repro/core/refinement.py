@@ -1,0 +1,51 @@
+"""Post-pass refinement of an Algorithm I cut (extension).
+
+The paper positions Algorithm I as a fast constructive partitioner; a
+natural modern extension — and the de-facto standard in later literature —
+is to polish its output with a Fiduccia–Mattheyses pass.  This module
+wraps the FM implementation from :mod:`repro.baselines` so the core API
+can offer ``algorithm1 + refine`` as a single call without the baselines
+package importing back into core at import time.
+"""
+
+from __future__ import annotations
+
+from repro.core.partition import Bipartition
+
+
+def fm_refine(
+    bipartition: Bipartition,
+    max_passes: int = 10,
+    balance_tolerance: float = 0.1,
+    seed: int | None = None,
+) -> Bipartition:
+    """Improve ``bipartition`` with Fiduccia–Mattheyses passes.
+
+    Parameters
+    ----------
+    bipartition:
+        Starting cut (typically an Algorithm I output).
+    max_passes:
+        FM passes to attempt; stops early at a pass with no gain.
+    balance_tolerance:
+        Allowed weight-imbalance fraction during moves (FM's balance
+        criterion).
+
+    Returns
+    -------
+    Bipartition
+        A cut with ``cutsize <=`` the input's (never worse).
+    """
+    from repro.baselines.fiduccia_mattheyses import fiduccia_mattheyses
+
+    result = fiduccia_mattheyses(
+        bipartition.hypergraph,
+        initial=bipartition,
+        max_passes=max_passes,
+        balance_tolerance=balance_tolerance,
+        seed=seed,
+    )
+    refined = result.bipartition
+    if refined.cutsize <= bipartition.cutsize:
+        return refined
+    return bipartition

@@ -1,0 +1,177 @@
+"""Invariant checkers and brute-force oracles shared by tests and benches.
+
+Each ``check_*`` function raises :class:`InvariantViolation` with a
+diagnostic message when the corresponding structural property of the
+paper's constructions fails; they return silently on success so they can
+be sprinkled through property-based tests.
+
+:func:`brute_force_min_cut` enumerates all bipartitions of a tiny
+hypergraph — the ground-truth oracle for optimality tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from itertools import combinations
+
+from repro.core.boundary import BoundaryGraph
+from repro.core.complete_cut import CompletionResult
+from repro.core.dual_cut import GraphCut, PartialBipartition
+from repro.core.graph import Graph
+from repro.core.hypergraph import Hypergraph
+from repro.core.intersection import IntersectionGraph
+from repro.core.partition import Bipartition
+
+Vertex = Hashable
+
+
+class InvariantViolation(AssertionError):
+    """An invariant of the paper's constructions was violated."""
+
+
+def check_graph_cut(graph: Graph, cut: GraphCut) -> None:
+    """Cut sides partition the nodes; boundary defined exactly by adjacency."""
+    left, right = set(cut.left), set(cut.right)
+    if left & right:
+        raise InvariantViolation("cut sides overlap")
+    if left | right != set(graph.nodes):
+        raise InvariantViolation("cut sides do not cover the graph")
+    for node in graph.nodes:
+        crosses = bool(
+            graph.neighbors(node) & (right if node in left else left)
+        )
+        on_boundary = node in cut.boundary_left or node in cut.boundary_right
+        if crosses != on_boundary:
+            raise InvariantViolation(
+                f"boundary membership wrong at {node!r}: adjacent-across={crosses}, "
+                f"marked-boundary={on_boundary}"
+            )
+    if cut.boundary_left - left or cut.boundary_right - right:
+        raise InvariantViolation("boundary subsets not contained in their sides")
+
+
+def check_partial_bipartition(
+    intersection: IntersectionGraph, cut: GraphCut, partial: PartialBipartition
+) -> None:
+    """Non-boundary hyperedges force their pins; placements never conflict."""
+    h = intersection.hypergraph
+    if partial.placed_left & partial.placed_right:
+        raise InvariantViolation("vertex forced to both sides")
+    for name in cut.interior_left:
+        missing = h.edge_members(name) - partial.placed_left
+        if missing:
+            raise InvariantViolation(
+                f"interior-left edge {name!r} has unplaced pins {sorted(map(repr, missing))}"
+            )
+    for name in cut.interior_right:
+        missing = h.edge_members(name) - partial.placed_right
+        if missing:
+            raise InvariantViolation(
+                f"interior-right edge {name!r} has unplaced pins {sorted(map(repr, missing))}"
+            )
+    covered = partial.placed_left | partial.placed_right | partial.free
+    if covered != set(h.vertices):
+        raise InvariantViolation("partial bipartition does not cover the vertex set")
+
+
+def check_boundary_graph(
+    intersection: IntersectionGraph, cut: GraphCut, boundary: BoundaryGraph
+) -> None:
+    """``G'`` is induced on B, keeps only cross edges, and is bipartite."""
+    if boundary.left != cut.boundary_left or boundary.right != cut.boundary_right:
+        raise InvariantViolation("boundary graph sides disagree with the cut")
+    g = intersection.graph
+    for u, v in boundary.graph.edges():
+        sides = {boundary.side_of(u), boundary.side_of(v)}
+        if sides != {"L", "R"}:
+            raise InvariantViolation(f"intra-side edge {u!r} -- {v!r} survived in G'")
+        if not g.has_edge(u, v):
+            raise InvariantViolation(f"G' edge {u!r} -- {v!r} absent from G")
+    for u in cut.boundary_left:
+        for v in g.neighbors(u) & cut.boundary_right:
+            if not boundary.graph.has_edge(u, v):
+                raise InvariantViolation(f"cross edge {u!r} -- {v!r} missing from G'")
+    ok, _ = boundary.graph.is_bipartite()
+    if not ok:
+        raise InvariantViolation("boundary graph is not bipartite")
+
+
+def check_completion(boundary: BoundaryGraph, completion: CompletionResult) -> None:
+    """Winners/losers partition B; the paper's Fact holds for every winner."""
+    winners = completion.winners
+    losers = completion.losers
+    if winners & losers:
+        raise InvariantViolation("a node is both winner and loser")
+    if winners | losers != boundary.nodes:
+        raise InvariantViolation("completion does not label every boundary node")
+    if completion.winners_left - boundary.left or completion.winners_right - boundary.right:
+        raise InvariantViolation("winner recorded on the wrong side")
+    for w in winners:
+        bad = boundary.graph.neighbors(w) - losers
+        if bad:
+            raise InvariantViolation(
+                f"Fact violated: winner {w!r} adjacent to non-losers {sorted(map(repr, bad))}"
+            )
+
+
+def check_bipartition(bipartition: Bipartition) -> None:
+    """Recompute the cutsize from scratch and compare with the cached value."""
+    h = bipartition.hypergraph
+    recount = 0
+    for name in h.edge_names:
+        members = h.edge_members(name)
+        if members & bipartition.left and members & bipartition.right:
+            recount += 1
+    if recount != bipartition.cutsize:
+        raise InvariantViolation(
+            f"cutsize cache disagrees: cached={bipartition.cutsize}, recomputed={recount}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Brute-force oracles (tiny instances only)
+# ----------------------------------------------------------------------
+
+MAX_BRUTE_FORCE_VERTICES = 18
+
+
+def brute_force_min_cut(
+    hypergraph: Hypergraph,
+    require_bisection: bool = False,
+    max_imbalance: int | None = None,
+) -> Bipartition:
+    """Exhaustive minimum cut of a tiny hypergraph (<= 18 vertices).
+
+    Parameters
+    ----------
+    require_bisection:
+        Restrict to cuts with ``| |L| - |R| | <= 1``.
+    max_imbalance:
+        Alternatively restrict to an r-bipartition with this r.
+    """
+    vertices = sorted(hypergraph.vertices, key=repr)
+    n = len(vertices)
+    if n < 2:
+        raise ValueError("need at least two vertices")
+    if n > MAX_BRUTE_FORCE_VERTICES:
+        raise ValueError(f"brute force limited to {MAX_BRUTE_FORCE_VERTICES} vertices, got {n}")
+
+    best: Bipartition | None = None
+    anchor = vertices[0]  # fix one vertex left to halve the search space
+    rest = vertices[1:]
+    for size in range(0, n):
+        left_size = size + 1
+        if require_bisection and abs(left_size - (n - left_size)) > 1:
+            continue
+        if max_imbalance is not None and abs(left_size - (n - left_size)) > max_imbalance:
+            continue
+        if left_size == n:
+            continue
+        for chosen in combinations(rest, size):
+            left = {anchor, *chosen}
+            bp = Bipartition(hypergraph, left, set(vertices) - left)
+            if best is None or bp.cutsize < best.cutsize:
+                best = bp
+    if best is None:
+        raise ValueError("no feasible bipartition under the given constraints")
+    return best

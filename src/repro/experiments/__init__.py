@@ -1,0 +1,55 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+Each module computes one paper artefact and returns plain row dicts; the
+CLI prints them as text tables and ``benchmarks/`` wraps them with
+pytest-benchmark.  The per-experiment index lives in DESIGN.md; measured
+vs published numbers are recorded in EXPERIMENTS.md.
+
+* :mod:`repro.experiments.table1` — large-signal crossing percentages.
+* :mod:`repro.experiments.table2` — Alg I vs SA vs KL cutsizes + CPU.
+* :mod:`repro.experiments.difficult` — planted-cut success rates
+  (Section 4's "always found a min-cut bipartition").
+* :mod:`repro.experiments.theorems` — Section 3 empirical validations.
+* :mod:`repro.experiments.ablations` — Section 5 extension studies.
+* :mod:`repro.experiments.formatting` — plain-text table rendering.
+"""
+
+from repro.experiments.formatting import format_table
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.difficult import run_difficult_sweep
+from repro.experiments.theorems import (
+    run_boundary_experiment,
+    run_crossing_experiment,
+    run_diameter_experiment,
+    run_scaling_experiment,
+)
+from repro.experiments.variance import run_variance_study
+from repro.experiments.ablations import (
+    run_completion_variant_ablation,
+    run_filtering_ablation,
+    run_granularization_study,
+    run_multistart_ablation,
+    run_quotient_cut_study,
+    run_refinement_ablation,
+    run_weighted_balance_ablation,
+)
+
+__all__ = [
+    "format_table",
+    "run_table1",
+    "run_table2",
+    "run_difficult_sweep",
+    "run_diameter_experiment",
+    "run_boundary_experiment",
+    "run_crossing_experiment",
+    "run_scaling_experiment",
+    "run_multistart_ablation",
+    "run_filtering_ablation",
+    "run_completion_variant_ablation",
+    "run_weighted_balance_ablation",
+    "run_refinement_ablation",
+    "run_quotient_cut_study",
+    "run_granularization_study",
+    "run_variance_study",
+]

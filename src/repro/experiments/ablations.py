@@ -1,0 +1,306 @@
+"""Section-5 extension studies and design-choice ablations.
+
+The paper's Extensions section sketches several directions; each function
+here measures one of them on the named suite instances:
+
+* multi-start count ("the test runs reported below examined 50 random
+  longest paths"),
+* large-edge filtering on/off (Section 3's threshold argument),
+* Complete-Cut winner-selection variants ("we have found success with
+  several variants"),
+* the engineer's rule balance-vs-cutsize trade-off ("the improved weight
+  partition is obtained at the cost of slightly higher cutsizes"),
+* FM post-refinement (the modern construct+refine pipeline),
+* the quotient-cut metric ("we are examining the performance of
+  Algorithm I for different metrics, especially the quotient cut"),
+* granularization of heavy modules.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.algorithm1 import algorithm1
+from repro.core.complete_cut import VARIANTS
+from repro.core.granularize import granularize, project_partition
+from repro.core.refinement import fm_refine
+from repro.generators.suite import load_instance
+from repro.metrics.quotient import quotient_cut
+
+
+def run_multistart_ablation(
+    instance: str = "Bd1",
+    start_counts: tuple[int, ...] = (1, 5, 10, 25, 50),
+    trials: int = 3,
+    seed: int = 0,
+) -> list[dict]:
+    """Best cutsize as a function of the number of random longest paths."""
+    h, _, _ = load_instance(instance)
+    rng = random.Random(seed)
+    rows: list[dict] = []
+    for starts in start_counts:
+        cuts = [
+            algorithm1(h, num_starts=starts, seed=rng.randrange(2**31)).cutsize
+            for _ in range(trials)
+        ]
+        rows.append(
+            {
+                "instance": instance,
+                "num_starts": starts,
+                "mean_cut": sum(cuts) / len(cuts),
+                "best_cut": min(cuts),
+                "worst_cut": max(cuts),
+            }
+        )
+    return rows
+
+
+def run_filtering_ablation(
+    instance: str = "Bd1",
+    thresholds: tuple[int | None, ...] = (None, 20, 14, 10, 8, 6),
+    num_starts: int = 25,
+    trials: int = 3,
+    seed: int = 0,
+) -> list[dict]:
+    """Cutsize and dual-graph size vs the large-edge ignore threshold.
+
+    ``None`` disables filtering.  Expect: moderate thresholds shrink the
+    dual graph with little or no cutsize penalty (the Section 3 claim).
+    """
+    from repro.core.filtering import filter_large_edges
+    from repro.core.intersection import intersection_graph
+
+    h, _, _ = load_instance(instance)
+    rng = random.Random(seed)
+    rows: list[dict] = []
+    for threshold in thresholds:
+        if threshold is None:
+            working, ignored = h, frozenset()
+        else:
+            working, ignored = filter_large_edges(h, threshold)
+        ig = intersection_graph(working)
+        cuts = [
+            algorithm1(
+                h,
+                num_starts=num_starts,
+                seed=rng.randrange(2**31),
+                edge_size_threshold=threshold,
+            ).cutsize
+            for _ in range(trials)
+        ]
+        rows.append(
+            {
+                "instance": instance,
+                "threshold": "off" if threshold is None else threshold,
+                "ignored_edges": len(ignored),
+                "dual_nodes": ig.num_nodes,
+                "dual_edges": ig.num_edges,
+                "mean_cut": sum(cuts) / len(cuts),
+                "best_cut": min(cuts),
+            }
+        )
+    return rows
+
+
+def run_completion_variant_ablation(
+    instance: str = "Bd1",
+    num_starts: int = 25,
+    trials: int = 3,
+    seed: int = 0,
+) -> list[dict]:
+    """Compare Complete-Cut winner-selection variants."""
+    h, _, _ = load_instance(instance)
+    rng = random.Random(seed)
+    rows: list[dict] = []
+    for variant in VARIANTS:
+        cuts = [
+            algorithm1(
+                h, num_starts=num_starts, seed=rng.randrange(2**31), variant=variant
+            ).cutsize
+            for _ in range(trials)
+        ]
+        rows.append(
+            {
+                "instance": instance,
+                "variant": variant,
+                "mean_cut": sum(cuts) / len(cuts),
+                "best_cut": min(cuts),
+            }
+        )
+    return rows
+
+
+def run_weighted_balance_ablation(
+    instance: str = "Bd1",
+    num_starts: int = 25,
+    trials: int = 3,
+    seed: int = 0,
+) -> list[dict]:
+    """Engineer's rule on/off: weight imbalance vs cutsize trade-off."""
+    h, _, _ = load_instance(instance)
+    rng = random.Random(seed)
+    rows: list[dict] = []
+    for weighted in (False, True):
+        cuts: list[int] = []
+        imbalances: list[float] = []
+        for _ in range(trials):
+            result = algorithm1(
+                h,
+                num_starts=num_starts,
+                seed=rng.randrange(2**31),
+                weighted_balance=weighted,
+                balance_tolerance=0.1 if weighted else None,
+            )
+            cuts.append(result.cutsize)
+            imbalances.append(result.bipartition.weight_imbalance_fraction)
+        rows.append(
+            {
+                "instance": instance,
+                "engineers_rule": weighted,
+                "mean_cut": sum(cuts) / len(cuts),
+                "mean_weight_imbalance": sum(imbalances) / len(imbalances),
+            }
+        )
+    return rows
+
+
+def run_refinement_ablation(
+    instance: str = "Bd1",
+    num_starts: int = 5,
+    trials: int = 3,
+    seed: int = 0,
+) -> list[dict]:
+    """Algorithm I alone vs Algorithm I + FM refinement."""
+    h, _, _ = load_instance(instance)
+    rng = random.Random(seed)
+    raw_cuts: list[int] = []
+    refined_cuts: list[int] = []
+    for _ in range(trials):
+        result = algorithm1(
+            h, num_starts=num_starts, seed=rng.randrange(2**31), balance_tolerance=0.1
+        )
+        raw_cuts.append(result.cutsize)
+        refined_cuts.append(fm_refine(result.bipartition, seed=rng.randrange(2**31)).cutsize)
+    return [
+        {
+            "instance": instance,
+            "pipeline": "algorithm1",
+            "mean_cut": sum(raw_cuts) / len(raw_cuts),
+            "best_cut": min(raw_cuts),
+        },
+        {
+            "instance": instance,
+            "pipeline": "algorithm1+fm",
+            "mean_cut": sum(refined_cuts) / len(refined_cuts),
+            "best_cut": min(refined_cuts),
+        },
+    ]
+
+
+def run_quotient_cut_study(
+    instance: str = "Bd1",
+    num_starts: int = 25,
+    trials: int = 3,
+    seed: int = 0,
+) -> list[dict]:
+    """Quotient-cut value of Algorithm I cuts vs balanced baselines."""
+    from repro.baselines.fiduccia_mattheyses import fiduccia_mattheyses
+
+    h, _, _ = load_instance(instance)
+    rng = random.Random(seed)
+    rows: list[dict] = []
+    for label, runner in (
+        (
+            "algorithm1",
+            lambda: algorithm1(h, num_starts=num_starts, seed=rng.randrange(2**31)).bipartition,
+        ),
+        (
+            "algorithm1+balance",
+            lambda: algorithm1(
+                h,
+                num_starts=num_starts,
+                seed=rng.randrange(2**31),
+                weighted_balance=True,
+                balance_tolerance=0.1,
+            ).bipartition,
+        ),
+        ("fm", lambda: fiduccia_mattheyses(h, seed=rng.randrange(2**31)).bipartition),
+    ):
+        cuts: list[int] = []
+        quotients: list[float] = []
+        for _ in range(trials):
+            bp = runner()
+            cuts.append(bp.cutsize)
+            quotients.append(quotient_cut(h, bp.left))
+        rows.append(
+            {
+                "instance": instance,
+                "method": label,
+                "mean_cut": sum(cuts) / len(cuts),
+                "mean_quotient_cut": sum(quotients) / len(quotients),
+            }
+        )
+    return rows
+
+
+def run_granularization_study(
+    num_modules: int = 120,
+    num_signals: int = 220,
+    grain: float = 1.0,
+    macro_fraction: float = 0.1,
+    macro_weight: float = 8.0,
+    num_starts: int = 25,
+    trials: int = 3,
+    seed: int = 0,
+) -> list[dict]:
+    """Granularization on/off on a macro-heavy netlist.
+
+    The paper: "replacing larger modules with linked uniform small
+    modules ... it seems that the weight bipartition is more balanced."
+    The effect lives in the *lumpy-module* regime, so the test netlist
+    promotes ``macro_fraction`` of its cells to weight ``macro_weight``
+    macros; whole macros force weight lumps on the direct pipeline that
+    the granularized one can split.
+    """
+    from repro.generators.netlists import clustered_netlist
+
+    rng = random.Random(seed)
+    h = clustered_netlist(num_modules, num_signals, "std_cell", seed=seed)
+    macro_count = max(1, round(macro_fraction * num_modules))
+    macro_rng = random.Random(seed + 1)
+    for v in macro_rng.sample(h.vertices, macro_count):
+        h.set_vertex_weight(v, macro_weight)
+    rows: list[dict] = []
+    direct_imb: list[float] = []
+    direct_cut: list[int] = []
+    gran_imb: list[float] = []
+    gran_cut: list[int] = []
+    for _ in range(trials):
+        direct = algorithm1(h, num_starts=num_starts, seed=rng.randrange(2**31)).bipartition
+        direct_cut.append(direct.cutsize)
+        direct_imb.append(direct.weight_imbalance_fraction)
+
+        grains = granularize(h, grain=grain)
+        gp = algorithm1(
+            grains.hypergraph, num_starts=num_starts, seed=rng.randrange(2**31)
+        ).bipartition
+        projected = project_partition(grains, gp)
+        gran_cut.append(projected.cutsize)
+        gran_imb.append(projected.weight_imbalance_fraction)
+    rows.append(
+        {
+            "pipeline": "direct",
+            "mean_cut": sum(direct_cut) / trials,
+            "mean_weight_imbalance": sum(direct_imb) / trials,
+            "max_weight_imbalance": max(direct_imb),
+        }
+    )
+    rows.append(
+        {
+            "pipeline": "granularized",
+            "mean_cut": sum(gran_cut) / trials,
+            "mean_weight_imbalance": sum(gran_imb) / trials,
+            "max_weight_imbalance": max(gran_imb),
+        }
+    )
+    return rows

@@ -1,0 +1,55 @@
+"""Plain-text table rendering for experiment output.
+
+Rows are dicts; columns come from the first row (or an explicit list).
+Floats render with a configurable precision, NaN as ``-``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping, Sequence
+
+
+def _render(value, precision: int) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping],
+    columns: Iterable[str] | None = None,
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Parameters
+    ----------
+    rows:
+        Sequence of dict-like records.
+    columns:
+        Column order; defaults to the first row's key order.
+    precision:
+        Decimal places for floats.
+    title:
+        Optional heading line.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [[_render(row.get(c, ""), precision) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)

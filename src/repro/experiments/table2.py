@@ -1,0 +1,138 @@
+"""Table 2 — Algorithm I vs simulated annealing vs min-cut KL.
+
+Paper: cutsizes on Bd1..Bd3, IC1, IC2 (industry netlists) and Diff1..3
+(difficult random inputs), plus a CPU row with runtime ratios
+Alg I : SA : KL = 1.0 : 110 : 120.  Headline findings to reproduce in
+*shape*:
+
+* on netlists, Algorithm I "is as good as, or better than" SA and KL;
+* on difficult inputs, Algorithm I always finds the planted minimum
+  while KL/SA often plateau far above it;
+* Algorithm I is one-to-two orders of magnitude faster.
+
+Our Algorithm I runs 50 starts (as the paper's test runs did) with the
+weight-balance selection so cuts are comparable to the
+bisection-constrained baselines.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.baselines.kernighan_lin import kernighan_lin
+from repro.baselines.simulated_annealing import AnnealingSchedule, simulated_annealing
+from repro.core.algorithm1 import algorithm1
+from repro.generators.suite import SUITE, load_instance
+
+#: Paper-reported normalized cutsizes (Alg I, SA, MinCut-KL) — Table 2.
+#: Values are normalized within each row in the original; the Diff rows'
+#: qualitative content is "Alg I = optimum, others stuck far above".
+PAPER_CPU_RATIOS = {"algorithm1": 1.0, "sa": 110.0, "kl": 120.0}
+
+
+def run_table2(
+    instances: tuple[str, ...] | None = None,
+    alg1_starts: int = 50,
+    sa_schedule: AnnealingSchedule | None = None,
+    seed: int = 0,
+    include_planted: bool = True,
+) -> list[dict]:
+    """Regenerate Table 2.
+
+    Returns one row per instance with cutsizes, seconds, and normalized
+    (to Algorithm I) columns; the final row aggregates CPU ratios.
+
+    Parameters
+    ----------
+    instances:
+        Suite instance names (default: the paper's full list).
+    alg1_starts:
+        Multi-start count for Algorithm I (paper used 50).
+    sa_schedule:
+        Annealing schedule override (default: a moderate schedule that
+        keeps the full suite tractable in pure Python).
+    include_planted:
+        Include the ground-truth optimum column for Diff rows.
+    """
+    names = list(instances) if instances is not None else list(SUITE)
+    unknown = set(names) - set(SUITE)
+    if unknown:
+        raise ValueError(f"unknown instances {sorted(unknown)}")
+    rng = random.Random(seed)
+    schedule = sa_schedule or AnnealingSchedule(alpha=0.92, moves_per_temperature=None)
+
+    rows: list[dict] = []
+    total_seconds = {"algorithm1": 0.0, "sa": 0.0, "kl": 0.0}
+    for name in names:
+        h, recipe, ground_truth = load_instance(name)
+
+        start = time.perf_counter()
+        alg1 = algorithm1(
+            h, num_starts=alg1_starts, seed=rng.randrange(2**31), balance_tolerance=0.1
+        )
+        alg1_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        sa = simulated_annealing(h, schedule=schedule, seed=rng.randrange(2**31))
+        sa_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        kl = kernighan_lin(h, seed=rng.randrange(2**31))
+        kl_seconds = time.perf_counter() - start
+
+        total_seconds["algorithm1"] += alg1_seconds
+        total_seconds["sa"] += sa_seconds
+        total_seconds["kl"] += kl_seconds
+
+        base = max(1, alg1.cutsize)
+        row = {
+            "instance": name,
+            "mods": recipe.num_modules,
+            "sigs": recipe.num_signals,
+            "alg1_cut": alg1.cutsize,
+            "sa_cut": sa.cutsize,
+            "kl_cut": kl.cutsize,
+            "sa_norm": sa.cutsize / base,
+            "kl_norm": kl.cutsize / base,
+            "alg1_sec": alg1_seconds,
+            "alg1_1start_sec": alg1_seconds / alg1_starts,
+            "sa_sec": sa_seconds,
+            "kl_sec": kl_seconds,
+        }
+        if include_planted:
+            row["optimum"] = ground_truth.planted_cutsize if ground_truth else float("nan")
+        rows.append(row)
+
+    # Two CPU summaries.  The paper's ratio row compares *runs*: one
+    # Algorithm I construction (a single random longest path) against one
+    # converged SA / KL run — that is what the O(n^2) claim is about and
+    # what "CPU-ratio-per-start" reports.  "CPU-ratio-total" additionally
+    # shows the full 50-start budget, which a modern incremental KL can
+    # rival in wall-clock even though each of its passes is asymptotically
+    # heavier.
+    alg1_total = total_seconds["algorithm1"] or 1e-12
+    per_start_total = alg1_total / alg1_starts
+
+    def ratio_row(label: str, base_time: float, alg1_time: float) -> dict:
+        row = {
+            "instance": label,
+            "mods": "",
+            "sigs": "",
+            "alg1_cut": "",
+            "sa_cut": "",
+            "kl_cut": "",
+            "sa_norm": total_seconds["sa"] / base_time,
+            "kl_norm": total_seconds["kl"] / base_time,
+            "alg1_sec": alg1_time,
+            "alg1_1start_sec": per_start_total,
+            "sa_sec": total_seconds["sa"],
+            "kl_sec": total_seconds["kl"],
+        }
+        if include_planted:
+            row["optimum"] = float("nan")
+        return row
+
+    rows.append(ratio_row("CPU-ratio-total", alg1_total, alg1_total))
+    rows.append(ratio_row("CPU-ratio-per-start", per_start_total, alg1_total))
+    return rows

@@ -1,0 +1,97 @@
+"""Section-3 theorem validations as printable experiments.
+
+Thin orchestration over :mod:`repro.analysis`: each ``run_*`` returns row
+dicts ready for :func:`repro.experiments.formatting.format_table`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.boundary import boundary_fraction_experiment
+from repro.analysis.crossing import crossing_probability_experiment
+from repro.analysis.diameter import diameter_growth_experiment, pseudo_diameter_experiment
+from repro.analysis.scaling import fit_power_law, runtime_scaling_experiment
+
+
+def run_diameter_experiment(
+    sizes: tuple[int, ...] = (50, 100, 200, 400),
+    degree: int = 3,
+    trials: int = 5,
+    seed: int = 0,
+) -> list[dict]:
+    """BFS-depth-vs-diameter gaps plus diameter/log2(n) growth.
+
+    Validates both diameter theorems: the ``mean_gap`` column should be a
+    small constant and ``diameter_over_log2n`` roughly flat.
+    """
+    samples = pseudo_diameter_experiment(sizes=sizes, degree=degree, trials=trials, seed=seed)
+    growth = {row["n"]: row for row in diameter_growth_experiment(sizes=sizes, degree=degree, trials=max(2, trials // 2), seed=seed)}
+    rows: list[dict] = []
+    for n in sizes:
+        per_size = [s for s in samples if s.num_nodes == n]
+        if not per_size:
+            continue
+        gaps = [s.gap for s in per_size]
+        rows.append(
+            {
+                "n": n,
+                "degree": degree,
+                "mean_bfs_depth": sum(s.bfs_depth for s in per_size) / len(per_size),
+                "mean_diameter": sum(s.diameter for s in per_size) / len(per_size),
+                "mean_gap": sum(gaps) / len(gaps),
+                "max_gap": max(gaps),
+                "diameter_over_log2n": growth.get(n, {}).get("diameter_over_log2n", float("nan")),
+            }
+        )
+    return rows
+
+
+def run_boundary_experiment(
+    sizes: tuple[int, ...] = (100, 200, 400),
+    trials: int = 5,
+    seed: int = 0,
+) -> list[dict]:
+    """Boundary fraction vs size for random hypergraphs and netlists.
+
+    Validates the corollary (constant fraction) and the paper's closing
+    observation that clustered netlists have smaller boundaries.
+    """
+    rows = boundary_fraction_experiment(sizes=sizes, trials=trials, kind="random", seed=seed)
+    rows += boundary_fraction_experiment(sizes=sizes, trials=trials, kind="netlist", seed=seed)
+    return rows
+
+
+def run_crossing_experiment(
+    probe_sizes: tuple[int, ...] = (2, 3, 4, 6, 8, 10, 14),
+    trials: int = 3,
+    seed: int = 0,
+) -> list[dict]:
+    """Measured vs predicted crossing probability per edge size."""
+    records = crossing_probability_experiment(
+        probe_sizes=probe_sizes, trials=trials, seed=seed
+    )
+    return [
+        {
+            "edge_size": r.edge_size,
+            "measured_crossing": r.fraction,
+            "predicted_1_minus_2^(1-k)": r.predicted,
+            "samples": r.num_edges,
+        }
+        for r in records
+    ]
+
+
+def run_scaling_experiment(
+    sizes: tuple[int, ...] = (50, 100, 200, 400),
+    seed: int = 0,
+) -> list[dict]:
+    """Runtime sweep plus fitted exponents and end-size ratios."""
+    rows = runtime_scaling_experiment(sizes=sizes, seed=seed)
+    summary: dict = {"n_modules": "exponent", "n_signals": ""}
+    ns = [float(r["n_modules"]) for r in rows]
+    for name in ("algorithm1", "kl", "sa"):
+        times = [r[f"seconds_{name}"] for r in rows]
+        try:
+            summary[f"seconds_{name}"] = fit_power_law(ns, times)
+        except ValueError:
+            summary[f"seconds_{name}"] = float("nan")
+    return rows + [summary]

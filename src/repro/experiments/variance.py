@@ -1,0 +1,61 @@
+"""Variance study — Hartoog's observation, quantified.
+
+Section 1: "Hartoog [15] has noted that no one algorithm in the
+literature consistently gives good results; even annealing has a large
+variance in performance."
+
+We run each partitioner many times with independent seeds on one
+instance and report mean / standard deviation / min / max cutsize.  The
+reproduction target: single-start Algorithm I and SA both spread widely,
+while 50-start Algorithm I concentrates tightly near its best — the
+practical argument for the paper's multi-start extension.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.baselines.fiduccia_mattheyses import fiduccia_mattheyses
+from repro.baselines.kernighan_lin import kernighan_lin
+from repro.baselines.simulated_annealing import AnnealingSchedule, simulated_annealing
+from repro.core.algorithm1 import algorithm1
+from repro.generators.suite import load_instance
+
+
+def _stats(values: list[int]) -> dict:
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n
+    return {
+        "mean_cut": mean,
+        "std_cut": math.sqrt(variance),
+        "min_cut": min(values),
+        "max_cut": max(values),
+        "runs": n,
+    }
+
+
+def run_variance_study(
+    instance: str = "Bd1",
+    runs: int = 10,
+    seed: int = 0,
+) -> list[dict]:
+    """Cutsize spread per algorithm over ``runs`` independent seeds."""
+    h, _, _ = load_instance(instance)
+    rng = random.Random(seed)
+    schedule = AnnealingSchedule(alpha=0.9)
+
+    methods = {
+        "alg1_x1": lambda s: algorithm1(h, num_starts=1, seed=s).cutsize,
+        "alg1_x50": lambda s: algorithm1(h, num_starts=50, seed=s).cutsize,
+        "kl": lambda s: kernighan_lin(h, seed=s).cutsize,
+        "fm": lambda s: fiduccia_mattheyses(h, seed=s).cutsize,
+        "sa": lambda s: simulated_annealing(h, schedule=schedule, seed=s).cutsize,
+    }
+
+    rows: list[dict] = []
+    for name, runner in methods.items():
+        cuts = [runner(rng.randrange(2**31)) for _ in range(runs)]
+        rows.append({"instance": instance, "method": name, **_stats(cuts)})
+    return rows

@@ -1,0 +1,58 @@
+"""Instance generators for the paper's evaluation workloads.
+
+* :mod:`repro.generators.random_hypergraph` — bounded-degree random
+  hypergraphs ``H(n, d, r)``, the theoretical model of Section 3.
+* :mod:`repro.generators.difficult` — planted-bisection instances with
+  smaller-than-expected cutsize ``c = o(n^(1-1/d))`` after Bui et al. [5],
+  including the ``c = 0`` pathological (disconnected) case.
+* :mod:`repro.generators.netlists` — clustered synthetic netlists with
+  technology-typical net-size profiles (PCB / standard-cell /
+  gate-array / hybrid), standing in for the paper's proprietary industry
+  test suite.
+* :mod:`repro.generators.suite` — the named Table 2 instances (Bd1..Bd3,
+  IC1, IC2, Diff1..Diff3) with the paper's module/signal counts.
+"""
+
+from repro.generators.random_hypergraph import (
+    random_hypergraph,
+    random_k_uniform_hypergraph,
+    random_regular_graph,
+)
+from repro.generators.difficult import (
+    DifficultInstance,
+    difficult_cutsize,
+    disconnected_instance,
+    planted_bisection,
+)
+from repro.generators.netlists import (
+    TECHNOLOGY_PROFILES,
+    TechnologyProfile,
+    clustered_netlist,
+)
+from repro.generators.suite import SUITE, SuiteInstance, load_instance
+from repro.generators.perturb import (
+    add_random_nets,
+    hierarchy_decay_experiment,
+    remove_random_nets,
+    rewire_nets,
+)
+
+__all__ = [
+    "random_hypergraph",
+    "random_k_uniform_hypergraph",
+    "random_regular_graph",
+    "planted_bisection",
+    "disconnected_instance",
+    "difficult_cutsize",
+    "DifficultInstance",
+    "clustered_netlist",
+    "TechnologyProfile",
+    "TECHNOLOGY_PROFILES",
+    "SUITE",
+    "SuiteInstance",
+    "load_instance",
+    "rewire_nets",
+    "add_random_nets",
+    "remove_random_nets",
+    "hierarchy_decay_experiment",
+]

@@ -1,0 +1,133 @@
+"""Netlist perturbation: interpolate between hierarchy and randomness.
+
+The paper attributes Algorithm I's strength on real designs to "natural
+functional partitions (logical hierarchy)".  These utilities degrade
+that hierarchy in controlled steps — rewiring a fraction of nets to
+uniformly random pins — so experiments can watch partition quality decay
+as structure disappears (`bench_perturbation.py`).
+
+Also provided: plain net addition/removal for robustness testing of
+downstream code (ECO-style netlist churn).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.hypergraph import Hypergraph
+
+
+def rewire_nets(
+    hypergraph: Hypergraph,
+    fraction: float,
+    seed: int | random.Random | None = None,
+) -> Hypergraph:
+    """Replace a random ``fraction`` of nets with same-size random nets.
+
+    Net names, weights and the size distribution are preserved; only the
+    pin *locations* randomize — exactly the "same degree sequence, no
+    hierarchy" comparison the paper's closing remark makes.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    out = hypergraph.copy()
+    vertices = out.vertices
+    if len(vertices) < 2:
+        return out
+    names = out.edge_names
+    rng.shuffle(names)
+    to_rewire = names[: round(fraction * len(names))]
+    for name in to_rewire:
+        size = min(out.edge_size(name), len(vertices))
+        if size < 2:
+            continue
+        weight = out.edge_weight(name)
+        out.remove_edge(name)
+        out.add_edge(rng.sample(vertices, size), name=name, weight=weight)
+    return out
+
+
+def add_random_nets(
+    hypergraph: Hypergraph,
+    count: int,
+    size_range: tuple[int, int] = (2, 4),
+    seed: int | random.Random | None = None,
+) -> Hypergraph:
+    """Add ``count`` random nets named ``("noise", i)``."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    lo, hi = size_range
+    if lo < 2 or hi < lo:
+        raise ValueError(f"bad size_range {size_range}")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    out = hypergraph.copy()
+    vertices = out.vertices
+    if len(vertices) < 2:
+        return out
+    for i in range(count):
+        size = min(rng.randint(lo, hi), len(vertices))
+        out.add_edge(rng.sample(vertices, size), name=("noise", i))
+    return out
+
+
+def remove_random_nets(
+    hypergraph: Hypergraph,
+    fraction: float,
+    seed: int | random.Random | None = None,
+) -> Hypergraph:
+    """Delete a random ``fraction`` of nets (vertices survive)."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    out = hypergraph.copy()
+    names = out.edge_names
+    rng.shuffle(names)
+    for name in names[: round(fraction * len(names))]:
+        out.remove_edge(name)
+    return out
+
+
+def hierarchy_decay_experiment(
+    num_modules: int = 150,
+    num_signals: int = 260,
+    fractions: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    num_starts: int = 25,
+    trials: int = 3,
+    seed: int = 0,
+) -> list[dict]:
+    """Algorithm I cutsize vs the fraction of rewired (de-hierarchized) nets.
+
+    Expected shape: monotone-ish growth from the clustered netlist's
+    small cut toward the random hypergraph's large one, with the
+    boundary fraction of the dual growing alongside.
+    """
+    from repro.analysis.boundary import boundary_fraction
+    from repro.core.algorithm1 import algorithm1
+    from repro.generators.netlists import clustered_netlist
+
+    rng = random.Random(seed)
+    base = clustered_netlist(num_modules, num_signals, "std_cell", seed=seed)
+    rows: list[dict] = []
+    for fraction in fractions:
+        cuts: list[int] = []
+        boundaries: list[float] = []
+        for _ in range(trials):
+            perturbed = rewire_nets(base, fraction, seed=rng.randrange(2**31))
+            cuts.append(
+                algorithm1(
+                    perturbed,
+                    num_starts=num_starts,
+                    seed=rng.randrange(2**31),
+                    balance_tolerance=0.1,
+                ).cutsize
+            )
+            boundaries.append(boundary_fraction(perturbed, rng).boundary_fraction)
+        rows.append(
+            {
+                "rewired_fraction": fraction,
+                "mean_cut": sum(cuts) / trials,
+                "mean_boundary_fraction": sum(boundaries) / trials,
+            }
+        )
+    return rows

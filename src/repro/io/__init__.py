@@ -1,0 +1,34 @@
+"""Netlist I/O: the paper's text format, hMETIS ``.hgr``, and JSON.
+
+* :mod:`repro.io.netlist` — the ``signal: modules`` format the paper's
+  worked example is written in (Figure 4).
+* :mod:`repro.io.hgr` — hMETIS-compatible hypergraph files, the de-facto
+  interchange format for partitioning benchmarks.
+* :mod:`repro.io.json_io` — a lossless JSON round-trip format preserving
+  names and weights.
+* :mod:`repro.io.parts` — hMETIS-style ``.part`` partition files.
+"""
+
+from repro.io.netlist import format_netlist, parse_netlist, read_netlist, write_netlist
+from repro.io.hgr import format_hgr, parse_hgr, read_hgr, write_hgr
+from repro.io.json_io import hypergraph_from_json, hypergraph_to_json, read_json, write_json
+from repro.io.parts import format_parts, parse_parts, read_parts, write_parts
+
+__all__ = [
+    "parse_netlist",
+    "format_netlist",
+    "read_netlist",
+    "write_netlist",
+    "parse_hgr",
+    "format_hgr",
+    "read_hgr",
+    "write_hgr",
+    "hypergraph_to_json",
+    "hypergraph_from_json",
+    "read_json",
+    "write_json",
+    "format_parts",
+    "parse_parts",
+    "read_parts",
+    "write_parts",
+]

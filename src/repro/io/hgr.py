@@ -1,0 +1,130 @@
+"""hMETIS ``.hgr`` hypergraph files — the standard partitioning interchange.
+
+Format (hMETIS manual):
+
+* Header: ``<num_edges> <num_vertices> [fmt]`` where ``fmt`` is ``1``
+  (edge weights), ``10`` (vertex weights), ``11`` (both) or absent.
+* One line per hyperedge: ``[weight] v1 v2 ...`` with 1-based vertex ids.
+* With vertex weights: ``num_vertices`` further lines, one weight each.
+* ``%``-prefixed lines are comments anywhere in the body.
+
+Reading produces integer vertex labels ``1..n`` and edge names
+``net1..netm`` (hMETIS edges are anonymous; stable names keep the rest of
+the library happy).  Writing maps arbitrary labels onto ``1..n`` in
+sorted-repr order and returns that mapping.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.hypergraph import Hypergraph
+
+
+class HgrFormatError(ValueError):
+    """Raised on malformed ``.hgr`` content."""
+
+
+def parse_hgr(text: str) -> Hypergraph:
+    """Parse hMETIS text into a :class:`Hypergraph`."""
+    lines = [
+        line.strip()
+        for line in text.splitlines()
+        if line.strip() and not line.lstrip().startswith("%")
+    ]
+    if not lines:
+        raise HgrFormatError("empty .hgr content")
+    header = lines[0].split()
+    if len(header) not in (2, 3):
+        raise HgrFormatError(f"bad header {lines[0]!r}: expected 'E V [fmt]'")
+    try:
+        num_edges, num_vertices = int(header[0]), int(header[1])
+    except ValueError:
+        raise HgrFormatError(f"non-integer header {lines[0]!r}") from None
+    fmt = header[2] if len(header) == 3 else "0"
+    if fmt not in ("0", "1", "10", "11"):
+        raise HgrFormatError(f"unknown fmt code {fmt!r}")
+    has_edge_weights = fmt in ("1", "11")
+    has_vertex_weights = fmt in ("10", "11")
+
+    expected = num_edges + (num_vertices if has_vertex_weights else 0)
+    body = lines[1:]
+    if len(body) < expected:
+        raise HgrFormatError(
+            f"expected {expected} body lines ({num_edges} edges"
+            + (f" + {num_vertices} vertex weights" if has_vertex_weights else "")
+            + f"), found {len(body)}"
+        )
+
+    h = Hypergraph(vertices=range(1, num_vertices + 1))
+    for i in range(num_edges):
+        tokens = body[i].split()
+        if has_edge_weights:
+            if len(tokens) < 2:
+                raise HgrFormatError(f"edge line {i + 1}: weight plus at least one pin required")
+            weight = float(tokens[0])
+            pin_tokens = tokens[1:]
+        else:
+            weight = 1.0
+            pin_tokens = tokens
+        try:
+            pins = [int(t) for t in pin_tokens]
+        except ValueError:
+            raise HgrFormatError(f"edge line {i + 1}: non-integer pin in {body[i]!r}") from None
+        bad = [p for p in pins if not 1 <= p <= num_vertices]
+        if bad:
+            raise HgrFormatError(f"edge line {i + 1}: pins out of range: {bad}")
+        if not pins:
+            raise HgrFormatError(f"edge line {i + 1}: empty hyperedge")
+        h.add_edge(pins, name=f"net{i + 1}", weight=weight)
+
+    if has_vertex_weights:
+        for j in range(num_vertices):
+            try:
+                w = float(body[num_edges + j])
+            except ValueError:
+                raise HgrFormatError(f"vertex weight line {j + 1}: not a number") from None
+            h.set_vertex_weight(j + 1, w)
+    return h
+
+
+def format_hgr(hypergraph: Hypergraph) -> tuple[str, dict]:
+    """Serialize to hMETIS text; returns ``(text, label -> 1-based-id map)``.
+
+    Weights are emitted only when any differ from 1 (choosing the
+    minimal ``fmt`` code).
+    """
+    vertices = sorted(hypergraph.vertices, key=repr)
+    index = {v: i + 1 for i, v in enumerate(vertices)}
+    edge_names = hypergraph.edge_names
+
+    has_edge_weights = any(hypergraph.edge_weight(e) != 1.0 for e in edge_names)
+    has_vertex_weights = any(hypergraph.vertex_weight(v) != 1.0 for v in vertices)
+    fmt = {(False, False): "", (True, False): " 1", (False, True): " 10", (True, True): " 11"}[
+        (has_edge_weights, has_vertex_weights)
+    ]
+
+    lines = [f"{len(edge_names)} {len(vertices)}{fmt}"]
+    for name in edge_names:
+        pins = " ".join(str(index[v]) for v in sorted(hypergraph.edge_members(name), key=repr))
+        if has_edge_weights:
+            lines.append(f"{hypergraph.edge_weight(name):g} {pins}")
+        else:
+            lines.append(pins)
+    if has_vertex_weights:
+        lines.extend(f"{hypergraph.vertex_weight(v):g}" for v in vertices)
+    return "\n".join(lines) + "\n", index
+
+
+def read_hgr(path: str | Path) -> Hypergraph:
+    """Read an hMETIS ``.hgr`` file."""
+    with open(path, encoding="utf-8") as handle:
+        return parse_hgr(handle.read())
+
+
+def write_hgr(hypergraph: Hypergraph, path: str | Path) -> dict:
+    """Write an hMETIS ``.hgr`` file; returns the label -> id mapping."""
+    text, index = format_hgr(hypergraph)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return index

@@ -1,0 +1,77 @@
+"""Lossless JSON round-trip for hypergraphs (names, weights, pin order).
+
+Schema::
+
+    {
+      "vertices": [[label, weight], ...],
+      "edges":    [[name, [pins...], weight], ...]
+    }
+
+Labels and names must be JSON-serializable (str/int/float/bool); tuples
+— e.g. the ``("chain", module, i)`` names from granularization — are
+encoded as tagged lists ``{"__tuple__": [...]}`` and restored on read.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.hypergraph import Hypergraph
+
+
+def _encode_label(label):
+    if isinstance(label, tuple):
+        return {"__tuple__": [_encode_label(item) for item in label]}
+    return label
+
+
+def _decode_label(obj):
+    if isinstance(obj, dict) and "__tuple__" in obj:
+        return tuple(_decode_label(item) for item in obj["__tuple__"])
+    return obj
+
+
+def hypergraph_to_json(hypergraph: Hypergraph) -> str:
+    """Serialize to a JSON string (stable key order for diffs)."""
+    payload = {
+        "vertices": [
+            [_encode_label(v), hypergraph.vertex_weight(v)] for v in hypergraph.vertices
+        ],
+        "edges": [
+            [
+                _encode_label(name),
+                [_encode_label(p) for p in sorted(hypergraph.edge_members(name), key=repr)],
+                hypergraph.edge_weight(name),
+            ]
+            for name in hypergraph.edge_names
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def hypergraph_from_json(text: str) -> Hypergraph:
+    """Parse the JSON produced by :func:`hypergraph_to_json`."""
+    payload = json.loads(text)
+    if not isinstance(payload, dict) or "vertices" not in payload or "edges" not in payload:
+        raise ValueError("JSON hypergraph must have 'vertices' and 'edges' keys")
+    h = Hypergraph()
+    for label, weight in payload["vertices"]:
+        h.add_vertex(_decode_label(label), weight)
+    for name, pins, weight in payload["edges"]:
+        h.add_edge(
+            [_decode_label(p) for p in pins], name=_decode_label(name), weight=weight
+        )
+    return h
+
+
+def read_json(path: str | Path) -> Hypergraph:
+    """Read a JSON hypergraph file."""
+    with open(path, encoding="utf-8") as handle:
+        return hypergraph_from_json(handle.read())
+
+
+def write_json(hypergraph: Hypergraph, path: str | Path) -> None:
+    """Write a JSON hypergraph file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(hypergraph_to_json(hypergraph))

@@ -1,0 +1,97 @@
+"""hMETIS-style partition (.part) files.
+
+An hMETIS partition file has one line per vertex — the block id of
+vertex ``i`` on line ``i`` (0-based blocks, 1-based vertices).  We read
+and write that format against a hypergraph whose vertices are the ids
+``1..n`` (the shape :func:`repro.io.hgr.parse_hgr` produces), and provide
+label-preserving helpers for arbitrary hypergraphs via an explicit
+ordering.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+from pathlib import Path
+
+from repro.core.hypergraph import Hypergraph
+from repro.core.kway import KWayPartition
+from repro.core.partition import Bipartition
+
+Vertex = Hashable
+
+
+class PartFormatError(ValueError):
+    """Raised on malformed partition files."""
+
+
+def format_parts(
+    assignment: Bipartition | KWayPartition,
+    order: Sequence[Vertex] | None = None,
+) -> str:
+    """Serialize a partition as one block id per line.
+
+    Parameters
+    ----------
+    assignment:
+        A 2-way or k-way partition.
+    order:
+        Vertex order defining the line order; defaults to sorted-repr
+        order (deterministic for mixed label types).
+    """
+    h = assignment.hypergraph
+    vertices = list(order) if order is not None else sorted(h.vertices, key=repr)
+    if set(vertices) != set(h.vertices):
+        raise PartFormatError("order must cover exactly the hypergraph's vertices")
+    if isinstance(assignment, Bipartition):
+        block_of = lambda v: 0 if v in assignment.left else 1  # noqa: E731
+    else:
+        block_of = assignment.block_of
+    return "\n".join(str(block_of(v)) for v in vertices) + "\n"
+
+
+def parse_parts(
+    text: str, hypergraph: Hypergraph, order: Sequence[Vertex] | None = None
+) -> list[set[Vertex]]:
+    """Parse block ids back into vertex sets.
+
+    Returns a list of blocks indexed by block id; empty trailing blocks
+    are not materialized (ids must be contiguous from 0).
+    """
+    vertices = list(order) if order is not None else sorted(hypergraph.vertices, key=repr)
+    lines = [line.strip() for line in text.splitlines() if line.strip()]
+    if len(lines) != len(vertices):
+        raise PartFormatError(
+            f"expected {len(vertices)} lines (one per vertex), found {len(lines)}"
+        )
+    try:
+        ids = [int(line) for line in lines]
+    except ValueError:
+        raise PartFormatError("non-integer block id") from None
+    if min(ids) < 0:
+        raise PartFormatError("negative block id")
+    num_blocks = max(ids) + 1
+    blocks: list[set[Vertex]] = [set() for _ in range(num_blocks)]
+    for v, block in zip(vertices, ids):
+        blocks[block].add(v)
+    empty = [i for i, b in enumerate(blocks) if not b]
+    if empty:
+        raise PartFormatError(f"block ids not contiguous; empty blocks {empty}")
+    return blocks
+
+
+def write_parts(
+    assignment: Bipartition | KWayPartition,
+    path: str | Path,
+    order: Sequence[Vertex] | None = None,
+) -> None:
+    """Write a ``.part`` file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(format_parts(assignment, order))
+
+
+def read_parts(
+    path: str | Path, hypergraph: Hypergraph, order: Sequence[Vertex] | None = None
+) -> list[set[Vertex]]:
+    """Read a ``.part`` file against ``hypergraph``."""
+    with open(path, encoding="utf-8") as handle:
+        return parse_parts(handle.read(), hypergraph, order)

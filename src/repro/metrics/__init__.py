@@ -1,0 +1,38 @@
+"""Cut-quality and balance metrics for hypergraph bipartitions.
+
+The paper's primary objective is the (hyperedge) cutsize; this package
+also provides the relaxed balance criteria it discusses — the
+Fiduccia–Mattheyses r-bipartition, weight equipartition for the
+engineer's rule — and the quotient/ratio cut objectives of the Extensions
+section.
+"""
+
+from repro.metrics.cut import (
+    crossing_edges,
+    crossing_fraction_by_size,
+    cutsize,
+    weighted_cutsize,
+)
+from repro.metrics.balance import (
+    cardinality_imbalance,
+    is_bisection,
+    satisfies_r_bipartition,
+    weight_imbalance,
+    weight_imbalance_fraction,
+)
+from repro.metrics.quotient import quotient_cut, ratio_cut, scaled_cost
+
+__all__ = [
+    "cutsize",
+    "weighted_cutsize",
+    "crossing_edges",
+    "crossing_fraction_by_size",
+    "cardinality_imbalance",
+    "is_bisection",
+    "satisfies_r_bipartition",
+    "weight_imbalance",
+    "weight_imbalance_fraction",
+    "quotient_cut",
+    "ratio_cut",
+    "scaled_cost",
+]

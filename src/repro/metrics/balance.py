@@ -1,0 +1,62 @@
+"""Balance criteria: bisection, r-bipartition, and weight equipartition.
+
+"In practice, there is little reason to insist that the numbers of nodes
+on either side of the cut be exactly equal" (Section 1) — the paper works
+with the relaxed criteria implemented here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Set
+
+from repro.core.hypergraph import Hypergraph
+
+Vertex = Hashable
+
+
+def cardinality_imbalance(hypergraph: Hypergraph, left: Set[Vertex]) -> int:
+    """``| |V_L| - |V_R| |`` for the cut defined by ``left``."""
+    n_left = len(left)
+    return abs(n_left - (hypergraph.num_vertices - n_left))
+
+
+def is_bisection(hypergraph: Hypergraph, left: Set[Vertex]) -> bool:
+    """The paper's bisection criterion: cardinality difference <= 1."""
+    return cardinality_imbalance(hypergraph, left) <= 1
+
+
+def satisfies_r_bipartition(hypergraph: Hypergraph, left: Set[Vertex], r: int) -> bool:
+    """Fiduccia–Mattheyses r-bipartition: cardinality difference <= r."""
+    if r < 0:
+        raise ValueError("r must be non-negative")
+    return cardinality_imbalance(hypergraph, left) <= r
+
+
+def weight_imbalance(hypergraph: Hypergraph, left: Set[Vertex]) -> float:
+    """``| w(V_L) - w(V_R) |`` — module-area imbalance in the VLSI paradigm."""
+    wl = sum(hypergraph.vertex_weight(v) for v in left)
+    total = hypergraph.total_vertex_weight
+    return abs(wl - (total - wl))
+
+
+def weight_imbalance_fraction(hypergraph: Hypergraph, left: Set[Vertex]) -> float:
+    """Weight imbalance normalized by total weight; 0 = perfect equipartition."""
+    total = hypergraph.total_vertex_weight
+    if total == 0:
+        return 0.0
+    return weight_imbalance(hypergraph, left) / total
+
+
+def within_weight_tolerance(
+    hypergraph: Hypergraph, left: Set[Vertex], tolerance: float
+) -> bool:
+    """True when each side's weight is within ``(1 ± tolerance) * total / 2``.
+
+    This is the balance criterion FM-style movers enforce during passes.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    total = hypergraph.total_vertex_weight
+    wl = sum(hypergraph.vertex_weight(v) for v in left)
+    half = total / 2.0
+    return abs(wl - half) <= tolerance * half

@@ -1,0 +1,48 @@
+"""Quotient-cut style objectives (Section 1 and Section 5 Extensions).
+
+The paper cites the then-recent *quotient cut* objective of Leighton–Rao
+as "the culmination of this trend" toward balance-aware cost functions,
+and lists studying Algorithm I under the quotient cut as future work —
+the ablation benches do exactly that.  The original formula is garbled by
+OCR in the scanned paper; we provide the two standard normalizations:
+
+* quotient cut  ``e(V_L, V_R) / min(|V_L|, |V_R|)``
+* ratio cut     ``e(V_L, V_R) / (|V_L| * |V_R|)``
+
+plus the weighted *scaled cost* generalization used in later CAD work.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Set
+
+from repro.core.hypergraph import Hypergraph
+from repro.metrics.cut import cutsize, weighted_cutsize
+
+Vertex = Hashable
+
+
+def quotient_cut(hypergraph: Hypergraph, left: Set[Vertex]) -> float:
+    """``cutsize / min(|V_L|, |V_R|)``; infinite for a one-sided split."""
+    smaller = min(len(left), hypergraph.num_vertices - len(left))
+    if smaller == 0:
+        return float("inf")
+    return cutsize(hypergraph, left) / smaller
+
+
+def ratio_cut(hypergraph: Hypergraph, left: Set[Vertex]) -> float:
+    """``cutsize / (|V_L| * |V_R|)``; infinite for a one-sided split."""
+    n_left = len(left)
+    product = n_left * (hypergraph.num_vertices - n_left)
+    if product == 0:
+        return float("inf")
+    return cutsize(hypergraph, left) / product
+
+
+def scaled_cost(hypergraph: Hypergraph, left: Set[Vertex]) -> float:
+    """Weighted ratio cut: ``w(cut) / (w(V_L) * w(V_R))`` over vertex weights."""
+    wl = sum(hypergraph.vertex_weight(v) for v in left)
+    wr = hypergraph.total_vertex_weight - wl
+    if wl <= 0 or wr <= 0:
+        return float("inf")
+    return weighted_cutsize(hypergraph, left) / (wl * wr)

@@ -1,0 +1,47 @@
+"""Min-cut placement — the CAD application motivating the paper.
+
+"A large body of work confirms hypergraph min-cut bisection as a good
+objective for VLSI and PCB clustering placement" (Section 1, citing
+Breuer's min-cut placement).  This package closes the loop: it places a
+netlist onto a slot grid by recursive min-cut bisection — Algorithm I (or
+any other partitioner) splitting the module set at every level, with
+optional Dunlop–Kernighan terminal propagation — and scores the result
+with the half-perimeter wirelength (HPWL) bounding-box net model (plus
+the clique / star / MST net models of Section 3's discussion).
+
+Two classic alternative placers complete the comparison set: simulated
+annealing on HPWL (the Kirkpatrick/TimberWolf lineage the paper's SA
+column represents) and anchored quadratic placement with row
+legalization (the graph-space lineage of Fukunaga et al. [11]).
+"""
+
+from repro.placement.wirelength import (
+    NET_MODELS,
+    hpwl,
+    net_clique_length,
+    net_hpwl,
+    net_mst_length,
+    net_star_length,
+    wirelength,
+)
+from repro.placement.grid import GridRegion, SlotGrid
+from repro.placement.mincut_placement import PlacementResult, mincut_place
+from repro.placement.annealing_placement import PlacementSchedule, annealing_place
+from repro.placement.quadratic_placement import quadratic_place
+
+__all__ = [
+    "hpwl",
+    "net_hpwl",
+    "net_clique_length",
+    "net_star_length",
+    "net_mst_length",
+    "wirelength",
+    "NET_MODELS",
+    "SlotGrid",
+    "GridRegion",
+    "mincut_place",
+    "PlacementResult",
+    "annealing_place",
+    "PlacementSchedule",
+    "quadratic_place",
+]

@@ -1,0 +1,225 @@
+"""Simulated-annealing placement — the classic alternative to min-cut.
+
+The paper positions min-cut partitioning against annealing-based layout
+(Kirkpatrick et al. [18]; TimberWolf lineage).  This module provides that
+other side for the placement benches: pairwise slot swaps (or moves to
+empty slots) on the grid, Metropolis acceptance on the half-perimeter
+wirelength, geometric cooling.
+
+HPWL is maintained incrementally: per-net bounding boxes are cached and
+only the nets incident to the swapped modules are re-evaluated, so a move
+costs O(pins touched), not O(netlist).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+from repro.core.hypergraph import Hypergraph
+from repro.placement.grid import SlotGrid
+from repro.placement.mincut_placement import PlacementError, PlacementResult, _default_grid
+
+Vertex = Hashable
+Slot = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class PlacementSchedule:
+    """Cooling knobs for :func:`annealing_place`.
+
+    ``moves_per_temperature`` defaults to ``20 * num_modules``;
+    ``initial_temperature`` auto-calibrates from a random-move sample.
+    """
+
+    initial_temperature: float | None = None
+    alpha: float = 0.92
+    moves_per_temperature: int | None = None
+    min_temperature: float = 1e-2
+    max_total_moves: int = 1_000_000
+    initial_acceptance: float = 0.85
+    frozen_after: int = 3
+
+
+class _IncrementalHpwl:
+    """Positions + per-net bounding-box cache with O(pins) swap updates."""
+
+    def __init__(self, h: Hypergraph, positions: dict[Vertex, Slot]) -> None:
+        self.h = h
+        self.positions = positions
+        self.net_hpwl: dict = {}
+        self.total = 0.0
+        for name in h.edge_names:
+            value = self._compute(name)
+            self.net_hpwl[name] = value
+            self.total += h.edge_weight(name) * value
+
+    def _compute(self, name) -> float:
+        xs = []
+        ys = []
+        for pin in self.h.edge_members(name):
+            r, c = self.positions[pin]
+            xs.append(c)
+            ys.append(r)
+        return float(max(xs) - min(xs) + max(ys) - min(ys))
+
+    def affected_nets(self, a: Vertex, b: Vertex | None) -> set:
+        nets = set(self.h.incident_edges(a))
+        if b is not None:
+            nets |= self.h.incident_edges(b)
+        return nets
+
+    def swap_delta(self, a: Vertex, b: Vertex | None, slot_b: Slot) -> float:
+        """Wirelength change for swapping ``a`` with ``b`` (or moving to
+        the empty ``slot_b``); leaves state unchanged."""
+        slot_a = self.positions[a]
+        self._apply(a, b, slot_a, slot_b)
+        delta = 0.0
+        for name in self.affected_nets(a, b):
+            delta += self.h.edge_weight(name) * (self._compute(name) - self.net_hpwl[name])
+        self._apply(a, b, slot_b, slot_a)  # undo
+        return delta
+
+    def _apply(self, a: Vertex, b: Vertex | None, slot_a: Slot, slot_b: Slot) -> None:
+        self.positions[a] = slot_b
+        if b is not None:
+            self.positions[b] = slot_a
+
+    def commit_swap(self, a: Vertex, b: Vertex | None, slot_b: Slot) -> None:
+        slot_a = self.positions[a]
+        self._apply(a, b, slot_a, slot_b)
+        for name in self.affected_nets(a, b):
+            fresh = self._compute(name)
+            self.total += self.h.edge_weight(name) * (fresh - self.net_hpwl[name])
+            self.net_hpwl[name] = fresh
+
+    def validate(self) -> None:
+        """Recompute from scratch; raise on drift (test hook)."""
+        expected = 0.0
+        for name in self.h.edge_names:
+            fresh = self._compute(name)
+            if abs(fresh - self.net_hpwl[name]) > 1e-9:
+                raise AssertionError(f"net {name!r} bounding box drifted")
+            expected += self.h.edge_weight(name) * fresh
+        if abs(expected - self.total) > 1e-6:
+            raise AssertionError(
+                f"total HPWL drifted: cached={self.total}, recomputed={expected}"
+            )
+
+
+def annealing_place(
+    hypergraph: Hypergraph,
+    grid: SlotGrid | None = None,
+    schedule: PlacementSchedule | None = None,
+    initial: dict[Vertex, Slot] | None = None,
+    seed: int | random.Random | None = None,
+) -> PlacementResult:
+    """Place ``hypergraph`` on ``grid`` by simulated annealing on HPWL.
+
+    Parameters
+    ----------
+    hypergraph:
+        Netlist to place (one module per slot).
+    grid:
+        Placement surface; defaults to the smallest near-square fit.
+    schedule:
+        Cooling schedule (defaults to :class:`PlacementSchedule`).
+    initial:
+        Starting positions (e.g. a min-cut placement to polish); random
+        when omitted.
+    seed:
+        Integer seed or :class:`random.Random`.
+
+    Returns
+    -------
+    PlacementResult
+        ``cut_sizes`` is empty (no bisection tree); compare via
+        ``total_hpwl``.
+    """
+    grid = grid or _default_grid(hypergraph.num_vertices)
+    if hypergraph.num_vertices > grid.capacity:
+        raise PlacementError(
+            f"{hypergraph.num_vertices} modules do not fit {grid.capacity} slots"
+        )
+    schedule = schedule or PlacementSchedule()
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+
+    slots = grid.full_region().slots()
+    modules = sorted(hypergraph.vertices, key=repr)
+    if initial is None:
+        shuffled = slots[:]
+        rng.shuffle(shuffled)
+        positions = dict(zip(modules, shuffled))
+    else:
+        positions = dict(initial)
+        if set(positions) != set(modules):
+            raise PlacementError("initial placement must cover exactly the modules")
+        if len(set(positions.values())) != len(modules):
+            raise PlacementError("initial placement has overlapping modules")
+
+    state = _IncrementalHpwl(hypergraph, positions)
+    occupant: dict[Slot, Vertex] = {slot: v for v, slot in positions.items()}
+
+    def random_move() -> tuple[Vertex, Vertex | None, Slot]:
+        a = modules[rng.randrange(len(modules))]
+        slot_b = slots[rng.randrange(len(slots))]
+        b = occupant.get(slot_b)
+        return a, (None if b is a else b), slot_b
+
+    temperature = schedule.initial_temperature
+    if temperature is None:
+        deltas = []
+        for _ in range(min(150, 5 * len(modules))):
+            a, b, slot_b = random_move()
+            if positions[a] == slot_b:
+                continue
+            d = state.swap_delta(a, b, slot_b)
+            if d > 0:
+                deltas.append(d)
+        mean_uphill = sum(deltas) / len(deltas) if deltas else 1.0
+        p0 = min(max(schedule.initial_acceptance, 1e-6), 1 - 1e-6)
+        temperature = mean_uphill / -math.log(p0)
+
+    moves_per_temp = schedule.moves_per_temperature or 20 * len(modules)
+    best_positions = dict(positions)
+    best_hpwl = state.total
+    total_moves = 0
+    frozen = 0
+
+    while (
+        temperature > schedule.min_temperature
+        and total_moves < schedule.max_total_moves
+        and frozen < schedule.frozen_after
+    ):
+        accepted_any = False
+        for _ in range(moves_per_temp):
+            total_moves += 1
+            a, b, slot_b = random_move()
+            slot_a = positions[a]
+            if slot_a == slot_b:
+                continue
+            delta = state.swap_delta(a, b, slot_b)
+            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                state.commit_swap(a, b, slot_b)
+                occupant[slot_b] = a
+                if b is not None:
+                    occupant[slot_a] = b
+                else:
+                    del occupant[slot_a]
+                accepted_any = True
+                if state.total < best_hpwl:
+                    best_hpwl = state.total
+                    best_positions = dict(positions)
+            if total_moves >= schedule.max_total_moves:
+                break
+        frozen = 0 if accepted_any else frozen + 1
+        temperature *= schedule.alpha
+
+    return PlacementResult(
+        positions=best_positions,
+        hypergraph=hypergraph,
+        grid=grid,
+        cut_sizes=(),
+    )

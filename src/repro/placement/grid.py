@@ -1,0 +1,92 @@
+"""Slot grids and rectangular regions for recursive min-cut placement.
+
+The placement surface is a ``rows x cols`` grid of unit slots, one module
+per slot (the standard-cell/gate-array abstraction).  Recursive bisection
+operates on :class:`GridRegion` rectangles, each splitting along its
+longer axis into two child regions whose slot counts set the partition
+balance targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GridRegion:
+    """A half-open rectangle ``[row0, row1) x [col0, col1)`` of slots."""
+
+    row0: int
+    row1: int
+    col0: int
+    col1: int
+
+    def __post_init__(self) -> None:
+        if self.row0 >= self.row1 or self.col0 >= self.col1:
+            raise ValueError(f"empty region {self!r}")
+
+    @property
+    def height(self) -> int:
+        return self.row1 - self.row0
+
+    @property
+    def width(self) -> int:
+        return self.col1 - self.col0
+
+    @property
+    def capacity(self) -> int:
+        """Number of slots (= max modules) in the region."""
+        return self.height * self.width
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """(x, y) = (col, row) center in slot units."""
+        return ((self.col0 + self.col1 - 1) / 2.0, (self.row0 + self.row1 - 1) / 2.0)
+
+    def slots(self) -> list[tuple[int, int]]:
+        """All (row, col) slots, row-major."""
+        return [
+            (r, c) for r in range(self.row0, self.row1) for c in range(self.col0, self.col1)
+        ]
+
+    def split(self) -> tuple["GridRegion", "GridRegion", str]:
+        """Halve along the longer axis; returns (first, second, axis).
+
+        ``axis`` is ``"vertical"`` for a left/right split (cutline between
+        columns) and ``"horizontal"`` for top/bottom.  A 1x1 region cannot
+        split.
+        """
+        if self.capacity <= 1:
+            raise ValueError(f"cannot split unit region {self!r}")
+        if self.width >= self.height:
+            mid = self.col0 + (self.width + 1) // 2
+            return (
+                GridRegion(self.row0, self.row1, self.col0, mid),
+                GridRegion(self.row0, self.row1, mid, self.col1),
+                "vertical",
+            )
+        mid = self.row0 + (self.height + 1) // 2
+        return (
+            GridRegion(self.row0, mid, self.col0, self.col1),
+            GridRegion(mid, self.row1, self.col0, self.col1),
+            "horizontal",
+        )
+
+
+@dataclass(frozen=True)
+class SlotGrid:
+    """The whole placement surface."""
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("grid must have positive dimensions")
+
+    @property
+    def capacity(self) -> int:
+        return self.rows * self.cols
+
+    def full_region(self) -> GridRegion:
+        return GridRegion(0, self.rows, 0, self.cols)

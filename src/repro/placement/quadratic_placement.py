@@ -1,0 +1,155 @@
+"""Quadratic (analytic) placement — the "graph space" lineage.
+
+The paper cites Fukunaga et al.'s graph-space placement [11]; its modern
+descendant is quadratic placement: minimize the clique-model quadratic
+wirelength ``Σ w_ij (p_i − p_j)²`` by solving one sparse linear system
+per coordinate, then *legalize* the continuous solution onto the slot
+grid.
+
+Without fixed terminals the quadratic optimum collapses to a single
+point, so (as in real analytic placers, where I/O pads anchor the
+system) a handful of high-degree modules are pinned to evenly spaced
+border slots before solving.  Legalization is the standard row-bucketing:
+sort by y into rows, by x within each row.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Sequence
+
+import numpy as np
+
+from repro.core.hypergraph import Hypergraph
+from repro.placement.grid import SlotGrid
+from repro.placement.mincut_placement import PlacementError, PlacementResult, _default_grid
+
+Vertex = Hashable
+
+
+def _border_slots(grid: SlotGrid, count: int) -> list[tuple[int, int]]:
+    """``count`` evenly spaced slots along the grid border (clockwise)."""
+    ring: list[tuple[int, int]] = []
+    rows, cols = grid.rows, grid.cols
+    ring.extend((0, c) for c in range(cols))
+    ring.extend((r, cols - 1) for r in range(1, rows))
+    if rows > 1:
+        ring.extend((rows - 1, c) for c in range(cols - 2, -1, -1))
+    if cols > 1:
+        ring.extend((r, 0) for r in range(rows - 2, 0, -1))
+    if count >= len(ring):
+        return ring
+    step = len(ring) / count
+    return [ring[int(i * step)] for i in range(count)]
+
+
+def quadratic_place(
+    hypergraph: Hypergraph,
+    grid: SlotGrid | None = None,
+    anchors: Sequence[Vertex] | None = None,
+    num_anchors: int = 8,
+    seed: int | random.Random | None = None,
+) -> PlacementResult:
+    """Quadratic placement with border anchors and row-bucket legalization.
+
+    Parameters
+    ----------
+    hypergraph:
+        Netlist to place.
+    grid:
+        Placement surface; defaults to the smallest near-square fit.
+    anchors:
+        Modules to pin to the border (defaults to the ``num_anchors``
+        highest-degree modules — the cells most like I/O hubs).
+    num_anchors:
+        How many anchors to auto-select (>= 2 required for a
+        non-degenerate system; capped by the module count).
+    seed:
+        Unused except for API symmetry (the method is deterministic);
+        accepted so callers can treat all placers uniformly.
+
+    Returns
+    -------
+    PlacementResult
+        ``cut_sizes`` is empty; compare with ``total_hpwl``.
+    """
+    grid = grid or _default_grid(hypergraph.num_vertices)
+    if hypergraph.num_vertices > grid.capacity:
+        raise PlacementError(
+            f"{hypergraph.num_vertices} modules do not fit {grid.capacity} slots"
+        )
+    modules = sorted(hypergraph.vertices, key=repr)
+    n = len(modules)
+    if n == 0:
+        return PlacementResult(positions={}, hypergraph=hypergraph, grid=grid)
+    index = {v: i for i, v in enumerate(modules)}
+
+    if anchors is None:
+        count = max(2, min(num_anchors, n))
+        anchors = sorted(
+            modules, key=lambda v: (-hypergraph.vertex_degree(v), repr(v))
+        )[:count]
+    else:
+        anchors = list(anchors)
+        unknown = set(anchors) - set(modules)
+        if unknown:
+            raise PlacementError(f"anchors not in hypergraph: {sorted(map(repr, unknown))}")
+        if len(anchors) < 2:
+            raise PlacementError("need at least two anchors")
+
+    anchor_slots = _border_slots(grid, len(anchors))
+    anchor_pos = {v: anchor_slots[i] for i, v in enumerate(anchors)}
+
+    # Clique-expansion Laplacian (weights w(e)/(|e|-1)).
+    import scipy.sparse as sp
+    import scipy.sparse.linalg as spla
+
+    rows_idx: list[int] = []
+    cols_idx: list[int] = []
+    vals: list[float] = []
+    diag = np.zeros(n)
+    for name in hypergraph.edge_names:
+        members = [index[v] for v in hypergraph.edge_members(name)]
+        k = len(members)
+        if k < 2:
+            continue
+        w = hypergraph.edge_weight(name) / (k - 1)
+        for a_pos, i in enumerate(members):
+            for j in members[a_pos + 1 :]:
+                rows_idx.extend((i, j))
+                cols_idx.extend((j, i))
+                vals.extend((-w, -w))
+                diag[i] += w
+                diag[j] += w
+
+    laplacian = sp.coo_matrix(
+        (np.concatenate([vals, diag]) if vals else diag,
+         (np.concatenate([rows_idx, np.arange(n)]) if vals else np.arange(n),
+          np.concatenate([cols_idx, np.arange(n)]) if vals else np.arange(n))),
+        shape=(n, n),
+    ).tocsr()
+
+    free = [i for i, v in enumerate(modules) if v not in anchor_pos]
+    fixed = [i for i, v in enumerate(modules) if v in anchor_pos]
+    coords = np.zeros((n, 2))
+    for v, (r, c) in anchor_pos.items():
+        coords[index[v]] = (float(c), float(r))  # (x, y)
+
+    if free:
+        a_ff = laplacian[free][:, free].tocsc()
+        a_ff = a_ff + sp.identity(len(free)) * 1e-9  # isolated-module guard
+        a_fx = laplacian[free][:, fixed]
+        for axis in (0, 1):
+            rhs = -a_fx @ coords[fixed, axis]
+            coords[np.array(free), axis] = spla.spsolve(a_ff, rhs)
+
+    # Legalize: bucket by y into rows, sort by x within each row.
+    order_by_y = sorted(modules, key=lambda v: (coords[index[v], 1], coords[index[v], 0], repr(v)))
+    per_row = grid.cols
+    positions: dict[Vertex, tuple[int, int]] = {}
+    for row in range(grid.rows):
+        chunk = order_by_y[row * per_row : (row + 1) * per_row]
+        chunk.sort(key=lambda v: (coords[index[v], 0], repr(v)))
+        for col, v in enumerate(chunk):
+            positions[v] = (row, col)
+    return PlacementResult(positions=positions, hypergraph=hypergraph, grid=grid)

@@ -1,0 +1,126 @@
+"""Portfolio partitioning: run several engines, keep the best feasible cut.
+
+Hartoog's observation (paper Section 1) — "no one algorithm in the
+literature consistently gives good results" — has a practical corollary:
+production flows run a *portfolio*.  This module packages it: run any
+subset of the library's engines on one netlist and return the best cut
+that satisfies the balance constraint, with a per-engine scoreboard.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.core.hypergraph import Hypergraph
+from repro.core.partition import Bipartition
+
+#: Engines available to the portfolio, in default running order.
+DEFAULT_METHODS = ("algorithm1", "multilevel", "fm", "kl", "sa", "spectral")
+
+
+@dataclass(frozen=True)
+class PortfolioEntry:
+    """One engine's outcome inside a portfolio run."""
+
+    method: str
+    cutsize: int
+    weighted_cutsize: float
+    weight_imbalance_fraction: float
+    feasible: bool
+    seconds: float
+
+
+@dataclass(frozen=True)
+class PortfolioResult:
+    """Best cut plus the scoreboard."""
+
+    bipartition: Bipartition
+    winner: str
+    entries: tuple[PortfolioEntry, ...]
+
+    @property
+    def cutsize(self) -> int:
+        return self.bipartition.cutsize
+
+
+def best_partition(
+    hypergraph: Hypergraph,
+    methods: tuple[str, ...] = DEFAULT_METHODS,
+    balance_tolerance: float = 0.1,
+    num_starts: int = 25,
+    seed: int | random.Random | None = None,
+) -> PortfolioResult:
+    """Run a portfolio of partitioners and return the best feasible cut.
+
+    Parameters
+    ----------
+    hypergraph:
+        Netlist to cut.
+    methods:
+        Engine names from :data:`DEFAULT_METHODS` (any order/subset).
+    balance_tolerance:
+        Weight-imbalance fraction defining feasibility; infeasible cuts
+        only win when nothing feasible exists.
+    num_starts:
+        Multi-start budget for Algorithm I and random-restart engines.
+    seed:
+        Integer seed or :class:`random.Random`.
+    """
+    unknown = set(methods) - set(DEFAULT_METHODS)
+    if unknown:
+        raise ValueError(f"unknown methods {sorted(unknown)}; choose from {DEFAULT_METHODS}")
+    if not methods:
+        raise ValueError("need at least one method")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+
+    from repro.baselines import (
+        fiduccia_mattheyses,
+        kernighan_lin,
+        multilevel_bipartition,
+        simulated_annealing,
+        spectral_bisection,
+    )
+    from repro.core.algorithm1 import algorithm1
+
+    runners = {
+        "algorithm1": lambda s: algorithm1(
+            hypergraph, num_starts=num_starts, seed=s, balance_tolerance=balance_tolerance
+        ).bipartition,
+        "multilevel": lambda s: multilevel_bipartition(
+            hypergraph, balance_tolerance=balance_tolerance, seed=s
+        ).bipartition,
+        "fm": lambda s: fiduccia_mattheyses(
+            hypergraph, balance_tolerance=balance_tolerance, seed=s
+        ).bipartition,
+        "kl": lambda s: kernighan_lin(hypergraph, seed=s).bipartition,
+        "sa": lambda s: simulated_annealing(
+            hypergraph, balance_tolerance=balance_tolerance, seed=s
+        ).bipartition,
+        "spectral": lambda s: spectral_bisection(hypergraph, seed=s).bipartition,
+    }
+
+    entries: list[PortfolioEntry] = []
+    best: tuple[tuple, str, Bipartition] | None = None
+    for method in methods:
+        start = time.perf_counter()
+        bp = runners[method](rng.randrange(2**31))
+        elapsed = time.perf_counter() - start
+        feasible = bp.weight_imbalance_fraction <= balance_tolerance
+        entries.append(
+            PortfolioEntry(
+                method=method,
+                cutsize=bp.cutsize,
+                weighted_cutsize=bp.weighted_cutsize,
+                weight_imbalance_fraction=bp.weight_imbalance_fraction,
+                feasible=feasible,
+                seconds=elapsed,
+            )
+        )
+        key = (not feasible, bp.cutsize, bp.weight_imbalance_fraction)
+        if best is None or key < best[0]:
+            best = (key, method, bp)
+
+    assert best is not None
+    return PortfolioResult(bipartition=best[2], winner=best[1], entries=tuple(entries))

@@ -1,0 +1,120 @@
+"""Human-readable reports for partitions and placements.
+
+Produces plain-markdown summaries a designer would actually read after a
+run: cut statistics, balance, net-size breakdown of the crossing set,
+per-block tables for k-way results, and wirelength-by-model tables for
+placements.  The CLI's ``--report`` flags route here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.hypergraph import Hypergraph
+from repro.core.kway import KWayPartition
+from repro.core.partition import Bipartition
+
+
+def _histogram_lines(title: str, hist: dict[int, int]) -> list[str]:
+    lines = [f"| {title} | count |", "|---|---|"]
+    lines.extend(f"| {size} | {count} |" for size, count in sorted(hist.items()))
+    return lines
+
+
+def hypergraph_summary(h: Hypergraph) -> str:
+    """Markdown summary of a netlist's shape."""
+    lines = [
+        "## Netlist",
+        "",
+        f"* modules: **{h.num_vertices}** (total weight {h.total_vertex_weight:g})",
+        f"* signals: **{h.num_edges}** ({h.num_pins} pins, "
+        f"avg {h.average_edge_size():.2f} pins/net)",
+        f"* max module degree: {h.max_vertex_degree}; max net size: {h.max_edge_size}",
+        f"* connected: {'yes' if h.is_connected() else 'no'}",
+        "",
+    ]
+    lines.extend(_histogram_lines("net size", h.edge_size_histogram()))
+    return "\n".join(lines)
+
+
+def bipartition_report(bipartition: Bipartition, title: str = "Bipartition") -> str:
+    """Markdown report of a two-way cut."""
+    h = bipartition.hypergraph
+    crossing_sizes: dict[int, int] = {}
+    for name in bipartition.crossing_edges:
+        k = h.edge_size(name)
+        crossing_sizes[k] = crossing_sizes.get(k, 0) + 1
+
+    lines = [
+        f"## {title}",
+        "",
+        f"* cutsize: **{bipartition.cutsize}** "
+        f"(weighted {bipartition.weighted_cutsize:g}) of {h.num_edges} nets",
+        f"* sides: {len(bipartition.left)} / {len(bipartition.right)} modules "
+        f"(weights {bipartition.left_weight:g} / {bipartition.right_weight:g})",
+        f"* weight imbalance: {bipartition.weight_imbalance_fraction:.1%}",
+        f"* bisection: {'yes' if bipartition.is_bisection() else 'no'} "
+        f"(cardinality difference {bipartition.cardinality_imbalance})",
+        f"* quotient cut: {bipartition.quotient_cut:.4f}; "
+        f"ratio cut: {bipartition.ratio_cut:.6f}",
+        "",
+    ]
+    if crossing_sizes:
+        lines.extend(_histogram_lines("crossing-net size", crossing_sizes))
+    else:
+        lines.append("no nets cross the cut.")
+    return "\n".join(lines)
+
+
+def kway_report(partition: KWayPartition, title: str = "K-way partition") -> str:
+    """Markdown report of a k-way partition."""
+    h = partition.hypergraph
+    weights = partition.block_weights()
+    lines = [
+        f"## {title}",
+        "",
+        f"* k = **{partition.k}**",
+        f"* cut nets: **{partition.cutsize}** of {h.num_edges}",
+        f"* sum of external degrees: {partition.sum_external_degrees}",
+        f"* connectivity (lambda - 1): {partition.connectivity}",
+        f"* weight imbalance: {partition.weight_imbalance_fraction:.1%}",
+        "",
+        "| block | modules | weight |",
+        "|---|---|---|",
+    ]
+    for i, block in enumerate(partition.blocks):
+        lines.append(f"| {i} | {len(block)} | {weights[i]:g} |")
+    return "\n".join(lines)
+
+
+def placement_report(result, title: str = "Placement") -> str:
+    """Markdown report of a min-cut placement (wirelength by net model)."""
+    from repro.placement.wirelength import NET_MODELS, wirelength
+
+    h = result.hypergraph
+    coords = {v: (float(c), float(r)) for v, (r, c) in result.positions.items()}
+    lines = [
+        f"## {title}",
+        "",
+        f"* grid: {result.grid.rows} x {result.grid.cols} "
+        f"({result.grid.capacity} slots, {len(result.positions)} used)",
+        f"* top-level cutsize: {result.cut_sizes[0] if result.cut_sizes else 0}",
+        "",
+        "| net model | total wirelength |",
+        "|---|---|",
+    ]
+    for model in sorted(NET_MODELS):
+        lines.append(f"| {model} | {wirelength(h, coords, model):.1f} |")
+    return "\n".join(lines)
+
+
+def full_report(
+    bipartition: Bipartition,
+    extra_sections: Iterable[str] = (),
+    title: str = "Partitioning report",
+) -> str:
+    """Netlist summary + cut report (+ caller-provided sections)."""
+    parts = [f"# {title}", "", hypergraph_summary(bipartition.hypergraph), "",
+             bipartition_report(bipartition)]
+    parts.extend(extra_sections)
+    return "\n".join(parts) + "\n"

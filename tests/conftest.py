@@ -1,0 +1,137 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.hypergraph import Hypergraph
+
+# ----------------------------------------------------------------------
+# Paper examples
+# ----------------------------------------------------------------------
+
+#: Figure 1: 8 modules, 5 signals A–E whose intersection graph is the
+#: path A - B - C - D - E.
+FIGURE1_EDGES = {
+    "A": [1, 2, 3],
+    "B": [3, 4],
+    "C": [4, 5, 6],
+    "D": [6, 7],
+    "E": [7, 8],
+}
+
+#: Figure 4 / Section 2.3 worked example: 12 modules, 12 signals a–l.
+FIGURE4_EDGES = {
+    "a": [1, 2, 11],
+    "b": [2, 4, 11],
+    "c": [1, 3, 4, 12],
+    "d": [2, 4, 12],
+    "e": [2, 11, 12],
+    "f": [1, 11, 12],
+    "g": [3, 5, 6, 7],
+    "h": [3, 5, 8],
+    "i": [5, 8, 9, 10],
+    "j": [6, 7, 9, 10],
+    "k": [6, 8, 10],
+    "l": [7, 9, 10],
+}
+
+
+@pytest.fixture
+def figure1_hypergraph() -> Hypergraph:
+    return Hypergraph(edges=FIGURE1_EDGES)
+
+
+@pytest.fixture
+def figure4_hypergraph() -> Hypergraph:
+    return Hypergraph(edges=FIGURE4_EDGES)
+
+
+@pytest.fixture
+def small_random_hypergraph() -> Hypergraph:
+    """A fixed 30-vertex random hypergraph used across behavioural tests."""
+    rng = random.Random(12345)
+    h = Hypergraph(vertices=range(30))
+    for _ in range(55):
+        size = rng.choice([2, 2, 3, 3, 4])
+        h.add_edge(rng.sample(range(30), size))
+    return h
+
+
+@pytest.fixture
+def triangle_hypergraph() -> Hypergraph:
+    """Three 2-pin nets forming a triangle — smallest non-trivial case."""
+    return Hypergraph(edges={"ab": ["a", "b"], "bc": ["b", "c"], "ca": ["c", "a"]})
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def hypergraphs(
+    draw,
+    min_vertices: int = 2,
+    max_vertices: int = 14,
+    min_edges: int = 1,
+    max_edges: int = 20,
+    max_edge_size: int = 5,
+    weighted: bool = False,
+):
+    """Random small hypergraphs with every vertex 0-indexed.
+
+    Isolated vertices are allowed (vertices need not appear in edges),
+    matching real netlists with unconnected modules.
+    """
+    n = draw(st.integers(min_vertices, max_vertices))
+    m = draw(st.integers(min_edges, max_edges))
+    h = Hypergraph(vertices=range(n))
+    for _ in range(m):
+        size = draw(st.integers(2, min(max_edge_size, n)))
+        pins = draw(
+            st.lists(st.integers(0, n - 1), min_size=size, max_size=size, unique=True)
+        )
+        h.add_edge(pins)
+    if weighted:
+        for v in h.vertices:
+            h.set_vertex_weight(v, draw(st.floats(0.5, 4.0, allow_nan=False)))
+    return h
+
+
+@st.composite
+def connected_hypergraphs(draw, min_vertices: int = 3, max_vertices: int = 12):
+    """Hypergraphs guaranteed connected via a vertex chain of 2-pin nets."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    h = Hypergraph(vertices=range(n))
+    for i in range(n - 1):
+        h.add_edge([i, i + 1])
+    extra = draw(st.integers(0, 10))
+    for _ in range(extra):
+        size = draw(st.integers(2, min(4, n)))
+        pins = draw(
+            st.lists(st.integers(0, n - 1), min_size=size, max_size=size, unique=True)
+        )
+        h.add_edge(pins)
+    return h
+
+
+@st.composite
+def bipartite_graphs(draw, max_side: int = 7):
+    """Random bipartite graphs as (left labels, right labels, edge pairs)."""
+    nl = draw(st.integers(1, max_side))
+    nr = draw(st.integers(1, max_side))
+    left = [("L", i) for i in range(nl)]
+    right = [("R", i) for i in range(nr)]
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, nl - 1), st.integers(0, nr - 1)),
+            min_size=0,
+            max_size=nl * nr,
+            unique=True,
+        )
+    )
+    return left, right, [(left[i], right[j]) for i, j in edges]

@@ -1,0 +1,122 @@
+"""Tests for the theorem-validation analysis package (small parameters)."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.boundary import boundary_fraction, boundary_fraction_experiment
+from repro.analysis.crossing import (
+    crossing_probability_experiment,
+    predicted_crossing_probability,
+)
+from repro.analysis.diameter import (
+    bfs_depth_vs_diameter,
+    diameter_growth_experiment,
+    pseudo_diameter_experiment,
+)
+from repro.analysis.scaling import fit_power_law, runtime_scaling_experiment
+from repro.generators.random_hypergraph import random_hypergraph, random_regular_graph
+
+
+class TestDiameter:
+    def test_bfs_depth_bounded_by_diameter(self):
+        rng = random.Random(0)
+        for seed in range(5):
+            g = random_regular_graph(40, 3, seed=seed)
+            if not g.is_connected():
+                continue
+            depth, diam = bfs_depth_vs_diameter(g, rng)
+            assert depth <= diam
+            assert depth >= (diam + 1) // 2  # BFS depth >= radius >= diam/2
+
+    def test_pseudo_diameter_experiment(self):
+        records = pseudo_diameter_experiment(sizes=(30, 60), trials=3, seed=0)
+        assert records
+        for r in records:
+            assert 0 <= r.gap <= r.diameter
+
+    def test_gaps_are_small_constants(self):
+        """The paper's theorem: depth = diam - O(1) w.h.p."""
+        records = pseudo_diameter_experiment(sizes=(60, 120), degree=3, trials=5, seed=1)
+        gaps = [r.gap for r in records]
+        assert sum(gaps) / len(gaps) <= 2.0
+
+    def test_diameter_growth_logarithmic(self):
+        rows = diameter_growth_experiment(sizes=(40, 80, 160), degree=3, trials=2, seed=0)
+        ratios = [r["diameter_over_log2n"] for r in rows]
+        assert len(rows) == 3
+        # O(log n): the ratio stays within a narrow constant band.
+        assert max(ratios) / min(ratios) < 2.5
+
+
+class TestBoundary:
+    def test_boundary_fraction_sample(self):
+        rng = random.Random(0)
+        h = random_hypergraph(60, 90, seed=1, connect=True)
+        sample = boundary_fraction(h, rng)
+        assert 0 <= sample.boundary_fraction <= 1
+        assert sample.num_graph_nodes == h.num_edges
+
+    def test_experiment_rows(self):
+        rows = boundary_fraction_experiment(sizes=(50, 100), trials=2, seed=0)
+        assert len(rows) == 2
+        for row in rows:
+            assert 0 <= row["mean_boundary_fraction"] <= 1
+
+    def test_netlist_kind(self):
+        rows = boundary_fraction_experiment(sizes=(50,), trials=2, kind="netlist", seed=0)
+        assert rows[0]["kind"] == "netlist"
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            boundary_fraction_experiment(kind="bogus")
+
+
+class TestCrossing:
+    def test_prediction_formula(self):
+        assert predicted_crossing_probability(2) == 0.5
+        assert predicted_crossing_probability(10) == pytest.approx(1 - 2**-9)
+        assert predicted_crossing_probability(1) == 0.0
+
+    def test_experiment_monotone_in_k(self):
+        records = crossing_probability_experiment(
+            num_vertices=80,
+            base_edges=120,
+            probe_sizes=(2, 8, 16),
+            probes_per_size=10,
+            trials=2,
+            seed=0,
+        )
+        by_size = {r.edge_size: r.fraction for r in records}
+        # Large edges cross (almost) always; small ones much less.
+        assert by_size[16] >= 0.9
+        assert by_size[16] >= by_size[2]
+
+    def test_bad_partitioner(self):
+        with pytest.raises(ValueError):
+            crossing_probability_experiment(partitioner="bogus")
+
+
+class TestScaling:
+    def test_fit_power_law_exact(self):
+        ns = [10.0, 20.0, 40.0, 80.0]
+        times = [n**2 for n in ns]
+        assert fit_power_law(ns, times) == pytest.approx(2.0)
+
+    def test_fit_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0], [1.0])
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0], [1.0])
+
+    def test_runtime_experiment_rows(self):
+        rows = runtime_scaling_experiment(sizes=(30, 60), algorithms=("algorithm1",), seed=0)
+        assert len(rows) == 2
+        assert all(row["seconds_algorithm1"] > 0 for row in rows)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            runtime_scaling_experiment(algorithms=("quantum",))

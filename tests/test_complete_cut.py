@@ -1,0 +1,218 @@
+"""Tests for the boundary graph and the Complete-Cut completion.
+
+Includes the paper's within-one-of-optimum theorem, validated against an
+exact König-matching oracle on random connected bipartite graphs.
+"""
+
+import random
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.boundary import BoundaryGraph, boundary_graph
+from repro.core.complete_cut import (
+    VARIANTS,
+    CompletionError,
+    complete_cut,
+    complete_cut_weighted,
+    optimal_completion_losers,
+    optimal_completion_size,
+)
+from repro.core.dual_cut import double_bfs_cut
+from repro.core.graph import Graph
+from repro.core.hypergraph import Hypergraph
+from repro.core.intersection import intersection_graph
+from repro.core.validation import check_boundary_graph, check_completion
+from tests.conftest import bipartite_graphs
+
+
+def make_boundary(left, right, edges) -> BoundaryGraph:
+    g = Graph(nodes=list(left) + list(right), edges=edges)
+    return BoundaryGraph(graph=g, left=frozenset(left), right=frozenset(right))
+
+
+def brute_force_min_losers(bg: BoundaryGraph) -> int:
+    """Exhaustive minimum loser count (independent-set complement)."""
+    nodes = sorted(bg.nodes, key=repr)
+    best = len(nodes)
+    for k in range(len(nodes) + 1):
+        for winners in combinations(nodes, len(nodes) - k):
+            wset = set(winners)
+            if all(not (bg.graph.neighbors(w) & wset) for w in winners):
+                best = min(best, k)
+                return best  # first feasible k is minimal since k ascends
+    return best
+
+
+class TestBoundaryGraph:
+    def test_keeps_only_cross_edges(self):
+        g = Graph(edges=[(1, 2), (2, 3), (1, 3), (3, 4)])
+        # Fake cut: left {1,2}, right {3,4}, all boundary
+        from repro.core.dual_cut import GraphCut
+
+        cut = GraphCut(
+            left=frozenset({1, 2}),
+            right=frozenset({3, 4}),
+            boundary_left=frozenset({1, 2}),
+            boundary_right=frozenset({3}),
+            seed_u=1,
+            seed_v=4,
+        )
+        bg = boundary_graph(g, cut)
+        assert bg.graph.has_edge(2, 3) and bg.graph.has_edge(1, 3)
+        assert not bg.graph.has_edge(1, 2)  # intra-side edge dropped
+        assert bg.graph.is_bipartite()[0]
+
+    def test_side_of(self):
+        bg = make_boundary(["a"], ["b"], [("a", "b")])
+        assert bg.side_of("a") == "L"
+        assert bg.side_of("b") == "R"
+        with pytest.raises(KeyError):
+            bg.side_of("zz")
+
+    def test_trivial(self):
+        bg = make_boundary(["a"], ["b"], [])
+        assert bg.is_trivial()
+
+    def test_from_real_cut(self, figure4_hypergraph):
+        ig = intersection_graph(figure4_hypergraph)
+        cut = double_bfs_cut(ig.graph, "k", "a")
+        bg = boundary_graph(ig.graph, cut)
+        check_boundary_graph(ig, cut, bg)
+
+
+class TestCompleteCut:
+    def test_figure3_style_double_star(self):
+        """Two adjacent hubs with leaves: hubs lose, leaves win."""
+        left = ["u", "l1", "l2"]
+        right = ["v", "r1", "r2"]
+        edges = [("u", "v"), ("u", "r1"), ("u", "r2"), ("l1", "v"), ("l2", "v")]
+        bg = make_boundary(left, right, edges)
+        result = complete_cut(bg)
+        assert result.losers == frozenset({"u", "v"})
+        assert result.winners == frozenset({"l1", "l2", "r1", "r2"})
+        check_completion(bg, result)
+
+    def test_isolated_nodes_all_win(self):
+        bg = make_boundary(["a", "b"], ["c"], [])
+        result = complete_cut(bg)
+        assert result.num_losers == 0
+        assert result.winners == frozenset({"a", "b", "c"})
+
+    def test_single_edge(self):
+        bg = make_boundary(["a"], ["b"], [("a", "b")])
+        result = complete_cut(bg)
+        assert result.num_losers == 1
+        check_completion(bg, result)
+
+    def test_winners_on_correct_sides(self):
+        bg = make_boundary(["a", "b"], ["c", "d"], [("a", "c"), ("b", "d")])
+        result = complete_cut(bg)
+        assert result.winners_left <= frozenset({"a", "b"})
+        assert result.winners_right <= frozenset({"c", "d"})
+
+    def test_unknown_variant_rejected(self):
+        bg = make_boundary(["a"], ["b"], [("a", "b")])
+        with pytest.raises(CompletionError):
+            complete_cut(bg, variant="bogus")
+
+    def test_all_variants_produce_valid_completions(self):
+        rng = random.Random(0)
+        bg = make_boundary(
+            [("L", i) for i in range(5)],
+            [("R", i) for i in range(5)],
+            [(("L", i), ("R", (i * 3 + j) % 5)) for i in range(5) for j in range(2)],
+        )
+        for variant in VARIANTS:
+            result = complete_cut(bg, variant=variant, rng=rng)
+            check_completion(bg, result)
+
+    def test_order_records_winners(self):
+        bg = make_boundary(["a"], ["b", "c"], [("a", "b")])
+        result = complete_cut(bg)
+        assert set(result.order) == set(result.winners)
+
+
+class TestWithinOneTheorem:
+    """Greedy losers <= optimum + (#connected components of G')."""
+
+    @settings(max_examples=120)
+    @given(bipartite_graphs())
+    def test_greedy_near_optimal(self, data):
+        left, right, edges = data
+        bg = make_boundary(left, right, edges)
+        greedy = complete_cut(bg).num_losers
+        optimum = optimal_completion_size(bg)
+        num_components = len(bg.graph.connected_components())
+        assert optimum <= greedy <= optimum + num_components
+
+    @settings(max_examples=60)
+    @given(bipartite_graphs(max_side=4))
+    def test_konig_oracle_matches_brute_force(self, data):
+        left, right, edges = data
+        bg = make_boundary(left, right, edges)
+        assert optimal_completion_size(bg) == brute_force_min_losers(bg)
+
+    @settings(max_examples=60)
+    @given(bipartite_graphs())
+    def test_optimal_losers_form_vertex_cover(self, data):
+        left, right, edges = data
+        bg = make_boundary(left, right, edges)
+        losers = optimal_completion_losers(bg)
+        for u, v in bg.graph.edges():
+            assert u in losers or v in losers
+
+
+class TestWeightedCompletion:
+    def make_weighted_setup(self):
+        """Boundary edges over a small hypergraph with heavy module 9."""
+        h = Hypergraph(edges={"a": [1, 2], "b": [2, 3], "c": [3, 9], "d": [9, 4]})
+        h.set_vertex_weight(9, 10.0)
+        bg = make_boundary(["a", "c"], ["b", "d"], [("a", "b"), ("c", "b"), ("c", "d")])
+        return h, bg
+
+    def test_engineers_rule_valid(self):
+        h, bg = self.make_weighted_setup()
+        result = complete_cut_weighted(bg, h, 0.0, 0.0)
+        check_completion(bg, result)
+
+    def test_engineers_rule_prefers_lighter_side(self):
+        h, bg = self.make_weighted_setup()
+        # Start with the right side much heavier: first pick must be left.
+        result = complete_cut_weighted(bg, h, initial_left_weight=0.0, initial_right_weight=100.0)
+        assert result.order[0] in bg.left
+
+    def test_respects_preassigned_vertices(self):
+        h, bg = self.make_weighted_setup()
+        result = complete_cut_weighted(
+            bg, h, 5.0, 0.0, assigned={2: "L", 3: "L"}
+        )
+        check_completion(bg, result)
+
+    def test_weighted_matches_unweighted_loser_quality(self):
+        """Engineer's rule may cost a little cut but stays near greedy."""
+        rng = random.Random(2)
+        for trial in range(10):
+            r = random.Random(trial)
+            h = Hypergraph(vertices=range(12))
+            edge_names = []
+            for i in range(8):
+                name = f"e{i}"
+                h.add_edge(r.sample(range(12), 3), name=name)
+                edge_names.append(name)
+            left = edge_names[:4]
+            right = edge_names[4:]
+            edges = [
+                (a, b)
+                for a in left
+                for b in right
+                if h.edge_members(a) & h.edge_members(b)
+            ]
+            bg = make_boundary(left, right, edges)
+            unweighted = complete_cut(bg).num_losers
+            weighted = complete_cut_weighted(bg, h, 0.0, 0.0).num_losers
+            assert weighted <= len(bg.nodes)
+            assert weighted >= 0
+            # soft sanity: weighted never catastrophically worse
+            assert weighted <= unweighted + len(bg.nodes) // 2 + 1

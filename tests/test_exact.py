@@ -1,0 +1,90 @@
+"""Tests for the branch-and-bound exact min-cut solver."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.exact import ExactSolverError, branch_and_bound_min_cut
+from repro.core.hypergraph import Hypergraph
+from repro.core.validation import brute_force_min_cut
+from repro.generators.difficult import planted_bisection
+from tests.conftest import hypergraphs
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=30, deadline=None)
+    @given(hypergraphs(max_vertices=9, max_edges=12))
+    def test_unconstrained_matches(self, h):
+        bnb = branch_and_bound_min_cut(h)
+        exhaustive = brute_force_min_cut(h)
+        assert bnb.cutsize == exhaustive.cutsize
+
+    @settings(max_examples=20, deadline=None)
+    @given(hypergraphs(min_vertices=4, max_vertices=9, max_edges=12))
+    def test_bisection_matches(self, h):
+        bnb = branch_and_bound_min_cut(h, require_bisection=True)
+        exhaustive = brute_force_min_cut(h, require_bisection=True)
+        assert bnb.cutsize == exhaustive.cutsize
+        assert bnb.is_bisection()
+
+    @settings(max_examples=15, deadline=None)
+    @given(hypergraphs(min_vertices=5, max_vertices=9, max_edges=10))
+    def test_imbalance_constraint_matches(self, h):
+        bnb = branch_and_bound_min_cut(h, max_imbalance=2)
+        exhaustive = brute_force_min_cut(h, max_imbalance=2)
+        assert bnb.cutsize == exhaustive.cutsize
+        assert bnb.cardinality_imbalance <= 2
+
+
+class TestScaling:
+    def test_solves_beyond_brute_force_limit(self):
+        """24 vertices — past the exhaustive oracle's ceiling."""
+        inst = planted_bisection(24, 40, crossing_edges=2, seed=3)
+        result = branch_and_bound_min_cut(inst.hypergraph, require_bisection=True)
+        assert result.cutsize == 2
+
+    def test_finds_planted_optimum(self):
+        inst = planted_bisection(20, 34, crossing_edges=1, seed=1)
+        result = branch_and_bound_min_cut(inst.hypergraph, require_bisection=True)
+        assert result.cutsize == 1
+        assert result == inst.planted or result.cutsize == inst.planted.cutsize
+
+    def test_node_limit_enforced(self):
+        rng = random.Random(0)
+        h = Hypergraph(vertices=range(26))
+        for _ in range(60):
+            h.add_edge(rng.sample(range(26), 3))
+        with pytest.raises(ExactSolverError):
+            branch_and_bound_min_cut(h, node_limit=50)
+
+
+class TestValidation:
+    def test_too_small(self):
+        with pytest.raises(ExactSolverError):
+            branch_and_bound_min_cut(Hypergraph(vertices=[1]))
+
+    def test_too_large(self):
+        with pytest.raises(ExactSolverError):
+            branch_and_bound_min_cut(Hypergraph(vertices=range(40)))
+
+    def test_conflicting_constraints(self):
+        h = Hypergraph(vertices=range(4))
+        with pytest.raises(ExactSolverError):
+            branch_and_bound_min_cut(h, require_bisection=True, max_imbalance=2)
+
+    def test_negative_imbalance(self):
+        h = Hypergraph(vertices=range(4))
+        with pytest.raises(ExactSolverError):
+            branch_and_bound_min_cut(h, max_imbalance=-1)
+
+    def test_edgeless(self):
+        h = Hypergraph(vertices=range(6))
+        result = branch_and_bound_min_cut(h, require_bisection=True)
+        assert result.cutsize == 0
+        assert result.is_bisection()
+
+    def test_two_vertices(self):
+        h = Hypergraph(edges={"n": [1, 2]})
+        result = branch_and_bound_min_cut(h)
+        assert result.cutsize == 1

@@ -1,0 +1,200 @@
+"""Tests for the experiment harness (tiny parameters; shape checks only)."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    format_table,
+    run_boundary_experiment,
+    run_crossing_experiment,
+    run_diameter_experiment,
+    run_scaling_experiment,
+    run_variance_study,
+    run_completion_variant_ablation,
+    run_difficult_sweep,
+    run_filtering_ablation,
+    run_granularization_study,
+    run_multistart_ablation,
+    run_quotient_cut_study,
+    run_refinement_ablation,
+    run_table1,
+    run_table2,
+    run_weighted_balance_ablation,
+)
+
+
+class TestFormatTable:
+    def test_basic(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": float("nan")}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "2.500" in text
+        assert "-" in lines[-1]  # NaN renders as dash
+
+    def test_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_column_selection(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_precision(self):
+        text = format_table([{"x": 1.23456}], precision=1)
+        assert "1.2" in text and "1.23" not in text
+
+
+class TestTable1:
+    def test_shape(self):
+        rows = run_table1(num_modules=60, num_signals=120, runs=2, technologies=("pcb",), seed=0)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["technology"] == "pcb"
+        for k in (20, 14, 8):
+            value = row[f"crossing_k{k}"]
+            assert math.isnan(value) or 0 <= value <= 1
+
+    def test_large_signals_mostly_cross(self):
+        rows = run_table1(num_modules=80, num_signals=160, runs=3, technologies=("pcb",), seed=1)
+        value = rows[0]["crossing_k14"]
+        if not math.isnan(value):
+            assert value >= 0.5
+
+    def test_unknown_technology(self):
+        with pytest.raises(ValueError):
+            run_table1(technologies=("quantum",))
+
+
+class TestTable2:
+    def test_shape_and_ratio_rows(self):
+        rows = run_table2(instances=("Bd1",), alg1_starts=5, seed=0)
+        assert len(rows) == 3
+        assert rows[0]["instance"] == "Bd1"
+        assert rows[-2]["instance"] == "CPU-ratio-total"
+        assert rows[-1]["instance"] == "CPU-ratio-per-start"
+        assert rows[0]["alg1_cut"] >= 0
+        assert rows[-1]["sa_norm"] >= rows[-2]["sa_norm"]
+
+    def test_diff_row_has_optimum(self):
+        rows = run_table2(instances=("Diff1",), alg1_starts=10, seed=0)
+        assert rows[0]["optimum"] == 2
+        assert rows[0]["alg1_cut"] <= 3 * rows[0]["optimum"] + 2
+
+    def test_unknown_instance(self):
+        with pytest.raises(ValueError):
+            run_table2(instances=("Bd99",))
+
+
+class TestDifficultSweep:
+    def test_c_zero_alg1_always_wins(self):
+        rows = run_difficult_sweep(
+            num_vertices=60,
+            num_edges=90,
+            planted_cutsizes=(0,),
+            trials=3,
+            alg1_starts=5,
+            seed=0,
+        )
+        assert rows[0]["alg1_hit_rate"] == 1.0
+        assert rows[0]["alg1_mean_cut"] == 0.0
+
+    def test_random_never_competitive(self):
+        rows = run_difficult_sweep(
+            num_vertices=60,
+            num_edges=90,
+            planted_cutsizes=(1,),
+            trials=3,
+            alg1_starts=5,
+            seed=0,
+        )
+        assert rows[0]["random_mean_cut"] > rows[0]["alg1_mean_cut"]
+
+
+class TestAblations:
+    def test_multistart_monotone_best(self):
+        rows = run_multistart_ablation(start_counts=(1, 10), trials=2, seed=0)
+        assert rows[0]["num_starts"] == 1
+        assert rows[1]["best_cut"] <= rows[0]["worst_cut"]
+
+    def test_filtering_rows(self):
+        rows = run_filtering_ablation(thresholds=(None, 10), trials=1, seed=0)
+        assert rows[0]["threshold"] == "off"
+        assert rows[0]["ignored_edges"] == 0
+        assert rows[1]["ignored_edges"] >= 0
+        assert rows[1]["dual_nodes"] <= rows[0]["dual_nodes"]
+
+    def test_variant_rows(self):
+        rows = run_completion_variant_ablation(trials=1, num_starts=5, seed=0)
+        assert {r["variant"] for r in rows} == {
+            "min_degree",
+            "random_min_degree",
+            "min_loser_weight",
+        }
+
+    def test_weighted_balance_tradeoff(self):
+        rows = run_weighted_balance_ablation(instance="Bd1", trials=1, num_starts=5, seed=0)
+        plain, weighted = rows
+        assert weighted["engineers_rule"] is True
+        assert weighted["mean_weight_imbalance"] <= plain["mean_weight_imbalance"] + 0.25
+
+    def test_refinement_never_worse(self):
+        rows = run_refinement_ablation(instance="Bd1", trials=1, num_starts=5, seed=0)
+        raw, refined = rows
+        assert refined["mean_cut"] <= raw["mean_cut"]
+
+    def test_quotient_study_rows(self):
+        rows = run_quotient_cut_study(trials=1, num_starts=5, seed=0)
+        assert len(rows) == 3
+        for row in rows:
+            assert row["mean_quotient_cut"] >= 0
+
+    def test_granularization_rows(self):
+        rows = run_granularization_study(
+            num_modules=40, num_signals=70, trials=1, num_starts=5, seed=0
+        )
+        assert [r["pipeline"] for r in rows] == ["direct", "granularized"]
+        for row in rows:
+            assert 0 <= row["mean_weight_imbalance"] <= 1
+
+
+class TestVarianceStudy:
+    def test_rows_shape(self):
+        rows = run_variance_study(instance="Bd1", runs=3, seed=0)
+        methods = {row["method"] for row in rows}
+        assert methods == {"alg1_x1", "alg1_x50", "kl", "fm", "sa"}
+        for row in rows:
+            assert row["min_cut"] <= row["mean_cut"] <= row["max_cut"]
+            assert row["std_cut"] >= 0
+            assert row["runs"] == 3
+
+    def test_multistart_tightens(self):
+        rows = run_variance_study(instance="Bd1", runs=4, seed=1)
+        by = {row["method"]: row for row in rows}
+        assert by["alg1_x50"]["mean_cut"] <= by["alg1_x1"]["mean_cut"]
+
+
+class TestTheoremExperiments:
+    def test_diameter_rows(self):
+        rows = run_diameter_experiment(sizes=(30, 60), trials=2, seed=0)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["mean_bfs_depth"] <= row["mean_diameter"]
+            assert row["mean_gap"] >= 0
+
+    def test_boundary_rows(self):
+        rows = run_boundary_experiment(sizes=(40,), trials=2, seed=0)
+        kinds = {row["kind"] for row in rows}
+        assert kinds == {"random", "netlist"}
+
+    def test_crossing_rows(self):
+        rows = run_crossing_experiment(probe_sizes=(2, 8), trials=1, seed=0)
+        assert [row["edge_size"] for row in rows] == [2, 8]
+        for row in rows:
+            assert 0 <= row["predicted_1_minus_2^(1-k)"] <= 1
+
+    def test_scaling_rows_have_exponent_summary(self):
+        rows = run_scaling_experiment(sizes=(30, 60), seed=0)
+        assert rows[-1]["n_modules"] == "exponent"
+        assert len(rows) == 3

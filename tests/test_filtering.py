@@ -1,0 +1,68 @@
+"""Tests for large-edge filtering (Section 3)."""
+
+import pytest
+
+from repro.core.filtering import DEFAULT_EDGE_SIZE_THRESHOLD, filter_large_edges
+from repro.core.hypergraph import Hypergraph
+
+
+@pytest.fixture
+def mixed():
+    h = Hypergraph(
+        edges={
+            "tiny": [1, 2],
+            "small": [1, 2, 3],
+            "medium": list(range(8)),
+            "bus": list(range(15)),
+            "power": list(range(30)),
+        }
+    )
+    return h
+
+
+class TestFilter:
+    def test_default_threshold_is_ten(self):
+        assert DEFAULT_EDGE_SIZE_THRESHOLD == 10
+
+    def test_drops_only_large(self, mixed):
+        filtered, ignored = filter_large_edges(mixed, 10)
+        assert ignored == frozenset({"bus", "power"})
+        assert set(filtered.edge_names) == {"tiny", "small", "medium"}
+
+    def test_threshold_inclusive(self, mixed):
+        filtered, ignored = filter_large_edges(mixed, 8)
+        assert "medium" in ignored  # size 8 >= 8
+
+    def test_vertices_survive(self, mixed):
+        filtered, _ = filter_large_edges(mixed, 3)
+        assert filtered.num_vertices == mixed.num_vertices
+
+    def test_no_op_returns_same_object(self, mixed):
+        filtered, ignored = filter_large_edges(mixed, 100)
+        assert ignored == frozenset()
+        assert filtered is mixed  # no copy when nothing drops
+
+    def test_weights_preserved(self):
+        h = Hypergraph()
+        h.add_edge([1, 2], name="keep", weight=3.0)
+        h.add_edge(range(20), name="drop")
+        h.set_vertex_weight(1, 7.0)
+        filtered, _ = filter_large_edges(h, 10)
+        assert filtered.edge_weight("keep") == 3.0
+        assert filtered.vertex_weight(1) == 7.0
+
+    def test_threshold_below_two_rejected(self, mixed):
+        with pytest.raises(ValueError):
+            filter_large_edges(mixed, 1)
+
+    def test_filtered_edges_still_count_in_final_cutsize(self, mixed):
+        """Algorithm I evaluates against the original hypergraph."""
+        from repro.core.algorithm1 import algorithm1
+
+        result = algorithm1(mixed, seed=0, edge_size_threshold=10)
+        assert result.ignored_edges == frozenset({"bus", "power"})
+        # result's bipartition is over the original: crossing checks work
+        # for ignored edges too.
+        bp = result.bipartition
+        for name in result.ignored_edges:
+            bp.edge_crosses(name)  # must not raise

@@ -1,0 +1,253 @@
+"""Tests for the instance generators: random, difficult, netlists, suite."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.validation import brute_force_min_cut
+from repro.generators import (
+    SUITE,
+    TECHNOLOGY_PROFILES,
+    clustered_netlist,
+    difficult_cutsize,
+    disconnected_instance,
+    load_instance,
+    planted_bisection,
+    random_hypergraph,
+    random_k_uniform_hypergraph,
+    random_regular_graph,
+)
+
+
+class TestRandomHypergraph:
+    def test_respects_bounds(self):
+        h = random_hypergraph(50, 80, max_vertex_degree=3, max_edge_size=5, seed=0)
+        assert h.num_vertices == 50
+        assert h.max_vertex_degree <= 3
+        assert h.max_edge_size <= 5
+
+    def test_edge_target_met_when_capacity_allows(self):
+        h = random_hypergraph(100, 50, max_vertex_degree=4, seed=0)
+        assert h.num_edges == 50
+
+    def test_capacity_exhaustion_stops_early(self):
+        h = random_hypergraph(6, 1000, max_vertex_degree=2, max_edge_size=2, seed=0)
+        assert h.num_edges <= 6  # at most n*d/2 edges
+
+    def test_connect_flag(self):
+        h = random_hypergraph(30, 60, seed=1, connect=True)
+        assert h.is_connected()
+
+    def test_deterministic(self):
+        a = random_hypergraph(30, 40, seed=5)
+        b = random_hypergraph(30, 40, seed=5)
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_vertices=1, num_edges=1),
+            dict(num_vertices=10, num_edges=-1),
+            dict(num_vertices=10, num_edges=5, max_edge_size=1),
+            dict(num_vertices=10, num_edges=5, max_vertex_degree=0),
+        ],
+    )
+    def test_bad_args(self, kwargs):
+        with pytest.raises(ValueError):
+            random_hypergraph(**kwargs)
+
+
+class TestKUniform:
+    def test_sizes(self):
+        h = random_k_uniform_hypergraph(20, 15, k=4, seed=0)
+        assert h.num_edges == 15
+        assert all(h.edge_size(e) == 4 for e in h.edge_names)
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            random_k_uniform_hypergraph(5, 3, k=1)
+        with pytest.raises(ValueError):
+            random_k_uniform_hypergraph(5, 3, k=6)
+
+
+class TestRandomRegular:
+    def test_degrees(self):
+        g = random_regular_graph(20, 3, seed=0)
+        assert all(g.degree(v) == 3 for v in g.nodes)
+        assert g.num_edges == 30
+
+    def test_odd_product_rejected(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 3)
+
+    def test_degree_too_big(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(4, 4)
+
+    def test_simple_no_loops(self):
+        g = random_regular_graph(30, 4, seed=2)
+        for u, v in g.edges():
+            assert u != v
+
+
+class TestDifficult:
+    def test_planted_cut_exact(self):
+        inst = planted_bisection(60, 90, crossing_edges=3, seed=0)
+        assert inst.planted_cutsize == 3
+        assert inst.planted.cutsize == 3
+        assert inst.planted.is_bisection()
+
+    def test_edge_budget(self):
+        inst = planted_bisection(60, 90, crossing_edges=3, seed=0)
+        assert inst.hypergraph.num_edges <= 90
+        assert inst.hypergraph.num_edges >= 80  # near target
+
+    def test_planted_is_optimal_small(self):
+        """On a small dense instance, the planted cut is the true optimum."""
+        inst = planted_bisection(12, 30, crossing_edges=1, seed=4)
+        best = brute_force_min_cut(inst.hypergraph, require_bisection=True)
+        assert best.cutsize == 1
+
+    def test_c_zero_disconnected(self):
+        inst = disconnected_instance(40, 60, seed=0)
+        assert inst.planted_cutsize == 0
+        assert not inst.hypergraph.is_connected()
+        comps = inst.hypergraph.connected_components()
+        assert len(comps) == 2
+
+    def test_halves_connected(self):
+        inst = planted_bisection(40, 60, crossing_edges=2, seed=1)
+        left = inst.hypergraph.induced(inst.planted.left)
+        # drop planted edges restricted into the half
+        names = [n for n in left.edge_names if not (isinstance(n, tuple) and n[0] == "planted")]
+        assert left.restricted_to_edges(names).induced(inst.planted.left).is_connected()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_vertices=3, num_edges=5, crossing_edges=1),
+            dict(num_vertices=5, num_edges=5, crossing_edges=1),
+            dict(num_vertices=10, num_edges=5, crossing_edges=6),
+            dict(num_vertices=10, num_edges=5, crossing_edges=-1),
+            dict(num_vertices=10, num_edges=5, crossing_edges=1, max_edge_size=1),
+        ],
+    )
+    def test_bad_args(self, kwargs):
+        with pytest.raises(ValueError):
+            planted_bisection(**kwargs)
+
+    def test_difficult_cutsize_sublinear(self):
+        c100 = difficult_cutsize(100, 5)
+        c10000 = difficult_cutsize(10000, 5)
+        assert 1 <= c100 < c10000
+        assert c10000 < 10000 ** (1 - 1 / 5)  # strictly below n^(1-1/d)
+
+    def test_difficult_cutsize_tiny_n(self):
+        assert difficult_cutsize(2, 5) == 1
+
+
+class TestNetlists:
+    def test_counts(self):
+        h = clustered_netlist(103, 211, "pcb", seed=0)
+        assert h.num_vertices == 103
+        assert h.num_edges == 211
+
+    def test_every_net_at_least_two_pins(self):
+        h = clustered_netlist(80, 160, "hybrid", seed=1)
+        assert all(h.edge_size(e) >= 2 for e in h.edge_names)
+
+    def test_profiles_differ_in_tail(self):
+        """PCB netlists have more large nets than std-cell ones."""
+        rng = random.Random(7)
+        pcb = clustered_netlist(200, 400, "pcb", seed=rng)
+        std = clustered_netlist(200, 400, "std_cell", seed=rng)
+        pcb_large = sum(1 for e in pcb.edge_names if pcb.edge_size(e) >= 8)
+        std_large = sum(1 for e in std.edge_names if std.edge_size(e) >= 8)
+        assert pcb_large > std_large
+
+    def test_std_cell_weights_track_degree(self):
+        h = clustered_netlist(60, 120, "std_cell", seed=0)
+        heavy = max(h.vertices, key=h.vertex_weight)
+        light = min(h.vertices, key=h.vertex_weight)
+        assert h.vertex_degree(heavy) >= h.vertex_degree(light)
+
+    def test_pcb_weights_uniform(self):
+        h = clustered_netlist(60, 120, "pcb", seed=0)
+        assert all(h.vertex_weight(v) == 1.0 for v in h.vertices)
+
+    def test_connected_by_default(self):
+        h = clustered_netlist(300, 420, "std_cell", seed=5)
+        assert h.is_connected()
+
+    def test_ensure_connected_false_may_leave_islands(self):
+        h = clustered_netlist(300, 420, "std_cell", seed=5, ensure_connected=False)
+        assert h.num_edges == 420  # counts always honoured
+
+    def test_unknown_technology(self):
+        with pytest.raises(ValueError):
+            clustered_netlist(50, 80, "quantum")
+
+    def test_custom_profile(self):
+        from repro.generators.netlists import TechnologyProfile
+
+        profile = TechnologyProfile(name="custom", net_size_weights={2: 1})
+        h = clustered_netlist(30, 50, profile, seed=0, ensure_connected=False)
+        assert all(h.edge_size(e) == 2 for e in h.edge_names)
+
+    def test_bad_sizes(self):
+        with pytest.raises(ValueError):
+            clustered_netlist(2, 10)
+        with pytest.raises(ValueError):
+            clustered_netlist(10, 0)
+
+    def test_clustering_shrinks_cut(self):
+        """Clustered netlists cut far below random hypergraphs of the
+        same size — the structural property the generator exists for."""
+        from repro.baselines.random_cut import random_cut
+        from repro.core.algorithm1 import algorithm1
+
+        clustered = clustered_netlist(120, 200, "std_cell", seed=3)
+        cut = algorithm1(clustered, num_starts=10, seed=0).cutsize
+        rand = random_cut(clustered, num_starts=10, seed=0).cutsize
+        assert cut < 0.8 * rand  # clustering leaves a much cheaper cut
+
+
+class TestSuite:
+    def test_all_instances_load_with_paper_sizes(self):
+        for name, recipe in SUITE.items():
+            h, loaded_recipe, gt = load_instance(name)
+            assert loaded_recipe is recipe
+            assert h.num_vertices == recipe.num_modules
+            assert h.num_edges <= recipe.num_signals
+            assert h.num_edges >= recipe.num_signals - 10  # capacity slack
+            if recipe.kind == "difficult":
+                assert gt is not None
+                assert gt.planted_cutsize == recipe.planted_cutsize
+            else:
+                assert gt is None
+
+    def test_expected_names(self):
+        assert set(SUITE) == {
+            "Bd1", "Bd2", "Bd3", "IC1", "IC2", "Diff1", "Diff2", "Diff3",
+        }
+
+    def test_unknown_instance(self):
+        with pytest.raises(ValueError):
+            load_instance("Bd99")
+
+    def test_instances_reproducible(self):
+        a, _, _ = load_instance("Bd1")
+        b, _, _ = load_instance("Bd1")
+        assert a == b
+
+
+class TestProfilesRegistry:
+    def test_four_technologies(self):
+        assert set(TECHNOLOGY_PROFILES) == {"pcb", "std_cell", "gate_array", "hybrid"}
+
+    def test_net_size_weights_positive(self):
+        for profile in TECHNOLOGY_PROFILES.values():
+            assert all(w > 0 for w in profile.net_size_weights.values())
+            assert all(s >= 2 for s in profile.net_size_weights)

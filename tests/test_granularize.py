@@ -1,0 +1,117 @@
+"""Tests for module granularization (Section 5 extension)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.granularize import granularize, project_partition
+from repro.core.hypergraph import Hypergraph
+from repro.core.partition import Bipartition
+from tests.conftest import hypergraphs
+
+
+@pytest.fixture
+def weighted():
+    h = Hypergraph(edges={"n1": ["big", "s1"], "n2": ["big", "s2"], "n3": ["s1", "s2"]})
+    h.set_vertex_weight("big", 4.0)
+    return h
+
+
+class TestGranularize:
+    def test_heavy_module_split(self, weighted):
+        g = granularize(weighted, grain=1.0)
+        subs = g.submodules_of("big")
+        assert len(subs) == 4
+        assert all(g.hypergraph.vertex_weight(s) == pytest.approx(1.0) for s in subs)
+
+    def test_light_modules_pass_through(self, weighted):
+        g = granularize(weighted, grain=1.0)
+        assert "s1" in g.hypergraph
+        assert g.origin["s1"] == "s1"
+
+    def test_chain_edges_link_submodules(self, weighted):
+        g = granularize(weighted, grain=1.0, chain_weight=5.0)
+        chains = [n for n in g.hypergraph.edge_names if isinstance(n, tuple) and n[0] == "chain"]
+        assert len(chains) == 3  # 4 pieces -> 3 links
+        for name in chains:
+            assert g.hypergraph.edge_size(name) == 2
+            assert g.hypergraph.edge_weight(name) == 5.0
+
+    def test_total_weight_conserved(self, weighted):
+        g = granularize(weighted, grain=1.0)
+        assert g.hypergraph.total_vertex_weight == pytest.approx(
+            weighted.total_vertex_weight
+        )
+
+    def test_original_nets_preserved(self, weighted):
+        g = granularize(weighted, grain=1.0)
+        assert g.hypergraph.has_edge("n1")
+        # pins of n1 map back to {big, s1}
+        mapped = {g.origin[p] for p in g.hypergraph.edge_members("n1")}
+        assert mapped == {"big", "s1"}
+
+    def test_pins_distributed_round_robin(self):
+        h = Hypergraph(edges={f"n{i}": ["big", i] for i in range(4)})
+        h.set_vertex_weight("big", 2.0)
+        g = granularize(h, grain=1.0)
+        # big splits in 2; its 4 net pins spread over both halves
+        used = set()
+        for i in range(4):
+            for p in g.hypergraph.edge_members(f"n{i}"):
+                if g.origin[p] == "big":
+                    used.add(p)
+        assert len(used) == 2
+
+    def test_bad_grain_rejected(self, weighted):
+        with pytest.raises(ValueError):
+            granularize(weighted, grain=0)
+
+    @settings(max_examples=30)
+    @given(hypergraphs(weighted=True))
+    def test_weight_conservation_property(self, h):
+        g = granularize(h, grain=1.0)
+        assert g.hypergraph.total_vertex_weight == pytest.approx(h.total_vertex_weight)
+        # piece counts match ceil(w / grain)
+        for v in h.vertices:
+            expected = max(1, math.ceil(h.vertex_weight(v) / 1.0))
+            assert len(g.submodules_of(v)) == expected
+
+
+class TestProjection:
+    def test_round_trip_unsplit(self, weighted):
+        g = granularize(weighted, grain=10.0)  # nothing splits
+        bp = Bipartition(g.hypergraph, {"big"}, {"s1", "s2"})
+        back = project_partition(g, bp)
+        assert back.left == frozenset({"big"})
+
+    def test_majority_vote(self, weighted):
+        g = granularize(weighted, grain=1.0)
+        subs = g.submodules_of("big")
+        left = set(subs[:3]) | {"s1"}  # 3 of 4 big pieces left
+        right = (set(g.hypergraph.vertices) - left)
+        back = project_partition(g, Bipartition(g.hypergraph, left, right))
+        assert "big" in back.left
+
+    def test_projection_covers_all_modules(self, weighted):
+        g = granularize(weighted, grain=1.0)
+        from repro.core.algorithm1 import algorithm1
+
+        bp = algorithm1(g.hypergraph, num_starts=5, seed=0).bipartition
+        back = project_partition(g, bp)
+        assert back.left | back.right == set(weighted.vertices)
+
+    def test_degenerate_all_one_side_recovers(self):
+        """Majority vote sending every module left triggers the rebalance."""
+        h = Hypergraph(edges={"n": ["a", "b"]})
+        h.set_vertex_weight("a", 2.0)
+        h.set_vertex_weight("b", 2.0)
+        g = granularize(h, grain=1.0)  # a -> 2 pieces, b -> 2 pieces
+        a_pieces = g.submodules_of("a")
+        b_pieces = g.submodules_of("b")
+        # a: both pieces left; b: tie (1-1) -> also votes left.
+        left = set(a_pieces) | {b_pieces[0]}
+        right = {b_pieces[1]}
+        back = project_partition(g, Bipartition(g.hypergraph, left, right))
+        assert back.left and back.right
+        assert back.left | back.right == {"a", "b"}

@@ -1,0 +1,197 @@
+"""Unit tests for the plain Graph structure and its traversals."""
+
+import random
+
+import pytest
+
+from repro.core.graph import Graph, GraphError
+
+
+def path_graph(n: int) -> Graph:
+    return Graph(nodes=range(n), edges=[(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> Graph:
+    g = path_graph(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+
+    def test_nodes_and_edges(self):
+        g = Graph(nodes=[1, 2, 3], edges=[(1, 2)])
+        assert g.num_nodes == 3
+        assert g.num_edges == 1
+        assert g.has_edge(2, 1)
+
+    def test_weighted_nodes_mapping(self):
+        g = Graph(nodes={"a": 2.0, "b": 3.0})
+        assert g.node_weight("a") == 2.0
+
+    def test_add_edge_creates_nodes(self):
+        g = Graph()
+        g.add_edge("x", "y")
+        assert "x" in g and "y" in g
+
+    def test_parallel_edges_collapse(self):
+        g = Graph(edges=[(1, 2), (1, 2), (2, 1)])
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph().add_edge(1, 1)
+
+    def test_copy_independent(self):
+        g = path_graph(4)
+        c = g.copy()
+        c.add_edge(0, 3)
+        assert not g.has_edge(0, 3)
+
+
+class TestErrors:
+    def test_unknown_node_queries(self):
+        g = path_graph(3)
+        for fn in (g.neighbors, g.degree, g.node_weight, g.bfs_levels, g.remove_vertex):
+            with pytest.raises(GraphError):
+                fn(99)
+
+    def test_remove_missing_edge(self):
+        g = path_graph(3)
+        with pytest.raises(GraphError):
+            g.remove_edge(0, 2)
+
+    def test_induced_unknown(self):
+        with pytest.raises(GraphError):
+            path_graph(3).induced([0, 99])
+
+    def test_diameter_disconnected(self):
+        g = Graph(nodes=[1, 2])
+        with pytest.raises(GraphError):
+            g.diameter()
+
+    def test_diameter_empty(self):
+        with pytest.raises(GraphError):
+            Graph().diameter()
+
+    def test_min_degree_no_candidates(self):
+        with pytest.raises(GraphError):
+            Graph().min_degree_node()
+
+
+class TestMutation:
+    def test_remove_vertex_removes_incident_edges(self):
+        g = path_graph(3)
+        g.remove_vertex(1)
+        assert g.num_edges == 0
+        assert g.num_nodes == 2
+
+    def test_remove_edge(self):
+        g = path_graph(3)
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.num_edges == 1
+
+
+class TestTraversal:
+    def test_bfs_levels_path(self):
+        g = path_graph(5)
+        assert g.bfs_levels(0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_bfs_levels_partial_on_disconnected(self):
+        g = Graph(nodes=[1, 2, 3], edges=[(1, 2)])
+        assert set(g.bfs_levels(1)) == {1, 2}
+
+    def test_bfs_farthest(self):
+        g = path_graph(6)
+        far, depth = g.bfs_farthest(0)
+        assert far == 5
+        assert depth == 5
+
+    def test_bfs_farthest_random_tiebreak(self):
+        # star: all leaves at distance 1 — random rng must pick one of them
+        g = Graph(edges=[(0, i) for i in range(1, 6)])
+        rng = random.Random(0)
+        picks = {g.bfs_farthest(0, rng)[0] for _ in range(30)}
+        assert len(picks) > 1  # not always the same leaf
+        assert all(p != 0 for p in picks)
+
+    def test_eccentricity_and_diameter(self):
+        g = path_graph(7)
+        assert g.eccentricity(3) == 3
+        assert g.eccentricity(0) == 6
+        assert g.diameter() == 6
+
+    def test_cycle_diameter(self):
+        assert cycle_graph(8).diameter() == 4
+
+    def test_connected_components(self):
+        g = Graph(nodes=range(5), edges=[(0, 1), (2, 3)])
+        comps = sorted(g.connected_components(), key=len)
+        assert [len(c) for c in comps] == [1, 2, 2]
+        assert not g.is_connected()
+        assert Graph().is_connected()
+
+    def test_induced_subgraph(self):
+        g = cycle_graph(6)
+        sub = g.induced([0, 1, 2])
+        assert sub.num_edges == 2
+        assert sub.has_edge(0, 1) and sub.has_edge(1, 2)
+
+
+class TestBipartite:
+    def test_even_cycle_bipartite(self):
+        ok, coloring = cycle_graph(6).is_bipartite()
+        assert ok
+        for u, v in cycle_graph(6).edges():
+            assert coloring[u] != coloring[v]
+
+    def test_odd_cycle_not_bipartite(self):
+        ok, _ = cycle_graph(5).is_bipartite()
+        assert not ok
+
+    def test_disconnected_bipartite(self):
+        g = Graph(nodes=range(4), edges=[(0, 1), (2, 3)])
+        ok, coloring = g.is_bipartite()
+        assert ok
+        assert len(coloring) == 4
+
+    def test_empty_bipartite(self):
+        ok, coloring = Graph().is_bipartite()
+        assert ok
+        assert coloring == {}
+
+
+class TestMisc:
+    def test_min_degree_node(self):
+        g = Graph(edges=[(0, 1), (0, 2), (1, 2), (2, 3)])
+        assert g.min_degree_node() == 3
+
+    def test_min_degree_node_candidates(self):
+        g = Graph(edges=[(0, 1), (0, 2), (1, 2), (2, 3)])
+        assert g.min_degree_node(candidates=[0, 1]) in (0, 1)
+
+    def test_edges_iterator_unique(self):
+        g = cycle_graph(5)
+        edges = list(g.edges())
+        assert len(edges) == 5
+        canonical = {frozenset(e) for e in edges}
+        assert len(canonical) == 5
+
+    def test_max_degree(self):
+        g = Graph(edges=[(0, i) for i in range(1, 5)])
+        assert g.max_degree() == 4
+        assert Graph().max_degree() == 0
+
+    def test_to_networkx(self):
+        g = path_graph(4)
+        nxg = g.to_networkx()
+        assert nxg.number_of_nodes() == 4
+        assert nxg.number_of_edges() == 3
+
+    def test_repr(self):
+        assert "num_nodes=3" in repr(path_graph(3))

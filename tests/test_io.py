@@ -1,0 +1,219 @@
+"""Tests for netlist, hMETIS and JSON I/O."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.hypergraph import Hypergraph
+from repro.io import (
+    format_hgr,
+    format_netlist,
+    hypergraph_from_json,
+    hypergraph_to_json,
+    parse_hgr,
+    parse_netlist,
+    read_hgr,
+    read_json,
+    read_netlist,
+    write_hgr,
+    write_json,
+    write_netlist,
+)
+from repro.io.hgr import HgrFormatError
+from repro.io.netlist import NetlistFormatError
+from tests.conftest import FIGURE4_EDGES, hypergraphs
+
+PAPER_NETLIST_TEXT = """\
+# The paper's Figure 4 netlist (reconstruction)
+a: 1 2 11
+b: 2 4 11
+c: 1 3 4 12
+d: 2 4 12
+e: 2 11 12
+f: 1 11 12
+g: 3 5 6 7
+h: 3 5 8
+i: 5 8 9 10
+j: 6 7 9 10
+k: 6 8 10
+l: 7 9 10
+"""
+
+
+class TestNetlistFormat:
+    def test_parse_paper_netlist(self):
+        h = parse_netlist(PAPER_NETLIST_TEXT)
+        assert h.num_vertices == 12
+        assert h.num_edges == 12
+        assert h == Hypergraph(edges=FIGURE4_EDGES)
+
+    def test_round_trip(self):
+        h = Hypergraph(edges=FIGURE4_EDGES)
+        assert parse_netlist(format_netlist(h)) == h
+
+    def test_weights_round_trip(self):
+        h = Hypergraph()
+        h.add_edge([1, 2], name="clk", weight=4.0)
+        h.set_vertex_weight(1, 2.5)
+        h.add_vertex(99, 3.0)
+        back = parse_netlist(format_netlist(h))
+        assert back.edge_weight("clk") == 4.0
+        assert back.vertex_weight(1) == 2.5
+        assert back.vertex_weight(99) == 3.0
+
+    def test_comments_and_blanks(self):
+        h = parse_netlist("# header\n\na: 1 2  # trailing\n")
+        assert h.num_edges == 1
+
+    def test_string_modules(self):
+        h = parse_netlist("n: alu0 alu1 reg\n")
+        assert set(h.edge_members("n")) == {"alu0", "alu1", "reg"}
+
+    def test_signal_weight_suffix(self):
+        h = parse_netlist("clk(4.5): 1 2\n")
+        assert h.edge_weight("clk") == 4.5
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "no colon here\n",
+            "a:\n",
+            ": 1 2\n",
+            "a: 1\na: 2\n",
+            "clk(x): 1 2\n",
+            "%module 1 weight=abc\n",
+            "%module 1\n",
+        ],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(NetlistFormatError):
+            parse_netlist(text)
+
+    def test_error_mentions_line_number(self):
+        with pytest.raises(NetlistFormatError, match="line 3"):
+            parse_netlist("a: 1 2\nb: 2 3\nbroken\n")
+
+    def test_file_round_trip(self, tmp_path):
+        h = Hypergraph(edges=FIGURE4_EDGES)
+        path = tmp_path / "fig4.netlist"
+        write_netlist(h, path)
+        assert read_netlist(path) == h
+
+
+class TestHgrFormat:
+    def test_minimal(self):
+        h = parse_hgr("2 3\n1 2\n2 3\n")
+        assert h.num_vertices == 3
+        assert h.num_edges == 2
+        assert h.edge_members("net1") == frozenset({1, 2})
+
+    def test_comments_skipped(self):
+        h = parse_hgr("% hMETIS file\n1 2\n1 2\n")
+        assert h.num_edges == 1
+
+    def test_edge_weights(self):
+        h = parse_hgr("1 2 1\n3.5 1 2\n")
+        assert h.edge_weight("net1") == 3.5
+
+    def test_vertex_weights(self):
+        h = parse_hgr("1 2 10\n1 2\n4\n7\n")
+        assert h.vertex_weight(1) == 4.0
+        assert h.vertex_weight(2) == 7.0
+
+    def test_both_weights(self):
+        h = parse_hgr("1 2 11\n2 1 2\n4\n7\n")
+        assert h.edge_weight("net1") == 2.0
+        assert h.vertex_weight(2) == 7.0
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "abc def\n",
+            "1 2 99\n1 2\n",
+            "2 2\n1 2\n",  # missing second edge line
+            "1 2\n1 5\n",  # pin out of range
+            "1 2\n\n",  # blank edge line collapses -> missing
+            "1 2 10\n1 2\nxyz\n",  # bad vertex weight
+            "1 2 1\n2\n",  # weight but no pin... weight=2, no pins
+        ],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(HgrFormatError):
+            parse_hgr(text)
+
+    def test_round_trip_plain(self):
+        h = Hypergraph(edges=[[1, 2], [2, 3, 4]])
+        text, index = format_hgr(h)
+        back = parse_hgr(text)
+        assert back.num_edges == h.num_edges
+        assert back.num_vertices == h.num_vertices
+        # structure preserved under the index mapping
+        for name, members in h.edges.items():
+            mapped = frozenset(index[v] for v in members)
+            assert mapped in back.edges.values()
+
+    def test_round_trip_weighted(self):
+        h = Hypergraph()
+        h.add_edge([1, 2], name="x", weight=2.5)
+        h.set_vertex_weight(1, 3.0)
+        text, index = format_hgr(h)
+        assert text.splitlines()[0].endswith("11")
+        back = parse_hgr(text)
+        assert back.edge_weight("net1") == 2.5
+        assert back.vertex_weight(index[1]) == 3.0
+
+    def test_string_labels_mapped(self):
+        h = Hypergraph(edges={"n": ["alu", "reg"]})
+        text, index = format_hgr(h)
+        assert set(index.values()) == {1, 2}
+        back = parse_hgr(text)
+        assert back.num_vertices == 2
+
+    def test_file_round_trip(self, tmp_path):
+        h = Hypergraph(edges=[[1, 2], [2, 3]])
+        path = tmp_path / "test.hgr"
+        index = write_hgr(h, path)
+        back = read_hgr(path)
+        assert back.num_edges == 2
+        assert index[1] in back
+
+
+class TestJsonFormat:
+    def test_round_trip(self):
+        h = Hypergraph(edges=FIGURE4_EDGES)
+        assert hypergraph_from_json(hypergraph_to_json(h)) == h
+
+    def test_weights_and_names(self):
+        h = Hypergraph()
+        h.add_edge([1, 2], name="clk", weight=4.0)
+        h.set_vertex_weight(1, 2.5)
+        back = hypergraph_from_json(hypergraph_to_json(h))
+        assert back == h
+
+    def test_tuple_labels(self):
+        h = Hypergraph()
+        h.add_edge([("mod", 1), ("mod", 2)], name=("chain", "m", 0))
+        back = hypergraph_from_json(hypergraph_to_json(h))
+        assert back == h
+        assert back.has_edge(("chain", "m", 0))
+
+    def test_bad_payload(self):
+        with pytest.raises(ValueError):
+            hypergraph_from_json("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            hypergraph_from_json('{"vertices": []}')
+
+    def test_file_round_trip(self, tmp_path):
+        h = Hypergraph(edges=FIGURE4_EDGES)
+        path = tmp_path / "h.json"
+        write_json(h, path)
+        assert read_json(path) == h
+
+    @settings(max_examples=25)
+    @given(hypergraphs(weighted=True))
+    def test_property_round_trip(self, h):
+        back = hypergraph_from_json(hypergraph_to_json(h))
+        assert back.num_vertices == h.num_vertices
+        assert back.edges == h.edges
+        for v in h.vertices:
+            assert back.vertex_weight(v) == pytest.approx(h.vertex_weight(v))

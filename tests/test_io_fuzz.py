@@ -1,0 +1,86 @@
+"""Fuzz-style robustness tests for the file-format parsers.
+
+The parsers must never crash with anything other than their documented
+format errors — arbitrary text in, clean diagnostics out.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io.hgr import HgrFormatError, parse_hgr
+from repro.io.json_io import hypergraph_from_json
+from repro.io.netlist import NetlistFormatError, parse_netlist
+from repro.io.parts import PartFormatError, parse_parts
+from repro.core.hypergraph import Hypergraph
+
+printable_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=200
+)
+lines = st.lists(printable_text, max_size=10).map("\n".join)
+
+
+class TestNetlistFuzz:
+    @settings(max_examples=150)
+    @given(lines)
+    def test_never_crashes(self, text):
+        try:
+            h = parse_netlist(text)
+        except NetlistFormatError:
+            return
+        h.validate()  # anything accepted must be structurally sound
+
+    @settings(max_examples=60)
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 50)), min_size=1, max_size=20))
+    def test_generated_netlists_always_parse(self, pairs):
+        text = "\n".join(f"n{i}: {a} {b}" for i, (a, b) in enumerate(pairs))
+        h = parse_netlist(text)
+        assert h.num_edges == len(pairs)
+
+
+class TestHgrFuzz:
+    @settings(max_examples=150)
+    @given(lines)
+    def test_never_crashes(self, text):
+        try:
+            h = parse_hgr(text)
+        except HgrFormatError:
+            return
+        h.validate()
+
+    @settings(max_examples=40)
+    @given(
+        st.integers(1, 6),
+        st.lists(
+            st.lists(st.integers(1, 6), min_size=1, max_size=4), min_size=1, max_size=8
+        ),
+    )
+    def test_wellformed_always_parse(self, n, edges):
+        clipped = [[min(p, n) for p in pins] for pins in edges]
+        body = "\n".join(" ".join(map(str, pins)) for pins in clipped)
+        text = f"{len(clipped)} {n}\n{body}\n"
+        h = parse_hgr(text)
+        assert h.num_edges == len(clipped)
+        assert h.num_vertices == n
+
+
+class TestJsonFuzz:
+    @settings(max_examples=100)
+    @given(printable_text)
+    def test_never_crashes(self, text):
+        try:
+            hypergraph_from_json(text)
+        except (ValueError, TypeError, KeyError):
+            return
+
+
+class TestPartsFuzz:
+    @settings(max_examples=100)
+    @given(lines)
+    def test_never_crashes(self, text):
+        h = Hypergraph(vertices=range(4))
+        try:
+            blocks = parse_parts(text, h)
+        except PartFormatError:
+            return
+        assert set().union(*blocks) == set(h.vertices)

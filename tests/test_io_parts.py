@@ -1,0 +1,92 @@
+"""Tests for hMETIS-style .part partition files."""
+
+import pytest
+
+from repro.core.hypergraph import Hypergraph
+from repro.core.kway import recursive_bisection
+from repro.core.partition import Bipartition
+from repro.io.parts import (
+    PartFormatError,
+    format_parts,
+    parse_parts,
+    read_parts,
+    write_parts,
+)
+
+
+@pytest.fixture
+def square():
+    return Hypergraph(edges={"a": [1, 2], "b": [2, 3], "c": [3, 4], "d": [4, 1]})
+
+
+class TestFormat:
+    def test_bipartition_round_trip(self, square):
+        bp = Bipartition(square, {1, 2}, {3, 4})
+        text = format_parts(bp)
+        blocks = parse_parts(text, square)
+        assert blocks == [{1, 2}, {3, 4}]
+
+    def test_explicit_order(self, square):
+        bp = Bipartition(square, {1, 2}, {3, 4})
+        text = format_parts(bp, order=[4, 3, 2, 1])
+        assert text.splitlines() == ["1", "1", "0", "0"]
+        blocks = parse_parts(text, square, order=[4, 3, 2, 1])
+        assert blocks == [{1, 2}, {3, 4}]
+
+    def test_kway_round_trip(self, square):
+        kp = recursive_bisection(square, 4, num_starts=1, seed=0)
+        blocks = parse_parts(format_parts(kp), square)
+        assert len(blocks) == 4
+        assert set().union(*blocks) == {1, 2, 3, 4}
+
+    def test_bad_order_rejected(self, square):
+        bp = Bipartition(square, {1, 2}, {3, 4})
+        with pytest.raises(PartFormatError):
+            format_parts(bp, order=[1, 2, 3])
+
+
+class TestParse:
+    def test_wrong_line_count(self, square):
+        with pytest.raises(PartFormatError):
+            parse_parts("0\n1\n", square)
+
+    def test_non_integer(self, square):
+        with pytest.raises(PartFormatError):
+            parse_parts("0\nx\n0\n1\n", square)
+
+    def test_negative_id(self, square):
+        with pytest.raises(PartFormatError):
+            parse_parts("0\n-1\n0\n1\n", square)
+
+    def test_gap_in_ids(self, square):
+        with pytest.raises(PartFormatError):
+            parse_parts("0\n0\n2\n2\n", square)
+
+    def test_blank_lines_ignored(self, square):
+        blocks = parse_parts("0\n\n0\n1\n1\n\n", square)
+        assert len(blocks) == 2
+
+
+class TestFiles:
+    def test_file_round_trip(self, square, tmp_path):
+        bp = Bipartition(square, {1, 3}, {2, 4})
+        path = tmp_path / "cut.part"
+        write_parts(bp, path)
+        blocks = read_parts(path, square)
+        assert blocks == [{1, 3}, {2, 4}]
+
+    def test_interop_with_hgr(self, tmp_path):
+        """The canonical flow: .hgr in, partition, .part out, verify."""
+        from repro.core.algorithm1 import algorithm1
+        from repro.io import read_hgr, write_hgr
+        from repro.metrics.cut import cutsize
+
+        h = Hypergraph(edges=[[1, 2], [2, 3], [3, 4], [4, 5], [5, 6]])
+        hgr_path = tmp_path / "chain.hgr"
+        write_hgr(h, hgr_path)
+        loaded = read_hgr(hgr_path)
+        bp = algorithm1(loaded, num_starts=5, seed=0).bipartition
+        part_path = tmp_path / "chain.part"
+        write_parts(bp, part_path)
+        blocks = read_parts(part_path, loaded)
+        assert cutsize(loaded, blocks[0]) == bp.cutsize

@@ -1,0 +1,123 @@
+"""Tests for k-way partitioning by recursive bisection."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hypergraph import Hypergraph
+from repro.core.kway import KWayError, KWayPartition, recursive_bisection
+from repro.generators.netlists import clustered_netlist
+from tests.conftest import hypergraphs
+
+
+@pytest.fixture
+def netlist():
+    return clustered_netlist(48, 90, "std_cell", seed=21)
+
+
+class TestKWayPartition:
+    def make(self, blocks):
+        vertices = [v for block in blocks for v in block]
+        h = Hypergraph(vertices=vertices)
+        h.add_edge(vertices[:3], name="span3")
+        h.add_edge(vertices[:2], name="pair")
+        return KWayPartition(hypergraph=h, blocks=tuple(frozenset(b) for b in blocks))
+
+    def test_objectives(self):
+        kp = self.make([["a"], ["b"], ["c", "d"]])
+        # span3 = {a,b,c} touches 3 blocks; pair = {a,b} touches 2.
+        assert kp.blocks_touched("span3") == 3
+        assert kp.cut_nets == frozenset({"span3", "pair"})
+        assert kp.cutsize == 2
+        assert kp.sum_external_degrees == 5
+        assert kp.connectivity == 3  # (3-1) + (2-1)
+
+    def test_block_of(self):
+        kp = self.make([["a"], ["b"], ["c", "d"]])
+        assert kp.block_of("a") == 0
+        assert kp.block_of("d") == 2
+        with pytest.raises(KWayError):
+            kp.block_of("zz")
+
+    def test_invalid_blocks(self):
+        h = Hypergraph(vertices=["a", "b"])
+        with pytest.raises(KWayError):
+            KWayPartition(h, (frozenset({"a"}), frozenset()))
+        with pytest.raises(KWayError):
+            KWayPartition(h, (frozenset({"a"}), frozenset({"a", "b"})))
+        with pytest.raises(KWayError):
+            KWayPartition(h, (frozenset({"a"}),))
+
+    def test_weights_and_imbalance(self):
+        h = Hypergraph(vertices=["a", "b", "c"])
+        h.set_vertex_weight("a", 4.0)
+        kp = KWayPartition(h, (frozenset({"a"}), frozenset({"b", "c"})))
+        assert kp.block_weights() == [4.0, 2.0]
+        assert kp.weight_imbalance_fraction == pytest.approx((4 - 3) / 3)
+
+
+class TestRecursiveBisection:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 6, 8])
+    def test_valid_partition(self, netlist, k):
+        kp = recursive_bisection(netlist, k, seed=0)
+        assert kp.k == k
+        assert set().union(*kp.blocks) == set(netlist.vertices)
+
+    def test_k1_is_everything(self, netlist):
+        kp = recursive_bisection(netlist, 1, seed=0)
+        assert kp.cutsize == 0
+        assert kp.connectivity == 0
+
+    def test_balance(self, netlist):
+        kp = recursive_bisection(netlist, 4, seed=0)
+        sizes = [len(b) for b in kp.blocks]
+        assert max(sizes) - min(sizes) <= max(4, 0.5 * (48 / 4))
+
+    def test_non_power_of_two(self, netlist):
+        kp = recursive_bisection(netlist, 3, seed=0)
+        sizes = sorted(len(b) for b in kp.blocks)
+        assert sum(sizes) == 48
+        assert sizes[0] >= 48 // 3 - 8
+
+    def test_k_equals_n(self):
+        h = Hypergraph(edges={"n": [1, 2], "m": [2, 3]})
+        kp = recursive_bisection(h, 3, seed=0)
+        assert all(len(b) == 1 for b in kp.blocks)
+        assert kp.cutsize == 2
+
+    def test_connectivity_at_least_cutsize(self, netlist):
+        kp = recursive_bisection(netlist, 4, seed=0)
+        assert kp.connectivity >= kp.cutsize
+        assert kp.sum_external_degrees >= 2 * kp.cutsize
+
+    def test_more_blocks_cut_no_fewer_nets(self, netlist):
+        cuts = [
+            recursive_bisection(netlist, k, seed=0).cutsize for k in (2, 4, 8)
+        ]
+        assert cuts[0] <= cuts[1] + 4
+        assert cuts[1] <= cuts[2] + 4
+
+    def test_custom_bisector(self, netlist):
+        def halver(sub, rng):
+            ordered = sorted(sub.vertices, key=repr)
+            half = len(ordered) // 2
+            return set(ordered[:half]), set(ordered[half:])
+
+        kp = recursive_bisection(netlist, 4, bisector=halver, seed=0)
+        assert kp.k == 4
+
+    def test_errors(self, netlist):
+        with pytest.raises(KWayError):
+            recursive_bisection(netlist, 0)
+        with pytest.raises(KWayError):
+            recursive_bisection(Hypergraph(vertices=[1, 2]), 3)
+
+    @settings(max_examples=20, deadline=None)
+    @given(hypergraphs(min_vertices=6, max_vertices=12), st.integers(2, 4))
+    def test_property_valid(self, h, k):
+        kp = recursive_bisection(h, k, num_starts=2, seed=0)
+        assert kp.k == k
+        assert set().union(*kp.blocks) == set(h.vertices)
+        assert sum(len(b) for b in kp.blocks) == h.num_vertices

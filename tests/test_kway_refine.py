@@ -1,0 +1,68 @@
+"""Tests for pairwise FM refinement of k-way partitions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hypergraph import Hypergraph
+from repro.core.kway import KWayPartition, recursive_bisection
+from repro.core.kway_refine import refine_kway
+from repro.generators.netlists import clustered_netlist
+from tests.conftest import hypergraphs
+
+
+@pytest.fixture
+def netlist():
+    return clustered_netlist(60, 110, "std_cell", seed=51)
+
+
+class TestRefineKway:
+    def test_never_worse(self, netlist):
+        start = recursive_bisection(netlist, 4, num_starts=2, seed=0)
+        refined = refine_kway(start, seed=0)
+        assert refined.connectivity <= start.connectivity
+        assert refined.k == start.k
+
+    def test_preserves_vertex_cover(self, netlist):
+        start = recursive_bisection(netlist, 3, num_starts=2, seed=0)
+        refined = refine_kway(start, seed=0)
+        assert set().union(*refined.blocks) == set(netlist.vertices)
+
+    def test_often_improves_weak_start(self):
+        """A deliberately bad start (sorted-order chop) leaves big slack."""
+        improvements = 0
+        for seed in range(4):
+            h = clustered_netlist(48, 90, "std_cell", seed=seed + 60)
+            vertices = sorted(h.vertices)
+            chop = [frozenset(vertices[i::4]) for i in range(4)]  # interleaved!
+            start = KWayPartition(hypergraph=h, blocks=tuple(chop))
+            refined = refine_kway(start, sweeps=3, seed=seed)
+            if refined.connectivity < start.connectivity:
+                improvements += 1
+        assert improvements >= 3
+
+    def test_zero_sweeps_noop(self, netlist):
+        start = recursive_bisection(netlist, 4, num_starts=2, seed=0)
+        refined = refine_kway(start, sweeps=0, seed=0)
+        assert refined is start
+
+    def test_negative_sweeps_rejected(self, netlist):
+        start = recursive_bisection(netlist, 2, num_starts=1, seed=0)
+        with pytest.raises(ValueError):
+            refine_kway(start, sweeps=-1)
+
+    def test_two_blocks_equals_fm_refine_quality(self, netlist):
+        start = recursive_bisection(netlist, 2, num_starts=2, seed=0)
+        refined = refine_kway(start, seed=0)
+        assert refined.cutsize <= start.cutsize
+
+    @settings(max_examples=15, deadline=None)
+    @given(hypergraphs(min_vertices=8, max_vertices=14), st.integers(2, 4))
+    def test_property_monotone_and_valid(self, h, k):
+        if h.num_vertices < k:
+            return
+        start = recursive_bisection(h, k, num_starts=1, seed=0)
+        refined = refine_kway(start, seed=0)
+        assert refined.connectivity <= start.connectivity
+        assert set().union(*refined.blocks) == set(h.vertices)
+        assert all(refined.blocks)

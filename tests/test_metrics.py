@@ -1,0 +1,133 @@
+"""Tests for the metrics package (cut, balance, quotient)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.hypergraph import Hypergraph
+from repro.core.partition import Bipartition
+from repro.metrics import (
+    cardinality_imbalance,
+    crossing_edges,
+    crossing_fraction_by_size,
+    cutsize,
+    is_bisection,
+    quotient_cut,
+    ratio_cut,
+    satisfies_r_bipartition,
+    scaled_cost,
+    weight_imbalance,
+    weight_imbalance_fraction,
+    weighted_cutsize,
+)
+from repro.metrics.balance import within_weight_tolerance
+from tests.conftest import hypergraphs
+
+
+@pytest.fixture
+def square():
+    return Hypergraph(
+        edges={"e12": [1, 2], "e23": [2, 3], "e34": [3, 4], "e41": [4, 1]}
+    )
+
+
+class TestCutMetrics:
+    def test_cutsize(self, square):
+        assert cutsize(square, {1, 2}) == 2
+        assert cutsize(square, {1, 3}) == 4
+
+    def test_crossing_edges(self, square):
+        assert crossing_edges(square, {1, 2}) == frozenset({"e23", "e41"})
+
+    def test_weighted_cutsize(self):
+        h = Hypergraph()
+        h.add_edge([1, 2], name="a", weight=3.0)
+        h.add_edge([2, 3], name="b", weight=0.5)
+        assert weighted_cutsize(h, {1}) == 3.0
+        assert weighted_cutsize(h, {1, 2}) == 0.5
+
+    def test_accepts_any_iterable(self, square):
+        assert cutsize(square, frozenset({1, 2})) == cutsize(square, {1, 2})
+
+    def test_crossing_fraction_by_size(self):
+        h = Hypergraph(
+            edges={"small": [1, 2], "big": list(range(1, 11)), "big2": list(range(5, 15))}
+        )
+        bp = Bipartition(h, set(range(1, 8)), set(range(8, 15)))
+        fractions = crossing_fraction_by_size(bp, thresholds=(10, 2))
+        assert fractions[10] == 1.0  # both 10-pin edges cross
+        assert 0 < fractions[2] <= 1.0
+
+    def test_crossing_fraction_nan_when_absent(self, square):
+        bp = Bipartition(square, {1, 2}, {3, 4})
+        fractions = crossing_fraction_by_size(bp, thresholds=(20,))
+        assert math.isnan(fractions[20])
+
+
+class TestBalanceMetrics:
+    def test_cardinality(self, square):
+        assert cardinality_imbalance(square, {1}) == 2
+        assert is_bisection(square, {1, 2})
+        assert not is_bisection(square, {1})
+
+    def test_r_bipartition(self, square):
+        assert satisfies_r_bipartition(square, {1}, 2)
+        assert not satisfies_r_bipartition(square, {1}, 1)
+        with pytest.raises(ValueError):
+            satisfies_r_bipartition(square, {1}, -1)
+
+    def test_weight_imbalance(self):
+        h = Hypergraph(vertices=[1, 2, 3])
+        h.set_vertex_weight(1, 5.0)
+        assert weight_imbalance(h, {1}) == 3.0
+        assert weight_imbalance_fraction(h, {1}) == pytest.approx(3.0 / 7.0)
+
+    def test_weight_fraction_empty(self):
+        assert weight_imbalance_fraction(Hypergraph(), set()) == 0.0
+
+    def test_within_weight_tolerance(self):
+        h = Hypergraph(vertices=range(10))
+        assert within_weight_tolerance(h, set(range(5)), 0.0)
+        assert within_weight_tolerance(h, set(range(6)), 0.2)
+        assert not within_weight_tolerance(h, set(range(8)), 0.2)
+        with pytest.raises(ValueError):
+            within_weight_tolerance(h, set(), -1)
+
+
+class TestQuotientMetrics:
+    def test_quotient_cut(self, square):
+        assert quotient_cut(square, {1}) == 2.0
+        assert quotient_cut(square, {1, 2}) == 1.0
+
+    def test_ratio_cut(self, square):
+        assert ratio_cut(square, {1, 2}) == pytest.approx(0.5)
+
+    def test_degenerate_infinite(self, square):
+        assert quotient_cut(square, set()) == float("inf")
+        assert ratio_cut(square, {1, 2, 3, 4}) == float("inf")
+
+    def test_scaled_cost(self):
+        h = Hypergraph()
+        h.add_edge([1, 2], name="a", weight=2.0)
+        assert scaled_cost(h, {1}) == pytest.approx(2.0 / (1.0 * 1.0))
+        assert scaled_cost(h, set()) == float("inf")
+
+
+class TestConsistencyWithBipartition:
+    @settings(max_examples=30)
+    @given(hypergraphs(weighted=True))
+    def test_free_functions_match_class(self, h):
+        vertices = sorted(h.vertices, key=repr)
+        left = set(vertices[: max(1, len(vertices) // 2)])
+        right = set(vertices) - left
+        if not right:
+            return
+        bp = Bipartition(h, left, right)
+        assert cutsize(h, left) == bp.cutsize
+        assert weighted_cutsize(h, left) == pytest.approx(bp.weighted_cutsize)
+        assert crossing_edges(h, left) == bp.crossing_edges
+        assert cardinality_imbalance(h, left) == bp.cardinality_imbalance
+        assert weight_imbalance(h, left) == pytest.approx(bp.weight_imbalance)
+        assert quotient_cut(h, left) == pytest.approx(bp.quotient_cut)
+        assert ratio_cut(h, left) == pytest.approx(bp.ratio_cut)

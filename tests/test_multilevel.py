@@ -1,0 +1,133 @@
+"""Tests for the multilevel partitioner and its coarsening pass."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.multilevel import CoarseLevel, coarsen_once, multilevel_bipartition
+from repro.core.hypergraph import Hypergraph
+from repro.core.validation import brute_force_min_cut, check_bipartition
+from repro.generators.difficult import planted_bisection
+from repro.generators.netlists import clustered_netlist
+from tests.conftest import hypergraphs
+
+
+@pytest.fixture
+def netlist():
+    return clustered_netlist(80, 150, "std_cell", seed=31)
+
+
+class TestCoarsenOnce:
+    def test_shrinks(self, netlist):
+        level = coarsen_once(netlist, random.Random(0), max_vertex_weight=1e9)
+        assert level.hypergraph.num_vertices < netlist.num_vertices
+        assert level.hypergraph.num_vertices >= netlist.num_vertices // 2
+
+    def test_vertex_map_total(self, netlist):
+        level = coarsen_once(netlist, random.Random(0), max_vertex_weight=1e9)
+        assert set(level.vertex_map) == set(netlist.vertices)
+        assert set(level.vertex_map.values()) == set(level.hypergraph.vertices)
+
+    def test_weight_conserved(self, netlist):
+        level = coarsen_once(netlist, random.Random(0), max_vertex_weight=1e9)
+        assert level.hypergraph.total_vertex_weight == pytest.approx(
+            netlist.total_vertex_weight
+        )
+
+    def test_weight_cap_respected(self):
+        h = Hypergraph(edges={"n": ["a", "b"]})
+        h.set_vertex_weight("a", 10.0)
+        h.set_vertex_weight("b", 10.0)
+        level = coarsen_once(h, random.Random(0), max_vertex_weight=15.0)
+        assert level.hypergraph.num_vertices == 2  # contraction refused
+
+    def test_contraction_merges_matched_pair(self):
+        # Path a-b-c-d: a greedy maximal matching contracts either two
+        # pairs (-> 2 coarse vertices) or the middle pair (-> 3).
+        h = Hypergraph(edges={"n": ["a", "b"], "m": ["b", "c"], "o": ["c", "d"]})
+        level = coarsen_once(h, random.Random(0), max_vertex_weight=1e9)
+        assert 2 <= level.hypergraph.num_vertices <= 3
+
+    def test_swallowed_nets_dropped(self):
+        h = Hypergraph(edges={"pair": ["a", "b"]})
+        level = coarsen_once(h, random.Random(0), max_vertex_weight=1e9)
+        assert level.hypergraph.num_vertices == 1
+        assert level.hypergraph.num_edges == 0
+
+    def test_parallel_nets_merge_weights(self):
+        h = Hypergraph()
+        h.add_edge(["a", "b"], name="x", weight=1.0)
+        h.add_edge(["a", "c"], name="y", weight=2.0)
+        h.add_edge(["b", "c"], name="z", weight=4.0)
+        level = coarsen_once(h, random.Random(0), max_vertex_weight=1e9)
+        if level.hypergraph.num_vertices == 2:
+            # two of the three nets became parallel and merged
+            total = sum(level.hypergraph.edge_weight(e) for e in level.hypergraph.edge_names)
+            assert total == pytest.approx(7.0) or total == pytest.approx(3.0) or total == pytest.approx(6.0) or total == pytest.approx(5.0)
+            assert level.hypergraph.num_edges == 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(hypergraphs(weighted=True))
+    def test_cut_preserved_under_projection(self, h):
+        """Any coarse cut projects to a fine cut of identical cutsize on
+        surviving nets: contraction never *creates* crossings."""
+        level = coarsen_once(h, random.Random(0), max_vertex_weight=1e9)
+        coarse = level.hypergraph
+        if coarse.num_vertices < 2:
+            return
+        vertices = sorted(coarse.vertices)
+        left_coarse = set(vertices[: len(vertices) // 2]) or {vertices[0]}
+        fine_left = {v for v in h.vertices if level.vertex_map[v] in left_coarse}
+        from repro.metrics.cut import weighted_cutsize
+
+        coarse_cut = weighted_cutsize(coarse, left_coarse)
+        fine_cut = weighted_cutsize(h, fine_left)
+        assert fine_cut == pytest.approx(coarse_cut)
+
+
+class TestMultilevel:
+    def test_valid_result(self, netlist):
+        result = multilevel_bipartition(netlist, seed=0)
+        check_bipartition(result.bipartition)
+        assert result.bipartition.weight_imbalance_fraction <= 0.2
+
+    def test_deterministic(self, netlist):
+        a = multilevel_bipartition(netlist, seed=5)
+        b = multilevel_bipartition(netlist, seed=5)
+        assert a.cutsize == b.cutsize
+
+    def test_competitive_with_flat_fm(self, netlist):
+        from repro.baselines.fiduccia_mattheyses import fiduccia_mattheyses
+
+        ml = multilevel_bipartition(netlist, seed=0)
+        fm = fiduccia_mattheyses(netlist, seed=0)
+        assert ml.cutsize <= fm.cutsize * 1.3 + 2
+
+    def test_finds_planted_cut(self):
+        inst = planted_bisection(120, 170, crossing_edges=2, seed=7)
+        result = multilevel_bipartition(inst.hypergraph, seed=0)
+        assert result.cutsize <= 4
+
+    def test_small_instance_skips_coarsening(self):
+        h = clustered_netlist(20, 35, "std_cell", seed=1)
+        result = multilevel_bipartition(h, coarsest_size=40, seed=0)
+        assert result.iterations == 1  # no levels built
+        check_bipartition(result.bipartition)
+
+    def test_history_tracks_levels(self, netlist):
+        result = multilevel_bipartition(netlist, coarsest_size=10, seed=0)
+        assert len(result.history) == result.iterations
+
+    def test_tiny_input_rejected(self):
+        with pytest.raises(ValueError):
+            multilevel_bipartition(Hypergraph(vertices=["x"]))
+
+    def test_near_optimal_on_small(self):
+        rng = random.Random(2)
+        h = Hypergraph(vertices=range(12))
+        for _ in range(18):
+            h.add_edge(rng.sample(range(12), 2))
+        result = multilevel_bipartition(h, coarsest_size=6, seed=0)
+        optimum = brute_force_min_cut(h, max_imbalance=4).cutsize
+        assert result.cutsize <= optimum + 4

@@ -1,0 +1,111 @@
+"""Tests for netlist perturbation utilities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hypergraph import Hypergraph
+from repro.generators.netlists import clustered_netlist
+from repro.generators.perturb import (
+    add_random_nets,
+    hierarchy_decay_experiment,
+    remove_random_nets,
+    rewire_nets,
+)
+from tests.conftest import hypergraphs
+
+
+@pytest.fixture
+def netlist():
+    return clustered_netlist(40, 70, "std_cell", seed=81)
+
+
+class TestRewire:
+    def test_zero_fraction_identity(self, netlist):
+        assert rewire_nets(netlist, 0.0, seed=0) == netlist
+
+    def test_original_untouched(self, netlist):
+        snapshot = netlist.copy()
+        rewire_nets(netlist, 1.0, seed=0)
+        assert netlist == snapshot
+
+    def test_counts_and_sizes_preserved(self, netlist):
+        rewired = rewire_nets(netlist, 1.0, seed=0)
+        assert rewired.num_edges == netlist.num_edges
+        assert rewired.edge_size_histogram() == netlist.edge_size_histogram()
+        assert set(rewired.edge_names) == set(netlist.edge_names)
+
+    def test_weights_preserved(self):
+        h = Hypergraph()
+        h.add_edge([1, 2], name="x", weight=5.0)
+        h.add_edge([2, 3], name="y")
+        rewired = rewire_nets(h, 1.0, seed=0)
+        assert rewired.edge_weight("x") == 5.0
+
+    def test_partial_fraction(self, netlist):
+        rewired = rewire_nets(netlist, 0.5, seed=0)
+        changed = sum(
+            1
+            for name in netlist.edge_names
+            if rewired.edge_members(name) != netlist.edge_members(name)
+        )
+        # About half the nets move (some random redraws may coincide).
+        assert changed >= 0.25 * netlist.num_edges
+
+    def test_bad_fraction(self, netlist):
+        with pytest.raises(ValueError):
+            rewire_nets(netlist, 1.5)
+        with pytest.raises(ValueError):
+            rewire_nets(netlist, -0.1)
+
+    @settings(max_examples=25)
+    @given(hypergraphs(), st.floats(0.0, 1.0))
+    def test_always_valid(self, h, fraction):
+        rewired = rewire_nets(h, fraction, seed=0)
+        rewired.validate()
+        assert rewired.num_edges == h.num_edges
+
+
+class TestAddRemove:
+    def test_add(self, netlist):
+        bigger = add_random_nets(netlist, 10, seed=0)
+        assert bigger.num_edges == netlist.num_edges + 10
+        assert bigger.has_edge(("noise", 0))
+
+    def test_add_zero(self, netlist):
+        assert add_random_nets(netlist, 0, seed=0) == netlist
+
+    def test_add_bad_args(self, netlist):
+        with pytest.raises(ValueError):
+            add_random_nets(netlist, -1)
+        with pytest.raises(ValueError):
+            add_random_nets(netlist, 1, size_range=(1, 3))
+        with pytest.raises(ValueError):
+            add_random_nets(netlist, 1, size_range=(4, 2))
+
+    def test_remove(self, netlist):
+        smaller = remove_random_nets(netlist, 0.5, seed=0)
+        assert smaller.num_edges == netlist.num_edges - round(0.5 * netlist.num_edges)
+        assert smaller.num_vertices == netlist.num_vertices
+
+    def test_remove_all(self, netlist):
+        empty = remove_random_nets(netlist, 1.0, seed=0)
+        assert empty.num_edges == 0
+
+    def test_remove_bad_fraction(self, netlist):
+        with pytest.raises(ValueError):
+            remove_random_nets(netlist, 2.0)
+
+
+class TestDecayExperiment:
+    def test_rows_and_trend(self):
+        rows = hierarchy_decay_experiment(
+            num_modules=60,
+            num_signals=100,
+            fractions=(0.0, 1.0),
+            trials=2,
+            num_starts=10,
+            seed=0,
+        )
+        assert [row["rewired_fraction"] for row in rows] == [0.0, 1.0]
+        assert rows[1]["mean_cut"] >= rows[0]["mean_cut"]

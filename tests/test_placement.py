@@ -1,0 +1,163 @@
+"""Tests for the min-cut placement application."""
+
+import random
+
+import pytest
+
+from repro.core.hypergraph import Hypergraph
+from repro.generators.netlists import clustered_netlist
+from repro.placement import GridRegion, PlacementResult, SlotGrid, hpwl, mincut_place, net_hpwl
+from repro.placement.mincut_placement import PlacementError, _default_grid
+
+
+@pytest.fixture
+def netlist():
+    h = clustered_netlist(30, 55, "std_cell", seed=9)
+    for v in h.vertices:
+        h.set_vertex_weight(v, 1.0)
+    return h
+
+
+class TestWirelength:
+    def test_net_hpwl(self):
+        h = Hypergraph(edges={"n": [1, 2, 3]})
+        positions = {1: (0.0, 0.0), 2: (3.0, 1.0), 3: (1.0, 4.0)}
+        assert net_hpwl(h, "n", positions) == 3.0 + 4.0
+
+    def test_total_weighted(self):
+        h = Hypergraph()
+        h.add_edge([1, 2], name="a", weight=2.0)
+        h.add_edge([2, 3], name="b")
+        positions = {1: (0, 0), 2: (1, 0), 3: (1, 2)}
+        assert hpwl(h, positions) == 2.0 * 1 + 1 * 2
+
+    def test_unplaced_pin_raises(self):
+        h = Hypergraph(edges={"n": [1, 2]})
+        with pytest.raises(KeyError):
+            net_hpwl(h, "n", {1: (0, 0)})
+
+    def test_single_pin_net_zero(self):
+        h = Hypergraph(edges={"n": [1]})
+        assert net_hpwl(h, "n", {1: (5, 5)}) == 0.0
+
+
+class TestGrid:
+    def test_region_properties(self):
+        r = GridRegion(0, 2, 0, 3)
+        assert r.height == 2
+        assert r.width == 3
+        assert r.capacity == 6
+        assert len(r.slots()) == 6
+        assert r.center == (1.0, 0.5)
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(ValueError):
+            GridRegion(0, 0, 0, 3)
+
+    def test_split_wide_region_vertical(self):
+        first, second, axis = GridRegion(0, 2, 0, 4).split()
+        assert axis == "vertical"
+        assert first.capacity + second.capacity == 8
+        assert first.col1 == second.col0
+
+    def test_split_tall_region_horizontal(self):
+        first, second, axis = GridRegion(0, 4, 0, 2).split()
+        assert axis == "horizontal"
+        assert first.row1 == second.row0
+
+    def test_split_odd_sizes(self):
+        first, second, _ = GridRegion(0, 1, 0, 5).split()
+        assert first.capacity == 3 and second.capacity == 2
+
+    def test_unit_region_cannot_split(self):
+        with pytest.raises(ValueError):
+            GridRegion(0, 1, 0, 1).split()
+
+    def test_slot_grid(self):
+        g = SlotGrid(3, 4)
+        assert g.capacity == 12
+        assert g.full_region().capacity == 12
+        with pytest.raises(ValueError):
+            SlotGrid(0, 4)
+
+    def test_default_grid(self):
+        g = _default_grid(10)
+        assert g.capacity >= 10
+        assert g.capacity <= 16  # near-square, not wasteful
+        assert _default_grid(1).capacity >= 1
+
+
+class TestPlacement:
+    @pytest.mark.parametrize("partitioner", ["algorithm1", "fm", "hybrid"])
+    def test_valid_placement(self, netlist, partitioner):
+        result = mincut_place(netlist, SlotGrid(6, 6), partitioner=partitioner, seed=0)
+        assert len(result.positions) == 30
+        slots = list(result.positions.values())
+        assert len(set(slots)) == 30  # one module per slot
+        for r, c in slots:
+            assert 0 <= r < 6 and 0 <= c < 6
+
+    def test_default_grid_fits(self, netlist):
+        result = mincut_place(netlist, seed=0)
+        assert result.grid.capacity >= 30
+
+    def test_too_many_modules_rejected(self, netlist):
+        with pytest.raises(PlacementError):
+            mincut_place(netlist, SlotGrid(5, 5))
+
+    def test_unknown_partitioner(self, netlist):
+        with pytest.raises(PlacementError):
+            mincut_place(netlist, partitioner="magic")
+
+    def test_better_than_random(self, netlist):
+        result = mincut_place(netlist, SlotGrid(6, 6), seed=0)
+        rng = random.Random(0)
+        slots = SlotGrid(6, 6).full_region().slots()
+        rng.shuffle(slots)
+        random_positions = {
+            v: (float(c), float(r))
+            for v, (r, c) in zip(netlist.vertices, slots)
+        }
+        assert result.total_hpwl < hpwl(netlist, random_positions)
+
+    def test_cuts_invariant(self, netlist):
+        """Full recursive bisection cuts every k-pin net exactly k-1 times."""
+        result = mincut_place(netlist, SlotGrid(6, 6), seed=0)
+        expected = netlist.num_pins - netlist.num_edges
+        assert result.total_cuts == expected
+
+    def test_terminal_propagation_toggles(self, netlist):
+        with_tp = mincut_place(netlist, SlotGrid(6, 6), seed=0, terminal_propagation=True)
+        without_tp = mincut_place(netlist, SlotGrid(6, 6), seed=0, terminal_propagation=False)
+        assert len(with_tp.positions) == len(without_tp.positions) == 30
+        # TP usually helps; never catastrophically hurts.
+        assert with_tp.total_hpwl <= without_tp.total_hpwl * 1.5
+
+    def test_deterministic(self, netlist):
+        a = mincut_place(netlist, SlotGrid(6, 6), seed=5)
+        b = mincut_place(netlist, SlotGrid(6, 6), seed=5)
+        assert a.positions == b.positions
+
+    def test_result_type(self, netlist):
+        result = mincut_place(netlist, SlotGrid(6, 6), seed=0)
+        assert isinstance(result, PlacementResult)
+        assert result.hypergraph is netlist
+        assert result.total_hpwl > 0
+
+    def test_exact_capacity(self):
+        """Modules exactly fill the grid."""
+        h = clustered_netlist(16, 30, "std_cell", seed=2)
+        for v in h.vertices:
+            h.set_vertex_weight(v, 1.0)
+        result = mincut_place(h, SlotGrid(4, 4), seed=0)
+        assert len(set(result.positions.values())) == 16
+
+    def test_tiny_netlist(self):
+        h = Hypergraph(edges={"n": ["a", "b"]})
+        result = mincut_place(h, SlotGrid(1, 2), seed=0)
+        assert len(result.positions) == 2
+
+    def test_weighted_modules_still_place(self):
+        h = clustered_netlist(20, 40, "std_cell", seed=4)  # weighted profile
+        result = mincut_place(h, SlotGrid(5, 4), seed=0)
+        assert len(result.positions) == 20

@@ -1,0 +1,164 @@
+"""Tests for the annealing and quadratic placers."""
+
+import random
+
+import pytest
+
+from repro.core.hypergraph import Hypergraph
+from repro.generators.netlists import clustered_netlist
+from repro.placement import (
+    PlacementSchedule,
+    SlotGrid,
+    annealing_place,
+    hpwl,
+    mincut_place,
+    quadratic_place,
+)
+from repro.placement.annealing_placement import _IncrementalHpwl
+from repro.placement.mincut_placement import PlacementError
+from repro.placement.quadratic_placement import _border_slots
+
+
+@pytest.fixture
+def netlist():
+    h = clustered_netlist(36, 70, "std_cell", seed=41)
+    for v in h.vertices:
+        h.set_vertex_weight(v, 1.0)
+    return h
+
+
+def random_hpwl(h, grid, seed=0):
+    rng = random.Random(seed)
+    slots = grid.full_region().slots()
+    rng.shuffle(slots)
+    coords = {v: (float(c), float(r)) for v, (r, c) in zip(h.vertices, slots)}
+    return hpwl(h, coords)
+
+
+class TestIncrementalHpwl:
+    def test_tracks_total(self, netlist):
+        grid = SlotGrid(6, 6)
+        slots = grid.full_region().slots()
+        positions = dict(zip(sorted(netlist.vertices, key=repr), slots))
+        state = _IncrementalHpwl(netlist, positions)
+        coords = {v: (float(c), float(r)) for v, (r, c) in positions.items()}
+        assert state.total == pytest.approx(hpwl(netlist, coords))
+
+    def test_swap_delta_matches_commit(self, netlist):
+        grid = SlotGrid(6, 6)
+        slots = grid.full_region().slots()
+        modules = sorted(netlist.vertices, key=repr)
+        positions = dict(zip(modules, slots))
+        state = _IncrementalHpwl(netlist, positions)
+        rng = random.Random(5)
+        for _ in range(30):
+            a, b = rng.sample(modules, 2)
+            slot_b = positions[b]
+            before = state.total
+            delta = state.swap_delta(a, b, slot_b)
+            state.commit_swap(a, b, slot_b)
+            assert state.total == pytest.approx(before + delta)
+        state.validate()
+
+    def test_move_to_empty_slot(self, netlist):
+        grid = SlotGrid(7, 7)  # 49 slots, 36 modules
+        slots = grid.full_region().slots()
+        modules = sorted(netlist.vertices, key=repr)
+        positions = dict(zip(modules, slots))
+        state = _IncrementalHpwl(netlist, positions)
+        empty = slots[-1]
+        a = modules[0]
+        before = state.total
+        delta = state.swap_delta(a, None, empty)
+        state.commit_swap(a, None, empty)
+        assert state.positions[a] == empty
+        assert state.total == pytest.approx(before + delta)
+        state.validate()
+
+
+class TestAnnealingPlace:
+    def test_valid_and_better_than_random(self, netlist):
+        grid = SlotGrid(6, 6)
+        result = annealing_place(netlist, grid, seed=0)
+        assert len(result.positions) == 36
+        assert len(set(result.positions.values())) == 36
+        assert result.total_hpwl < random_hpwl(netlist, grid)
+
+    def test_initial_polish_never_worse(self, netlist):
+        grid = SlotGrid(6, 6)
+        start = mincut_place(netlist, grid, seed=0)
+        polished = annealing_place(
+            netlist, grid, initial=start.positions, seed=0,
+            schedule=PlacementSchedule(alpha=0.8),
+        )
+        assert polished.total_hpwl <= start.total_hpwl
+
+    def test_respects_move_cap(self, netlist):
+        schedule = PlacementSchedule(max_total_moves=200, moves_per_temperature=50)
+        result = annealing_place(netlist, SlotGrid(6, 6), schedule=schedule, seed=0)
+        assert len(result.positions) == 36
+
+    def test_deterministic(self, netlist):
+        a = annealing_place(netlist, SlotGrid(6, 6), seed=3,
+                            schedule=PlacementSchedule(max_total_moves=2000))
+        b = annealing_place(netlist, SlotGrid(6, 6), seed=3,
+                            schedule=PlacementSchedule(max_total_moves=2000))
+        assert a.positions == b.positions
+
+    def test_bad_initial_rejected(self, netlist):
+        with pytest.raises(PlacementError):
+            annealing_place(netlist, SlotGrid(6, 6), initial={"ghost": (0, 0)})
+        start = mincut_place(netlist, SlotGrid(6, 6), seed=0).positions
+        overlapping = dict(start)
+        first, second = sorted(overlapping, key=repr)[:2]
+        overlapping[second] = overlapping[first]
+        with pytest.raises(PlacementError):
+            annealing_place(netlist, SlotGrid(6, 6), initial=overlapping)
+
+    def test_capacity_check(self, netlist):
+        with pytest.raises(PlacementError):
+            annealing_place(netlist, SlotGrid(5, 5))
+
+
+class TestQuadraticPlace:
+    def test_valid_and_better_than_random(self, netlist):
+        grid = SlotGrid(6, 6)
+        result = quadratic_place(netlist, grid)
+        assert len(result.positions) == 36
+        assert len(set(result.positions.values())) == 36
+        assert result.total_hpwl < random_hpwl(netlist, grid)
+
+    def test_anchors_validated(self, netlist):
+        with pytest.raises(PlacementError):
+            quadratic_place(netlist, SlotGrid(6, 6), anchors=["ghost", 0])
+        with pytest.raises(PlacementError):
+            quadratic_place(netlist, SlotGrid(6, 6), anchors=[0])
+
+    def test_explicit_anchors(self, netlist):
+        anchors = sorted(netlist.vertices, key=repr)[:4]
+        result = quadratic_place(netlist, SlotGrid(6, 6), anchors=anchors)
+        assert len(result.positions) == 36
+
+    def test_deterministic(self, netlist):
+        a = quadratic_place(netlist, SlotGrid(6, 6))
+        b = quadratic_place(netlist, SlotGrid(6, 6))
+        assert a.positions == b.positions
+
+    def test_handles_isolated_modules(self):
+        h = Hypergraph(vertices=range(9), edges={"n": [0, 1], "m": [1, 2]})
+        result = quadratic_place(h, SlotGrid(3, 3))
+        assert len(result.positions) == 9
+
+    def test_capacity_check(self, netlist):
+        with pytest.raises(PlacementError):
+            quadratic_place(netlist, SlotGrid(5, 5))
+
+    def test_border_slots_unique_and_on_border(self):
+        grid = SlotGrid(5, 7)
+        ring = _border_slots(grid, 8)
+        assert len(ring) == len(set(ring)) == 8
+        for r, c in ring:
+            assert r in (0, 4) or c in (0, 6)
+
+    def test_border_slots_small_grid(self):
+        assert _border_slots(SlotGrid(1, 3), 10) == [(0, 0), (0, 1), (0, 2)]

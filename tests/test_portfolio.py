@@ -1,0 +1,59 @@
+"""Tests for the portfolio runner."""
+
+import pytest
+
+from repro.core.validation import check_bipartition
+from repro.generators.netlists import clustered_netlist
+from repro.portfolio import DEFAULT_METHODS, best_partition
+
+
+@pytest.fixture
+def netlist():
+    return clustered_netlist(50, 90, "std_cell", seed=71)
+
+
+class TestPortfolio:
+    def test_full_portfolio(self, netlist):
+        result = best_partition(netlist, num_starts=5, seed=0)
+        check_bipartition(result.bipartition)
+        assert result.winner in DEFAULT_METHODS
+        assert len(result.entries) == len(DEFAULT_METHODS)
+        assert result.cutsize == min(
+            e.cutsize for e in result.entries if e.feasible
+        ) or not any(e.feasible for e in result.entries)
+
+    def test_subset(self, netlist):
+        result = best_partition(netlist, methods=("fm", "algorithm1"), num_starts=5, seed=0)
+        assert {e.method for e in result.entries} == {"fm", "algorithm1"}
+
+    def test_winner_is_best_feasible(self, netlist):
+        result = best_partition(netlist, num_starts=5, seed=1)
+        feasible = [e for e in result.entries if e.feasible]
+        if feasible:
+            assert result.cutsize <= min(e.cutsize for e in feasible)
+
+    def test_unknown_method_rejected(self, netlist):
+        with pytest.raises(ValueError):
+            best_partition(netlist, methods=("quantum",))
+
+    def test_empty_methods_rejected(self, netlist):
+        with pytest.raises(ValueError):
+            best_partition(netlist, methods=())
+
+    def test_entries_record_timing(self, netlist):
+        result = best_partition(netlist, methods=("fm",), seed=0)
+        assert result.entries[0].seconds >= 0
+
+    def test_deterministic(self, netlist):
+        a = best_partition(netlist, methods=("algorithm1", "fm"), num_starts=5, seed=9)
+        b = best_partition(netlist, methods=("algorithm1", "fm"), num_starts=5, seed=9)
+        assert a.winner == b.winner
+        assert a.cutsize == b.cutsize
+
+    def test_never_worse_than_single_engine(self, netlist):
+        solo = best_partition(netlist, methods=("fm",), seed=2)
+        combo = best_partition(netlist, methods=("fm", "algorithm1", "multilevel"),
+                               num_starts=5, seed=2)
+        assert combo.cutsize <= solo.cutsize or not any(
+            e.feasible for e in combo.entries
+        )

@@ -1,0 +1,56 @@
+"""Tests for FM post-refinement of Algorithm I cuts."""
+
+import random
+
+from repro.core.algorithm1 import algorithm1
+from repro.core.hypergraph import Hypergraph
+from repro.core.refinement import fm_refine
+from repro.core.validation import check_bipartition
+
+
+def messy_hypergraph(seed: int = 0, n: int = 40, m: int = 75) -> Hypergraph:
+    rng = random.Random(seed)
+    h = Hypergraph(vertices=range(n))
+    for _ in range(m):
+        h.add_edge(rng.sample(range(n), rng.choice([2, 3, 3, 4])))
+    return h
+
+
+class TestFmRefine:
+    def test_never_worse(self):
+        h = messy_hypergraph()
+        start = algorithm1(h, num_starts=3, seed=0).bipartition
+        refined = fm_refine(start, seed=0)
+        assert refined.cutsize <= start.cutsize
+        check_bipartition(refined)
+
+    def test_usually_improves_unpolished_cut(self):
+        """Single-start Algorithm I on an unstructured hypergraph leaves
+        slack that FM reclaims."""
+        improvements = 0
+        for seed in range(5):
+            h = messy_hypergraph(seed)
+            start = algorithm1(h, num_starts=1, seed=seed, weighted_balance=True).bipartition
+            refined = fm_refine(start, seed=seed)
+            if refined.cutsize < start.cutsize:
+                improvements += 1
+        assert improvements >= 2
+
+    def test_preserves_vertex_set(self):
+        h = messy_hypergraph(3)
+        start = algorithm1(h, seed=0).bipartition
+        refined = fm_refine(start)
+        assert refined.left | refined.right == set(h.vertices)
+
+    def test_idempotent_on_optimum(self):
+        """Refining a 0-cut partition changes nothing."""
+        h = Hypergraph(edges={"a": [1, 2], "b": [3, 4]})
+        start = algorithm1(h, seed=0).bipartition
+        assert start.cutsize == 0
+        assert fm_refine(start).cutsize == 0
+
+    def test_max_passes_zero_is_noop(self):
+        h = messy_hypergraph(4)
+        start = algorithm1(h, seed=0).bipartition
+        refined = fm_refine(start, max_passes=0)
+        assert refined.cutsize == start.cutsize

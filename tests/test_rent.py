@@ -1,0 +1,69 @@
+"""Tests for Rent-exponent estimation."""
+
+import pytest
+
+from repro.analysis.rent import (
+    RentEstimate,
+    estimate_rent_exponent,
+    external_terminals,
+    rent_comparison_experiment,
+)
+from repro.core.hypergraph import Hypergraph
+from repro.generators.netlists import clustered_netlist
+from repro.generators.random_hypergraph import random_hypergraph
+
+
+class TestExternalTerminals:
+    def test_counts_crossing_nets(self):
+        h = Hypergraph(edges={"in": [1, 2], "cross": [2, 3], "out": [3, 4]})
+        assert external_terminals(h, {1, 2}) == 1
+        assert external_terminals(h, {2, 3}) == 2
+        assert external_terminals(h, set(h.vertices)) == 0
+        assert external_terminals(h, set()) == 0
+
+    def test_fully_internal_block(self):
+        h = Hypergraph(edges={"a": [1, 2], "b": [3, 4]})
+        assert external_terminals(h, {1, 2}) == 0
+
+
+class TestEstimate:
+    def test_returns_estimate(self):
+        h = clustered_netlist(80, 140, "std_cell", seed=3)
+        est = estimate_rent_exponent(h, seed=0)
+        assert isinstance(est, RentEstimate)
+        assert est.num_samples >= 4
+        assert est.coefficient > 0
+
+    def test_deterministic(self):
+        h = clustered_netlist(60, 100, "std_cell", seed=4)
+        a = estimate_rent_exponent(h, seed=7)
+        b = estimate_rent_exponent(h, seed=7)
+        assert a.exponent == b.exponent
+
+    def test_hierarchy_lowers_exponent(self):
+        clustered = clustered_netlist(150, 250, "std_cell", seed=5)
+        rand = random_hypergraph(150, 250, seed=5, connect=True)
+        p_clustered = estimate_rent_exponent(clustered, seed=0).exponent
+        p_random = estimate_rent_exponent(rand, seed=0).exponent
+        assert p_clustered < p_random
+
+    def test_too_small_rejected(self):
+        h = Hypergraph(edges={"n": [1, 2]})
+        with pytest.raises(ValueError):
+            estimate_rent_exponent(h)
+
+    def test_samples_are_block_terminal_pairs(self):
+        h = clustered_netlist(60, 100, "std_cell", seed=6)
+        est = estimate_rent_exponent(h, seed=0)
+        for block_size, terminals in est.samples:
+            assert block_size >= 2
+            assert terminals >= 0
+            assert terminals <= h.num_edges
+
+
+class TestComparisonExperiment:
+    def test_rows(self):
+        rows = rent_comparison_experiment(num_modules=60, num_signals=100, trials=1, seed=0)
+        assert {row["kind"] for row in rows} == {"netlist", "random"}
+        for row in rows:
+            assert row["min"] <= row["mean_rent_exponent"] <= row["max"]

@@ -1,0 +1,91 @@
+"""Tests for the markdown report generators."""
+
+import pytest
+
+from repro.core.algorithm1 import algorithm1
+from repro.core.hypergraph import Hypergraph
+from repro.core.kway import recursive_bisection
+from repro.core.partition import Bipartition
+from repro.generators.netlists import clustered_netlist
+from repro.placement import SlotGrid, mincut_place
+from repro.report import (
+    bipartition_report,
+    full_report,
+    hypergraph_summary,
+    kway_report,
+    placement_report,
+)
+
+
+@pytest.fixture
+def netlist():
+    return clustered_netlist(25, 45, "std_cell", seed=17)
+
+
+class TestHypergraphSummary:
+    def test_contains_counts(self, netlist):
+        text = hypergraph_summary(netlist)
+        assert "**25**" in text
+        assert "**45**" in text
+        assert "connected: yes" in text
+
+    def test_histogram_rows(self, netlist):
+        text = hypergraph_summary(netlist)
+        hist = netlist.edge_size_histogram()
+        for size, count in hist.items():
+            assert f"| {size} | {count} |" in text
+
+
+class TestBipartitionReport:
+    def test_contains_cut_stats(self, netlist):
+        bp = algorithm1(netlist, num_starts=10, seed=0).bipartition
+        text = bipartition_report(bp)
+        assert f"**{bp.cutsize}**" in text
+        assert f"{len(bp.left)} / {len(bp.right)}" in text
+        assert "quotient cut" in text
+
+    def test_zero_cut(self):
+        h = Hypergraph(edges={"a": [1, 2], "b": [3, 4]})
+        bp = Bipartition(h, {1, 2}, {3, 4})
+        text = bipartition_report(bp)
+        assert "no nets cross" in text
+
+    def test_custom_title(self, netlist):
+        bp = algorithm1(netlist, seed=0).bipartition
+        assert "## My cut" in bipartition_report(bp, title="My cut")
+
+
+class TestKWayReport:
+    def test_blocks_table(self, netlist):
+        kp = recursive_bisection(netlist, 4, num_starts=3, seed=0)
+        text = kway_report(kp)
+        assert "k = **4**" in text
+        assert text.count("\n| ") >= 5  # header + 4 block rows
+
+    def test_objectives_present(self, netlist):
+        kp = recursive_bisection(netlist, 3, num_starts=3, seed=0)
+        text = kway_report(kp)
+        assert "external degrees" in text
+        assert "lambda - 1" in text
+
+
+class TestPlacementReport:
+    def test_wirelength_table(self, netlist):
+        for v in netlist.vertices:
+            netlist.set_vertex_weight(v, 1.0)
+        result = mincut_place(netlist, SlotGrid(5, 5), seed=0)
+        text = placement_report(result)
+        for model in ("hpwl", "clique", "star", "mst"):
+            assert f"| {model} |" in text
+        assert "5 x 5" in text
+
+
+class TestFullReport:
+    def test_composition(self, netlist):
+        bp = algorithm1(netlist, seed=0).bipartition
+        text = full_report(bp, extra_sections=["## Extra\ncontent"])
+        assert text.startswith("# Partitioning report")
+        assert "## Netlist" in text
+        assert "## Bipartition" in text
+        assert "## Extra" in text
+        assert text.endswith("\n")

@@ -1,0 +1,114 @@
+"""Integration tests: every partitioner on real suite instances.
+
+These are the "does the whole toolbox actually work together" tests — a
+downsized version of the Table-2 protocol, run on the two smallest suite
+instances so the full matrix stays fast.
+"""
+
+import pytest
+
+from repro.baselines import (
+    fiduccia_mattheyses,
+    kernighan_lin,
+    multilevel_bipartition,
+    random_cut,
+    simulated_annealing,
+    spectral_bisection,
+)
+from repro.baselines.simulated_annealing import AnnealingSchedule
+from repro.core.algorithm1 import algorithm1
+from repro.core.refinement import fm_refine
+from repro.core.validation import check_bipartition
+from repro.generators.suite import load_instance
+
+INSTANCES = ("Bd1", "Diff1")
+
+PARTITIONERS = {
+    "algorithm1": lambda h, s: algorithm1(h, num_starts=10, seed=s).bipartition,
+    "kl": lambda h, s: kernighan_lin(h, seed=s).bipartition,
+    "fm": lambda h, s: fiduccia_mattheyses(h, seed=s).bipartition,
+    "sa": lambda h, s: simulated_annealing(
+        h, schedule=AnnealingSchedule(alpha=0.85), seed=s
+    ).bipartition,
+    "random": lambda h, s: random_cut(h, num_starts=10, seed=s).bipartition,
+    "spectral": lambda h, s: spectral_bisection(h, seed=s).bipartition,
+    "multilevel": lambda h, s: multilevel_bipartition(h, seed=s).bipartition,
+}
+
+
+@pytest.fixture(scope="module", params=INSTANCES)
+def instance(request):
+    h, recipe, gt = load_instance(request.param)
+    return request.param, h, gt
+
+
+class TestEveryPartitionerOnSuite:
+    @pytest.mark.parametrize("method", sorted(PARTITIONERS))
+    def test_valid_cut(self, instance, method):
+        name, h, _ = instance
+        bp = PARTITIONERS[method](h, 0)
+        check_bipartition(bp)
+        assert bp.left and bp.right
+        assert bp.cutsize <= h.num_edges
+
+    @pytest.mark.parametrize("method", ["algorithm1", "fm", "multilevel"])
+    def test_strong_methods_beat_random(self, instance, method):
+        name, h, _ = instance
+        strong = PARTITIONERS[method](h, 0)
+        weak = PARTITIONERS["random"](h, 0)
+        assert strong.cutsize < weak.cutsize
+
+    def test_algorithm1_near_planted_on_diff(self):
+        h, _, gt = load_instance("Diff1")
+        bp = algorithm1(h, num_starts=50, seed=0).bipartition
+        assert bp.cutsize <= gt.planted_cutsize + 1
+
+    def test_refined_algorithm1_competitive_with_fm(self, instance):
+        name, h, _ = instance
+        alg1 = algorithm1(h, num_starts=10, seed=0, balance_tolerance=0.1).bipartition
+        refined = fm_refine(alg1, seed=0)
+        fm = PARTITIONERS["fm"](h, 0)
+        assert refined.cutsize <= max(fm.cutsize * 1.5, fm.cutsize + 5)
+
+
+class TestEndToEndFlows:
+    def test_generate_partition_report_parts(self, tmp_path):
+        """The full CLI-equivalent flow through the library API."""
+        from repro.io import read_hgr, write_hgr
+        from repro.io.parts import read_parts, write_parts
+        from repro.metrics.cut import cutsize
+        from repro.report import full_report
+
+        h, _, _ = load_instance("Bd1")
+        hgr = tmp_path / "bd1.hgr"
+        write_hgr(h, hgr)
+        loaded = read_hgr(hgr)
+        bp = algorithm1(loaded, num_starts=10, seed=0).bipartition
+
+        parts = tmp_path / "bd1.part"
+        write_parts(bp, parts)
+        blocks = read_parts(parts, loaded)
+        assert cutsize(loaded, blocks[0]) == bp.cutsize
+
+        report = tmp_path / "bd1.md"
+        report.write_text(full_report(bp), encoding="utf-8")
+        assert f"**{bp.cutsize}**" in report.read_text()
+
+    def test_partition_then_place(self):
+        """Partition quality carries into placement quality."""
+        from repro.placement import SlotGrid, mincut_place
+
+        h, _, _ = load_instance("Bd1")
+        for v in h.vertices:
+            h.set_vertex_weight(v, 1.0)
+        result = mincut_place(h, SlotGrid(10, 11), seed=0)
+        assert len(result.positions) == h.num_vertices
+        assert result.total_hpwl > 0
+
+    def test_kway_on_suite(self):
+        from repro.core.kway import recursive_bisection
+
+        h, _, _ = load_instance("Bd1")
+        kp = recursive_bisection(h, 4, num_starts=5, seed=0)
+        assert kp.k == 4
+        assert kp.connectivity >= kp.cutsize

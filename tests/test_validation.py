@@ -1,0 +1,174 @@
+"""Tests for the invariant checkers and brute-force oracle."""
+
+import pytest
+
+from repro.core.boundary import BoundaryGraph
+from repro.core.complete_cut import CompletionResult
+from repro.core.dual_cut import GraphCut
+from repro.core.graph import Graph
+from repro.core.hypergraph import Hypergraph
+from repro.core.partition import Bipartition
+from repro.core.validation import (
+    InvariantViolation,
+    brute_force_min_cut,
+    check_bipartition,
+    check_completion,
+    check_graph_cut,
+)
+
+
+def square_graph():
+    return Graph(nodes=[1, 2, 3, 4], edges=[(1, 2), (2, 3), (3, 4), (4, 1)])
+
+
+class TestCheckGraphCut:
+    def test_valid(self):
+        g = square_graph()
+        cut = GraphCut(
+            left=frozenset({1, 2}),
+            right=frozenset({3, 4}),
+            boundary_left=frozenset({1, 2}),
+            boundary_right=frozenset({3, 4}),
+            seed_u=1,
+            seed_v=3,
+        )
+        check_graph_cut(g, cut)
+
+    def test_overlap_detected(self):
+        g = square_graph()
+        cut = GraphCut(
+            left=frozenset({1, 2, 3}),
+            right=frozenset({3, 4}),
+            boundary_left=frozenset(),
+            boundary_right=frozenset(),
+            seed_u=1,
+            seed_v=4,
+        )
+        with pytest.raises(InvariantViolation):
+            check_graph_cut(g, cut)
+
+    def test_wrong_boundary_detected(self):
+        g = square_graph()
+        cut = GraphCut(
+            left=frozenset({1, 2}),
+            right=frozenset({3, 4}),
+            boundary_left=frozenset(),  # 1 and 2 ARE adjacent across
+            boundary_right=frozenset({3, 4}),
+            seed_u=1,
+            seed_v=3,
+        )
+        with pytest.raises(InvariantViolation):
+            check_graph_cut(g, cut)
+
+    def test_incomplete_cover_detected(self):
+        g = square_graph()
+        cut = GraphCut(
+            left=frozenset({1}),
+            right=frozenset({3, 4}),
+            boundary_left=frozenset(),
+            boundary_right=frozenset(),
+            seed_u=1,
+            seed_v=3,
+        )
+        with pytest.raises(InvariantViolation):
+            check_graph_cut(g, cut)
+
+
+class TestCheckCompletion:
+    def make_bg(self):
+        g = Graph(nodes=["a", "b"], edges=[("a", "b")])
+        return BoundaryGraph(graph=g, left=frozenset({"a"}), right=frozenset({"b"}))
+
+    def test_valid(self):
+        bg = self.make_bg()
+        check_completion(
+            bg,
+            CompletionResult(
+                winners_left=frozenset({"a"}),
+                winners_right=frozenset(),
+                losers=frozenset({"b"}),
+            ),
+        )
+
+    def test_fact_violation_detected(self):
+        bg = self.make_bg()
+        with pytest.raises(InvariantViolation):
+            check_completion(
+                bg,
+                CompletionResult(
+                    winners_left=frozenset({"a"}),
+                    winners_right=frozenset({"b"}),  # adjacent winners!
+                    losers=frozenset(),
+                ),
+            )
+
+    def test_incomplete_labeling_detected(self):
+        bg = self.make_bg()
+        with pytest.raises(InvariantViolation):
+            check_completion(
+                bg,
+                CompletionResult(
+                    winners_left=frozenset({"a"}),
+                    winners_right=frozenset(),
+                    losers=frozenset(),
+                ),
+            )
+
+    def test_wrong_side_detected(self):
+        bg = self.make_bg()
+        with pytest.raises(InvariantViolation):
+            check_completion(
+                bg,
+                CompletionResult(
+                    winners_left=frozenset({"b"}),  # b is a right node
+                    winners_right=frozenset(),
+                    losers=frozenset({"a"}),
+                ),
+            )
+
+
+class TestCheckBipartition:
+    def test_valid(self):
+        h = Hypergraph(edges={"n": [1, 2]})
+        check_bipartition(Bipartition(h, {1}, {2}))
+
+
+class TestBruteForce:
+    def test_known_optimum(self):
+        h = Hypergraph(
+            edges={"a": [1, 2], "b": [2, 3], "c": [3, 4], "bridge": [2, 5], "d": [5, 6]}
+        )
+        best = brute_force_min_cut(h)
+        assert best.cutsize == 1
+        # several singleton splits achieve 1; all cut exactly one net
+        assert len(best.crossing_edges) == 1
+
+    def test_bisection_constraint(self):
+        # Star: center + 5 leaves (6 vertices). Unconstrained best cuts 1
+        # edge (split one leaf off); a 3/3 bisection strands 3 leaves on
+        # the far side from the center, cutting 3.
+        h = Hypergraph(edges={f"n{i}": [0, i] for i in range(1, 6)})
+        free = brute_force_min_cut(h)
+        bisect = brute_force_min_cut(h, require_bisection=True)
+        assert free.cutsize == 1
+        assert bisect.cutsize == 3
+        assert bisect.is_bisection()
+
+    def test_max_imbalance_constraint(self):
+        h = Hypergraph(edges={f"n{i}": [0, i] for i in range(1, 6)})
+        r2 = brute_force_min_cut(h, max_imbalance=2)
+        assert r2.cardinality_imbalance <= 2
+
+    def test_too_large_rejected(self):
+        h = Hypergraph(vertices=range(25))
+        with pytest.raises(ValueError):
+            brute_force_min_cut(h)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            brute_force_min_cut(Hypergraph(vertices=[1]))
+
+    def test_infeasible_constraints(self):
+        h = Hypergraph(vertices=range(4))
+        with pytest.raises(ValueError):
+            brute_force_min_cut(h, max_imbalance=-1)

@@ -1,0 +1,118 @@
+"""Tests for the classic net models (clique / star / MST vs HPWL)."""
+
+import pytest
+
+from repro.core.hypergraph import Hypergraph
+from repro.placement.wirelength import (
+    NET_MODELS,
+    net_clique_length,
+    net_hpwl,
+    net_mst_length,
+    net_star_length,
+    wirelength,
+)
+
+
+@pytest.fixture
+def three_pin():
+    """Net over an L-shape: (0,0), (4,0), (4,3)."""
+    h = Hypergraph(edges={"n": ["a", "b", "c"]})
+    positions = {"a": (0.0, 0.0), "b": (4.0, 0.0), "c": (4.0, 3.0)}
+    return h, positions
+
+
+class TestTwoPinAgreement:
+    """All models coincide (up to normalization) on a 2-pin net."""
+
+    def test_models_agree(self):
+        h = Hypergraph(edges={"n": ["a", "b"]})
+        positions = {"a": (0.0, 0.0), "b": (3.0, 4.0)}
+        assert net_hpwl(h, "n", positions) == 7.0
+        assert net_clique_length(h, "n", positions) == 7.0
+        assert net_mst_length(h, "n", positions) == 7.0
+        # star routes via the midpoint: same total for Manhattan distance
+        assert net_star_length(h, "n", positions) == pytest.approx(7.0)
+
+
+class TestThreePin:
+    def test_hpwl(self, three_pin):
+        h, positions = three_pin
+        assert net_hpwl(h, "n", positions) == 4.0 + 3.0
+
+    def test_mst(self, three_pin):
+        h, positions = three_pin
+        # MST: a-b (4) + b-c (3)
+        assert net_mst_length(h, "n", positions) == 7.0
+
+    def test_clique(self, three_pin):
+        h, positions = three_pin
+        # pairwise: 4 + 3 + 7 = 14, scaled by 2/3
+        assert net_clique_length(h, "n", positions) == pytest.approx(14 * 2 / 3)
+
+    def test_star(self, three_pin):
+        h, positions = three_pin
+        # centroid (8/3, 1): |dx|+|dy| sums
+        cx, cy = 8 / 3, 1.0
+        expected = sum(
+            abs(x - cx) + abs(y - cy) for x, y in positions.values()
+        )
+        assert net_star_length(h, "n", positions) == pytest.approx(expected)
+
+
+class TestOrderings:
+    """Known inequalities: HPWL <= MST; star >= half of MST-ish bounds."""
+
+    def test_hpwl_lower_bounds_mst(self):
+        import random
+
+        rng = random.Random(3)
+        for trial in range(20):
+            k = rng.randint(2, 8)
+            h = Hypergraph(edges={"n": list(range(k))})
+            positions = {i: (rng.uniform(0, 10), rng.uniform(0, 10)) for i in range(k)}
+            assert net_hpwl(h, "n", positions) <= net_mst_length(h, "n", positions) + 1e-9
+
+    def test_single_pin_all_zero(self):
+        h = Hypergraph(edges={"n": ["a"]})
+        positions = {"a": (5.0, 5.0)}
+        for fn in (net_hpwl, net_clique_length, net_star_length, net_mst_length):
+            if fn is net_hpwl:
+                assert fn(h, "n", positions) == 0.0
+            else:
+                assert fn(h, "n", positions) == 0.0
+
+
+class TestTotalWirelength:
+    def test_weighted_totals(self):
+        h = Hypergraph()
+        h.add_edge(["a", "b"], name="x", weight=2.0)
+        positions = {"a": (0.0, 0.0), "b": (1.0, 1.0)}
+        assert wirelength(h, positions, model="hpwl") == 4.0
+        assert wirelength(h, positions, model="mst") == 4.0
+
+    def test_unknown_model(self):
+        h = Hypergraph(edges={"n": ["a", "b"]})
+        with pytest.raises(ValueError):
+            wirelength(h, {"a": (0, 0), "b": (1, 1)}, model="steiner-exact")
+
+    def test_registry_complete(self):
+        assert set(NET_MODELS) == {"hpwl", "clique", "star", "mst"}
+
+    def test_models_rank_consistently_on_placement(self):
+        """On a real placement all models improve together vs random."""
+        import random
+
+        from repro.generators.netlists import clustered_netlist
+        from repro.placement import SlotGrid, mincut_place
+
+        h = clustered_netlist(25, 45, "std_cell", seed=5)
+        for v in h.vertices:
+            h.set_vertex_weight(v, 1.0)
+        placed = mincut_place(h, SlotGrid(5, 5), seed=0)
+        good = {v: (float(c), float(r)) for v, (r, c) in placed.positions.items()}
+        rng = random.Random(0)
+        slots = SlotGrid(5, 5).full_region().slots()
+        rng.shuffle(slots)
+        bad = {v: (float(c), float(r)) for v, (r, c) in zip(h.vertices, slots)}
+        for model in NET_MODELS:
+            assert wirelength(h, good, model) < wirelength(h, bad, model)
