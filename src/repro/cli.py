@@ -83,8 +83,15 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             edge_size_threshold=args.threshold,
             weighted_balance=args.weighted_balance,
             balance_tolerance=args.balance_tolerance,
+            parallel=args.parallel,
         )
         bp = result.bipartition
+        if args.timings:
+            for phase in ("filter", "dualize", "cut", "complete", "balance"):
+                print(f"time {phase:<14}: {result.timings.get(phase, 0.0):.4f}s")
+            workers = result.counters.get("parallel_workers", 0)
+            if workers:
+                print(f"parallel workers   : {workers}")
     else:
         from repro.baselines import (
             fiduccia_mattheyses,
@@ -276,6 +283,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.1,
         help="prefer cuts within this weight-imbalance fraction "
         "(pass a large value like 1.0 for the paper's unconstrained behaviour)",
+    )
+    p.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        help="fan independent starts across this many worker processes "
+        "(default: sequential; same seed gives the same cut for any worker count)",
+    )
+    p.add_argument(
+        "--timings",
+        action="store_true",
+        help="print per-phase wall-clock timings (algorithm1 only)",
     )
     p.add_argument("--assignment", help="write vertex->side JSON here")
     p.add_argument("--parts", help="write an hMETIS-style .part file here")

@@ -20,12 +20,22 @@ Pipeline (paper Section 2.3, with the Section 3/5 refinements):
 
 Total complexity ``O(num_starts * n^2)`` with ``n`` hyperedges, matching
 the paper's bound; the completion step is ``O(n log n)``.
+
+Starts are independent, so step 7 parallelises trivially: pass
+``parallel=k`` to fan the starts across ``k`` worker processes.  Child
+seeds are drawn up front from the caller's rng, so a parallel run is
+reproducible for a fixed seed regardless of worker count (though its rng
+stream differs from the sequential one; ``parallel=None`` preserves the
+exact sequential behaviour).
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import random
+import time
 from collections.abc import Hashable
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core.boundary import BoundaryGraph, boundary_graph
@@ -48,6 +58,9 @@ from repro.core.partition import Bipartition
 
 Vertex = Hashable
 EdgeName = Hashable
+
+#: Phase keys reported in ``Algorithm1Result.timings`` (seconds each).
+TIMING_PHASES = ("filter", "dualize", "cut", "complete", "balance")
 
 
 class Algorithm1Error(ValueError):
@@ -83,12 +96,22 @@ class Algorithm1Result:
         One :class:`StartRecord` per multi-start attempt, in order.
     intersection:
         The dual graph used (of the filtered hypergraph), for analysis.
+    timings:
+        Wall-clock seconds per pipeline phase, keyed by
+        :data:`TIMING_PHASES`.  ``cut`` / ``complete`` / ``balance`` are
+        summed over all starts (CPU seconds across workers when
+        ``parallel`` is set, so they can exceed the elapsed time).
+    counters:
+        Work counters: ``num_starts``, ``ignored_edges``, ``dual_nodes``,
+        ``dual_edges``, ``parallel_workers``.
     """
 
     bipartition: Bipartition
     ignored_edges: frozenset[EdgeName]
     starts: tuple[StartRecord, ...]
     intersection: IntersectionGraph = field(repr=False)
+    timings: dict = field(default_factory=dict, repr=False, compare=False)
+    counters: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def cutsize(self) -> int:
@@ -101,13 +124,21 @@ class Algorithm1Result:
 
 @dataclass(frozen=True)
 class SingleRunTrace:
-    """All intermediate artefacts of one Algorithm I start (for tests/teaching)."""
+    """All intermediate artefacts of one Algorithm I start (for tests/teaching).
+
+    ``bfs_depth`` is the depth of the random longest BFS path that chose
+    the seeds — recorded here so multi-start diagnostics need not re-run
+    the BFS.  ``timings`` holds per-phase seconds for this start
+    (``cut`` / ``complete`` / ``balance``).
+    """
 
     cut: GraphCut
     partial: PartialBipartition
     boundary: BoundaryGraph
     completion: CompletionResult
     bipartition: Bipartition
+    bfs_depth: int = 0
+    timings: dict = field(default_factory=dict, repr=False, compare=False)
 
 
 def _balance_free_vertices(
@@ -151,6 +182,29 @@ def _ensure_nonempty_sides(
         right.add(donor)
 
 
+def _commit_winner_pins(
+    working: Hypergraph,
+    completion: CompletionResult,
+    left: set[Vertex],
+    right: set[Vertex],
+) -> None:
+    """Commit winner pins to their sides in completion order (in place).
+
+    A pin claimed by winners on *both* sides (impossible for a true
+    intersection dual, where opposing winners sharing a pin would be
+    ``G'``-adjacent and one forced to lose, but reachable through crafted
+    or degenerate boundary graphs) goes to whichever winner Complete-Cut
+    selected first.  Resolving by ``completion.order`` is deterministic
+    and side-symmetric; committing all left winners before all right
+    winners would silently privilege the left side.
+    """
+    for name in completion.order:
+        if name in completion.winners_left:
+            left.update(p for p in working.edge_members(name) if p not in right)
+        elif name in completion.winners_right:
+            right.update(p for p in working.edge_members(name) if p not in left)
+
+
 def run_single_start(
     intersection: IntersectionGraph,
     original: Hypergraph,
@@ -168,17 +222,20 @@ def run_single_start(
     """
     g = intersection.graph
     working = intersection.hypergraph
+    t0 = time.perf_counter()
     u, v, depth = random_longest_bfs_path(g, rng=rng, start=start_node, double_sweep=double_sweep)
 
     if u == v:
-        # Degenerate single-node BFS component: fall back to an arbitrary
-        # one-vs-rest graph cut (no boundary arises across components).
+        # Degenerate single-node BFS component: depth 0 means the seed has
+        # no neighbours at all, so no boundary can arise — fall back to an
+        # arbitrary one-vs-rest graph cut with empty boundary sets.
+        assert g.degree(u) == 0, "u == v fallback requires an isolated seed"
         others = [n for n in g.nodes if n != u]
         cut = GraphCut(
             left=frozenset([u]),
             right=frozenset(others),
-            boundary_left=frozenset(n for n in [u] if g.neighbors(n) & set(others)),
-            boundary_right=frozenset(n for n in others if u in g.neighbors(n)),
+            boundary_left=frozenset(),
+            boundary_right=frozenset(),
             seed_u=u,
             seed_v=u,
         )
@@ -187,6 +244,7 @@ def run_single_start(
 
     partial = partial_bipartition(intersection, cut)
     bg = boundary_graph(g, cut)
+    t1 = time.perf_counter()
 
     left: set[Vertex] = set(partial.placed_left)
     right: set[Vertex] = set(partial.placed_right)
@@ -206,18 +264,23 @@ def run_single_start(
     else:
         completion = complete_cut(bg, variant=variant, rng=rng)
 
-    for name in completion.winners_left:
-        left.update(p for p in working.edge_members(name) if p not in right)
-    for name in completion.winners_right:
-        right.update(p for p in working.edge_members(name) if p not in left)
+    _commit_winner_pins(working, completion, left, right)
+    t2 = time.perf_counter()
 
     free = [p for p in original.vertices if p not in left and p not in right]
     _balance_free_vertices(original, left, right, free, rng)
     _ensure_nonempty_sides(original, left, right)
 
     bipartition = Bipartition(original, left, right)
+    t3 = time.perf_counter()
     return SingleRunTrace(
-        cut=cut, partial=partial, boundary=bg, completion=completion, bipartition=bipartition
+        cut=cut,
+        partial=partial,
+        boundary=bg,
+        completion=completion,
+        bipartition=bipartition,
+        bfs_depth=depth,
+        timings={"cut": t1 - t0, "complete": t2 - t1, "balance": t3 - t2},
     )
 
 
@@ -259,6 +322,137 @@ def _pack_components(
     return Bipartition(original, left, right)
 
 
+def _rank_key(
+    bp: Bipartition,
+    objective: str,
+    balance_tolerance: float | None,
+    total_weight: float,
+) -> tuple:
+    """Multi-start ranking key: smaller is better (shared by all paths)."""
+    score = bp.cutsize if objective == "edges" else bp.weighted_cutsize
+    if balance_tolerance is None:
+        return (score, bp.weight_imbalance)
+    infeasible = bp.weight_imbalance / total_weight > balance_tolerance
+    return (infeasible, score, bp.weight_imbalance)
+
+
+# ----------------------------------------------------------------------
+# Parallel multi-start machinery
+# ----------------------------------------------------------------------
+
+#: Shared per-run state for worker processes.  Populated in the parent
+#: just before the pool is created: fork workers inherit it for free (no
+#: pickling of the intersection graph per task); spawn workers receive it
+#: once through the pool initializer.
+_PARALLEL_STATE: dict = {}
+
+
+def _parallel_init(state: dict) -> None:
+    _PARALLEL_STATE.clear()
+    _PARALLEL_STATE.update(state)
+
+
+def _run_start_batch(batch: list[tuple[int, int]]):
+    """Worker: run a batch of (start_index, child_seed) starts.
+
+    Returns a compact triple — the batch's best cut as
+    ``((rank, index), left, right)``, the per-start records as
+    ``(index, StartRecord)`` pairs, and summed per-phase timings — so
+    only small frozensets cross the process boundary, never traces.
+    """
+    st = _PARALLEL_STATE
+    intersection = st["intersection"]
+    original = st["original"]
+    records: list[tuple[int, StartRecord]] = []
+    best: tuple[tuple, frozenset, frozenset] | None = None
+    timings = {"cut": 0.0, "complete": 0.0, "balance": 0.0}
+    for index, child_seed in batch:
+        trace = run_single_start(
+            intersection,
+            original,
+            random.Random(child_seed),
+            variant=st["variant"],
+            weighted_balance=st["weighted_balance"],
+            double_sweep=st["double_sweep"],
+            bfs_mode=st["bfs_mode"],
+        )
+        bp = trace.bipartition
+        records.append(
+            (
+                index,
+                StartRecord(
+                    seed_u=trace.cut.seed_u,
+                    seed_v=trace.cut.seed_v,
+                    bfs_depth=trace.bfs_depth,
+                    boundary_size=len(trace.cut.boundary),
+                    num_losers=trace.completion.num_losers,
+                    cutsize=bp.cutsize,
+                    weight_imbalance=bp.weight_imbalance,
+                ),
+            )
+        )
+        key = (
+            _rank_key(bp, st["objective"], st["balance_tolerance"], st["total_weight"]),
+            index,
+        )
+        if best is None or key < best[0]:
+            best = (key, bp.left, bp.right)
+        for phase, dt in trace.timings.items():
+            timings[phase] = timings.get(phase, 0.0) + dt
+    return best, records, timings
+
+
+def _run_parallel_starts(
+    state: dict,
+    num_starts: int,
+    parallel: int,
+    rng: random.Random,
+) -> tuple[tuple[frozenset, frozenset], list[StartRecord], dict, int]:
+    """Fan ``num_starts`` independent starts across ``parallel`` processes.
+
+    Child seeds are drawn up front from ``rng`` and ties between equal
+    cuts break by start index, so the outcome depends only on the seed —
+    not on worker count or scheduling.
+    """
+    pairs = [(i, rng.getrandbits(63)) for i in range(num_starts)]
+    workers = min(parallel, num_starts)
+    batches = [pairs[w::workers] for w in range(workers)]
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        ctx = multiprocessing.get_context("spawn")
+
+    _parallel_init(state)
+    try:
+        if ctx.get_start_method() == "fork":
+            executor = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+        else:  # pragma: no cover - non-POSIX platforms
+            executor = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=ctx,
+                initializer=_parallel_init,
+                initargs=(state,),
+            )
+        with executor:
+            results = list(executor.map(_run_start_batch, batches))
+    finally:
+        _PARALLEL_STATE.clear()
+
+    best_pack = None
+    records_by_index: dict[int, StartRecord] = {}
+    timings = {"cut": 0.0, "complete": 0.0, "balance": 0.0}
+    for batch_best, batch_records, batch_timings in results:
+        for index, record in batch_records:
+            records_by_index[index] = record
+        if batch_best is not None and (best_pack is None or batch_best[0] < best_pack[0]):
+            best_pack = batch_best
+        for phase, dt in batch_timings.items():
+            timings[phase] = timings.get(phase, 0.0) + dt
+    assert best_pack is not None
+    records = [records_by_index[i] for i in range(num_starts)]
+    return (best_pack[1], best_pack[2]), records, timings, workers
+
+
 def algorithm1(
     hypergraph: Hypergraph,
     num_starts: int = 1,
@@ -270,6 +464,7 @@ def algorithm1(
     balance_tolerance: float | None = None,
     bfs_mode: str = "balanced",
     objective: str = "edges",
+    parallel: int | None = None,
 ) -> Algorithm1Result:
     """Bipartition ``hypergraph`` with Algorithm I.
 
@@ -311,11 +506,19 @@ def algorithm1(
         the paper's) or ``"weight"`` (total crossing-net weight; pair
         with ``variant="min_loser_weight"`` so the completion pulls in
         the same direction).
+    parallel:
+        ``None`` (default) runs starts sequentially on the caller's rng
+        stream — bit-for-bit the historical behaviour.  An integer ``k``
+        fans the starts across up to ``k`` worker processes; per-start
+        child seeds are drawn from ``rng`` up front and ties break by
+        start index, so results for a fixed seed are identical for every
+        ``k`` (but differ from the sequential stream).
 
     Returns
     -------
     Algorithm1Result
-        Best bipartition over all starts plus per-start diagnostics.
+        Best bipartition over all starts plus per-start diagnostics,
+        per-phase ``timings`` and work ``counters``.
     """
     if hypergraph.num_vertices < 2:
         raise Algorithm1Error("need at least two vertices to bipartition")
@@ -323,8 +526,11 @@ def algorithm1(
         raise Algorithm1Error(f"num_starts must be >= 1, got {num_starts}")
     if objective not in ("edges", "weight"):
         raise Algorithm1Error(f"objective must be 'edges' or 'weight', got {objective!r}")
+    if parallel is not None and parallel < 1:
+        raise Algorithm1Error(f"parallel must be >= 1 or None, got {parallel}")
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
 
+    t0 = time.perf_counter()
     if edge_size_threshold is None:
         working, ignored = hypergraph, frozenset()
     else:
@@ -332,16 +538,35 @@ def algorithm1(
         if working.num_edges == 0 and hypergraph.num_edges > 0:
             # Filtering removed everything (tiny dense instances): disable it.
             working, ignored = hypergraph, frozenset()
+    t1 = time.perf_counter()
 
     intersection = intersection_graph(working)
+    t2 = time.perf_counter()
+
+    timings = {
+        "filter": t1 - t0,
+        "dualize": t2 - t1,
+        "cut": 0.0,
+        "complete": 0.0,
+        "balance": 0.0,
+    }
+    counters = {
+        "num_starts": 0,
+        "ignored_edges": len(ignored),
+        "dual_nodes": intersection.num_nodes,
+        "dual_edges": intersection.num_edges,
+        "parallel_workers": 0,
+    }
 
     if intersection.num_nodes == 0:
         # Edgeless hypergraph: any balanced split is optimal (cutsize 0).
+        t3 = time.perf_counter()
         left: set[Vertex] = set()
         right: set[Vertex] = set()
         _balance_free_vertices(hypergraph, left, right, list(hypergraph.vertices), rng)
         _ensure_nonempty_sides(hypergraph, left, right)
         bipartition = Bipartition(hypergraph, left, right)
+        timings["balance"] = time.perf_counter() - t3
         record = StartRecord(
             seed_u=None,
             seed_v=None,
@@ -356,18 +581,11 @@ def algorithm1(
             ignored_edges=ignored,
             starts=(record,),
             intersection=intersection,
+            timings=timings,
+            counters=counters,
         )
 
     total_weight = hypergraph.total_vertex_weight or 1.0
-
-    def score(bp: Bipartition) -> float:
-        return bp.cutsize if objective == "edges" else bp.weighted_cutsize
-
-    def rank(bp: Bipartition) -> tuple:
-        if balance_tolerance is None:
-            return (score(bp), bp.weight_imbalance)
-        infeasible = bp.weight_imbalance / total_weight > balance_tolerance
-        return (infeasible, score(bp), bp.weight_imbalance)
 
     components = intersection.graph.connected_components()
     if len(components) > 1:
@@ -383,10 +601,11 @@ def algorithm1(
         # real cut through the giant component is required and we fall
         # through to the multi-start machinery, which attaches the small
         # components side by side).
+        t3 = time.perf_counter()
         bipartition = _pack_components(hypergraph, working, components, rng)
         packing_limit = balance_tolerance if balance_tolerance is not None else 0.25
-        total = hypergraph.total_vertex_weight or 1.0
-        if bipartition.weight_imbalance / total <= packing_limit:
+        if bipartition.weight_imbalance / total_weight <= packing_limit:
+            timings["balance"] = time.perf_counter() - t3
             record = StartRecord(
                 seed_u=None,
                 seed_v=None,
@@ -401,37 +620,76 @@ def algorithm1(
                 ignored_edges=ignored,
                 starts=(record,),
                 intersection=intersection,
+                timings=timings,
+                counters=counters,
             )
 
+    counters["num_starts"] = num_starts
+
+    if parallel is not None and num_starts > 1 and parallel > 1:
+        state = {
+            "intersection": intersection,
+            "original": hypergraph,
+            "variant": variant,
+            "weighted_balance": weighted_balance,
+            "double_sweep": double_sweep,
+            "bfs_mode": bfs_mode,
+            "objective": objective,
+            "balance_tolerance": balance_tolerance,
+            "total_weight": total_weight,
+        }
+        (best_left, best_right), records, start_timings, workers = _run_parallel_starts(
+            state, num_starts, parallel, rng
+        )
+        timings.update(start_timings)
+        counters["parallel_workers"] = workers
+        best = Bipartition(hypergraph, best_left, best_right)
+        return Algorithm1Result(
+            bipartition=best,
+            ignored_edges=ignored,
+            starts=tuple(records),
+            intersection=intersection,
+            timings=timings,
+            counters=counters,
+        )
+    if parallel is not None:
+        # parallel=1 (or a single start): same seed contract as parallel
+        # runs — child seeds drawn up front — without any pool overhead.
+        child_seeds = [rng.getrandbits(63) for _ in range(num_starts)]
+        start_rngs = [random.Random(s) for s in child_seeds]
+    else:
+        start_rngs = [rng] * num_starts
+
     best: Bipartition | None = None
-    records: list[StartRecord] = []
-    for _ in range(num_starts):
+    best_key: tuple | None = None
+    records = []
+    for index in range(num_starts):
         trace = run_single_start(
             intersection,
             hypergraph,
-            rng,
+            start_rngs[index],
             variant=variant,
             weighted_balance=weighted_balance,
             double_sweep=double_sweep,
             bfs_mode=bfs_mode,
         )
         bp = trace.bipartition
-        depth = 0
-        if trace.cut.seed_u != trace.cut.seed_v:
-            depth = intersection.graph.bfs_levels(trace.cut.seed_u).get(trace.cut.seed_v, 0)
         records.append(
             StartRecord(
                 seed_u=trace.cut.seed_u,
                 seed_v=trace.cut.seed_v,
-                bfs_depth=depth,
+                bfs_depth=trace.bfs_depth,
                 boundary_size=len(trace.cut.boundary),
                 num_losers=trace.completion.num_losers,
                 cutsize=bp.cutsize,
                 weight_imbalance=bp.weight_imbalance,
             )
         )
-        if best is None or rank(bp) < rank(best):
-            best = bp
+        for phase, dt in trace.timings.items():
+            timings[phase] += dt
+        key = _rank_key(bp, objective, balance_tolerance, total_weight)
+        if best_key is None or key < best_key:
+            best, best_key = bp, key
 
     assert best is not None
     return Algorithm1Result(
@@ -439,4 +697,6 @@ def algorithm1(
         ignored_edges=ignored,
         starts=tuple(records),
         intersection=intersection,
+        timings=timings,
+        counters=counters,
     )

@@ -65,12 +65,17 @@ def boundary_graph(graph: Graph, cut: GraphCut) -> BoundaryGraph:
     relation and is deleted, exactly as in the paper.
     """
     g = Graph()
-    for node in cut.boundary_left | cut.boundary_right:
-        g.add_vertex(node, weight=graph.node_weight(node))
     for node in cut.boundary_left:
-        for nbr in graph.neighbors(node):
-            if nbr in cut.boundary_right:
-                g.add_edge(node, nbr)
+        g.add_vertex(node, weight=graph.node_weight(node))
+    for node in cut.boundary_right:
+        g.add_vertex(node, weight=graph.node_weight(node))
+    adj = graph.adjacency_view()
+    labels = graph.labels_view()
+    right_ids = {graph.index_of(n) for n in cut.boundary_right}
+    for node in cut.boundary_left:
+        for j in adj[graph.index_of(node)]:
+            if j in right_ids:
+                g.add_edge(node, labels[j])
     return BoundaryGraph(
         graph=g, left=frozenset(cut.boundary_left), right=frozenset(cut.boundary_right)
     )

@@ -26,12 +26,14 @@ the optimum completion.  We also provide:
 
 from __future__ import annotations
 
+import heapq
 import random
 from collections import deque
 from collections.abc import Hashable, Mapping
 from dataclasses import dataclass, field
 
 from repro.core.boundary import BoundaryGraph
+from repro.core.graph import Graph
 from repro.core.hypergraph import Hypergraph
 
 Node = Hashable
@@ -69,30 +71,119 @@ class CompletionResult:
         return self.winners_left | self.winners_right
 
 
-def _pick_winner(
-    graph,
-    candidates: set[Node],
-    variant: str,
-    rng: random.Random | None,
-    loser_weight: Mapping[Node, float] | None,
-) -> Node:
-    """Select the next winner from ``candidates`` according to ``variant``."""
-    if variant == "min_degree":
-        return min(candidates, key=lambda v: (graph.degree(v), repr(v)))
-    if variant == "random_min_degree":
-        lowest = min(graph.degree(v) for v in candidates)
-        pool = [v for v in candidates if graph.degree(v) == lowest]
-        chooser = rng if rng is not None else random
-        return pool[chooser.randrange(len(pool))]
-    if variant == "min_loser_weight":
-        weights = loser_weight or {}
+class _WinnerSelector:
+    """Index-space winner selection over ``G'`` with lazy min-heaps.
 
-        def cost(v: Node) -> tuple[float, int, str]:
-            total = sum(weights.get(u, 1.0) for u in graph.neighbors(v))
-            return (total, graph.degree(v), repr(v))
+    The graph is never copied or mutated: liveness, current degree, and
+    (for the weighted variant) the running neighbour-weight sum live in
+    flat arrays indexed by the graph's interned node slots.  Each pool
+    (one for :func:`complete_cut`, one per side for the engineer's rule)
+    keeps a min-heap of cost entries; entries turn stale when their node
+    dies or its cost changes, and stale entries are simply discarded on
+    pop.  A full run costs ``O((V + E) log E)`` instead of the former
+    per-round linear rescans with their per-candidate ``repr`` calls.
+    """
 
-        return min(candidates, key=cost)
-    raise CompletionError(f"unknown Complete-Cut variant {variant!r}; choose from {VARIANTS}")
+    __slots__ = (
+        "variant", "rng", "adj", "labels", "ids", "alive", "deg",
+        "weight", "wsum", "reprs", "pool_of", "heaps", "count",
+    )
+
+    def __init__(
+        self,
+        graph: Graph,
+        variant: str,
+        rng: random.Random | None,
+        pool_of: list[int],
+        num_pools: int,
+    ) -> None:
+        if variant not in VARIANTS:
+            raise CompletionError(
+                f"unknown Complete-Cut variant {variant!r}; choose from {VARIANTS}"
+            )
+        self.variant = variant
+        self.rng = rng
+        self.adj = graph.adjacency_view()
+        self.labels = graph.labels_view()
+        self.ids = list(graph.node_indices())
+        cap = graph.slot_capacity()
+        self.alive = bytearray(cap)
+        self.deg = [0] * cap
+        self.weight = [1.0] * cap
+        self.wsum = [0.0] * cap
+        self.reprs: list[str | None] = [None] * cap
+        self.pool_of = pool_of
+        self.count = [0] * num_pools
+        for i in self.ids:
+            self.alive[i] = 1
+            self.deg[i] = len(self.adj[i])
+            self.weight[i] = graph.node_weight(self.labels[i])
+            self.reprs[i] = repr(self.labels[i])
+            self.count[pool_of[i]] += 1
+        if variant == "min_loser_weight":
+            for i in self.ids:
+                self.wsum[i] = sum(self.weight[j] for j in self.adj[i])
+        self.heaps: list[list[tuple]] = [[] for _ in range(num_pools)]
+        for i in self.ids:
+            self.heaps[pool_of[i]].append(self._entry(i))
+        for heap in self.heaps:
+            heapq.heapify(heap)
+
+    def _entry(self, i: int) -> tuple:
+        if self.variant == "min_loser_weight":
+            return (self.wsum[i], self.deg[i], self.reprs[i], i)
+        if self.variant == "min_degree":
+            return (self.deg[i], self.reprs[i], i)
+        return (self.deg[i], i)
+
+    def _fresh(self, entry: tuple) -> bool:
+        i = entry[-1]
+        if not self.alive[i]:
+            return False
+        if self.variant == "min_loser_weight":
+            return entry[0] == self.wsum[i] and entry[1] == self.deg[i]
+        return entry[0] == self.deg[i]
+
+    def pick(self, pool: int) -> int:
+        """Index of the next winner in ``pool`` (must be non-empty)."""
+        heap = self.heaps[pool]
+        while not self._fresh(heap[0]):
+            heapq.heappop(heap)
+        if self.variant == "random_min_degree":
+            lowest = heap[0][0]
+            pool_of = self.pool_of
+            candidates = [
+                i for i in self.ids
+                if self.alive[i] and pool_of[i] == pool and self.deg[i] == lowest
+            ]
+            chooser = self.rng if self.rng is not None else random
+            return candidates[chooser.randrange(len(candidates))]
+        return heap[0][-1]
+
+    def kill_winner(self, winner: int) -> list[int]:
+        """Remove the winner and its live neighbours; return the beaten."""
+        adj = self.adj
+        alive = self.alive
+        beaten = [j for j in adj[winner] if alive[j]]
+        alive[winner] = 0
+        self.count[self.pool_of[winner]] -= 1
+        for b in beaten:
+            alive[b] = 0
+            self.count[self.pool_of[b]] -= 1
+        weighted = self.variant == "min_loser_weight"
+        deg = self.deg
+        wsum = self.wsum
+        heaps = self.heaps
+        pool_of = self.pool_of
+        for b in beaten:
+            wb = self.weight[b]
+            for j in adj[b]:
+                if alive[j]:
+                    deg[j] -= 1
+                    if weighted:
+                        wsum[j] -= wb
+                    heapq.heappush(heaps[pool_of[j]], self._entry(j))
+        return beaten
 
 
 def complete_cut(
@@ -103,30 +194,27 @@ def complete_cut(
     """Run Complete-Cut on the boundary graph (unweighted form).
 
     Isolated ``G'`` nodes are winners for free (no neighbour is forced to
-    lose).  Runs in ``O(n log n)``-ish time: each node is examined a
-    constant number of times and winner selection scans the shrinking
-    candidate set.
+    lose).  Runs in ``O((V + E) log E)`` via lazy-heap winner selection.
     """
-    g = boundary.graph.copy()
-    loser_weight = {v: g.node_weight(v) for v in g.nodes}
+    g = boundary.graph
+    sel = _WinnerSelector(g, variant, rng, pool_of=[0] * g.slot_capacity(), num_pools=1)
+    left_ids = {g.index_of(n) for n in boundary.left}
+    labels = sel.labels
     winners_left: set[Node] = set()
     winners_right: set[Node] = set()
     losers: set[Node] = set()
     order: list[Node] = []
-    remaining = set(g.nodes)
 
-    while remaining:
-        winner = _pick_winner(g, remaining, variant, rng, loser_weight)
-        order.append(winner)
-        if winner in boundary.left:
-            winners_left.add(winner)
+    while sel.count[0]:
+        winner = sel.pick(0)
+        label = labels[winner]
+        order.append(label)
+        if winner in left_ids:
+            winners_left.add(label)
         else:
-            winners_right.add(winner)
-        beaten = set(g.neighbors(winner))
-        losers |= beaten
-        for node in beaten | {winner}:
-            g.remove_vertex(node)
-            remaining.discard(node)
+            winners_right.add(label)
+        for b in sel.kill_winner(winner):
+            losers.add(labels[b])
 
     return CompletionResult(
         winners_left=frozenset(winners_left),
@@ -160,16 +248,18 @@ def complete_cut_weighted(
         Vertex -> side ("L"/"R") for vertices already placed; winner
         hyperedges only add the weight of their not-yet-assigned pins.
     """
-    g = boundary.graph.copy()
-    loser_weight = {v: g.node_weight(v) for v in g.nodes}
+    g = boundary.graph
+    pool_of = [1] * g.slot_capacity()
+    for n in boundary.left:
+        pool_of[g.index_of(n)] = 0
+    sel = _WinnerSelector(g, variant, rng, pool_of=pool_of, num_pools=2)
+    labels = sel.labels
     committed: dict[Vertex, str] = dict(assigned) if assigned else {}
     side_weight = {"L": float(initial_left_weight), "R": float(initial_right_weight)}
     winners_left: set[Node] = set()
     winners_right: set[Node] = set()
     losers: set[Node] = set()
     order: list[Node] = []
-    remaining_left = set(boundary.left)
-    remaining_right = set(boundary.right)
 
     def commit(edge: Node, side: str) -> None:
         for pin in hypergraph.edge_members(edge):
@@ -177,25 +267,22 @@ def complete_cut_weighted(
                 committed[pin] = side
                 side_weight[side] += hypergraph.vertex_weight(pin)
 
-    while remaining_left or remaining_right:
+    while sel.count[0] or sel.count[1]:
         if side_weight["L"] <= side_weight["R"]:
-            candidates = remaining_left or remaining_right
+            pool = 0 if sel.count[0] else 1
         else:
-            candidates = remaining_right or remaining_left
-        winner = _pick_winner(g, candidates, variant, rng, loser_weight)
-        order.append(winner)
-        if winner in boundary.left:
-            winners_left.add(winner)
-            commit(winner, "L")
+            pool = 1 if sel.count[1] else 0
+        winner = sel.pick(pool)
+        label = labels[winner]
+        order.append(label)
+        if pool == 0:
+            winners_left.add(label)
+            commit(label, "L")
         else:
-            winners_right.add(winner)
-            commit(winner, "R")
-        beaten = set(g.neighbors(winner))
-        losers |= beaten
-        for node in beaten | {winner}:
-            g.remove_vertex(node)
-            remaining_left.discard(node)
-            remaining_right.discard(node)
+            winners_right.add(label)
+            commit(label, "R")
+        for b in sel.kill_winner(winner):
+            losers.add(labels[b])
 
     return CompletionResult(
         winners_left=frozenset(winners_left),
@@ -221,7 +308,7 @@ def _max_bipartite_matching(boundary: BoundaryGraph) -> dict[Node, Node]:
     graph = boundary.graph
 
     def try_augment(u: Node, visited: set[Node]) -> bool:
-        for w in graph.neighbors(u):
+        for w in graph.neighbors_view(u):
             if w in visited:
                 continue
             visited.add(w)
@@ -254,7 +341,7 @@ def optimal_completion_losers(boundary: BoundaryGraph) -> frozenset[Node]:
     queue = deque(reached_left)
     while queue:
         u = queue.popleft()
-        for w in graph.neighbors(u):
+        for w in graph.neighbors_view(u):
             if w in reached_right:
                 continue
             reached_right.add(w)

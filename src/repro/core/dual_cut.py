@@ -154,62 +154,88 @@ def double_bfs_cut(
     exactly the paper's ``c = 0`` observation — "BFS in G finds the
     unconnectedness".
     """
-    if u not in graph or v not in graph:
-        raise GraphError(f"seed not in graph: {u!r} / {v!r}")
     if u == v:
+        if u not in graph:
+            raise GraphError(f"seed not in graph: {u!r} / {v!r}")
         raise DualCutError("double BFS needs two distinct seeds")
     if mode not in ("balanced", "level"):
         raise DualCutError(f"unknown double-BFS mode {mode!r}")
+    try:
+        iu = graph.index_of(u)
+        iv = graph.index_of(v)
+    except GraphError:
+        raise GraphError(f"seed not in graph: {u!r} / {v!r}") from None
 
-    side: dict[Node, int] = {u: 0, v: 1}
-    frontiers: list[deque[Node]] = [deque([u]), deque([v])]
+    # The whole growth race runs in index space on the graph's internal
+    # adjacency — no neighbor-set copies anywhere in the loop.
+    adj = graph.adjacency_view()
+    side = [-1] * graph.slot_capacity()
+    side[iu] = 0
+    side[iv] = 1
+    counts = [1, 1]
+    frontiers: list[deque[int]] = [deque([iu]), deque([iv])]
 
     if mode == "balanced":
-        claimed = [1, 1]
         turn = 0 if rng is None else rng.randrange(2)
         while frontiers[0] or frontiers[1]:
             if not frontiers[turn]:
                 turn = 1 - turn
             node = frontiers[turn].popleft()
-            for nbr in graph.neighbors(node):
-                if nbr not in side:
+            frontier = frontiers[turn]
+            for nbr in adj[node]:
+                if side[nbr] < 0:
                     side[nbr] = turn
-                    claimed[turn] += 1
-                    frontiers[turn].append(nbr)
-            if frontiers[1 - turn] and claimed[1 - turn] <= claimed[turn]:
+                    counts[turn] += 1
+                    frontier.append(nbr)
+            if frontiers[1 - turn] and counts[1 - turn] <= counts[turn]:
                 turn = 1 - turn
     else:
         turn = 0 if rng is None else rng.randrange(2)
         while frontiers[0] or frontiers[1]:
             current = frontiers[turn]
-            next_frontier: deque[Node] = deque()
+            next_frontier: deque[int] = deque()
             while current:
                 node = current.popleft()
-                for nbr in graph.neighbors(node):
-                    if nbr not in side:
+                for nbr in adj[node]:
+                    if side[nbr] < 0:
                         side[nbr] = turn
+                        counts[turn] += 1
                         next_frontier.append(nbr)
             frontiers[turn] = next_frontier
             turn = 1 - turn
 
-    left = {n for n, s in side.items() if s == 0}
-    right = {n for n, s in side.items() if s == 1}
-
     # Other components: attach each whole component to the smaller side.
-    unreached = [n for n in graph.nodes if n not in side]
-    if unreached:
-        remaining = set(unreached)
-        while remaining:
-            seed = next(iter(remaining))
-            component = set(graph.bfs_levels(seed)) & remaining
-            if len(left) <= len(right):
-                left |= component
-            else:
-                right |= component
-            remaining -= component
+    # Component nodes are unreachable from both seeds, so they can never
+    # be adjacent to the other side — they never become boundary.
+    for start in graph.node_indices():
+        if side[start] >= 0:
+            continue
+        stack = [start]
+        component = [start]
+        attach = 0 if counts[0] <= counts[1] else 1
+        side[start] = attach
+        while stack:
+            node = stack.pop()
+            for nbr in adj[node]:
+                if side[nbr] < 0:
+                    side[nbr] = attach
+                    component.append(nbr)
+                    stack.append(nbr)
+        counts[attach] += len(component)
 
-    boundary_left = {n for n in left if graph.neighbors(n) & right}
-    boundary_right = {n for n in right if graph.neighbors(n) & left}
+    labels = graph.labels_view()
+    left: list[Node] = []
+    right: list[Node] = []
+    boundary_left: list[Node] = []
+    boundary_right: list[Node] = []
+    for i in graph.node_indices():
+        s = side[i]
+        (left if s == 0 else right).append(labels[i])
+        other = 1 - s
+        for nbr in adj[i]:
+            if side[nbr] == other:
+                (boundary_left if s == 0 else boundary_right).append(labels[i])
+                break
     return GraphCut(
         left=frozenset(left),
         right=frozenset(right),

@@ -1,8 +1,19 @@
 """Plain undirected graphs and the BFS machinery Algorithm I is built on.
 
 The dual intersection graph ``G`` and the bipartite boundary graph ``G'``
-are both instances of :class:`Graph`.  The class is a thin dict-of-sets
-adjacency structure with exactly the traversals the paper needs:
+are both instances of :class:`Graph`.  The public API is label-based
+(nodes are arbitrary hashables), but internally every label is *interned*
+to a contiguous integer slot on first insertion; adjacency is stored as
+``list[set[int]]`` indexed by slot.  The traversal hot paths (BFS levels,
+pseudo-diameter search, double-BFS cuts, boundary extraction) run
+entirely in index space over reusable scratch buffers — no per-call
+``frozenset`` copies, no label hashing inside the inner loops — which is
+what keeps Algorithm I at its advertised 1:110:120 runtime ratio versus
+SA/KL.  A side benefit of the integer core: small-int hashing is not
+randomized, so BFS visit orders (and therefore tie-breaks) are
+reproducible across processes even for string-labelled graphs.
+
+Exposed traversals are exactly what the paper needs:
 
 * single-source BFS levels (for longest-BFS-path / pseudo-diameter),
 * exact eccentricity and diameter by all-pairs BFS (used by the analysis
@@ -12,12 +23,24 @@ adjacency structure with exactly the traversals the paper needs:
   detected as disconnectedness of ``G``),
 * bipartiteness check with 2-coloring (the boundary graph is bipartite by
   construction; tests assert it through this).
+
+Index-path API (for the core pipeline; everything else should stick to
+the label API):
+
+* :meth:`Graph.index_of` / :meth:`Graph.label_of` — label <-> slot.
+* :meth:`Graph.node_indices` — alive slots in insertion order.
+* :meth:`Graph.adjacency_view` / :meth:`Graph.labels_view` — zero-copy
+  handles on the internal arrays.  Callers must treat them as read-only
+  and must not hold them across mutations.
+* :meth:`Graph.neighbors_view` — lazy neighbor-label iteration without
+  building a set.
+* :meth:`Graph.bfs_order_from` — BFS in index space with reusable
+  distance/visited buffers.
 """
 
 from __future__ import annotations
 
 import random
-from collections import deque
 from collections.abc import Hashable, Iterable, Mapping
 from typing import Iterator
 
@@ -40,8 +63,16 @@ class Graph:
         nodes: Iterable[Node] | Mapping[Node, float] | None = None,
         edges: Iterable[tuple[Node, Node]] | None = None,
     ) -> None:
-        self._adj: dict[Node, set[Node]] = {}
-        self._weights: dict[Node, float] = {}
+        self._index: dict[Node, int] = {}  # label -> slot, insertion-ordered
+        self._labels: list[Node] = []  # slot -> label (stale for freed slots)
+        self._weights: list[float] = []  # slot -> weight
+        self._adj: list[set[int]] = []  # slot -> adjacent slots
+        self._free: list[int] = []  # freed slots available for reuse
+        self._edge_count = 0
+        # Reusable BFS scratch (stamped visited array avoids per-call clears).
+        self._bfs_dist: list[int] = []
+        self._bfs_seen: list[int] = []
+        self._bfs_stamp = 0
         if nodes is not None:
             if isinstance(nodes, Mapping):
                 for v, w in nodes.items():
@@ -58,42 +89,139 @@ class Graph:
     # ------------------------------------------------------------------
 
     def add_vertex(self, v: Node, weight: float = 1.0) -> Node:
-        if v not in self._adj:
-            self._adj[v] = set()
-        self._weights[v] = float(weight)
+        i = self._index.get(v)
+        if i is None:
+            if self._free:
+                i = self._free.pop()
+                self._labels[i] = v
+                self._weights[i] = float(weight)
+                self._adj[i] = set()
+            else:
+                i = len(self._labels)
+                self._labels.append(v)
+                self._weights.append(float(weight))
+                self._adj.append(set())
+            self._index[v] = i
+        else:
+            self._weights[i] = float(weight)
         return v
 
     def add_edge(self, u: Node, v: Node) -> None:
         if u == v:
             raise GraphError(f"self-loop at {u!r} not allowed")
-        if u not in self._adj:
+        iu = self._index.get(u)
+        if iu is None:
             self.add_vertex(u)
-        if v not in self._adj:
+            iu = self._index[u]
+        iv = self._index.get(v)
+        if iv is None:
             self.add_vertex(v)
-        self._adj[u].add(v)
-        self._adj[v].add(u)
+            iv = self._index[v]
+        if iv not in self._adj[iu]:
+            self._adj[iu].add(iv)
+            self._adj[iv].add(iu)
+            self._edge_count += 1
+
+    def add_clique(self, members: Iterable[Node]) -> None:
+        """Add all pairwise edges over ``members`` (vertices created as needed).
+
+        The workhorse of intersection-graph construction: one interning
+        pass, then pure integer pair insertion — no label hashing or
+        ``repr`` calls in the pair loop.
+        """
+        index = self._index
+        ids = []
+        for v in members:
+            i = index.get(v)
+            if i is None:
+                self.add_vertex(v)
+                i = index[v]
+            ids.append(i)
+        ids.sort()
+        adj = self._adj
+        added = 0
+        for k, a in enumerate(ids):
+            sa = adj[a]
+            for b in ids[k + 1 :]:
+                if b not in sa:
+                    sa.add(b)
+                    adj[b].add(a)
+                    added += 1
+        self._edge_count += added
 
     def remove_edge(self, u: Node, v: Node) -> None:
-        if v not in self._adj.get(u, ()):
+        iu = self._index.get(u)
+        iv = self._index.get(v)
+        if iu is None or iv is None or iv not in self._adj[iu]:
             raise GraphError(f"no edge {u!r} -- {v!r}")
-        self._adj[u].discard(v)
-        self._adj[v].discard(u)
+        self._adj[iu].discard(iv)
+        self._adj[iv].discard(iu)
+        self._edge_count -= 1
 
     def remove_vertex(self, v: Node) -> None:
-        if v not in self._adj:
+        i = self._index.pop(v, None)
+        if i is None:
             raise GraphError(f"no such node {v!r}")
-        for u in self._adj[v]:
-            self._adj[u].discard(v)
-        del self._adj[v]
-        del self._weights[v]
+        nbrs = self._adj[i]
+        for j in nbrs:
+            self._adj[j].discard(i)
+        self._edge_count -= len(nbrs)
+        self._adj[i] = set()
+        self._weights[i] = 0.0
+        self._free.append(i)
 
     def copy(self) -> "Graph":
         g = Graph()
-        for v, w in self._weights.items():
-            g.add_vertex(v, w)
-        for v, nbrs in self._adj.items():
-            g._adj[v] = set(nbrs)
+        g._index = dict(self._index)
+        g._labels = list(self._labels)
+        g._weights = list(self._weights)
+        g._adj = [set(s) for s in self._adj]
+        g._free = list(self._free)
+        g._edge_count = self._edge_count
         return g
+
+    # ------------------------------------------------------------------
+    # index-path API (zero-copy access for the core pipeline)
+    # ------------------------------------------------------------------
+
+    def index_of(self, v: Node) -> int:
+        """The interned slot of ``v`` (stable until ``v`` is removed)."""
+        try:
+            return self._index[v]
+        except KeyError:
+            raise GraphError(f"no such node {v!r}") from None
+
+    def label_of(self, i: int) -> Node:
+        """The label stored at slot ``i`` (must be an alive slot)."""
+        return self._labels[i]
+
+    def node_indices(self) -> Iterable[int]:
+        """Alive slots in node insertion order."""
+        return self._index.values()
+
+    def adjacency_view(self) -> list[set[int]]:
+        """The internal slot-indexed adjacency — read-only, zero-copy."""
+        return self._adj
+
+    def labels_view(self) -> list[Node]:
+        """The internal slot -> label array — read-only, zero-copy."""
+        return self._labels
+
+    def slot_capacity(self) -> int:
+        """Number of allocated slots (>= num_nodes; sizes side buffers)."""
+        return len(self._labels)
+
+    def neighbors_view(self, v: Node) -> Iterator[Node]:
+        """Lazily iterate the neighbor labels of ``v`` without copying.
+
+        Do not mutate the graph while iterating.
+        """
+        try:
+            i = self._index[v]
+        except KeyError:
+            raise GraphError(f"no such node {v!r}") from None
+        labels = self._labels
+        return (labels[j] for j in self._adj[i])
 
     # ------------------------------------------------------------------
     # queries
@@ -101,91 +229,136 @@ class Graph:
 
     @property
     def nodes(self) -> list[Node]:
-        return list(self._adj)
+        return list(self._index)
 
     @property
     def num_nodes(self) -> int:
-        return len(self._adj)
+        return len(self._index)
 
     @property
     def num_edges(self) -> int:
-        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+        return self._edge_count
 
     def __contains__(self, v: Node) -> bool:
-        return v in self._adj
+        return v in self._index
 
     def __len__(self) -> int:
-        return len(self._adj)
+        return len(self._index)
 
     def __iter__(self) -> Iterator[Node]:
-        return iter(self._adj)
+        return iter(self._index)
 
     def neighbors(self, v: Node) -> frozenset[Node]:
         try:
-            return frozenset(self._adj[v])
+            i = self._index[v]
         except KeyError:
             raise GraphError(f"no such node {v!r}") from None
+        labels = self._labels
+        return frozenset(labels[j] for j in self._adj[i])
 
     def has_edge(self, u: Node, v: Node) -> bool:
-        return v in self._adj.get(u, ())
+        iu = self._index.get(u)
+        iv = self._index.get(v)
+        return iu is not None and iv is not None and iv in self._adj[iu]
 
     def degree(self, v: Node) -> int:
         try:
-            return len(self._adj[v])
+            return len(self._adj[self._index[v]])
         except KeyError:
             raise GraphError(f"no such node {v!r}") from None
 
     def node_weight(self, v: Node) -> float:
         try:
-            return self._weights[v]
+            return self._weights[self._index[v]]
         except KeyError:
             raise GraphError(f"no such node {v!r}") from None
 
     def max_degree(self) -> int:
-        if not self._adj:
+        if not self._index:
             return 0
-        return max(len(nbrs) for nbrs in self._adj.values())
+        return max(len(self._adj[i]) for i in self._index.values())
 
     def edges(self) -> Iterator[tuple[Node, Node]]:
         """Each undirected edge yielded exactly once."""
-        seen: set[Node] = set()
-        for u, nbrs in self._adj.items():
-            for v in nbrs:
-                if v not in seen:
-                    yield (u, v)
-            seen.add(u)
+        labels = self._labels
+        for i in self._index.values():
+            li = labels[i]
+            for j in self._adj[i]:
+                if i < j:
+                    yield (li, labels[j])
 
     def induced(self, subset: Iterable[Node]) -> "Graph":
         """Subgraph induced by ``subset`` (weights preserved)."""
         keep = set(subset)
-        unknown = keep - set(self._adj)
+        unknown = keep - set(self._index)
         if unknown:
             raise GraphError(f"nodes not in graph: {sorted(map(repr, unknown))}")
         g = Graph()
-        for v in keep:
-            g.add_vertex(v, self._weights[v])
-        for v in keep:
-            g._adj[v] = self._adj[v] & keep
+        remap: dict[int, int] = {}
+        for v, i in self._index.items():  # insertion order for determinism
+            if v in keep:
+                g.add_vertex(v, self._weights[i])
+                remap[i] = g._index[v]
+        added = 0
+        for old_i, new_i in remap.items():
+            new_adj = {remap[j] for j in self._adj[old_i] if j in remap}
+            g._adj[new_i] = new_adj
+            added += len(new_adj)
+        g._edge_count = added // 2
         return g
 
     # ------------------------------------------------------------------
     # traversal
     # ------------------------------------------------------------------
 
+    def _ensure_scratch(self) -> None:
+        need = len(self._labels) - len(self._bfs_dist)
+        if need > 0:
+            self._bfs_dist.extend([0] * need)
+            self._bfs_seen.extend([0] * need)
+
+    def bfs_order_from(self, source: int) -> list[int]:
+        """BFS from slot ``source``; returns slots in visit order.
+
+        Distances are left in the reusable buffer returned by
+        :meth:`bfs_dist_view`, valid only for the slots in the returned
+        order and only until the next BFS call.
+        """
+        self._ensure_scratch()
+        self._bfs_stamp += 1
+        stamp = self._bfs_stamp
+        seen = self._bfs_seen
+        dist = self._bfs_dist
+        adj = self._adj
+        order = [source]
+        seen[source] = stamp
+        dist[source] = 0
+        head = 0
+        while head < len(order):
+            v = order[head]
+            head += 1
+            dv1 = dist[v] + 1
+            for u in adj[v]:
+                if seen[u] != stamp:
+                    seen[u] = stamp
+                    dist[u] = dv1
+                    order.append(u)
+        return order
+
+    def bfs_dist_view(self) -> list[int]:
+        """The reusable BFS distance buffer (see :meth:`bfs_order_from`)."""
+        return self._bfs_dist
+
     def bfs_levels(self, source: Node) -> dict[Node, int]:
         """Distance (in hops) from ``source`` to every reachable node."""
-        if source not in self._adj:
-            raise GraphError(f"no such node {source!r}")
-        dist = {source: 0}
-        queue = deque([source])
-        while queue:
-            v = queue.popleft()
-            dv = dist[v]
-            for u in self._adj[v]:
-                if u not in dist:
-                    dist[u] = dv + 1
-                    queue.append(u)
-        return dist
+        try:
+            s = self._index[source]
+        except KeyError:
+            raise GraphError(f"no such node {source!r}") from None
+        order = self.bfs_order_from(s)
+        labels = self._labels
+        dist = self._bfs_dist
+        return {labels[i]: dist[i] for i in order}
 
     def bfs_farthest(self, source: Node, rng: random.Random | None = None) -> tuple[Node, int]:
         """A node at maximum BFS distance from ``source`` and that distance.
@@ -195,51 +368,69 @@ class Graph:
         and we extend the randomness to the far endpoint so that repeated
         multi-start runs explore distinct diameters).
         """
-        levels = self.bfs_levels(source)
-        depth = max(levels.values())
-        deepest = [v for v, d in levels.items() if d == depth]
+        try:
+            s = self._index[source]
+        except KeyError:
+            raise GraphError(f"no such node {source!r}") from None
+        order = self.bfs_order_from(s)
+        dist = self._bfs_dist
+        depth = dist[order[-1]]
+        # BFS visit order is non-decreasing in distance: the deepest nodes
+        # are exactly the tail block of the order.
+        lo = len(order) - 1
+        while lo > 0 and dist[order[lo - 1]] == depth:
+            lo -= 1
         if rng is None:
-            far = deepest[0]
+            far = order[lo]
         else:
-            far = deepest[rng.randrange(len(deepest))]
-        return far, depth
+            far = order[lo + rng.randrange(len(order) - lo)]
+        return self._labels[far], depth
 
     def eccentricity(self, v: Node) -> int:
         """Max BFS distance from ``v`` within its component."""
-        return max(self.bfs_levels(v).values())
+        try:
+            s = self._index[v]
+        except KeyError:
+            raise GraphError(f"no such node {v!r}") from None
+        order = self.bfs_order_from(s)
+        return self._bfs_dist[order[-1]]
 
     def diameter(self) -> int:
         """Exact diameter by all-pairs BFS. O(V * (V + E)) — small graphs only.
 
         Raises :class:`GraphError` on a disconnected or empty graph.
         """
-        if not self._adj:
+        if not self._index:
             raise GraphError("diameter of empty graph is undefined")
         best = 0
-        n = len(self._adj)
-        for v in self._adj:
-            levels = self.bfs_levels(v)
-            if len(levels) != n:
+        n = len(self._index)
+        dist = self._bfs_dist
+        for i in self._index.values():
+            order = self.bfs_order_from(i)
+            if len(order) != n:
                 raise GraphError("diameter of disconnected graph is undefined")
-            best = max(best, max(levels.values()))
+            d = dist[order[-1]]
+            if d > best:
+                best = d
         return best
 
     def connected_components(self) -> list[set[Node]]:
-        seen: set[Node] = set()
+        seen: set[int] = set()
+        labels = self._labels
         out: list[set[Node]] = []
-        for start in self._adj:
-            if start in seen:
+        for i in self._index.values():
+            if i in seen:
                 continue
-            comp = set(self.bfs_levels(start))
-            seen |= comp
-            out.append(comp)
+            order = self.bfs_order_from(i)
+            seen.update(order)
+            out.append({labels[j] for j in order})
         return out
 
     def is_connected(self) -> bool:
-        if not self._adj:
+        if not self._index:
             return True
-        first = next(iter(self._adj))
-        return len(self.bfs_levels(first)) == len(self._adj)
+        first = next(iter(self._index.values()))
+        return len(self.bfs_order_from(first)) == len(self._index)
 
     def is_bipartite(self) -> tuple[bool, dict[Node, int]]:
         """2-colorability check.
@@ -247,38 +438,53 @@ class Graph:
         Returns ``(True, coloring)`` with colors in {0, 1}, or
         ``(False, partial_coloring)`` when an odd cycle exists.
         """
-        color: dict[Node, int] = {}
-        for start in self._adj:
+        labels = self._labels
+        adj = self._adj
+        color: dict[int, int] = {}
+        for start in self._index.values():
             if start in color:
                 continue
             color[start] = 0
-            queue = deque([start])
-            while queue:
-                v = queue.popleft()
-                for u in self._adj[v]:
-                    if u not in color:
-                        color[u] = 1 - color[v]
+            queue = [start]
+            head = 0
+            while head < len(queue):
+                v = queue[head]
+                head += 1
+                cv = color[v]
+                for u in adj[v]:
+                    cu = color.get(u)
+                    if cu is None:
+                        color[u] = 1 - cv
                         queue.append(u)
-                    elif color[u] == color[v]:
-                        return False, color
-        return True, color
+                    elif cu == cv:
+                        return False, {labels[i]: c for i, c in color.items()}
+        return True, {labels[i]: c for i, c in color.items()}
 
     def min_degree_node(self, candidates: Iterable[Node] | None = None) -> Node:
         """A node of minimum degree (deterministic: first in iteration order)."""
-        pool = self._adj if candidates is None else list(candidates)
+        pool = self._index if candidates is None else list(candidates)
         if not pool:
             raise GraphError("no candidates")
-        return min(pool, key=lambda v: (len(self._adj[v]), repr(v)))
+        return min(pool, key=lambda v: (len(self._adj[self._index[v]]), repr(v)))
 
     def to_networkx(self):
         """Interop: export to a :mod:`networkx` graph (weights as attrs)."""
         import networkx as nx
 
         g = nx.Graph()
-        for v, w in self._weights.items():
-            g.add_node(v, weight=w)
+        for v, i in self._index.items():
+            g.add_node(v, weight=self._weights[i])
         g.add_edges_from(self.edges())
         return g
+
+    def __getstate__(self):
+        # BFS scratch is process-local; drop it so pickles stay compact
+        # (the parallel multi-start path ships graphs to worker processes).
+        state = self.__dict__.copy()
+        state["_bfs_dist"] = []
+        state["_bfs_seen"] = []
+        state["_bfs_stamp"] = 0
+        return state
 
     def __repr__(self) -> str:
         return f"Graph(num_nodes={self.num_nodes}, num_edges={self.num_edges})"

@@ -248,6 +248,22 @@ class Hypergraph:
         except KeyError:
             raise HypergraphError(f"no such vertex {v!r}") from None
 
+    def incident_edges_view(self, v: Vertex) -> set[EdgeName]:
+        """Zero-copy view of the incidence set of ``v`` — read-only.
+
+        Hot-path variant of :meth:`incident_edges` (the intersection-graph
+        clique loop calls this once per vertex); callers must not mutate
+        the returned set or hold it across hypergraph mutations.
+        """
+        try:
+            return self._incidence[v]
+        except KeyError:
+            raise HypergraphError(f"no such vertex {v!r}") from None
+
+    def iter_edges(self) -> Iterator[tuple[EdgeName, frozenset[Vertex]]]:
+        """Iterate ``(name, members)`` pairs without copying the edge dict."""
+        return iter(self._edge_members.items())
+
     def vertex_degree(self, v: Vertex) -> int:
         """Number of hyperedges containing ``v`` (the paper's node degree)."""
         return len(self.incident_edges(v))
@@ -303,12 +319,23 @@ class Hypergraph:
         return h
 
     def restricted_to_edges(self, edge_subset: Iterable[EdgeName]) -> "Hypergraph":
-        """Sub-hypergraph keeping only the named edges (all vertices kept)."""
+        """Sub-hypergraph keeping only the named edges (all vertices kept).
+
+        Member frozensets are immutable and shared with ``self`` rather
+        than rebuilt — this runs once per :func:`algorithm1` call (the
+        large-edge filter) and used to cost as much as a multi-start.
+        """
         h = Hypergraph()
-        for v, w in self._vertex_weights.items():
-            h.add_vertex(v, w)
+        h._vertex_weights = dict(self._vertex_weights)
+        h._incidence = {v: set() for v in self._vertex_weights}
         for name in edge_subset:
-            h.add_edge(self.edge_members(name), name=name, weight=self._edge_weights[name])
+            members = self.edge_members(name)
+            if name in h._edge_members:
+                raise HypergraphError(f"duplicate edge name {name!r}")
+            h._edge_members[name] = members
+            h._edge_weights[name] = self._edge_weights[name]
+            for v in members:
+                h._incidence[v].add(name)
         return h
 
     def connected_components(self) -> list[set[Vertex]]:

@@ -15,21 +15,27 @@ Complexity: each H-vertex ``v`` induces a clique over its ``deg(v)``
 incident hyperedges, so construction costs ``O(sum_v deg(v)^2)`` — with the
 bounded node degree ``d`` the paper assumes for circuit netlists, this is
 ``O(d * pins) = O(n)``-ish, and never worse than ``O(n^2)`` overall.
+
+The per-vertex clique loop runs entirely on interned integer node ids
+(:meth:`repro.core.graph.Graph.add_clique`): no ``repr`` calls, no
+string-keyed dict probes.  Pair identity is defined by the stable total
+order on interned indices — two *distinct* edge names with an identical
+``repr`` (possible for arbitrary hashable labels) are therefore never
+conflated, which the old ``repr(a) <= repr(b)`` keying could not
+guarantee.
 """
 
 from __future__ import annotations
 
 from collections.abc import Hashable
-from dataclasses import dataclass, field
 
 from repro.core.graph import Graph
-from repro.core.hypergraph import Hypergraph
+from repro.core.hypergraph import Hypergraph, HypergraphError
 
 EdgeName = Hashable
 Vertex = Hashable
 
 
-@dataclass(frozen=True)
 class IntersectionGraph:
     """The dual graph ``G`` together with its source hypergraph.
 
@@ -43,19 +49,47 @@ class IntersectionGraph:
         ``hypergraph``.
     shared_vertices:
         For each adjacent pair ``(a, b)`` of G-nodes (stored with
-        ``repr(a) <= repr(b)``), the H-vertices the two hyperedges share.
-        This witnesses adjacency and is used when projecting G-structures
-        back onto ``H``.
+        ``index_of(a) < index_of(b)``, a stable total order even when
+        distinct names share a ``repr``), the H-vertices the two
+        hyperedges share.  Built lazily on first access — the hot path
+        never needs the full witness table, only :meth:`shared` queries.
     """
 
-    hypergraph: Hypergraph
-    graph: Graph
-    shared_vertices: dict[tuple[EdgeName, EdgeName], frozenset[Vertex]] = field(repr=False)
+    __slots__ = ("hypergraph", "graph", "_shared_cache")
+
+    def __init__(
+        self,
+        hypergraph: Hypergraph,
+        graph: Graph,
+        shared_vertices: dict[tuple[EdgeName, EdgeName], frozenset[Vertex]] | None = None,
+    ) -> None:
+        self.hypergraph = hypergraph
+        self.graph = graph
+        self._shared_cache = dict(shared_vertices) if shared_vertices is not None else None
+
+    @property
+    def shared_vertices(self) -> dict[tuple[EdgeName, EdgeName], frozenset[Vertex]]:
+        if self._shared_cache is None:
+            cache: dict[tuple[EdgeName, EdgeName], frozenset[Vertex]] = {}
+            g = self.graph
+            h = self.hypergraph
+            labels = g.labels_view()
+            for i in g.node_indices():
+                a = labels[i]
+                members_a = h.edge_members(a)
+                for j in g.adjacency_view()[i]:
+                    if i < j:
+                        b = labels[j]
+                        cache[(a, b)] = members_a & h.edge_members(b)
+            self._shared_cache = cache
+        return self._shared_cache
 
     def shared(self, a: EdgeName, b: EdgeName) -> frozenset[Vertex]:
         """H-vertices shared by hyperedges ``a`` and ``b`` (empty if none)."""
-        key = (a, b) if repr(a) <= repr(b) else (b, a)
-        return self.shared_vertices.get(key, frozenset())
+        try:
+            return self.hypergraph.edge_members(a) & self.hypergraph.edge_members(b)
+        except HypergraphError:
+            return frozenset()
 
     @property
     def num_nodes(self) -> int:
@@ -64,6 +98,9 @@ class IntersectionGraph:
     @property
     def num_edges(self) -> int:
         return self.graph.num_edges
+
+    def __repr__(self) -> str:
+        return f"IntersectionGraph(hypergraph={self.hypergraph!r}, graph={self.graph!r})"
 
 
 def intersection_graph(hypergraph: Hypergraph) -> IntersectionGraph:
@@ -86,19 +123,8 @@ def intersection_graph(hypergraph: Hypergraph) -> IntersectionGraph:
     g = Graph()
     for name in hypergraph.edge_names:
         g.add_vertex(name, weight=hypergraph.edge_weight(name))
-
-    shared: dict[tuple[EdgeName, EdgeName], set[Vertex]] = {}
     for v in hypergraph.vertices:
-        incident = sorted(hypergraph.incident_edges(v), key=repr)
-        for i, a in enumerate(incident):
-            for b in incident[i + 1 :]:
-                key = (a, b) if repr(a) <= repr(b) else (b, a)
-                bucket = shared.get(key)
-                if bucket is None:
-                    bucket = set()
-                    shared[key] = bucket
-                    g.add_edge(a, b)
-                bucket.add(v)
-
-    frozen = {key: frozenset(vals) for key, vals in shared.items()}
-    return IntersectionGraph(hypergraph=hypergraph, graph=g, shared_vertices=frozen)
+        incident = hypergraph.incident_edges_view(v)
+        if len(incident) > 1:
+            g.add_clique(incident)
+    return IntersectionGraph(hypergraph=hypergraph, graph=g)

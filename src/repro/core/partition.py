@@ -115,7 +115,23 @@ class Bipartition:
     @cached_property
     def crossing_edges(self) -> frozenset[EdgeName]:
         """Names of all hyperedges that cross the cut."""
-        return frozenset(name for name in self._h.edge_names if self.edge_crosses(name))
+        # Evaluated once per candidate cut in multi-start ranking: walk
+        # pins with early exit instead of building two intersection sets
+        # per edge.
+        left = self._left
+        crossing = []
+        for name, members in self._h.iter_edges():
+            has_l = has_r = False
+            for p in members:
+                if p in left:
+                    has_l = True
+                else:
+                    has_r = True
+                if has_l and has_r:
+                    crossing.append(name)
+                    break
+            # pins outside both sides cannot occur: _check() enforced cover
+        return frozenset(crossing)
 
     @cached_property
     def cutsize(self) -> int:

@@ -135,17 +135,26 @@ class TestCompleteCut:
 
 
 class TestWithinOneTheorem:
-    """Greedy losers <= optimum + (#connected components of G')."""
+    """Greedy vs the exact König optimum.
+
+    The paper claims the greedy is within one of optimum on a connected
+    ``G'``, but the bound is false in general — hypothesis finds
+    connected instances where a connected 13-node ``G'`` greedily loses
+    7 against an optimum of 5.  We assert the provable facts instead:
+    the exact bound from below and maximality (every loser is adjacent
+    to some winner, else it could have won for free).
+    """
 
     @settings(max_examples=120)
     @given(bipartite_graphs())
-    def test_greedy_near_optimal(self, data):
+    def test_greedy_bounded_below_and_maximal(self, data):
         left, right, edges = data
         bg = make_boundary(left, right, edges)
-        greedy = complete_cut(bg).num_losers
-        optimum = optimal_completion_size(bg)
-        num_components = len(bg.graph.connected_components())
-        assert optimum <= greedy <= optimum + num_components
+        completion = complete_cut(bg)
+        assert completion.num_losers >= optimal_completion_size(bg)
+        winners = completion.winners
+        for loser in completion.losers:
+            assert any(n in winners for n in bg.graph.neighbors_view(loser))
 
     @settings(max_examples=60)
     @given(bipartite_graphs(max_side=4))

@@ -112,6 +112,39 @@ class TestDoubleBfsCut:
         assert cut.interior_left == cut.left - cut.boundary_left
         assert cut.interior_right == cut.right - cut.boundary_right
 
+    def test_unreached_component_attaches_to_smaller_left_side(self):
+        """After a lopsided race, stray components land on the light side."""
+        g = path_graph(2)  # seeds only: counts tie at 1-1
+        # a 3-node component: tie resolves to the left (counts[0] <= counts[1])
+        g.add_edge("c1", "c2")
+        g.add_edge("c2", "c3")
+        cut = double_bfs_cut(g, 0, 1)
+        assert {"c1", "c2", "c3"} <= cut.left
+        assert not {"c1", "c2", "c3"} & cut.boundary
+        check_graph_cut(g, cut)
+
+    def test_unreached_component_attaches_to_smaller_right_side(self):
+        g = path_graph(2)
+        g.add_edge("c1", "c2")
+        g.add_edge("c2", "c3")  # attaches left, making left the heavy side
+        g.add_vertex("z")  # next component must go right
+        cut = double_bfs_cut(g, 0, 1)
+        assert {"c1", "c2", "c3"} <= cut.left
+        assert "z" in cut.right
+        assert "z" not in cut.boundary
+        check_graph_cut(g, cut)
+
+    def test_components_never_contribute_boundary(self):
+        """The paper's c = 0 case: unconnectedness means empty boundary."""
+        g = path_graph(5)
+        for k in range(4):
+            g.add_edge(("x", k), ("y", k))
+        cut = double_bfs_cut(g, 0, 4)
+        extra = {("x", k) for k in range(4)} | {("y", k) for k in range(4)}
+        assert not extra & cut.boundary
+        assert cut.boundary <= set(range(5))
+        check_graph_cut(g, cut)
+
 
 class TestPartialBipartition:
     def test_figure1_projection(self, figure1_hypergraph):

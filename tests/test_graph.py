@@ -195,3 +195,55 @@ class TestMisc:
 
     def test_repr(self):
         assert "num_nodes=3" in repr(path_graph(3))
+
+
+class TestIndexedCore:
+    """The interned-index API backing the hot paths."""
+
+    def test_index_label_round_trip(self):
+        g = Graph(nodes=["a", "b", "c"])
+        for label in g.nodes:
+            assert g.label_of(g.index_of(label)) == label
+
+    def test_unknown_label_rejected(self):
+        g = Graph(nodes=["a"])
+        with pytest.raises(GraphError):
+            g.index_of("missing")
+
+    def test_neighbors_view_matches_neighbors(self):
+        g = cycle_graph(6)
+        for node in g.nodes:
+            assert set(g.neighbors_view(node)) == set(g.neighbors(node))
+
+    def test_adjacency_view_in_index_space(self):
+        g = path_graph(4)
+        adj = g.adjacency_view()
+        labels = g.labels_view()
+        for node in g.nodes:
+            i = g.index_of(node)
+            assert {labels[j] for j in adj[i]} == set(g.neighbors(node))
+
+    def test_indices_stable_across_removal(self):
+        g = Graph(nodes=["a", "b", "c", "d"], edges=[("a", "b"), ("b", "c")])
+        kept = {n: g.index_of(n) for n in ("a", "c", "d")}
+        g.remove_vertex("b")
+        for label, idx in kept.items():
+            assert g.index_of(label) == idx
+            assert g.label_of(idx) == label
+        assert set(g.node_indices()) == set(kept.values())
+
+    def test_slot_reuse_after_removal(self):
+        g = Graph(nodes=["a", "b"])
+        freed = g.index_of("b")
+        g.remove_vertex("b")
+        g.add_vertex("z")
+        assert g.index_of("z") == freed
+        assert g.slot_capacity() == 2
+
+    def test_bfs_order_from_is_distance_sorted(self):
+        g = cycle_graph(8)
+        order = g.bfs_order_from(g.index_of(0))
+        dist = g.bfs_dist_view()
+        distances = [dist[i] for i in order]
+        assert distances == sorted(distances)
+        assert len(order) == 8

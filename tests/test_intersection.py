@@ -81,6 +81,42 @@ class TestStructure:
             assert ig.graph.degree(name) <= bound
 
 
+class _SameRepr:
+    """Distinct hashable edge names that repr() identically."""
+
+    def __init__(self, tag):
+        self.tag = tag
+
+    def __repr__(self):
+        return "edge"
+
+
+class TestReprCollisions:
+    """Regression: pair lookups must not key on repr() strings.
+
+    The old construction probed a ``repr``-keyed dict, so two distinct
+    edge-name objects with the same ``repr`` could shadow each other's
+    shared-vertex witnesses.
+    """
+
+    def test_distinct_names_sharing_a_repr(self):
+        e1, e2 = _SameRepr(1), _SameRepr(2)
+        h = Hypergraph(edges={e1: [1, 2], e2: [2, 3], "X": [1, 3]})
+        ig = intersection_graph(h)
+        assert ig.graph.has_edge(e1, e2)
+        assert ig.shared(e1, e2) == frozenset({2})
+        assert ig.shared(e2, e1) == frozenset({2})
+        assert ig.shared(e1, "X") == frozenset({1})
+        assert ig.shared(e2, "X") == frozenset({3})
+
+    def test_witness_map_distinguishes_same_repr_pairs(self):
+        e1, e2, e3 = _SameRepr(1), _SameRepr(2), _SameRepr(3)
+        h = Hypergraph(edges={e1: [1, 2], e2: [2, 3], e3: [3, 1]})
+        ig = intersection_graph(h)
+        witnesses = set(ig.shared_vertices.values())
+        assert witnesses == {frozenset({1}), frozenset({2}), frozenset({3})}
+
+
 class TestProperties:
     @given(hypergraphs())
     def test_adjacency_iff_intersection(self, h):

@@ -1,0 +1,42 @@
+"""Tier-1 performance smoke test on the 2000-edge acceptance instance.
+
+Not a benchmark — the ceilings are deliberately generous (an order of
+magnitude above current timings) so the test only trips on catastrophic
+regressions, e.g. an accidental return to per-call neighbour-set copies
+or linear winner rescans in the hot paths.  Real numbers live in
+``benchmarks/bench_core_micro.py``.
+"""
+
+import time
+
+import pytest
+
+from repro.core.algorithm1 import TIMING_PHASES, algorithm1
+from repro.generators import random_hypergraph
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.fixture(scope="module")
+def big():
+    return random_hypergraph(1200, 2000, seed=7, connect=True)
+
+
+def test_single_start_under_generous_ceiling(big):
+    t0 = time.perf_counter()
+    result = algorithm1(big, num_starts=1, seed=0)
+    elapsed = time.perf_counter() - t0
+    assert elapsed < 5.0, f"single start took {elapsed:.2f}s on the 2k-edge instance"
+    assert set(TIMING_PHASES) <= set(result.timings)
+    # The sum of phase timers accounts for the bulk of the wall clock.
+    assert sum(result.timings.values()) <= elapsed + 0.01
+
+
+def test_ten_starts_under_generous_ceiling(big):
+    t0 = time.perf_counter()
+    result = algorithm1(big, num_starts=10, seed=1)
+    elapsed = time.perf_counter() - t0
+    assert elapsed < 15.0, f"10 starts took {elapsed:.2f}s on the 2k-edge instance"
+    assert all(result.timings[phase] >= 0.0 for phase in TIMING_PHASES)
+    assert result.timings["cut"] > 0.0
+    assert result.timings["complete"] > 0.0
