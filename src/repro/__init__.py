@@ -22,6 +22,7 @@ Quickstart::
     True
 """
 
+from repro import obs
 from repro.core import (
     Algorithm1Result,
     Bipartition,
@@ -56,5 +57,6 @@ __all__ = [
     "KWayPartition",
     "recursive_bisection",
     "branch_and_bound_min_cut",
+    "obs",
     "__version__",
 ]

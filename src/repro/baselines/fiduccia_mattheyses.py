@@ -21,6 +21,7 @@ from __future__ import annotations
 import random
 from collections.abc import Hashable
 
+from repro import obs
 from repro.baselines.cutstate import LEFT, RIGHT, CutState, initial_state
 from repro.baselines.result import BaselineResult
 from repro.core.hypergraph import Hypergraph
@@ -117,17 +118,21 @@ def fiduccia_mattheyses(
     if unknown:
         raise ValueError(f"fixed vertices not in hypergraph: {sorted(map(repr, unknown))}")
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
-    state = initial_state(hypergraph, initial, rng)
+    with obs.span("baseline.fm"):
+        state = initial_state(hypergraph, initial, rng)
 
-    history: list[int] = []
-    passes = 0
-    for _ in range(max_passes):
-        passes += 1
-        improvement = _fm_pass(state, balance_tolerance, fixed_set)
-        history.append(state.cutsize)
-        if improvement <= 0:
-            break
+        history: list[int] = []
+        passes = 0
+        for _ in range(max_passes):
+            passes += 1
+            improvement = _fm_pass(state, balance_tolerance, fixed_set)
+            history.append(state.cutsize)
+            if improvement <= 0:
+                break
 
+    obs.count("baseline.fm.runs")
+    obs.count("baseline.fm.passes", passes)
+    obs.count("baseline.fm.evaluations", state.evaluations)
     return BaselineResult(
         bipartition=state.to_bipartition(),
         iterations=passes,

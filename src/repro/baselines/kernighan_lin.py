@@ -23,6 +23,7 @@ import heapq
 import random
 from collections.abc import Hashable
 
+from repro import obs
 from repro.baselines.cutstate import CutState, initial_state
 from repro.baselines.result import BaselineResult
 from repro.core.hypergraph import Hypergraph
@@ -61,17 +62,21 @@ def kernighan_lin(
     if shortlist < 1:
         raise ValueError(f"shortlist must be >= 1, got {shortlist}")
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
-    state = initial_state(hypergraph, initial, rng)
+    with obs.span("baseline.kl"):
+        state = initial_state(hypergraph, initial, rng)
 
-    history: list[int] = []
-    passes = 0
-    for _ in range(max_passes):
-        passes += 1
-        improvement = _kl_pass(state, shortlist)
-        history.append(state.cutsize)
-        if improvement <= 0:
-            break
+        history: list[int] = []
+        passes = 0
+        for _ in range(max_passes):
+            passes += 1
+            improvement = _kl_pass(state, shortlist)
+            history.append(state.cutsize)
+            if improvement <= 0:
+                break
 
+    obs.count("baseline.kl.runs")
+    obs.count("baseline.kl.passes", passes)
+    obs.count("baseline.kl.evaluations", state.evaluations)
     return BaselineResult(
         bipartition=state.to_bipartition(),
         iterations=passes,

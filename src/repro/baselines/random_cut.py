@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import random
 
+from repro import obs
 from repro.baselines.cutstate import CutState, random_balanced_sides
 from repro.baselines.result import BaselineResult
 from repro.core.hypergraph import Hypergraph
@@ -40,15 +41,19 @@ def random_cut(
     best_state: CutState | None = None
     history: list[int] = []
     evaluations = 0
-    for _ in range(num_starts):
-        left, _ = random_balanced_sides(hypergraph, rng)
-        state = CutState(hypergraph, left)
-        evaluations += hypergraph.num_edges
-        if best_state is None or state.cutsize < best_state.cutsize:
-            best_state = state
-        history.append(best_state.cutsize)
+    with obs.span("baseline.random"):
+        for _ in range(num_starts):
+            left, _ = random_balanced_sides(hypergraph, rng)
+            state = CutState(hypergraph, left)
+            evaluations += hypergraph.num_edges
+            if best_state is None or state.cutsize < best_state.cutsize:
+                best_state = state
+            history.append(best_state.cutsize)
 
     assert best_state is not None
+    obs.count("baseline.random.runs")
+    obs.count("baseline.random.starts", num_starts)
+    obs.count("baseline.random.evaluations", evaluations)
     return BaselineResult(
         bipartition=best_state.to_bipartition(),
         iterations=num_starts,

@@ -18,6 +18,7 @@ import math
 import random
 from dataclasses import dataclass
 
+from repro import obs
 from repro.baselines.cutstate import LEFT, initial_state
 from repro.baselines.result import BaselineResult
 from repro.core.hypergraph import Hypergraph
@@ -122,35 +123,43 @@ def simulated_annealing(
     frozen_steps = 0
     temperature_steps = 0
 
-    while (
-        temperature > schedule.min_temperature
-        and total_moves < schedule.max_total_moves
-        and frozen_steps < schedule.frozen_after
-    ):
-        accepted_any = False
-        for _ in range(moves_per_temp):
-            total_moves += 1
-            v = vertices[rng.randrange(len(vertices))]
-            delta = move_delta(v)
-            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
-                state.apply_move(v)
-                accepted_any = True
-                feasible = state.weight_imbalance() / total_weight <= balance_tolerance
-                better = (feasible and not best_feasible) or (
-                    feasible == best_feasible and state.cutsize < best_cut
-                )
-                if better:
-                    best_snapshot = state.snapshot()
-                    best_cut = state.cutsize
-                    best_feasible = feasible
-            if total_moves >= schedule.max_total_moves:
-                break
-        history.append(best_cut)
-        temperature_steps += 1
-        frozen_steps = 0 if accepted_any else frozen_steps + 1
-        temperature *= schedule.alpha
+    with obs.span("baseline.sa"):
+        while (
+            temperature > schedule.min_temperature
+            and total_moves < schedule.max_total_moves
+            and frozen_steps < schedule.frozen_after
+        ):
+            accepted_any = False
+            for _ in range(moves_per_temp):
+                total_moves += 1
+                v = vertices[rng.randrange(len(vertices))]
+                if state.side_sizes[state.side[v]] <= 1:
+                    continue  # moving v would empty its side
+                delta = move_delta(v)
+                if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                    state.apply_move(v)
+                    accepted_any = True
+                    feasible = state.weight_imbalance() / total_weight <= balance_tolerance
+                    better = (feasible and not best_feasible) or (
+                        feasible == best_feasible and state.cutsize < best_cut
+                    )
+                    if better:
+                        best_snapshot = state.snapshot()
+                        best_cut = state.cutsize
+                        best_feasible = feasible
+                if total_moves >= schedule.max_total_moves:
+                    break
+            history.append(best_cut)
+            temperature_steps += 1
+            frozen_steps = 0 if accepted_any else frozen_steps + 1
+            temperature *= schedule.alpha
 
-    state.restore(best_snapshot)
+        state.restore(best_snapshot)
+
+    obs.count("baseline.sa.runs")
+    obs.count("baseline.sa.temperature_steps", temperature_steps)
+    obs.count("baseline.sa.moves", total_moves)
+    obs.count("baseline.sa.evaluations", state.evaluations)
     return BaselineResult(
         bipartition=state.to_bipartition(),
         iterations=temperature_steps,

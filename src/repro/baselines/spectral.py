@@ -15,6 +15,7 @@ import random
 
 import numpy as np
 
+from repro import obs
 from repro.baselines.result import BaselineResult
 from repro.core.hypergraph import Hypergraph
 from repro.core.partition import Bipartition
@@ -63,13 +64,15 @@ def spectral_bisection(
     degrees = np.asarray(adjacency.sum(axis=1)).ravel()
     laplacian = sp.diags(degrees) - adjacency
 
-    fiedler = _fiedler_vector(laplacian, seed)
+    with obs.span("baseline.spectral"):
+        fiedler = _fiedler_vector(laplacian, seed)
     order = np.argsort(fiedler, kind="stable")
     half = n // 2
     left = {vertices[i] for i in order[:half]}
     right = set(vertices) - left
 
     bipartition = Bipartition(hypergraph, left, right)
+    obs.count("baseline.spectral.runs")
     return BaselineResult(
         bipartition=bipartition,
         iterations=1,

@@ -214,6 +214,50 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        DEFAULT_ENGINES,
+        PINNED_SUITE,
+        QUICK_SUITE,
+        bench_path,
+        compare_bench,
+        format_compare,
+        load_bench,
+        run_bench,
+        write_bench,
+    )
+
+    if args.compare:
+        baseline = load_bench(args.compare[0])
+        current = load_bench(args.compare[1])
+        regressions = compare_bench(
+            baseline, current, runtime_tolerance=args.runtime_tolerance
+        )
+        print(format_compare(baseline, current, regressions))
+        return 1 if regressions else 0
+
+    engines = tuple(args.engines.split(",")) if args.engines else DEFAULT_ENGINES
+    cases = QUICK_SUITE if args.quick else PINNED_SUITE
+    payload = run_bench(
+        args.label,
+        cases=cases,
+        engines=engines,
+        seed=args.seed,
+        starts=args.starts,
+        repeats=args.repeats,
+    )
+    out = Path(args.out) if args.out else bench_path(args.label)
+    write_bench(payload, out)
+    print(f"{'instance':<12} {'engine':<10} {'cutsize':>8} {'imbalance':>10} {'seconds':>8}")
+    for entry in payload["results"]:
+        print(
+            f"{entry['instance']:<12} {entry['engine']:<10} {entry['cutsize']:>8} "
+            f"{entry['imbalance_fraction']:>10.3f} {entry['seconds']:>8.3f}"
+        )
+    print(f"\nbench written: {out}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro import experiments as ex
 
@@ -332,6 +376,37 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--seed", type=int, default=0)
     pf.add_argument("--parts", help="write the winning cut as a .part file")
     pf.set_defaults(fn=_cmd_portfolio)
+
+    b = sub.add_parser(
+        "bench",
+        help="run the pinned regression bench suite / compare two BENCH files",
+    )
+    b.add_argument("--label", default="local", help="written to BENCH_<label>.json")
+    b.add_argument("--out", default=None, help="output path (default ./BENCH_<label>.json)")
+    b.add_argument("--engines", default=None, help="comma-separated engine list")
+    b.add_argument("--starts", type=int, default=10, help="multi-start count for algorithm1/random")
+    b.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repeats per engine; the minimum wall clock is recorded",
+    )
+    b.add_argument("--seed", type=int, default=0)
+    b.add_argument("--quick", action="store_true", help="tiny suite for smoke runs")
+    b.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("BASELINE", "CURRENT"),
+        help="compare two BENCH_*.json files; exit 1 on cut or runtime regression",
+    )
+    b.add_argument(
+        "--runtime-tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional runtime slowdown in --compare (0.25 = +25%%; "
+        "use a larger value when comparing across machines)",
+    )
+    b.set_defaults(fn=_cmd_bench)
 
     e = sub.add_parser("experiment", help="regenerate a paper table/figure")
     e.add_argument("which", help="table1|table2|difficult|diameter|boundary|crossing|scaling|multistart|filtering|variants|balance|refinement|quotient|granularization|variance|rent|all")

@@ -33,11 +33,11 @@ from __future__ import annotations
 
 import multiprocessing
 import random
-import time
 from collections.abc import Hashable
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.boundary import BoundaryGraph, boundary_graph
 from repro.core.complete_cut import (
     CompletionResult,
@@ -222,57 +222,59 @@ def run_single_start(
     """
     g = intersection.graph
     working = intersection.hypergraph
-    t0 = time.perf_counter()
-    u, v, depth = random_longest_bfs_path(g, rng=rng, start=start_node, double_sweep=double_sweep)
-
-    if u == v:
-        # Degenerate single-node BFS component: depth 0 means the seed has
-        # no neighbours at all, so no boundary can arise — fall back to an
-        # arbitrary one-vs-rest graph cut with empty boundary sets.
-        assert g.degree(u) == 0, "u == v fallback requires an isolated seed"
-        others = [n for n in g.nodes if n != u]
-        cut = GraphCut(
-            left=frozenset([u]),
-            right=frozenset(others),
-            boundary_left=frozenset(),
-            boundary_right=frozenset(),
-            seed_u=u,
-            seed_v=u,
+    timer = obs.PhaseTimer("algorithm1")
+    with timer.phase("cut"):
+        u, v, depth = random_longest_bfs_path(
+            g, rng=rng, start=start_node, double_sweep=double_sweep
         )
-    else:
-        cut = double_bfs_cut(g, u, v, rng=rng, mode=bfs_mode)
 
-    partial = partial_bipartition(intersection, cut)
-    bg = boundary_graph(g, cut)
-    t1 = time.perf_counter()
+        if u == v:
+            # Degenerate single-node BFS component: depth 0 means the seed
+            # has no neighbours at all, so no boundary can arise — fall back
+            # to an arbitrary one-vs-rest graph cut with empty boundary sets.
+            assert g.degree(u) == 0, "u == v fallback requires an isolated seed"
+            others = [n for n in g.nodes if n != u]
+            cut = GraphCut(
+                left=frozenset([u]),
+                right=frozenset(others),
+                boundary_left=frozenset(),
+                boundary_right=frozenset(),
+                seed_u=u,
+                seed_v=u,
+            )
+        else:
+            cut = double_bfs_cut(g, u, v, rng=rng, mode=bfs_mode)
+
+        partial = partial_bipartition(intersection, cut)
+        bg = boundary_graph(g, cut)
 
     left: set[Vertex] = set(partial.placed_left)
     right: set[Vertex] = set(partial.placed_right)
 
-    if weighted_balance:
-        assigned = {pin: "L" for pin in left}
-        assigned.update({pin: "R" for pin in right})
-        completion = complete_cut_weighted(
-            bg,
-            working,
-            initial_left_weight=sum(working.vertex_weight(p) for p in left),
-            initial_right_weight=sum(working.vertex_weight(p) for p in right),
-            assigned=assigned,
-            variant=variant,
-            rng=rng,
-        )
-    else:
-        completion = complete_cut(bg, variant=variant, rng=rng)
+    with timer.phase("complete"):
+        if weighted_balance:
+            assigned = {pin: "L" for pin in left}
+            assigned.update({pin: "R" for pin in right})
+            completion = complete_cut_weighted(
+                bg,
+                working,
+                initial_left_weight=sum(working.vertex_weight(p) for p in left),
+                initial_right_weight=sum(working.vertex_weight(p) for p in right),
+                assigned=assigned,
+                variant=variant,
+                rng=rng,
+            )
+        else:
+            completion = complete_cut(bg, variant=variant, rng=rng)
 
-    _commit_winner_pins(working, completion, left, right)
-    t2 = time.perf_counter()
+        _commit_winner_pins(working, completion, left, right)
 
-    free = [p for p in original.vertices if p not in left and p not in right]
-    _balance_free_vertices(original, left, right, free, rng)
-    _ensure_nonempty_sides(original, left, right)
+    with timer.phase("balance"):
+        free = [p for p in original.vertices if p not in left and p not in right]
+        _balance_free_vertices(original, left, right, free, rng)
+        _ensure_nonempty_sides(original, left, right)
+        bipartition = Bipartition(original, left, right)
 
-    bipartition = Bipartition(original, left, right)
-    t3 = time.perf_counter()
     return SingleRunTrace(
         cut=cut,
         partial=partial,
@@ -280,7 +282,7 @@ def run_single_start(
         completion=completion,
         bipartition=bipartition,
         bfs_depth=depth,
-        timings={"cut": t1 - t0, "complete": t2 - t1, "balance": t3 - t2},
+        timings=timer.timings,
     )
 
 
@@ -350,16 +352,11 @@ _PARALLEL_STATE: dict = {}
 def _parallel_init(state: dict) -> None:
     _PARALLEL_STATE.clear()
     _PARALLEL_STATE.update(state)
+    if state.get("obs_enabled"):
+        obs.enable()
 
 
-def _run_start_batch(batch: list[tuple[int, int]]):
-    """Worker: run a batch of (start_index, child_seed) starts.
-
-    Returns a compact triple — the batch's best cut as
-    ``((rank, index), left, right)``, the per-start records as
-    ``(index, StartRecord)`` pairs, and summed per-phase timings — so
-    only small frozensets cross the process boundary, never traces.
-    """
+def _run_batch_starts(batch: list[tuple[int, int]]):
     st = _PARALLEL_STATE
     intersection = st["intersection"]
     original = st["original"]
@@ -402,6 +399,26 @@ def _run_start_batch(batch: list[tuple[int, int]]):
     return best, records, timings
 
 
+def _run_start_batch(batch: list[tuple[int, int]]):
+    """Worker: run a batch of (start_index, child_seed) starts.
+
+    Returns a compact quadruple — the batch's best cut as
+    ``((rank, index), left, right)``, the per-start records as
+    ``(index, StartRecord)`` pairs, summed per-phase timings, and the
+    worker's observability snapshot (``None`` when recording is off) —
+    so only small frozensets and plain dicts cross the process boundary,
+    never traces.  Each worker records into a fresh scoped registry so
+    the parent can merge snapshots without double-counting whatever the
+    fork inherited.
+    """
+    if _PARALLEL_STATE.get("obs_enabled"):
+        with obs.scoped() as reg:
+            best, records, timings = _run_batch_starts(batch)
+            snapshot = reg.snapshot()
+        return best, records, timings, snapshot
+    return (*_run_batch_starts(batch), None)
+
+
 def _run_parallel_starts(
     state: dict,
     num_starts: int,
@@ -441,13 +458,15 @@ def _run_parallel_starts(
     best_pack = None
     records_by_index: dict[int, StartRecord] = {}
     timings = {"cut": 0.0, "complete": 0.0, "balance": 0.0}
-    for batch_best, batch_records, batch_timings in results:
+    for batch_best, batch_records, batch_timings, batch_snapshot in results:
         for index, record in batch_records:
             records_by_index[index] = record
         if batch_best is not None and (best_pack is None or batch_best[0] < best_pack[0]):
             best_pack = batch_best
         for phase, dt in batch_timings.items():
             timings[phase] = timings.get(phase, 0.0) + dt
+        if batch_snapshot is not None and obs.is_enabled():
+            obs.registry().merge(batch_snapshot)
     assert best_pack is not None
     records = [records_by_index[i] for i in range(num_starts)]
     return (best_pack[1], best_pack[2]), records, timings, workers
@@ -530,26 +549,20 @@ def algorithm1(
         raise Algorithm1Error(f"parallel must be >= 1 or None, got {parallel}")
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
 
-    t0 = time.perf_counter()
-    if edge_size_threshold is None:
-        working, ignored = hypergraph, frozenset()
-    else:
-        working, ignored = filter_large_edges(hypergraph, edge_size_threshold)
-        if working.num_edges == 0 and hypergraph.num_edges > 0:
-            # Filtering removed everything (tiny dense instances): disable it.
+    timer = obs.PhaseTimer("algorithm1", TIMING_PHASES)
+    timings = timer.timings
+    with timer.phase("filter"):
+        if edge_size_threshold is None:
             working, ignored = hypergraph, frozenset()
-    t1 = time.perf_counter()
+        else:
+            working, ignored = filter_large_edges(hypergraph, edge_size_threshold)
+            if working.num_edges == 0 and hypergraph.num_edges > 0:
+                # Filtering removed everything (tiny dense instances): disable it.
+                working, ignored = hypergraph, frozenset()
 
-    intersection = intersection_graph(working)
-    t2 = time.perf_counter()
+    with timer.phase("dualize"):
+        intersection = intersection_graph(working)
 
-    timings = {
-        "filter": t1 - t0,
-        "dualize": t2 - t1,
-        "cut": 0.0,
-        "complete": 0.0,
-        "balance": 0.0,
-    }
     counters = {
         "num_starts": 0,
         "ignored_edges": len(ignored),
@@ -557,16 +570,19 @@ def algorithm1(
         "dual_edges": intersection.num_edges,
         "parallel_workers": 0,
     }
+    obs.count("algorithm1.runs")
+    obs.count("algorithm1.ignored_edges", len(ignored))
+    obs.gauge("algorithm1.dual_nodes", intersection.num_nodes)
+    obs.gauge("algorithm1.dual_edges", intersection.num_edges)
 
     if intersection.num_nodes == 0:
         # Edgeless hypergraph: any balanced split is optimal (cutsize 0).
-        t3 = time.perf_counter()
-        left: set[Vertex] = set()
-        right: set[Vertex] = set()
-        _balance_free_vertices(hypergraph, left, right, list(hypergraph.vertices), rng)
-        _ensure_nonempty_sides(hypergraph, left, right)
-        bipartition = Bipartition(hypergraph, left, right)
-        timings["balance"] = time.perf_counter() - t3
+        with timer.phase("balance"):
+            left: set[Vertex] = set()
+            right: set[Vertex] = set()
+            _balance_free_vertices(hypergraph, left, right, list(hypergraph.vertices), rng)
+            _ensure_nonempty_sides(hypergraph, left, right)
+            bipartition = Bipartition(hypergraph, left, right)
         record = StartRecord(
             seed_u=None,
             seed_v=None,
@@ -601,11 +617,11 @@ def algorithm1(
         # real cut through the giant component is required and we fall
         # through to the multi-start machinery, which attaches the small
         # components side by side).
-        t3 = time.perf_counter()
-        bipartition = _pack_components(hypergraph, working, components, rng)
+        with timer.phase("balance"):
+            bipartition = _pack_components(hypergraph, working, components, rng)
         packing_limit = balance_tolerance if balance_tolerance is not None else 0.25
         if bipartition.weight_imbalance / total_weight <= packing_limit:
-            timings["balance"] = time.perf_counter() - t3
+            obs.count("algorithm1.component_packings")
             record = StartRecord(
                 seed_u=None,
                 seed_v=None,
@@ -625,6 +641,7 @@ def algorithm1(
             )
 
     counters["num_starts"] = num_starts
+    obs.count("algorithm1.starts", num_starts)
 
     if parallel is not None and num_starts > 1 and parallel > 1:
         state = {
@@ -637,12 +654,15 @@ def algorithm1(
             "objective": objective,
             "balance_tolerance": balance_tolerance,
             "total_weight": total_weight,
+            "obs_enabled": obs.is_enabled(),
         }
         (best_left, best_right), records, start_timings, workers = _run_parallel_starts(
             state, num_starts, parallel, rng
         )
-        timings.update(start_timings)
+        for phase, dt in start_timings.items():
+            timings[phase] = timings.get(phase, 0.0) + dt
         counters["parallel_workers"] = workers
+        obs.gauge("algorithm1.parallel_workers", workers)
         best = Bipartition(hypergraph, best_left, best_right)
         return Algorithm1Result(
             bipartition=best,

@@ -32,6 +32,7 @@ from collections import deque
 from collections.abc import Hashable, Mapping
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.boundary import BoundaryGraph
 from repro.core.graph import Graph
 from repro.core.hypergraph import Hypergraph
@@ -216,6 +217,9 @@ def complete_cut(
         for b in sel.kill_winner(winner):
             losers.add(labels[b])
 
+    obs.count("complete_cut.runs")
+    obs.count("complete_cut.winners", len(order))
+    obs.count("complete_cut.losers", len(losers))
     return CompletionResult(
         winners_left=frozenset(winners_left),
         winners_right=frozenset(winners_right),
@@ -284,6 +288,9 @@ def complete_cut_weighted(
         for b in sel.kill_winner(winner):
             losers.add(labels[b])
 
+    obs.count("complete_cut.weighted_runs")
+    obs.count("complete_cut.winners", len(order))
+    obs.count("complete_cut.losers", len(losers))
     return CompletionResult(
         winners_left=frozenset(winners_left),
         winners_right=frozenset(winners_right),

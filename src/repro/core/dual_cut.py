@@ -27,6 +27,7 @@ from collections import deque
 from collections.abc import Hashable
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.graph import Graph, GraphError
 from repro.core.intersection import IntersectionGraph
 
@@ -114,10 +115,13 @@ def random_longest_bfs_path(
     elif start not in graph:
         raise GraphError(f"no such node {start!r}")
     far, depth = graph.bfs_farthest(start, rng)
+    obs.count("dual_cut.bfs_paths")
     if double_sweep:
         far2, depth2 = graph.bfs_farthest(far, rng)
         if depth2 >= depth:
+            obs.gauge("dual_cut.last_bfs_depth", depth2)
             return far, far2, depth2
+    obs.gauge("dual_cut.last_bfs_depth", depth)
     return start, far, depth
 
 
@@ -236,6 +240,8 @@ def double_bfs_cut(
             if side[nbr] == other:
                 (boundary_left if s == 0 else boundary_right).append(labels[i])
                 break
+    obs.count("dual_cut.cuts")
+    obs.count("dual_cut.boundary_nodes", len(boundary_left) + len(boundary_right))
     return GraphCut(
         left=frozenset(left),
         right=frozenset(right),

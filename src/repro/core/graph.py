@@ -44,6 +44,8 @@ import random
 from collections.abc import Hashable, Iterable, Mapping
 from typing import Iterator
 
+from repro import obs
+
 Node = Hashable
 
 
@@ -316,6 +318,10 @@ class Graph:
         if need > 0:
             self._bfs_dist.extend([0] * need)
             self._bfs_seen.extend([0] * need)
+            obs.count("graph.scratch.grows")
+            obs.count("graph.scratch.grown_slots", need)
+        else:
+            obs.count("graph.scratch.reuses")
 
     def bfs_order_from(self, source: int) -> list[int]:
         """BFS from slot ``source``; returns slots in visit order.
@@ -343,6 +349,8 @@ class Graph:
                     seen[u] = stamp
                     dist[u] = dv1
                     order.append(u)
+        obs.count("graph.bfs.calls")
+        obs.count("graph.bfs.nodes_visited", len(order))
         return order
 
     def bfs_dist_view(self) -> list[int]:

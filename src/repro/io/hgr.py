@@ -25,6 +25,21 @@ class HgrFormatError(ValueError):
     """Raised on malformed ``.hgr`` content."""
 
 
+def _sorted_labels(labels):
+    """Labels in natural order when mutually comparable, repr order otherwise.
+
+    Integer labels ``1..n`` must map onto hMETIS ids ``1..n`` identically:
+    sorting by ``repr`` would interleave ``1, 10, 11, ..., 2`` and permute
+    the labels on every write, so parse -> format would never reach a
+    fixed point.
+    """
+    labels = list(labels)
+    try:
+        return sorted(labels)
+    except TypeError:
+        return sorted(labels, key=repr)
+
+
 def parse_hgr(text: str) -> Hypergraph:
     """Parse hMETIS text into a :class:`Hypergraph`."""
     lines = [
@@ -94,7 +109,7 @@ def format_hgr(hypergraph: Hypergraph) -> tuple[str, dict]:
     Weights are emitted only when any differ from 1 (choosing the
     minimal ``fmt`` code).
     """
-    vertices = sorted(hypergraph.vertices, key=repr)
+    vertices = _sorted_labels(hypergraph.vertices)
     index = {v: i + 1 for i, v in enumerate(vertices)}
     edge_names = hypergraph.edge_names
 
@@ -106,7 +121,7 @@ def format_hgr(hypergraph: Hypergraph) -> tuple[str, dict]:
 
     lines = [f"{len(edge_names)} {len(vertices)}{fmt}"]
     for name in edge_names:
-        pins = " ".join(str(index[v]) for v in sorted(hypergraph.edge_members(name), key=repr))
+        pins = " ".join(str(index[v]) for v in _sorted_labels(hypergraph.edge_members(name)))
         if has_edge_weights:
             lines.append(f"{hypergraph.edge_weight(name):g} {pins}")
         else:

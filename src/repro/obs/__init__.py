@@ -1,0 +1,53 @@
+"""``repro.obs`` — lightweight observability for the partitioning pipeline.
+
+Spans (wall-clock timing), counters (monotonic work totals), and gauges
+(last-value measurements) with a module-level on/off switch whose
+disabled path is a single boolean branch.  See
+:mod:`repro.obs.registry` for the design notes and
+``docs/OBSERVABILITY.md`` for the user guide.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.enabled() as reg:
+        algorithm1(h, num_starts=50, seed=0)
+        print(reg.to_json())
+
+Instrumented code records unconditionally cheap calls::
+
+    with obs.span("myengine.refine"):
+        ...
+    obs.count("myengine.moves", n_moves)
+    obs.gauge("myengine.final_cut", cut)
+"""
+
+from repro.obs.registry import (
+    ObsRegistry,
+    PhaseTimer,
+    SpanStats,
+    count,
+    disable,
+    enable,
+    enabled,
+    gauge,
+    is_enabled,
+    registry,
+    scoped,
+    span,
+)
+
+__all__ = [
+    "ObsRegistry",
+    "PhaseTimer",
+    "SpanStats",
+    "count",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "is_enabled",
+    "registry",
+    "scoped",
+    "span",
+]

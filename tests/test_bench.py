@@ -1,0 +1,295 @@
+"""Tests for the ``BENCH_*.json`` regression harness (``repro.bench``).
+
+The acceptance-critical behaviours: a bench run produces the documented
+payload shape with per-engine observability profiles, and
+``compare_bench`` / ``repro bench --compare`` flag an injected cut or
+runtime regression (and exit nonzero) while passing identical payloads.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    ALL_ENGINES,
+    DEFAULT_ENGINES,
+    MIN_COMPARABLE_SECONDS,
+    PINNED_SUITE,
+    QUICK_SUITE,
+    BenchCase,
+    BenchError,
+    bench_path,
+    compare_bench,
+    format_compare,
+    load_bench,
+    run_bench,
+    write_bench,
+)
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def payload():
+    """One small real bench run shared by the read-only assertions."""
+    return run_bench(
+        "test", cases=QUICK_SUITE[:2], engines=("algorithm1", "random"), starts=2, repeats=1
+    )
+
+
+class TestSuites:
+    def test_pinned_suite_is_frozen(self):
+        # Changing pinned names/seeds invalidates every committed baseline;
+        # this test makes that an explicit decision, not an accident.
+        assert [(c.name, c.params.get("seed")) for c in PINNED_SUITE] == [
+            ("planted300", 42),
+            ("random200", 7),
+            ("netlist160", 11),
+        ]
+
+    def test_quick_suite_mirrors_families(self):
+        assert [c.kind for c in QUICK_SUITE] == [c.kind for c in PINNED_SUITE]
+
+    def test_materialize_every_case(self):
+        for case in QUICK_SUITE:
+            h, meta = case.materialize()
+            assert meta["num_vertices"] == h.num_vertices
+            assert meta["num_edges"] == h.num_edges
+            if case.kind == "difficult":
+                assert meta["planted_cutsize"] >= 1
+
+    def test_unknown_case_kind_raises(self):
+        with pytest.raises(BenchError, match="unknown bench case kind"):
+            BenchCase("x", "nope").materialize()
+
+
+class TestRunBench:
+    def test_payload_shape(self, payload):
+        assert payload["schema"] == 1
+        assert payload["label"] == "test"
+        assert payload["settings"]["engines"] == ["algorithm1", "random"]
+        assert {i["name"] for i in payload["instances"]} == {"planted60", "random50"}
+        assert len(payload["results"]) == 4
+        for entry in payload["results"]:
+            assert entry["cutsize"] >= 0
+            assert entry["seconds"] >= 0.0
+            assert 0.0 <= entry["imbalance_fraction"] <= 1.0
+            assert isinstance(entry["counters"], dict)
+            assert isinstance(entry["spans"], dict)
+
+    def test_algorithm1_entries_carry_profiles(self, payload):
+        entries = [e for e in payload["results"] if e["engine"] == "algorithm1"]
+        for entry in entries:
+            assert entry["counters"]["algorithm1.starts"] == 2
+            assert "algorithm1.cut" in entry["spans"]
+            assert set(entry["phases"]) >= {"cut", "complete", "balance"}
+            assert "work_counters" in entry
+
+    def test_engine_isolation(self, payload):
+        # Each engine runs in its own scoped registry: random-cut entries
+        # must not contain algorithm1's counters.
+        entries = [e for e in payload["results"] if e["engine"] == "random"]
+        for entry in entries:
+            assert "algorithm1.starts" not in entry["counters"]
+            assert entry["counters"]["baseline.random.runs"] == 1
+
+    def test_results_are_deterministic_for_pinned_seeds(self, payload):
+        again = run_bench(
+            "test2", cases=QUICK_SUITE[:2], engines=("algorithm1", "random"), starts=2, repeats=1
+        )
+        cuts = lambda p: [(e["instance"], e["engine"], e["cutsize"]) for e in p["results"]]
+        assert cuts(again) == cuts(payload)
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(BenchError, match="unknown engines"):
+            run_bench("x", cases=QUICK_SUITE[:1], engines=("fm", "nope"))
+
+    def test_repeats_validated_and_recorded(self, payload):
+        assert payload["settings"]["repeats"] == 1
+        with pytest.raises(BenchError, match="repeats"):
+            run_bench("x", cases=QUICK_SUITE[:1], engines=("random",), repeats=0)
+
+    def test_spectral_is_opt_in(self):
+        assert "spectral" not in DEFAULT_ENGINES
+        assert "spectral" in ALL_ENGINES
+
+
+class TestFileIO:
+    def test_bench_path_convention(self, tmp_path):
+        assert bench_path("pr2", tmp_path) == tmp_path / "BENCH_pr2.json"
+
+    def test_write_load_round_trip(self, payload, tmp_path):
+        path = write_bench(payload, tmp_path / "BENCH_x.json")
+        assert load_bench(path) == payload
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(BenchError, match="cannot read"):
+            load_bench(tmp_path / "nope.json")
+
+    def test_load_rejects_malformed_json(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{not json")
+        with pytest.raises(BenchError, match="cannot read"):
+            load_bench(p)
+
+    def test_load_rejects_non_bench_payload(self, tmp_path):
+        p = tmp_path / "other.json"
+        p.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(BenchError, match="no 'results' key"):
+            load_bench(p)
+
+
+def _fake_payload(**overrides):
+    base = {
+        "schema": 1,
+        "label": "base",
+        "results": [
+            {"instance": "a", "engine": "fm", "cutsize": 10, "seconds": 1.0},
+            {"instance": "a", "engine": "kl", "cutsize": 7, "seconds": 0.5},
+        ],
+    }
+    base.update(overrides)
+    return base
+
+
+class TestCompare:
+    def test_identical_payloads_pass(self, payload):
+        assert compare_bench(payload, payload) == []
+
+    def test_injected_cut_regression_is_flagged(self):
+        baseline = _fake_payload()
+        current = copy.deepcopy(baseline)
+        current["results"][0]["cutsize"] = 11
+        regs = compare_bench(baseline, current)
+        assert len(regs) == 1
+        assert (regs[0].kind, regs[0].instance, regs[0].engine) == ("cut", "a", "fm")
+        assert "CUT REGRESSION" in str(regs[0])
+
+    def test_cut_improvement_is_not_flagged(self):
+        baseline = _fake_payload()
+        current = copy.deepcopy(baseline)
+        current["results"][0]["cutsize"] = 3
+        assert compare_bench(baseline, current) == []
+
+    def test_runtime_regression_beyond_tolerance_is_flagged(self):
+        baseline = _fake_payload()
+        current = copy.deepcopy(baseline)
+        current["results"][0]["seconds"] = 1.3  # +30% > default 25%
+        regs = compare_bench(baseline, current)
+        assert [r.kind for r in regs] == ["runtime"]
+        assert "+30%" in str(regs[0])
+
+    def test_runtime_within_tolerance_passes(self):
+        baseline = _fake_payload()
+        current = copy.deepcopy(baseline)
+        current["results"][0]["seconds"] = 1.2  # +20% < 25%
+        assert compare_bench(baseline, current) == []
+
+    def test_runtime_tolerance_is_configurable(self):
+        baseline = _fake_payload()
+        current = copy.deepcopy(baseline)
+        current["results"][0]["seconds"] = 1.3
+        assert compare_bench(baseline, current, runtime_tolerance=0.5) == []
+
+    def test_noise_floor_suppresses_small_absolute_slowdowns(self):
+        baseline = _fake_payload()
+        current = copy.deepcopy(baseline)
+        # A 10x relative slowdown whose absolute delta is under the floor
+        # is scheduler noise, not signal.
+        baseline["results"][1]["seconds"] = 0.001
+        current["results"][1]["seconds"] = 0.010
+        assert 0.010 - 0.001 < MIN_COMPARABLE_SECONDS
+        assert compare_bench(baseline, current) == []
+
+    def test_slowdown_above_floor_and_tolerance_flags(self):
+        baseline = _fake_payload()
+        current = copy.deepcopy(baseline)
+        baseline["results"][1]["seconds"] = 0.30
+        current["results"][1]["seconds"] = 0.45  # +50% and +0.15s
+        assert [r.kind for r in compare_bench(baseline, current)] == ["runtime"]
+
+    def test_missing_pair_is_a_coverage_regression(self):
+        baseline = _fake_payload()
+        current = copy.deepcopy(baseline)
+        del current["results"][1]
+        regs = compare_bench(baseline, current)
+        assert [r.kind for r in regs] == ["coverage"]
+        assert "MISSING RESULT" in str(regs[0])
+
+    def test_extra_current_results_are_fine(self):
+        baseline = _fake_payload()
+        current = copy.deepcopy(baseline)
+        current["results"].append(
+            {"instance": "b", "engine": "fm", "cutsize": 1, "seconds": 0.1}
+        )
+        assert compare_bench(baseline, current) == []
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(BenchError, match="non-negative"):
+            compare_bench(_fake_payload(), _fake_payload(), runtime_tolerance=-0.1)
+
+    def test_format_compare_reports(self):
+        baseline = _fake_payload()
+        current = copy.deepcopy(baseline)
+        report = format_compare(baseline, current, compare_bench(baseline, current))
+        assert "no regressions" in report
+        current["results"][0]["cutsize"] = 99
+        regs = compare_bench(baseline, current)
+        report = format_compare(baseline, current, regs)
+        assert "regressions (1):" in report and "a/fm" in report
+
+
+class TestCli:
+    def test_bench_run_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_cli.json"
+        rc = main(
+            [
+                "bench",
+                "--quick",
+                "--label",
+                "cli",
+                "--engines",
+                "random",
+                "--starts",
+                "1",
+                "--repeats",
+                "1",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        payload = load_bench(out)
+        assert payload["label"] == "cli"
+        assert {e["engine"] for e in payload["results"]} == {"random"}
+        assert "bench written" in capsys.readouterr().out
+
+    def test_compare_exit_codes(self, tmp_path, capsys):
+        baseline = _fake_payload()
+        current = copy.deepcopy(baseline)
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        write_bench(baseline, a)
+        write_bench(current, b)
+        assert main(["bench", "--compare", str(a), str(b)]) == 0
+
+        current["results"][0]["cutsize"] = 99  # inject a regression
+        write_bench(current, b)
+        assert main(["bench", "--compare", str(a), str(b)]) == 1
+        assert "CUT REGRESSION" in capsys.readouterr().out
+
+    def test_compare_respects_runtime_tolerance_flag(self, tmp_path):
+        baseline = _fake_payload()
+        current = copy.deepcopy(baseline)
+        current["results"][0]["seconds"] = 1.4
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        write_bench(baseline, a)
+        write_bench(current, b)
+        assert main(["bench", "--compare", str(a), str(b)]) == 1
+        assert (
+            main(["bench", "--compare", str(a), str(b), "--runtime-tolerance", "0.6"])
+            == 0
+        )

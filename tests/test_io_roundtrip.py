@@ -1,0 +1,182 @@
+"""Round-trip tests for the hMETIS ``.hgr`` and JSON hypergraph formats.
+
+The hgr format is lossy by design (labels map onto ``1..n``, edge names
+are dropped), so its round-trip contract is *structural*: the written
+file parses back to an isomorphic hypergraph under the returned index
+map, and — the asymmetry this suite pinned down — writing integer-labeled
+``1..n`` hypergraphs is the identity, so parse → format reaches a fixed
+point after one trip instead of permuting labels forever (labels used to
+be ordered by ``repr``, interleaving ``1, 10, 11, ..., 2``).
+
+The JSON format is the lossless one: labels (including tuples), names,
+weights, and vertex order all survive exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.hypergraph import Hypergraph
+from repro.io.hgr import HgrFormatError, format_hgr, parse_hgr
+from repro.io.json_io import hypergraph_from_json, hypergraph_to_json
+
+
+def random_hgr_instance(seed: int, weighted: bool) -> Hypergraph:
+    rng = random.Random(seed)
+    n = rng.randint(2, 15)
+    h = Hypergraph(vertices=range(1, n + 1))
+    for i in range(rng.randint(1, 12)):
+        size = rng.randint(1, min(5, n))
+        weight = rng.choice([1.0, 2.0, 0.5, 3.25]) if weighted else 1.0
+        h.add_edge(rng.sample(range(1, n + 1), size), name=f"net{i + 1}", weight=weight)
+    if weighted:
+        for v in h.vertices:
+            h.set_vertex_weight(v, rng.choice([1.0, 2.0, 4.5]))
+    return h
+
+
+def structural_signature(h: Hypergraph):
+    """Label-independent content: weighted vertices + weighted pin sets."""
+    vertices = sorted((repr(v), h.vertex_weight(v)) for v in h.vertices)
+    edges = sorted(
+        (tuple(sorted(map(repr, h.edge_members(e)))), h.edge_weight(e))
+        for e in h.edge_names
+    )
+    return vertices, edges
+
+
+class TestHgrParsing:
+    def test_one_indexing(self):
+        h = parse_hgr("2 3\n1 2\n2 3\n")
+        assert set(h.vertices) == {1, 2, 3}
+        assert h.edge_members("net1") == frozenset({1, 2})
+
+    def test_comments_anywhere(self):
+        text = "% header comment\n2 3\n% mid comment\n1 2\n2 3\n% trailing\n"
+        assert parse_hgr(text).num_edges == 2
+
+    def test_fmt_codes(self):
+        unit = parse_hgr("1 2\n1 2\n")
+        assert unit.edge_weight("net1") == 1.0
+        ew = parse_hgr("1 2 1\n2.5 1 2\n")
+        assert ew.edge_weight("net1") == 2.5
+        vw = parse_hgr("1 2 10\n1 2\n3\n4\n")
+        assert (vw.vertex_weight(1), vw.vertex_weight(2)) == (3.0, 4.0)
+        both = parse_hgr("1 2 11\n2.5 1 2\n3\n4\n")
+        assert both.edge_weight("net1") == 2.5
+        assert both.vertex_weight(2) == 4.0
+
+    def test_pin_out_of_range_rejected(self):
+        with pytest.raises(HgrFormatError, match="out of range"):
+            parse_hgr("1 2\n1 3\n")
+
+
+class TestHgrRoundTrip:
+    def test_identity_on_canonical_integer_labels(self):
+        """For 1..n integer labels the write is the identity mapping and
+        parse -> format is a fixed point — the regression this PR fixed."""
+        for seed in range(30):
+            h = random_hgr_instance(seed, weighted=bool(seed % 2))
+            text, index = format_hgr(h)
+            assert index == {v: v for v in h.vertices}
+            back = parse_hgr(text)
+            text2, index2 = format_hgr(back)
+            assert text2 == text
+            assert index2 == index
+
+    def test_structure_preserved_under_index_map(self):
+        for seed in range(30):
+            h = random_hgr_instance(seed, weighted=bool(seed % 2))
+            text, index = format_hgr(h)
+            back = parse_hgr(text)
+            inverse = {i: v for v, i in index.items()}
+            relabeled = sorted(
+                (repr(inverse[v]), back.vertex_weight(v)) for v in back.vertices
+            )
+            relabeled_edges = sorted(
+                (
+                    tuple(sorted(repr(inverse[p]) for p in back.edge_members(e))),
+                    back.edge_weight(e),
+                )
+                for e in back.edge_names
+            )
+            assert (relabeled, relabeled_edges) == structural_signature(h)
+
+    def test_minimal_fmt_code_chosen(self):
+        unit = Hypergraph(edges={"a": [1, 2]})
+        assert format_hgr(unit)[0].splitlines()[0] == "1 2"
+        ew = Hypergraph()
+        ew.add_edge([1, 2], name="a", weight=2.0)
+        assert format_hgr(ew)[0].splitlines()[0] == "1 2 1"
+        vw = Hypergraph(edges={"a": [1, 2]})
+        vw.set_vertex_weight(1, 3.0)
+        assert format_hgr(vw)[0].splitlines()[0] == "1 2 10"
+        both = Hypergraph()
+        both.add_edge([1, 2], name="a", weight=2.0)
+        both.set_vertex_weight(1, 3.0)
+        assert format_hgr(both)[0].splitlines()[0] == "1 2 11"
+
+    def test_mixed_label_types_fall_back_to_repr_order(self):
+        h = Hypergraph(edges={"a": [1, "x"], "b": ["x", (2, 3)]})
+        text, index = format_hgr(h)
+        back = parse_hgr(text)
+        assert back.num_vertices == h.num_vertices
+        assert back.num_edges == 2
+        # Structure survives under the map even without a natural order.
+        inverse = {i: v for v, i in index.items()}
+        got = sorted(
+            tuple(sorted(repr(inverse[p]) for p in back.edge_members(e)))
+            for e in back.edge_names
+        )
+        want = sorted(
+            tuple(sorted(map(repr, h.edge_members(e)))) for e in h.edge_names
+        )
+        assert got == want
+
+    def test_string_digit_labels_round_trip(self):
+        """Homogeneous string labels sort naturally as strings."""
+        h = Hypergraph(edges={"a": ["m1", "m2"], "b": ["m2", "m10"]})
+        text, index = format_hgr(h)
+        back = parse_hgr(text)
+        text2, _ = format_hgr(back)
+        assert text2 == text
+
+
+class TestJsonRoundTrip:
+    def test_lossless_including_names_and_weights(self):
+        for seed in range(30):
+            h = random_hgr_instance(seed, weighted=bool(seed % 2))
+            back = hypergraph_from_json(hypergraph_to_json(h))
+            assert set(back.vertices) == set(h.vertices)
+            assert back.edge_names == h.edge_names
+            for e in h.edge_names:
+                assert back.edge_members(e) == h.edge_members(e)
+                assert back.edge_weight(e) == h.edge_weight(e)
+            for v in h.vertices:
+                assert back.vertex_weight(v) == h.vertex_weight(v)
+
+    def test_vertex_order_preserved(self):
+        h = Hypergraph(vertices=[3, 1, 2])
+        h.add_edge([3, 1], name="n")
+        back = hypergraph_from_json(hypergraph_to_json(h))
+        assert list(back.vertices) == [3, 1, 2]
+
+    def test_tuple_labels_restored(self):
+        h = Hypergraph(edges={("chain", "m", 0): [("m", 1), ("m", 2)]})
+        back = hypergraph_from_json(hypergraph_to_json(h))
+        assert back.edge_names == h.edge_names
+        name = next(iter(back.edge_names))
+        assert isinstance(name, tuple)
+        assert back.edge_members(name) == frozenset({("m", 1), ("m", 2)})
+
+    def test_isolated_vertices_survive(self):
+        h = Hypergraph(vertices=["a", "b", "c"])
+        h.add_edge(["a", "b"], name="n")
+        back = hypergraph_from_json(hypergraph_to_json(h))
+        assert set(back.vertices) == {"a", "b", "c"}
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ValueError, match="'vertices' and 'edges'"):
+            hypergraph_from_json("{}")

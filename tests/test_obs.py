@@ -1,0 +1,300 @@
+"""Tests for the observability layer (``repro.obs``).
+
+Covers the registry semantics (counters, gauges, span stats, snapshot,
+merge), the module-level enable/disable switchboard and its zero-cost
+disabled path, thread safety, the :class:`PhaseTimer` always-on local
+timing, and the integration with Algorithm I — including the parallel
+multi-start snapshot-merge path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.baselines import fiduccia_mattheyses
+from repro.core.algorithm1 import TIMING_PHASES, algorithm1
+from repro.core.hypergraph import Hypergraph
+from repro.generators import random_hypergraph
+from repro.obs import ObsRegistry, PhaseTimer, SpanStats
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    """Every test starts and ends with recording off and a clean registry."""
+    obs.disable()
+    obs.registry().clear()
+    yield
+    obs.disable()
+    obs.registry().clear()
+
+
+class TestRegistry:
+    def test_counters_accumulate(self):
+        reg = ObsRegistry()
+        reg.inc("a")
+        reg.inc("a", 4)
+        reg.inc("b", 2.5)
+        assert reg.counter("a") == 5
+        assert reg.counter("b") == 2.5
+        assert reg.counter("missing") == 0
+        assert reg.counter("missing", default=-1) == -1
+
+    def test_gauges_last_write_wins(self):
+        reg = ObsRegistry()
+        assert reg.gauge_value("g") is None
+        reg.set_gauge("g", 1.0)
+        reg.set_gauge("g", 7.0)
+        assert reg.gauge_value("g") == 7.0
+
+    def test_span_stats(self):
+        reg = ObsRegistry()
+        assert reg.span_stats("s") is None
+        for dt in (0.2, 0.1, 0.4):
+            reg.record_span("s", dt)
+        stats = reg.span_stats("s")
+        assert stats == SpanStats(count=3, total=pytest.approx(0.7), min=0.1, max=0.4)
+        assert stats.mean == pytest.approx(0.7 / 3)
+
+    def test_span_stats_mean_of_empty(self):
+        assert SpanStats(count=0, total=0.0, min=0.0, max=0.0).mean == 0.0
+
+    def test_names_sorted_by_kind(self):
+        reg = ObsRegistry()
+        reg.inc("z")
+        reg.inc("a")
+        reg.set_gauge("g", 1)
+        reg.record_span("s", 0.1)
+        assert reg.names() == {"counters": ["a", "z"], "gauges": ["g"], "spans": ["s"]}
+
+    def test_snapshot_is_plain_json_data(self):
+        reg = ObsRegistry()
+        reg.inc("c", 3)
+        reg.set_gauge("g", 2.0)
+        reg.record_span("s", 0.25)
+        snap = reg.snapshot()
+        assert snap == json.loads(json.dumps(snap))
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 2.0}
+        assert snap["spans"] == {"s": {"count": 1, "total": 0.25, "min": 0.25, "max": 0.25}}
+
+    def test_snapshot_is_a_copy(self):
+        reg = ObsRegistry()
+        reg.inc("c")
+        snap = reg.snapshot()
+        reg.inc("c")
+        assert snap["counters"]["c"] == 1
+
+    def test_merge_adds_counters_and_extremizes_spans(self):
+        a = ObsRegistry()
+        b = ObsRegistry()
+        a.inc("c", 2)
+        b.inc("c", 3)
+        b.inc("only_b")
+        a.record_span("s", 0.5)
+        b.record_span("s", 0.1)
+        b.record_span("s", 0.9)
+        a.set_gauge("g", 1.0)
+        b.set_gauge("g", 2.0)
+
+        a.merge(b.snapshot())
+        assert a.counter("c") == 5
+        assert a.counter("only_b") == 1
+        assert a.span_stats("s") == SpanStats(
+            count=3, total=pytest.approx(1.5), min=0.1, max=0.9
+        )
+        assert a.gauge_value("g") == 2.0  # last write wins
+
+    def test_merge_into_empty_registry(self):
+        a = ObsRegistry()
+        b = ObsRegistry()
+        b.record_span("s", 0.3)
+        a.merge(b.snapshot())
+        assert a.span_stats("s") == SpanStats(count=1, total=0.3, min=0.3, max=0.3)
+
+    def test_clear(self):
+        reg = ObsRegistry()
+        reg.inc("c")
+        reg.set_gauge("g", 1)
+        reg.record_span("s", 0.1)
+        reg.clear()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "spans": {}}
+
+    def test_to_json_round_trips(self):
+        reg = ObsRegistry()
+        reg.inc("c", 2)
+        assert json.loads(reg.to_json())["counters"] == {"c": 2}
+
+    def test_thread_safety_exact_totals(self):
+        reg = ObsRegistry()
+        threads = [
+            threading.Thread(
+                target=lambda: [reg.inc("hits") or reg.record_span("s", 0.001) for _ in range(2000)]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("hits") == 16000
+        assert reg.span_stats("s").count == 16000
+
+
+class TestSwitchboard:
+    def test_disabled_records_nothing(self):
+        with obs.span("x"):
+            pass
+        obs.count("x")
+        obs.gauge("x", 1.0)
+        assert obs.registry().snapshot() == {"counters": {}, "gauges": {}, "spans": {}}
+
+    def test_disabled_span_is_shared_singleton(self):
+        # The disabled fast path must not allocate per call.
+        assert obs.span("a") is obs.span("b")
+
+    def test_enable_disable(self):
+        assert not obs.is_enabled()
+        obs.enable()
+        assert obs.is_enabled()
+        obs.count("c")
+        obs.disable()
+        obs.count("c")  # ignored
+        assert obs.registry().counter("c") == 1
+
+    def test_enable_clear(self):
+        obs.enable()
+        obs.count("c")
+        obs.enable(clear=True)
+        assert obs.registry().counter("c") == 0
+
+    def test_enabled_context_restores_prior_state(self):
+        assert not obs.is_enabled()
+        with obs.enabled() as reg:
+            assert obs.is_enabled()
+            obs.count("c")
+            assert reg is obs.registry()
+        assert not obs.is_enabled()
+        assert obs.registry().counter("c") == 1  # data survives
+
+    def test_enabled_context_restores_even_on_error(self):
+        with pytest.raises(RuntimeError):
+            with obs.enabled():
+                raise RuntimeError("boom")
+        assert not obs.is_enabled()
+
+    def test_spans_record_when_enabled(self):
+        with obs.enabled(clear=True):
+            with obs.span("timed"):
+                pass
+        stats = obs.registry().span_stats("timed")
+        assert stats is not None and stats.count == 1 and stats.total >= 0.0
+
+    def test_scoped_isolates_and_restores(self):
+        obs.enable(clear=True)
+        obs.count("outer")
+        with obs.scoped() as fresh:
+            assert obs.registry() is fresh
+            obs.count("inner")
+            assert fresh.counter("outer") == 0
+        assert obs.registry().counter("inner") == 0
+        assert obs.registry().counter("outer") == 1
+        assert obs.is_enabled()
+
+    def test_scoped_activates_even_when_globally_disabled(self):
+        assert not obs.is_enabled()
+        with obs.scoped() as fresh:
+            obs.count("c")
+            assert fresh.counter("c") == 1
+        assert not obs.is_enabled()
+
+    def test_scoped_without_activation(self):
+        with obs.scoped(activate=False) as fresh:
+            obs.count("c")
+        assert fresh.counter("c") == 0
+
+
+class TestPhaseTimer:
+    def test_local_timings_accumulate_when_disabled(self):
+        timer = PhaseTimer("p", phases=("a", "b"))
+        assert timer.timings == {"a": 0.0, "b": 0.0}
+        with timer.phase("a"):
+            pass
+        with timer.phase("a"):
+            pass
+        with timer.phase("c"):
+            pass
+        assert timer.timings["a"] >= 0.0
+        assert "c" in timer.timings
+        # Nothing leaked into the global registry.
+        assert obs.registry().snapshot()["spans"] == {}
+
+    def test_publishes_spans_when_enabled(self):
+        timer = PhaseTimer("pipeline")
+        with obs.enabled(clear=True):
+            with timer.phase("cut"):
+                pass
+            with timer.phase("cut"):
+                pass
+        stats = obs.registry().span_stats("pipeline.cut")
+        assert stats.count == 2
+        assert stats.total == pytest.approx(timer.timings["cut"], abs=1e-6)
+
+
+class TestAlgorithm1Integration:
+    @pytest.fixture(scope="class")
+    def instance(self):
+        return random_hypergraph(60, 90, seed=3, connect=True)
+
+    def test_counters_and_spans_recorded(self, instance):
+        with obs.enabled(clear=True) as reg:
+            result = algorithm1(instance, num_starts=4, seed=0)
+        assert reg.counter("algorithm1.runs") == 1
+        assert reg.counter("algorithm1.starts") == 4
+        assert reg.counter("dual_cut.cuts") >= 4
+        assert reg.counter("complete_cut.runs") >= 1
+        assert reg.counter("graph.bfs.calls") >= 4
+        for phase in TIMING_PHASES:
+            stats = reg.span_stats(f"algorithm1.{phase}")
+            assert stats is not None, f"missing span algorithm1.{phase}"
+        # Span totals agree with the always-on result timings.
+        assert reg.span_stats("algorithm1.cut").total == pytest.approx(
+            result.timings["cut"], abs=1e-6
+        )
+
+    def test_disabled_run_still_reports_timings(self, instance):
+        result = algorithm1(instance, num_starts=2, seed=1)
+        assert set(TIMING_PHASES) <= set(result.timings)
+        assert obs.registry().snapshot()["counters"] == {}
+
+    def test_parallel_workers_merge_into_parent(self, instance):
+        with obs.enabled(clear=True) as reg:
+            algorithm1(instance, num_starts=6, seed=5, parallel=2)
+        # Worker-side work (per-start cut/completion) must be merged back.
+        assert reg.counter("algorithm1.starts") == 6
+        assert reg.counter("dual_cut.cuts") >= 6
+        assert reg.gauge_value("algorithm1.parallel_workers") == 2
+        assert reg.span_stats("algorithm1.cut").count >= 6
+
+    def test_parallel_counters_match_sequential_worker_counts(self, instance):
+        """Work counters are worker-count-invariant (same starts, same work)."""
+        invariant = ("algorithm1.starts", "dual_cut.cuts", "complete_cut.runs")
+        values = {}
+        for workers in (1, 2):
+            with obs.enabled(clear=True) as reg:
+                algorithm1(instance, num_starts=6, seed=5, parallel=workers)
+            values[workers] = [reg.counter(name) for name in invariant]
+        assert values[1] == values[2]
+
+
+class TestBaselineIntegration:
+    def test_fm_records_span_and_counters(self):
+        h = Hypergraph(edges=[[1, 2], [2, 3], [3, 4], [4, 1], [1, 3]])
+        with obs.enabled(clear=True) as reg:
+            fiduccia_mattheyses(h, seed=0)
+        assert reg.counter("baseline.fm.runs") == 1
+        assert reg.counter("baseline.fm.passes") >= 1
+        assert reg.span_stats("baseline.fm").count == 1

@@ -11,6 +11,7 @@ import time
 
 import pytest
 
+from repro import obs
 from repro.core.algorithm1 import TIMING_PHASES, algorithm1
 from repro.generators import random_hypergraph
 
@@ -40,3 +41,53 @@ def test_ten_starts_under_generous_ceiling(big):
     assert all(result.timings[phase] >= 0.0 for phase in TIMING_PHASES)
     assert result.timings["cut"] > 0.0
     assert result.timings["complete"] > 0.0
+
+
+def test_disabled_obs_overhead_under_two_percent(big):
+    """Acceptance criterion: observability off must cost < 2% of a
+    single start on the 2k-edge instance.
+
+    Methodology: time the real single start (obs disabled, best of 3),
+    count how many obs events the same run emits when enabled, then time
+    ``REPS`` repetitions of that event volume through the disabled-path
+    entry points (each loop iteration exercises span+count+gauge, a 3x
+    overcount of a real event).  The projected per-run no-op cost —
+    measured total / REPS — must stay under the 2% line.
+    """
+    assert not obs.is_enabled()
+    base = min(
+        _timed(lambda: algorithm1(big, num_starts=1, seed=0)) for _ in range(3)
+    )
+
+    with obs.scoped() as reg:
+        algorithm1(big, num_starts=1, seed=0)
+        snap = reg.snapshot()
+    events = (
+        sum(s["count"] for s in snap["spans"].values())
+        + len(snap["counters"])
+        + len(snap["gauges"])
+    )
+    assert events > 0
+
+    assert not obs.is_enabled()
+    REPS = 200
+    t0 = time.perf_counter()
+    for _ in range(REPS * events):
+        with obs.span("overhead.probe"):
+            pass
+        obs.count("overhead.probe")
+        obs.gauge("overhead.probe", 1.0)
+    per_run = (time.perf_counter() - t0) / REPS
+
+    assert per_run < 0.02 * base, (
+        f"{events} disabled obs events project to {per_run * 1e6:.1f}us/run "
+        f"({100 * per_run / base:.2f}% of the {base * 1e3:.1f}ms single start)"
+    )
+    # Nothing leaked into the registry through the disabled path.
+    assert obs.registry().counter("overhead.probe") == 0
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0

@@ -1,0 +1,152 @@
+"""Property tests: every engine returns a well-formed, honestly-scored cut.
+
+Three invariants, asserted for Algorithm I and the FM/KL/SA baselines
+over hypothesis-generated hypergraphs and a seeded sweep:
+
+* **partition** — every module lands on exactly one side, no module is
+  dropped, both sides are non-empty;
+* **honest cutsize** — the reported cutsize equals the cut recomputed
+  from scratch off the hypergraph and the returned sides;
+* **balance** — engines given a balance tolerance respect it (FM/SA
+  never move out of tolerance from a feasible start; Algorithm I's
+  multi-start selection returns a feasible cut whenever any start found
+  one).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.baselines import (
+    fiduccia_mattheyses,
+    kernighan_lin,
+    simulated_annealing,
+)
+from repro.baselines.simulated_annealing import AnnealingSchedule
+from repro.core.algorithm1 import algorithm1
+from repro.core.hypergraph import Hypergraph
+from repro.core.partition import Bipartition
+from repro.generators import random_hypergraph
+from tests.conftest import connected_hypergraphs, hypergraphs
+
+_SWEEP_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_FAST_SA = AnnealingSchedule(
+    alpha=0.8, max_total_moves=2_000, min_temperature=0.05, frozen_after=2
+)
+
+
+def recomputed_cutsize(hypergraph: Hypergraph, left, right) -> int:
+    """Cutsize from first principles: nets with pins on both sides."""
+    left = set(left)
+    cut = 0
+    for name in hypergraph.edge_names:
+        members = hypergraph.edge_members(name)
+        inside = sum(1 for v in members if v in left)
+        if 0 < inside < len(members):
+            cut += 1
+    return cut
+
+
+def assert_well_formed(hypergraph: Hypergraph, bipartition: Bipartition) -> None:
+    left, right = bipartition.left, bipartition.right
+    assert left and right, "both sides must be non-empty"
+    assert not (left & right), "no module may sit on both sides"
+    assert left | right == frozenset(hypergraph.vertices), "every module assigned"
+    assert bipartition.cutsize == recomputed_cutsize(hypergraph, left, right)
+
+
+class TestAlgorithm1Properties:
+    @given(h=connected_hypergraphs())
+    @_SWEEP_SETTINGS
+    def test_partition_and_cutsize(self, h):
+        result = algorithm1(h, num_starts=3, seed=0)
+        assert_well_formed(h, result.bipartition)
+        # The winner can only improve on the raw starts (component packing
+        # or balance repair may beat them, never lose to them).
+        assert result.bipartition.cutsize <= min(r.cutsize for r in result.starts)
+
+    @given(h=hypergraphs(min_vertices=4, weighted=True))
+    @_SWEEP_SETTINGS
+    def test_weighted_instances_stay_well_formed(self, h):
+        result = algorithm1(h, num_starts=2, seed=1, weighted_balance=True)
+        assert_well_formed(h, result.bipartition)
+
+    def test_seeded_sweep_partition_invariants(self):
+        for seed in range(20):
+            h = random_hypergraph(40, 70, seed=seed, connect=True)
+            result = algorithm1(h, num_starts=4, seed=seed)
+            assert_well_formed(h, result.bipartition)
+
+    def test_balance_tolerance_honoured_when_any_start_feasible(self):
+        """Multi-start selection returns a feasible cut whenever one exists."""
+        tol = 0.2
+        for seed in range(20):
+            h = random_hypergraph(40, 70, seed=100 + seed, connect=True)
+            total = sum(h.vertex_weight(v) for v in h.vertices)
+            result = algorithm1(h, num_starts=5, seed=seed, balance_tolerance=tol)
+            assert_well_formed(h, result.bipartition)
+            if any(r.weight_imbalance / total <= tol for r in result.starts):
+                assert result.bipartition.weight_imbalance_fraction <= tol + 1e-12
+
+
+class TestBaselineProperties:
+    @given(h=connected_hypergraphs())
+    @_SWEEP_SETTINGS
+    def test_fm(self, h):
+        result = fiduccia_mattheyses(h, seed=0)
+        assert_well_formed(h, result.bipartition)
+
+    @given(h=connected_hypergraphs())
+    @_SWEEP_SETTINGS
+    def test_kl(self, h):
+        result = kernighan_lin(h, seed=0)
+        assert_well_formed(h, result.bipartition)
+
+    @given(h=connected_hypergraphs(max_vertices=10))
+    @_SWEEP_SETTINGS
+    def test_sa(self, h):
+        result = simulated_annealing(h, schedule=_FAST_SA, seed=0)
+        assert_well_formed(h, result.bipartition)
+
+    def test_fm_respects_balance_tolerance_from_feasible_start(self):
+        tol = 0.1
+        for seed in range(20):
+            h = random_hypergraph(30, 50, seed=200 + seed, connect=True)
+            rng = random.Random(seed)
+            vertices = sorted(h.vertices, key=repr)
+            rng.shuffle(vertices)
+            half = len(vertices) // 2
+            initial = Bipartition(h, vertices[:half], vertices[half:])
+            assert initial.weight_imbalance_fraction <= tol
+            result = fiduccia_mattheyses(
+                h, initial=initial, balance_tolerance=tol, seed=seed
+            )
+            assert_well_formed(h, result.bipartition)
+            assert result.bipartition.weight_imbalance_fraction <= tol + 1e-12
+
+    def test_sa_respects_balance_tolerance(self):
+        tol = 0.1
+        for seed in range(10):
+            h = random_hypergraph(24, 40, seed=300 + seed, connect=True)
+            result = simulated_annealing(
+                h, schedule=_FAST_SA, balance_tolerance=tol, seed=seed
+            )
+            assert_well_formed(h, result.bipartition)
+            assert result.bipartition.weight_imbalance_fraction <= tol + 1e-12
+
+    def test_reported_history_is_monotone_for_fm(self):
+        for seed in range(5):
+            h = random_hypergraph(30, 50, seed=400 + seed, connect=True)
+            result = fiduccia_mattheyses(h, seed=seed)
+            history = list(result.history)
+            # Each FM pass ends at its best prefix, so per-pass cutsizes
+            # never increase.
+            assert all(a >= b for a, b in zip(history, history[1:]))
