@@ -26,6 +26,7 @@ from repro.baselines.cutstate import LEFT, RIGHT, CutState, initial_state
 from repro.baselines.result import BaselineResult
 from repro.core.hypergraph import Hypergraph
 from repro.core.partition import Bipartition
+from repro.runtime import Deadline, faults
 
 Vertex = Hashable
 
@@ -85,6 +86,7 @@ def fiduccia_mattheyses(
     balance_tolerance: float = 0.1,
     seed: int | random.Random | None = None,
     fixed: frozenset[Vertex] | set[Vertex] | None = None,
+    deadline: Deadline | float | None = None,
 ) -> BaselineResult:
     """Partition ``hypergraph`` with the Fiduccia–Mattheyses heuristic.
 
@@ -106,6 +108,10 @@ def fiduccia_mattheyses(
         Vertices that must never move (terminal-propagation anchors in
         min-cut placement).  Requires ``initial`` so their sides are
         well-defined.
+    deadline:
+        Wall-clock budget (``Deadline`` or seconds), checked between
+        passes; on expiry the best cut so far is returned with
+        ``degraded=True``.
     """
     if hypergraph.num_vertices < 2:
         raise ValueError("need at least two vertices to bipartition")
@@ -118,12 +124,19 @@ def fiduccia_mattheyses(
     if unknown:
         raise ValueError(f"fixed vertices not in hypergraph: {sorted(map(repr, unknown))}")
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    deadline = Deadline.coerce(deadline)
+    degrade_reason: str | None = None
     with obs.span("baseline.fm"):
         state = initial_state(hypergraph, initial, rng)
 
         history: list[int] = []
         passes = 0
         for _ in range(max_passes):
+            if passes > 0 and deadline is not None and deadline.expired():
+                degrade_reason = f"deadline expired after {passes} FM passes"
+                obs.count("baseline.fm.deadline_stops")
+                break
+            faults.inject("baseline.fm.pass")
             passes += 1
             improvement = _fm_pass(state, balance_tolerance, fixed_set)
             history.append(state.cutsize)
@@ -138,6 +151,8 @@ def fiduccia_mattheyses(
         iterations=passes,
         evaluations=state.evaluations,
         history=tuple(history),
+        degraded=degrade_reason is not None,
+        degrade_reason=degrade_reason,
     )
 
 

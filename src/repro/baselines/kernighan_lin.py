@@ -28,6 +28,7 @@ from repro.baselines.cutstate import CutState, initial_state
 from repro.baselines.result import BaselineResult
 from repro.core.hypergraph import Hypergraph
 from repro.core.partition import Bipartition
+from repro.runtime import Deadline, faults
 
 Vertex = Hashable
 
@@ -38,6 +39,7 @@ def kernighan_lin(
     max_passes: int = 10,
     shortlist: int = 8,
     seed: int | random.Random | None = None,
+    deadline: Deadline | float | None = None,
 ) -> BaselineResult:
     """Partition ``hypergraph`` with hypergraph Kernighan–Lin.
 
@@ -56,18 +58,29 @@ def kernighan_lin(
     seed:
         Integer seed or :class:`random.Random` (used for the initial
         split only; passes are deterministic).
+    deadline:
+        Wall-clock budget (``Deadline`` or seconds), checked between
+        passes; on expiry the best cut so far is returned with
+        ``degraded=True``.
     """
     if hypergraph.num_vertices < 2:
         raise ValueError("need at least two vertices to bipartition")
     if shortlist < 1:
         raise ValueError(f"shortlist must be >= 1, got {shortlist}")
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    deadline = Deadline.coerce(deadline)
+    degrade_reason: str | None = None
     with obs.span("baseline.kl"):
         state = initial_state(hypergraph, initial, rng)
 
         history: list[int] = []
         passes = 0
         for _ in range(max_passes):
+            if passes > 0 and deadline is not None and deadline.expired():
+                degrade_reason = f"deadline expired after {passes} KL passes"
+                obs.count("baseline.kl.deadline_stops")
+                break
+            faults.inject("baseline.kl.pass")
             passes += 1
             improvement = _kl_pass(state, shortlist)
             history.append(state.cutsize)
@@ -82,6 +95,8 @@ def kernighan_lin(
         iterations=passes,
         evaluations=state.evaluations,
         history=tuple(history),
+        degraded=degrade_reason is not None,
+        degrade_reason=degrade_reason,
     )
 
 

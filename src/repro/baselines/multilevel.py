@@ -26,12 +26,14 @@ import random
 from collections.abc import Hashable
 from dataclasses import dataclass
 
+from repro import obs
 from repro.baselines.cutstate import LEFT, CutState
 from repro.baselines.fiduccia_mattheyses import fiduccia_mattheyses
 from repro.baselines.result import BaselineResult
 from repro.core.algorithm1 import algorithm1
 from repro.core.hypergraph import Hypergraph
 from repro.core.partition import Bipartition
+from repro.runtime import Deadline, faults
 
 Vertex = Hashable
 
@@ -161,6 +163,7 @@ def multilevel_bipartition(
     initial_starts: int = 25,
     refine_passes: int = 8,
     seed: int | random.Random | None = None,
+    deadline: Deadline | float | None = None,
 ) -> BaselineResult:
     """Multilevel bipartition: coarsen, cut the coarsest level, refine up.
 
@@ -181,76 +184,123 @@ def multilevel_bipartition(
         FM passes per uncoarsening step.
     seed:
         Integer seed or :class:`random.Random`.
+    deadline:
+        Wall-clock budget (``Deadline`` or seconds), checked between
+        coarsening rounds and between uncoarsening levels.  Once expired,
+        remaining levels are projected and rebalanced but *not* FM-refined
+        (projection is cheap and required for a valid answer; refinement
+        is the optional polish), and the result carries ``degraded=True``.
     """
     if hypergraph.num_vertices < 2:
         raise ValueError("need at least two vertices to bipartition")
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    deadline = Deadline.coerce(deadline)
+    degrade_reason: str | None = None
 
     max_vertex_weight = max(
         1.5 * hypergraph.total_vertex_weight / max(coarsest_size, 2),
         max((hypergraph.vertex_weight(v) for v in hypergraph.vertices), default=1.0),
     )
 
-    levels: list[CoarseLevel] = []
-    current = hypergraph
-    for _ in range(max_levels):
-        if current.num_vertices <= coarsest_size:
-            break
-        level = coarsen_once(current, rng, max_vertex_weight)
-        if level.hypergraph.num_vertices > 0.9 * current.num_vertices:
-            break  # matching stalled; further rounds will not help
-        levels.append(level)
-        current = level.hypergraph
+    with obs.span("baseline.multilevel"):
+        levels: list[CoarseLevel] = []
+        current = hypergraph
+        with obs.span("baseline.multilevel.coarsen"):
+            for _ in range(max_levels):
+                if current.num_vertices <= coarsest_size:
+                    break
+                if levels and deadline is not None and deadline.expired():
+                    degrade_reason = (
+                        f"deadline expired during coarsening after {len(levels)} levels"
+                    )
+                    obs.count("baseline.multilevel.deadline_stops")
+                    break
+                faults.inject("baseline.multilevel.coarsen")
+                level = coarsen_once(current, rng, max_vertex_weight)
+                if level.hypergraph.num_vertices > 0.9 * current.num_vertices:
+                    break  # matching stalled; further rounds will not help
+                levels.append(level)
+                current = level.hypergraph
+        obs.count("baseline.multilevel.levels", len(levels))
 
-    # Initial partition on the coarsest hypergraph.
-    evaluations = 0
-    if current.num_vertices < 2:
-        raise ValueError("coarsening collapsed the hypergraph; lower coarsest_size")
-    coarse_result = algorithm1(
-        current,
-        num_starts=initial_starts,
-        seed=rng,
-        balance_tolerance=balance_tolerance,
-    )
-    polished = fiduccia_mattheyses(
-        current,
-        initial=_rebalance_to_tolerance(
-            current, coarse_result.bipartition, balance_tolerance
-        ),
-        max_passes=refine_passes,
-        balance_tolerance=balance_tolerance,
-        seed=rng,
-    )
-    evaluations += polished.evaluations
-    assignment: Bipartition = _rebalance_to_tolerance(
-        current, polished.bipartition, balance_tolerance
-    )
-    history = [assignment.cutsize]
-
-    # Uncoarsen with per-level FM refinement.  Level i coarsened "finer_i"
-    # into levels[i].hypergraph, where finer_0 is the original input.
-    for index in range(len(levels) - 1, -1, -1):
-        level = levels[index]
-        finer = hypergraph if index == 0 else levels[index - 1].hypergraph
-        left = {v for v in finer.vertices if level.vertex_map[v] in assignment.left}
-        right = set(finer.vertices) - left
-        projected = Bipartition(finer, left, right)
-        refined = fiduccia_mattheyses(
-            finer,
-            initial=projected,
-            max_passes=refine_passes,
-            balance_tolerance=balance_tolerance,
-            seed=rng,
+        # Initial partition on the coarsest hypergraph.
+        evaluations = 0
+        if current.num_vertices < 2:
+            raise ValueError("coarsening collapsed the hypergraph; lower coarsest_size")
+        with obs.span("baseline.multilevel.initial"):
+            coarse_result = algorithm1(
+                current,
+                num_starts=initial_starts,
+                seed=rng,
+                balance_tolerance=balance_tolerance,
+                deadline=deadline,
+            )
+            polished = fiduccia_mattheyses(
+                current,
+                initial=_rebalance_to_tolerance(
+                    current, coarse_result.bipartition, balance_tolerance
+                ),
+                max_passes=refine_passes,
+                balance_tolerance=balance_tolerance,
+                seed=rng,
+                deadline=deadline,
+            )
+        evaluations += polished.evaluations
+        assignment: Bipartition = _rebalance_to_tolerance(
+            current, polished.bipartition, balance_tolerance
         )
-        evaluations += refined.evaluations
-        assignment = _rebalance_to_tolerance(
-            finer, refined.bipartition, balance_tolerance
-        )
-        history.append(assignment.cutsize)
+        history = [assignment.cutsize]
 
+        # Uncoarsen with per-level FM refinement.  Level i coarsened "finer_i"
+        # into levels[i].hypergraph, where finer_0 is the original input.
+        # Past the deadline, projection and rebalance still run (a valid
+        # full-size bipartition is non-negotiable) but FM polish is skipped.
+        with obs.span("baseline.multilevel.uncoarsen"):
+            for index in range(len(levels) - 1, -1, -1):
+                level = levels[index]
+                finer = hypergraph if index == 0 else levels[index - 1].hypergraph
+                faults.inject("baseline.multilevel.uncoarsen")
+                left = {
+                    v for v in finer.vertices if level.vertex_map[v] in assignment.left
+                }
+                right = set(finer.vertices) - left
+                projected = Bipartition(finer, left, right)
+                expired = deadline is not None and deadline.expired()
+                if expired:
+                    if degrade_reason is None:
+                        degrade_reason = (
+                            "deadline expired during uncoarsening at level "
+                            f"{index + 1}/{len(levels)}; remaining levels "
+                            "projected without FM refinement"
+                        )
+                        obs.count("baseline.multilevel.deadline_stops")
+                    assignment = _rebalance_to_tolerance(
+                        finer, projected, balance_tolerance
+                    )
+                else:
+                    refined = fiduccia_mattheyses(
+                        finer,
+                        initial=projected,
+                        max_passes=refine_passes,
+                        balance_tolerance=balance_tolerance,
+                        seed=rng,
+                        deadline=deadline,
+                    )
+                    evaluations += refined.evaluations
+                    assignment = _rebalance_to_tolerance(
+                        finer, refined.bipartition, balance_tolerance
+                    )
+                history.append(assignment.cutsize)
+
+    obs.count("baseline.multilevel.runs")
+    obs.count("baseline.multilevel.evaluations", evaluations)
+    if coarse_result.degraded and degrade_reason is None:
+        degrade_reason = f"coarsest-level Algorithm I degraded: {coarse_result.degrade_reason}"
     return BaselineResult(
         bipartition=assignment,
         iterations=len(levels) + 1,
         evaluations=evaluations,
         history=tuple(history),
+        degraded=degrade_reason is not None,
+        degrade_reason=degrade_reason,
     )

@@ -14,12 +14,14 @@ from repro import obs
 from repro.baselines.cutstate import CutState, random_balanced_sides
 from repro.baselines.result import BaselineResult
 from repro.core.hypergraph import Hypergraph
+from repro.runtime import Deadline, faults
 
 
 def random_cut(
     hypergraph: Hypergraph,
     num_starts: int = 1,
     seed: int | random.Random | None = None,
+    deadline: Deadline | float | None = None,
 ) -> BaselineResult:
     """Best of ``num_starts`` uniformly random bisections.
 
@@ -31,32 +33,49 @@ def random_cut(
         Independent random bisections to draw.
     seed:
         Integer seed or a :class:`random.Random`.
+    deadline:
+        Wall-clock budget (``Deadline`` or seconds), checked between
+        starts; on expiry the best cut so far is returned with
+        ``degraded=True``.
     """
     if hypergraph.num_vertices < 2:
         raise ValueError("need at least two vertices to bipartition")
     if num_starts < 1:
         raise ValueError(f"num_starts must be >= 1, got {num_starts}")
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    deadline = Deadline.coerce(deadline)
+    degrade_reason: str | None = None
 
     best_state: CutState | None = None
     history: list[int] = []
     evaluations = 0
+    starts_done = 0
     with obs.span("baseline.random"):
         for _ in range(num_starts):
+            if starts_done > 0 and deadline is not None and deadline.expired():
+                degrade_reason = (
+                    f"deadline expired after {starts_done}/{num_starts} starts"
+                )
+                obs.count("baseline.random.deadline_stops")
+                break
+            faults.inject("baseline.random.start")
             left, _ = random_balanced_sides(hypergraph, rng)
             state = CutState(hypergraph, left)
             evaluations += hypergraph.num_edges
+            starts_done += 1
             if best_state is None or state.cutsize < best_state.cutsize:
                 best_state = state
             history.append(best_state.cutsize)
 
     assert best_state is not None
     obs.count("baseline.random.runs")
-    obs.count("baseline.random.starts", num_starts)
+    obs.count("baseline.random.starts", starts_done)
     obs.count("baseline.random.evaluations", evaluations)
     return BaselineResult(
         bipartition=best_state.to_bipartition(),
-        iterations=num_starts,
+        iterations=starts_done,
         evaluations=evaluations,
         history=tuple(history),
+        degraded=degrade_reason is not None,
+        degrade_reason=degrade_reason,
     )

@@ -26,12 +26,21 @@ class BaselineResult:
         Best-cutsize trajectory (one entry per iteration), for
         convergence plots and the "stuck at a terrible bipartition"
         observations of Section 4.
+    degraded:
+        ``True`` when the run stopped early at a cooperative deadline
+        checkpoint; the bipartition is still the best feasible cut found
+        so far.
+    degrade_reason:
+        Human-readable explanation when ``degraded`` (e.g. which loop
+        the deadline interrupted), else ``None``.
     """
 
     bipartition: Bipartition
     iterations: int
     evaluations: int
     history: tuple[int, ...] = field(default=(), repr=False)
+    degraded: bool = field(default=False, compare=False)
+    degrade_reason: str | None = field(default=None, compare=False)
 
     @property
     def cutsize(self) -> int:

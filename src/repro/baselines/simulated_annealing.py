@@ -23,6 +23,7 @@ from repro.baselines.cutstate import LEFT, initial_state
 from repro.baselines.result import BaselineResult
 from repro.core.hypergraph import Hypergraph
 from repro.core.partition import Bipartition
+from repro.runtime import Deadline, faults
 
 
 @dataclass(frozen=True)
@@ -66,6 +67,7 @@ def simulated_annealing(
     imbalance_penalty: float = 1.0,
     balance_tolerance: float = 0.1,
     seed: int | random.Random | None = None,
+    deadline: Deadline | float | None = None,
 ) -> BaselineResult:
     """Partition ``hypergraph`` by simulated annealing.
 
@@ -85,11 +87,17 @@ def simulated_annealing(
         fraction is within this bound (mirrors the other baselines).
     seed:
         Integer seed or :class:`random.Random`.
+    deadline:
+        Wall-clock budget (``Deadline`` or seconds), checked between
+        temperature steps; on expiry the best state so far is returned
+        with ``degraded=True``.
     """
     if hypergraph.num_vertices < 2:
         raise ValueError("need at least two vertices to bipartition")
     schedule = schedule or AnnealingSchedule()
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    deadline = Deadline.coerce(deadline)
+    degrade_reason: str | None = None
     state = initial_state(hypergraph, initial, rng)
 
     total_weight = hypergraph.total_vertex_weight or 1.0
@@ -129,6 +137,17 @@ def simulated_annealing(
             and total_moves < schedule.max_total_moves
             and frozen_steps < schedule.frozen_after
         ):
+            if (
+                temperature_steps > 0
+                and deadline is not None
+                and deadline.expired()
+            ):
+                degrade_reason = (
+                    f"deadline expired after {temperature_steps} temperature steps"
+                )
+                obs.count("baseline.sa.deadline_stops")
+                break
+            faults.inject("baseline.sa.step")
             accepted_any = False
             for _ in range(moves_per_temp):
                 total_moves += 1
@@ -165,6 +184,8 @@ def simulated_annealing(
         iterations=temperature_steps,
         evaluations=state.evaluations,
         history=tuple(history),
+        degraded=degrade_reason is not None,
+        degrade_reason=degrade_reason,
     )
 
 

@@ -19,6 +19,7 @@ from repro import obs
 from repro.baselines.result import BaselineResult
 from repro.core.hypergraph import Hypergraph
 from repro.core.partition import Bipartition
+from repro.runtime import Deadline, faults
 
 #: Above this size the Laplacian eigenproblem is solved sparsely.
 _DENSE_LIMIT = 600
@@ -27,17 +28,42 @@ _DENSE_LIMIT = 600
 def spectral_bisection(
     hypergraph: Hypergraph,
     seed: int | random.Random | None = None,
+    deadline: Deadline | float | None = None,
 ) -> BaselineResult:
     """Bisect ``hypergraph`` with the Fiedler vector of its clique expansion.
 
     Deterministic up to eigensolver behaviour; ``seed`` only seeds the
     sparse solver's start vector.  Returns a true bisection
     (``| |L| - |R| | <= 1``) by splitting the Fiedler order at the median.
+
+    The eigensolve is monolithic — it cannot be checkpointed — so an
+    already-expired ``deadline`` degrades to a deterministic median split
+    of the sorted vertex order instead of starting an eigensolve the
+    budget cannot pay for.
     """
     n = hypergraph.num_vertices
     if n < 2:
         raise ValueError("need at least two vertices to bipartition")
+    deadline = Deadline.coerce(deadline)
     vertices = sorted(hypergraph.vertices, key=repr)
+    faults.inject("baseline.spectral.solve")
+
+    if deadline is not None and deadline.expired():
+        half = n // 2
+        left = set(vertices[:half])
+        right = set(vertices) - left
+        bipartition = Bipartition(hypergraph, left, right)
+        obs.count("baseline.spectral.runs")
+        obs.count("baseline.spectral.deadline_stops")
+        return BaselineResult(
+            bipartition=bipartition,
+            iterations=0,
+            evaluations=hypergraph.num_edges,
+            history=(bipartition.cutsize,),
+            degraded=True,
+            degrade_reason="deadline expired before eigensolve; median split",
+        )
+
     index = {v: i for i, v in enumerate(vertices)}
 
     rows: list[int] = []

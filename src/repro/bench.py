@@ -48,6 +48,7 @@ from repro.core.hypergraph import Hypergraph
 from repro.generators.difficult import planted_bisection
 from repro.generators.netlists import clustered_netlist
 from repro.generators.random_hypergraph import random_hypergraph
+from repro.runtime import Deadline
 
 BENCH_SCHEMA_VERSION = 1
 
@@ -127,27 +128,40 @@ QUICK_SUITE: tuple[BenchCase, ...] = (
 )
 
 
-def _run_engine(engine: str, h: Hypergraph, seed: int, starts: int) -> tuple:
+def _run_engine(
+    engine: str,
+    h: Hypergraph,
+    seed: int,
+    starts: int,
+    deadline: Deadline | None = None,
+) -> tuple:
     """Run one engine; returns ``(bipartition, extras)``."""
     if engine == "algorithm1":
-        result = algorithm1(h, num_starts=starts, seed=seed, balance_tolerance=0.1)
+        result = algorithm1(
+            h, num_starts=starts, seed=seed, balance_tolerance=0.1, deadline=deadline
+        )
         return result.bipartition, {
             "phases": dict(result.timings),
             "work_counters": dict(result.counters),
+            "degraded": result.degraded,
         }
     if engine == "fm":
-        return fiduccia_mattheyses(h, seed=seed).bipartition, {}
+        result = fiduccia_mattheyses(h, seed=seed, deadline=deadline)
+        return result.bipartition, {"degraded": result.degraded}
     if engine == "kl":
-        return kernighan_lin(h, seed=seed).bipartition, {}
+        result = kernighan_lin(h, seed=seed, deadline=deadline)
+        return result.bipartition, {"degraded": result.degraded}
     if engine == "sa":
-        return (
-            simulated_annealing(h, schedule=_BENCH_SA_SCHEDULE, seed=seed).bipartition,
-            {},
+        result = simulated_annealing(
+            h, schedule=_BENCH_SA_SCHEDULE, seed=seed, deadline=deadline
         )
+        return result.bipartition, {"degraded": result.degraded}
     if engine == "random":
-        return random_cut(h, num_starts=starts, seed=seed).bipartition, {}
+        result = random_cut(h, num_starts=starts, seed=seed, deadline=deadline)
+        return result.bipartition, {"degraded": result.degraded}
     if engine == "spectral":
-        return spectral_bisection(h, seed=seed).bipartition, {}
+        result = spectral_bisection(h, seed=seed, deadline=deadline)
+        return result.bipartition, {"degraded": result.degraded}
     raise BenchError(f"unknown engine {engine!r}; choose from {ALL_ENGINES}")
 
 
@@ -158,8 +172,14 @@ def run_bench(
     seed: int = 0,
     starts: int = 10,
     repeats: int = 3,
+    deadline_seconds: float | None = None,
 ) -> dict:
     """Execute the suite and return the JSON-ready payload.
+
+    ``deadline_seconds`` (optional) gives *each engine run* a wall-clock
+    budget; runs that hit it return their best-so-far cut and are marked
+    ``"degraded": true`` in the payload.  Leave unset for gate runs — a
+    degraded cut is not comparable against an unbounded baseline.
 
     Every engine run executes inside a fresh scoped observability
     registry, so the recorded counters and spans are exactly that run's
@@ -176,6 +196,8 @@ def run_bench(
         raise BenchError(f"unknown engines {unknown}; choose from {ALL_ENGINES}")
     if repeats < 1:
         raise BenchError(f"repeats must be >= 1, got {repeats}")
+    if deadline_seconds is not None and deadline_seconds <= 0:
+        raise BenchError(f"deadline_seconds must be positive, got {deadline_seconds}")
 
     instances = []
     results = []
@@ -185,9 +207,14 @@ def run_bench(
         for engine in engines:
             seconds = None
             for _ in range(repeats):
+                deadline = (
+                    Deadline.after(deadline_seconds)
+                    if deadline_seconds is not None
+                    else None
+                )
                 with obs.scoped() as reg:
                     t0 = time.perf_counter()
-                    bipartition, extras = _run_engine(engine, h, seed, starts)
+                    bipartition, extras = _run_engine(engine, h, seed, starts, deadline)
                     elapsed = time.perf_counter() - t0
                     snapshot = reg.snapshot()
                 if seconds is None or elapsed < seconds:
@@ -212,6 +239,7 @@ def run_bench(
             "seed": seed,
             "starts": starts,
             "repeats": repeats,
+            "deadline_seconds": deadline_seconds,
             "engines": list(engines),
             "cases": [case.name for case in cases],
         },

@@ -48,6 +48,15 @@ def _save_hypergraph(h: Hypergraph, path: str) -> None:
     writers[suffix](h, path)
 
 
+def _check_degraded(degraded: bool, reason: str | None, on_error: str) -> None:
+    """Report (or escalate) a degraded run, per ``--on-error``."""
+    if not degraded:
+        return
+    if on_error == "raise":
+        raise SystemExit(f"run degraded: {reason or 'unknown reason'}")
+    print(f"degraded           : True ({reason})")
+
+
 def _cmd_partition(args: argparse.Namespace) -> int:
     h = _load_hypergraph(args.file, args.format)
     if args.k > 2:
@@ -84,8 +93,12 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             weighted_balance=args.weighted_balance,
             balance_tolerance=args.balance_tolerance,
             parallel=args.parallel,
+            deadline=args.deadline,
+            task_timeout=args.task_timeout,
+            max_retries=args.max_retries,
         )
         bp = result.bipartition
+        _check_degraded(result.degraded, result.degrade_reason, args.on_error)
         if args.timings:
             for phase in ("filter", "dualize", "cut", "complete", "balance"):
                 print(f"time {phase:<14}: {result.timings.get(phase, 0.0):.4f}s")
@@ -101,14 +114,19 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             spectral_bisection,
         )
 
+        d = args.deadline
         runners = {
-            "fm": lambda: fiduccia_mattheyses(h, seed=args.seed),
-            "kl": lambda: kernighan_lin(h, seed=args.seed),
-            "sa": lambda: simulated_annealing(h, seed=args.seed),
-            "random": lambda: random_cut(h, num_starts=args.starts, seed=args.seed),
-            "spectral": lambda: spectral_bisection(h, seed=args.seed),
+            "fm": lambda: fiduccia_mattheyses(h, seed=args.seed, deadline=d),
+            "kl": lambda: kernighan_lin(h, seed=args.seed, deadline=d),
+            "sa": lambda: simulated_annealing(h, seed=args.seed, deadline=d),
+            "random": lambda: random_cut(
+                h, num_starts=args.starts, seed=args.seed, deadline=d
+            ),
+            "spectral": lambda: spectral_bisection(h, seed=args.seed, deadline=d),
         }
-        bp = runners[args.algorithm]().bipartition
+        base_result = runners[args.algorithm]()
+        bp = base_result.bipartition
+        _check_degraded(base_result.degraded, base_result.degrade_reason, args.on_error)
 
     print(f"cutsize            : {bp.cutsize}")
     print(f"weighted cutsize   : {bp.weighted_cutsize:g}")
@@ -197,15 +215,28 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
         balance_tolerance=args.balance_tolerance,
         num_starts=args.starts,
         seed=args.seed,
+        deadline=args.deadline,
+        on_error=args.on_error,
     )
-    print(f"{'method':<12} {'cutsize':>8} {'imbalance':>10} {'feasible':>9} {'seconds':>8}")
+    print(
+        f"{'method':<12} {'cutsize':>8} {'imbalance':>10} {'feasible':>9} "
+        f"{'seconds':>8}  status"
+    )
     for entry in result.entries:
+        if entry.failed:
+            status = f"FAILED: {entry.error}"
+        elif entry.degraded:
+            status = "degraded"
+        else:
+            status = "ok"
         print(
             f"{entry.method:<12} {entry.cutsize:>8} "
             f"{entry.weight_imbalance_fraction:>10.3f} "
-            f"{str(entry.feasible):>9} {entry.seconds:>8.2f}"
+            f"{str(entry.feasible):>9} {entry.seconds:>8.2f}  {status}"
         )
     print(f"\nwinner: {result.winner} (cutsize {result.cutsize})")
+    if result.degraded:
+        print("degraded: some engines failed, were skipped, or hit the deadline")
     if args.parts:
         from repro.io.parts import write_parts
 
@@ -228,8 +259,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
 
     if args.compare:
+        if len(args.compare) > 2:
+            raise SystemExit("--compare takes one or two BENCH_*.json paths")
         baseline = load_bench(args.compare[0])
-        current = load_bench(args.compare[1])
+        if len(args.compare) == 2:
+            current = load_bench(args.compare[1])
+        else:
+            # One file: rerun the baseline's recorded settings now and
+            # compare against it (the standing "did this PR regress?" gate).
+            settings = baseline.get("settings", {})
+            cases = tuple(
+                c
+                for c in PINNED_SUITE + QUICK_SUITE
+                if c.name in settings.get("cases", [c.name for c in PINNED_SUITE])
+            )
+            current = run_bench(
+                "current",
+                cases=cases,
+                engines=tuple(settings.get("engines", DEFAULT_ENGINES)),
+                seed=settings.get("seed", 0),
+                starts=settings.get("starts", 10),
+                repeats=settings.get("repeats", 3),
+            )
         regressions = compare_bench(
             baseline, current, runtime_tolerance=args.runtime_tolerance
         )
@@ -245,14 +296,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         starts=args.starts,
         repeats=args.repeats,
+        deadline_seconds=args.deadline,
     )
     out = Path(args.out) if args.out else bench_path(args.label)
     write_bench(payload, out)
     print(f"{'instance':<12} {'engine':<10} {'cutsize':>8} {'imbalance':>10} {'seconds':>8}")
     for entry in payload["results"]:
+        mark = "  degraded" if entry.get("degraded") else ""
         print(
             f"{entry['instance']:<12} {entry['engine']:<10} {entry['cutsize']:>8} "
-            f"{entry['imbalance_fraction']:>10.3f} {entry['seconds']:>8.3f}"
+            f"{entry['imbalance_fraction']:>10.3f} {entry['seconds']:>8.3f}{mark}"
         )
     print(f"\nbench written: {out}")
     return 0
@@ -336,6 +389,36 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: sequential; same seed gives the same cut for any worker count)",
     )
     p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget; on expiry the best cut so far is returned "
+        "and the run is reported as degraded",
+    )
+    p.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-start timeout for parallel workers; a start exceeding it "
+        "is killed and retried with an advanced seed",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retries per crashed/hung/failed parallel start before "
+        "sequential fallback (default 2)",
+    )
+    p.add_argument(
+        "--on-error",
+        choices=["raise", "degrade"],
+        default="degrade",
+        help="'degrade' (default) reports a degraded result and exits 0; "
+        "'raise' exits non-zero when the run could not complete fully",
+    )
+    p.add_argument(
         "--timings",
         action="store_true",
         help="print per-phase wall-clock timings (algorithm1 only)",
@@ -374,6 +457,21 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--starts", type=int, default=25)
     pf.add_argument("--balance-tolerance", type=float, default=0.1)
     pf.add_argument("--seed", type=int, default=0)
+    pf.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="shared wall-clock budget; engines degrade cooperatively and "
+        "engines not yet started at expiry are skipped",
+    )
+    pf.add_argument(
+        "--on-error",
+        choices=["raise", "degrade"],
+        default="degrade",
+        help="'degrade' (default) records engine failures on the scoreboard; "
+        "'raise' propagates the first engine exception",
+    )
     pf.add_argument("--parts", help="write the winning cut as a .part file")
     pf.set_defaults(fn=_cmd_portfolio)
 
@@ -394,10 +492,19 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--seed", type=int, default=0)
     b.add_argument("--quick", action="store_true", help="tiny suite for smoke runs")
     b.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-engine-run wall-clock budget; runs that hit it are marked "
+        "degraded in the payload (leave unset for gate runs)",
+    )
+    b.add_argument(
         "--compare",
-        nargs=2,
-        metavar=("BASELINE", "CURRENT"),
-        help="compare two BENCH_*.json files; exit 1 on cut or runtime regression",
+        nargs="+",
+        metavar="BENCH_JSON",
+        help="compare two BENCH_*.json files — or, given one file, rerun its "
+        "recorded settings now and compare; exit 1 on cut or runtime regression",
     )
     b.add_argument(
         "--runtime-tolerance",

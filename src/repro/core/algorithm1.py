@@ -31,13 +31,12 @@ exact sequential behaviour).
 
 from __future__ import annotations
 
-import multiprocessing
 import random
 from collections.abc import Hashable
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro import obs
+from repro.runtime import Deadline, SupervisedPool, advance_seed, faults
 from repro.core.boundary import BoundaryGraph, boundary_graph
 from repro.core.complete_cut import (
     CompletionResult,
@@ -103,7 +102,17 @@ class Algorithm1Result:
         ``parallel`` is set, so they can exceed the elapsed time).
     counters:
         Work counters: ``num_starts``, ``ignored_edges``, ``dual_nodes``,
-        ``dual_edges``, ``parallel_workers``.
+        ``dual_edges``, ``parallel_workers``.  ``num_starts`` is the
+        number of starts that actually *completed* — under a deadline or
+        worker faults it can be smaller than the requested count, and
+        ``len(starts)`` always agrees with it.
+    degraded:
+        True when the run hit its deadline or recovered from worker
+        faults and therefore explored fewer/other starts than requested;
+        the returned cut is still the best over everything that finished.
+    degrade_reason:
+        Human-readable explanation when ``degraded`` (deadline expiry,
+        crash/hang/retry summary from the supervisor), else ``None``.
     """
 
     bipartition: Bipartition
@@ -112,6 +121,8 @@ class Algorithm1Result:
     intersection: IntersectionGraph = field(repr=False)
     timings: dict = field(default_factory=dict, repr=False, compare=False)
     counters: dict = field(default_factory=dict, repr=False, compare=False)
+    degraded: bool = field(default=False, compare=False)
+    degrade_reason: str | None = field(default=None, compare=False)
 
     @property
     def cutsize(self) -> int:
@@ -339,13 +350,13 @@ def _rank_key(
 
 
 # ----------------------------------------------------------------------
-# Parallel multi-start machinery
+# Parallel multi-start machinery (supervised; see repro.runtime)
 # ----------------------------------------------------------------------
 
 #: Shared per-run state for worker processes.  Populated in the parent
 #: just before the pool is created: fork workers inherit it for free (no
-#: pickling of the intersection graph per task); spawn workers receive it
-#: once through the pool initializer.
+#: pickling of the intersection graph per task).  The supervised pool's
+#: sequential fallback runs in the parent, where the state is also live.
 _PARALLEL_STATE: dict = {}
 
 
@@ -356,67 +367,56 @@ def _parallel_init(state: dict) -> None:
         obs.enable()
 
 
-def _run_batch_starts(batch: list[tuple[int, int]]):
+def _execute_start(child_seed: int):
+    """One start from its pre-drawn seed; returns the picklable essentials."""
     st = _PARALLEL_STATE
-    intersection = st["intersection"]
-    original = st["original"]
-    records: list[tuple[int, StartRecord]] = []
-    best: tuple[tuple, frozenset, frozenset] | None = None
-    timings = {"cut": 0.0, "complete": 0.0, "balance": 0.0}
-    for index, child_seed in batch:
-        trace = run_single_start(
-            intersection,
-            original,
-            random.Random(child_seed),
-            variant=st["variant"],
-            weighted_balance=st["weighted_balance"],
-            double_sweep=st["double_sweep"],
-            bfs_mode=st["bfs_mode"],
-        )
-        bp = trace.bipartition
-        records.append(
-            (
-                index,
-                StartRecord(
-                    seed_u=trace.cut.seed_u,
-                    seed_v=trace.cut.seed_v,
-                    bfs_depth=trace.bfs_depth,
-                    boundary_size=len(trace.cut.boundary),
-                    num_losers=trace.completion.num_losers,
-                    cutsize=bp.cutsize,
-                    weight_imbalance=bp.weight_imbalance,
-                ),
-            )
-        )
-        key = (
-            _rank_key(bp, st["objective"], st["balance_tolerance"], st["total_weight"]),
-            index,
-        )
-        if best is None or key < best[0]:
-            best = (key, bp.left, bp.right)
-        for phase, dt in trace.timings.items():
-            timings[phase] = timings.get(phase, 0.0) + dt
-    return best, records, timings
+    trace = run_single_start(
+        st["intersection"],
+        st["original"],
+        random.Random(child_seed),
+        variant=st["variant"],
+        weighted_balance=st["weighted_balance"],
+        double_sweep=st["double_sweep"],
+        bfs_mode=st["bfs_mode"],
+    )
+    bp = trace.bipartition
+    record = StartRecord(
+        seed_u=trace.cut.seed_u,
+        seed_v=trace.cut.seed_v,
+        bfs_depth=trace.bfs_depth,
+        boundary_size=len(trace.cut.boundary),
+        num_losers=trace.completion.num_losers,
+        cutsize=bp.cutsize,
+        weight_imbalance=bp.weight_imbalance,
+    )
+    rank = _rank_key(bp, st["objective"], st["balance_tolerance"], st["total_weight"])
+    return record, rank, bp.left, bp.right, trace.timings
 
 
-def _run_start_batch(batch: list[tuple[int, int]]):
-    """Worker: run a batch of (start_index, child_seed) starts.
+def _run_one_start(payload: tuple[int, int]):
+    """Supervised worker: one ``(start_index, child_seed)`` task.
 
-    Returns a compact quadruple — the batch's best cut as
-    ``((rank, index), left, right)``, the per-start records as
-    ``(index, StartRecord)`` pairs, summed per-phase timings, and the
-    worker's observability snapshot (``None`` when recording is off) —
-    so only small frozensets and plain dicts cross the process boundary,
-    never traces.  Each worker records into a fresh scoped registry so
-    the parent can merge snapshots without double-counting whatever the
-    fork inherited.
+    Only small frozensets, the rank tuple, and plain dicts cross the
+    process boundary — never traces.  The worker records into a fresh
+    scoped registry so the parent can merge snapshots without
+    double-counting whatever the fork inherited (``None`` when recording
+    is off).  ``parallel.start`` is a fault-injection site: the chaos
+    suite kills/hangs workers here to exercise the supervisor.
     """
+    _index, child_seed = payload
+    faults.inject("parallel.start")
     if _PARALLEL_STATE.get("obs_enabled"):
         with obs.scoped() as reg:
-            best, records, timings = _run_batch_starts(batch)
+            out = _execute_start(child_seed)
             snapshot = reg.snapshot()
-        return best, records, timings, snapshot
-    return (*_run_batch_starts(batch), None)
+        return (*out, snapshot)
+    return (*_execute_start(child_seed), None)
+
+
+def _reseed_start(payload: tuple[int, int], attempt: int) -> tuple[int, int]:
+    """Deterministic retry seed-advance (start index is preserved)."""
+    index, child_seed = payload
+    return index, advance_seed(child_seed, attempt)
 
 
 def _run_parallel_starts(
@@ -424,52 +424,59 @@ def _run_parallel_starts(
     num_starts: int,
     parallel: int,
     rng: random.Random,
-) -> tuple[tuple[frozenset, frozenset], list[StartRecord], dict, int]:
-    """Fan ``num_starts`` independent starts across ``parallel`` processes.
+    deadline: Deadline | None,
+    task_timeout: float | None,
+    max_retries: int,
+):
+    """Fan ``num_starts`` independent starts across supervised processes.
 
     Child seeds are drawn up front from ``rng`` and ties between equal
-    cuts break by start index, so the outcome depends only on the seed —
-    not on worker count or scheduling.
+    cuts break by start index, so on the fault-free path the outcome
+    depends only on the seed — not on worker count or scheduling, and
+    byte-identically matches the pre-supervision behaviour.  Crashed or
+    hung workers are retried with a deterministic seed advance; starts
+    that never complete (deadline, exhausted retries) are simply absent
+    from the result, which the caller reports as ``degraded``.
     """
-    pairs = [(i, rng.getrandbits(63)) for i in range(num_starts)]
+    pairs = [(i, (i, rng.getrandbits(63))) for i in range(num_starts)]
     workers = min(parallel, num_starts)
-    batches = [pairs[w::workers] for w in range(workers)]
-    try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        ctx = multiprocessing.get_context("spawn")
 
     _parallel_init(state)
     try:
-        if ctx.get_start_method() == "fork":
-            executor = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
-        else:  # pragma: no cover - non-POSIX platforms
-            executor = ProcessPoolExecutor(
-                max_workers=workers,
-                mp_context=ctx,
-                initializer=_parallel_init,
-                initargs=(state,),
-            )
-        with executor:
-            results = list(executor.map(_run_start_batch, batches))
+        pool = SupervisedPool(
+            _run_one_start,
+            max_workers=workers,
+            task_timeout=task_timeout,
+            max_retries=max_retries,
+            deadline=deadline,
+            reseed=_reseed_start,
+        )
+        outcomes, report = pool.map(pairs)
     finally:
         _PARALLEL_STATE.clear()
 
     best_pack = None
     records_by_index: dict[int, StartRecord] = {}
     timings = {"cut": 0.0, "complete": 0.0, "balance": 0.0}
-    for batch_best, batch_records, batch_timings, batch_snapshot in results:
-        for index, record in batch_records:
-            records_by_index[index] = record
-        if batch_best is not None and (best_pack is None or batch_best[0] < best_pack[0]):
-            best_pack = batch_best
-        for phase, dt in batch_timings.items():
+    for outcome in outcomes:
+        if not outcome.ok:
+            continue
+        record, rank, left, right, start_timings, snapshot = outcome.value
+        index = outcome.key
+        records_by_index[index] = record
+        key = (rank, index)
+        if best_pack is None or key < best_pack[0]:
+            best_pack = (key, left, right)
+        for phase, dt in start_timings.items():
             timings[phase] = timings.get(phase, 0.0) + dt
-        if batch_snapshot is not None and obs.is_enabled():
-            obs.registry().merge(batch_snapshot)
-    assert best_pack is not None
-    records = [records_by_index[i] for i in range(num_starts)]
-    return (best_pack[1], best_pack[2]), records, timings, workers
+        if snapshot is not None and obs.is_enabled():
+            obs.registry().merge(snapshot)
+    if best_pack is None:
+        raise Algorithm1Error(
+            "all parallel starts failed: " + ("; ".join(report.errors[:5]) or "unknown")
+        )
+    records = [records_by_index[i] for i in sorted(records_by_index)]
+    return (best_pack[1], best_pack[2]), records, timings, workers, report
 
 
 def algorithm1(
@@ -484,6 +491,9 @@ def algorithm1(
     bfs_mode: str = "balanced",
     objective: str = "edges",
     parallel: int | None = None,
+    deadline: Deadline | float | None = None,
+    task_timeout: float | None = None,
+    max_retries: int = 2,
 ) -> Algorithm1Result:
     """Bipartition ``hypergraph`` with Algorithm I.
 
@@ -532,6 +542,21 @@ def algorithm1(
         child seeds are drawn from ``rng`` up front and ties break by
         start index, so results for a fixed seed are identical for every
         ``k`` (but differ from the sequential stream).
+    deadline:
+        Wall-clock budget (:class:`repro.runtime.Deadline` or plain
+        seconds).  Checked cooperatively between starts: on expiry the
+        best cut found so far is returned with ``degraded=True`` and the
+        reason recorded, never an exception.  At least one start always
+        runs, so a result exists even for an already-expired budget.
+    task_timeout:
+        Per-start timeout for *parallel* workers: a worker past it is
+        killed and the start retried (see ``max_retries``).  ``None``
+        disables hang detection.
+    max_retries:
+        Process retries per parallel start after a crash/hang, each with
+        a deterministic seed advance
+        (:func:`repro.runtime.advance_seed`); an exhausted budget falls
+        back to one hardened in-process attempt.
 
     Returns
     -------
@@ -547,6 +572,7 @@ def algorithm1(
         raise Algorithm1Error(f"objective must be 'edges' or 'weight', got {objective!r}")
     if parallel is not None and parallel < 1:
         raise Algorithm1Error(f"parallel must be >= 1 or None, got {parallel}")
+    deadline = Deadline.coerce(deadline)
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
 
     timer = obs.PhaseTimer("algorithm1", TIMING_PHASES)
@@ -640,9 +666,6 @@ def algorithm1(
                 counters=counters,
             )
 
-    counters["num_starts"] = num_starts
-    obs.count("algorithm1.starts", num_starts)
-
     if parallel is not None and num_starts > 1 and parallel > 1:
         state = {
             "intersection": intersection,
@@ -656,13 +679,18 @@ def algorithm1(
             "total_weight": total_weight,
             "obs_enabled": obs.is_enabled(),
         }
-        (best_left, best_right), records, start_timings, workers = _run_parallel_starts(
-            state, num_starts, parallel, rng
+        (best_left, best_right), records, start_timings, workers, report = (
+            _run_parallel_starts(
+                state, num_starts, parallel, rng, deadline, task_timeout, max_retries
+            )
         )
         for phase, dt in start_timings.items():
             timings[phase] = timings.get(phase, 0.0) + dt
+        counters["num_starts"] = len(records)
         counters["parallel_workers"] = workers
+        obs.count("algorithm1.starts", len(records))
         obs.gauge("algorithm1.parallel_workers", workers)
+        degraded = report.degraded or len(records) < num_starts
         best = Bipartition(hypergraph, best_left, best_right)
         return Algorithm1Result(
             bipartition=best,
@@ -671,6 +699,12 @@ def algorithm1(
             intersection=intersection,
             timings=timings,
             counters=counters,
+            degraded=degraded,
+            degrade_reason=(
+                f"{report.summary()} ({len(records)}/{num_starts} starts completed)"
+                if degraded
+                else None
+            ),
         )
     if parallel is not None:
         # parallel=1 (or a single start): same seed contract as parallel
@@ -683,7 +717,15 @@ def algorithm1(
     best: Bipartition | None = None
     best_key: tuple | None = None
     records = []
+    degrade_reason: str | None = None
     for index in range(num_starts):
+        # Cooperative checkpoint: at least one start always runs, so a
+        # best-so-far cut exists even for an already-expired budget.
+        if index > 0 and deadline is not None and deadline.expired():
+            degrade_reason = f"deadline expired after {index}/{num_starts} starts"
+            obs.count("algorithm1.deadline_stops")
+            break
+        faults.inject("algorithm1.start")
         trace = run_single_start(
             intersection,
             hypergraph,
@@ -712,6 +754,8 @@ def algorithm1(
             best, best_key = bp, key
 
     assert best is not None
+    counters["num_starts"] = len(records)
+    obs.count("algorithm1.starts", len(records))
     return Algorithm1Result(
         bipartition=best,
         ignored_edges=ignored,
@@ -719,4 +763,6 @@ def algorithm1(
         intersection=intersection,
         timings=timings,
         counters=counters,
+        degraded=degrade_reason is not None,
+        degrade_reason=degrade_reason,
     )

@@ -21,6 +21,7 @@ from collections.abc import Callable, Hashable
 from dataclasses import dataclass
 from functools import cached_property
 
+from repro import obs
 from repro.core.algorithm1 import algorithm1
 from repro.core.hypergraph import Hypergraph
 
@@ -203,6 +204,7 @@ def recursive_bisection(
             ordered = sorted(vertices, key=repr)
             left, right = set(ordered[:parts_left]), set(ordered[parts_left:])
         else:
+            obs.count("kway.bisections")
             left, right = engine(sub, rng)
             target = sub.total_vertex_weight * parts_left / parts
             _rebalance(sub, left, right, target, rng)
@@ -218,5 +220,9 @@ def recursive_bisection(
         split(left, parts_left)
         split(right, parts_right)
 
-    split(set(hypergraph.vertices), k)
-    return KWayPartition(hypergraph=hypergraph, blocks=tuple(blocks))
+    with obs.span("kway.recursive_bisection"):
+        split(set(hypergraph.vertices), k)
+        partition = KWayPartition(hypergraph=hypergraph, blocks=tuple(blocks))
+    obs.count("kway.runs")
+    obs.gauge("kway.k", k)
+    return partition

@@ -19,6 +19,7 @@ from __future__ import annotations
 import random
 from collections.abc import Hashable
 
+from repro import obs
 from repro.baselines.fiduccia_mattheyses import fiduccia_mattheyses
 from repro.core.kway import KWayPartition
 from repro.core.partition import Bipartition
@@ -71,21 +72,28 @@ def refine_kway(
     h = partition.hypergraph
     current = partition
 
-    for _ in range(sweeps):
-        improved = False
-        k = current.k
-        for i in range(k):
-            for j in range(i + 1, k):
-                if not _pair_shares_cut_net(current, i, j):
-                    continue
-                candidate = _refine_pair(
-                    current, i, j, balance_tolerance, max_passes, rng
-                )
-                if candidate is not None and candidate.connectivity < current.connectivity:
-                    current = candidate
-                    improved = True
-        if not improved:
-            break
+    sweeps_done = 0
+    with obs.span("kway.refine"):
+        for _ in range(sweeps):
+            sweeps_done += 1
+            improved = False
+            k = current.k
+            for i in range(k):
+                for j in range(i + 1, k):
+                    if not _pair_shares_cut_net(current, i, j):
+                        continue
+                    obs.count("kway.refine.pairs")
+                    candidate = _refine_pair(
+                        current, i, j, balance_tolerance, max_passes, rng
+                    )
+                    if candidate is not None and candidate.connectivity < current.connectivity:
+                        current = candidate
+                        improved = True
+                        obs.count("kway.refine.improvements")
+            if not improved:
+                break
+    obs.count("kway.refine.runs")
+    obs.count("kway.refine.sweeps", sweeps_done)
     return current
 
 

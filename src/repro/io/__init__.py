@@ -7,14 +7,35 @@
 * :mod:`repro.io.json_io` — a lossless JSON round-trip format preserving
   names and weights.
 * :mod:`repro.io.parts` — hMETIS-style ``.part`` partition files.
+
+Every reader raises a :class:`~repro.io.errors.ParseError` subclass
+(``HgrFormatError``, ``NetlistFormatError``, ``JsonFormatError``) with
+file and line context on malformed input.
 """
 
-from repro.io.netlist import format_netlist, parse_netlist, read_netlist, write_netlist
-from repro.io.hgr import format_hgr, parse_hgr, read_hgr, write_hgr
-from repro.io.json_io import hypergraph_from_json, hypergraph_to_json, read_json, write_json
+from repro.io.errors import ParseError
+from repro.io.netlist import (
+    NetlistFormatError,
+    format_netlist,
+    parse_netlist,
+    read_netlist,
+    write_netlist,
+)
+from repro.io.hgr import HgrFormatError, format_hgr, parse_hgr, read_hgr, write_hgr
+from repro.io.json_io import (
+    JsonFormatError,
+    hypergraph_from_json,
+    hypergraph_to_json,
+    read_json,
+    write_json,
+)
 from repro.io.parts import format_parts, parse_parts, read_parts, write_parts
 
 __all__ = [
+    "ParseError",
+    "HgrFormatError",
+    "NetlistFormatError",
+    "JsonFormatError",
     "parse_netlist",
     "format_netlist",
     "read_netlist",

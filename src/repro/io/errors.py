@@ -1,0 +1,59 @@
+"""Typed parse errors with file/line context for every IO front end.
+
+All reader failures in :mod:`repro.io` raise a :class:`ParseError`
+subclass (one per format) instead of a bare ``ValueError``, so callers
+can catch IO problems without also swallowing unrelated value errors,
+and so every message carries *where*: the source (filename, attached by
+the ``read_*`` wrappers) and the 1-based line number when known::
+
+    repro.io.hgr.HgrFormatError: design.hgr: line 7: edge line 6: empty hyperedge
+
+``ParseError`` subclasses ``ValueError``, so pre-existing ``except
+ValueError`` call sites keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ParseError"]
+
+
+class ParseError(ValueError):
+    """A malformed-input error with optional source-file and line context.
+
+    Attributes
+    ----------
+    message:
+        The bare problem description (no location prefix).
+    source:
+        Filename or other origin label, when known.
+    line:
+        1-based line number in the source, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        source: str | None = None,
+        line: int | None = None,
+    ) -> None:
+        self.message = message
+        self.source = source
+        self.line = line
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        prefix = ""
+        if self.source is not None:
+            prefix += f"{self.source}: "
+        if self.line is not None:
+            prefix += f"line {self.line}: "
+        return prefix + self.message
+
+    def with_source(self, source: str) -> "ParseError":
+        """A copy of this error (same concrete class) tagged with ``source``.
+
+        Used by the ``read_*`` wrappers to attach the filename to errors
+        raised by the text-level parsers, which never see a path.
+        """
+        return type(self)(self.message, source=source, line=self.line)

@@ -19,10 +19,11 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.core.hypergraph import Hypergraph
+from repro.io.errors import ParseError
 
 
-class HgrFormatError(ValueError):
-    """Raised on malformed ``.hgr`` content."""
+class HgrFormatError(ParseError):
+    """Raised on malformed ``.hgr`` content (with source/line context)."""
 
 
 def _sorted_labels(labels):
@@ -41,29 +42,39 @@ def _sorted_labels(labels):
 
 
 def parse_hgr(text: str) -> Hypergraph:
-    """Parse hMETIS text into a :class:`Hypergraph`."""
-    lines = [
-        line.strip()
-        for line in text.splitlines()
+    """Parse hMETIS text into a :class:`Hypergraph`.
+
+    Raises :class:`HgrFormatError` on malformed content; the error's
+    ``line`` attribute (and message) carries the 1-based line number in
+    the *original* text, counting comment and blank lines.
+    """
+    numbered = [
+        (lineno, line.strip())
+        for lineno, line in enumerate(text.splitlines(), start=1)
         if line.strip() and not line.lstrip().startswith("%")
     ]
-    if not lines:
+    if not numbered:
         raise HgrFormatError("empty .hgr content")
-    header = lines[0].split()
+    header_lineno, header_line = numbered[0]
+    header = header_line.split()
     if len(header) not in (2, 3):
-        raise HgrFormatError(f"bad header {lines[0]!r}: expected 'E V [fmt]'")
+        raise HgrFormatError(
+            f"bad header {header_line!r}: expected 'E V [fmt]'", line=header_lineno
+        )
     try:
         num_edges, num_vertices = int(header[0]), int(header[1])
     except ValueError:
-        raise HgrFormatError(f"non-integer header {lines[0]!r}") from None
+        raise HgrFormatError(
+            f"non-integer header {header_line!r}", line=header_lineno
+        ) from None
     fmt = header[2] if len(header) == 3 else "0"
     if fmt not in ("0", "1", "10", "11"):
-        raise HgrFormatError(f"unknown fmt code {fmt!r}")
+        raise HgrFormatError(f"unknown fmt code {fmt!r}", line=header_lineno)
     has_edge_weights = fmt in ("1", "11")
     has_vertex_weights = fmt in ("10", "11")
 
     expected = num_edges + (num_vertices if has_vertex_weights else 0)
-    body = lines[1:]
+    body = numbered[1:]
     if len(body) < expected:
         raise HgrFormatError(
             f"expected {expected} body lines ({num_edges} edges"
@@ -73,11 +84,20 @@ def parse_hgr(text: str) -> Hypergraph:
 
     h = Hypergraph(vertices=range(1, num_vertices + 1))
     for i in range(num_edges):
-        tokens = body[i].split()
+        lineno, content = body[i]
+        tokens = content.split()
         if has_edge_weights:
             if len(tokens) < 2:
-                raise HgrFormatError(f"edge line {i + 1}: weight plus at least one pin required")
-            weight = float(tokens[0])
+                raise HgrFormatError(
+                    f"edge line {i + 1}: weight plus at least one pin required",
+                    line=lineno,
+                )
+            try:
+                weight = float(tokens[0])
+            except ValueError:
+                raise HgrFormatError(
+                    f"edge line {i + 1}: bad weight {tokens[0]!r}", line=lineno
+                ) from None
             pin_tokens = tokens[1:]
         else:
             weight = 1.0
@@ -85,20 +105,27 @@ def parse_hgr(text: str) -> Hypergraph:
         try:
             pins = [int(t) for t in pin_tokens]
         except ValueError:
-            raise HgrFormatError(f"edge line {i + 1}: non-integer pin in {body[i]!r}") from None
+            raise HgrFormatError(
+                f"edge line {i + 1}: non-integer pin in {content!r}", line=lineno
+            ) from None
         bad = [p for p in pins if not 1 <= p <= num_vertices]
         if bad:
-            raise HgrFormatError(f"edge line {i + 1}: pins out of range: {bad}")
+            raise HgrFormatError(
+                f"edge line {i + 1}: pins out of range: {bad}", line=lineno
+            )
         if not pins:
-            raise HgrFormatError(f"edge line {i + 1}: empty hyperedge")
+            raise HgrFormatError(f"edge line {i + 1}: empty hyperedge", line=lineno)
         h.add_edge(pins, name=f"net{i + 1}", weight=weight)
 
     if has_vertex_weights:
         for j in range(num_vertices):
+            lineno, content = body[num_edges + j]
             try:
-                w = float(body[num_edges + j])
+                w = float(content)
             except ValueError:
-                raise HgrFormatError(f"vertex weight line {j + 1}: not a number") from None
+                raise HgrFormatError(
+                    f"vertex weight line {j + 1}: not a number", line=lineno
+                ) from None
             h.set_vertex_weight(j + 1, w)
     return h
 
@@ -132,9 +159,17 @@ def format_hgr(hypergraph: Hypergraph) -> tuple[str, dict]:
 
 
 def read_hgr(path: str | Path) -> Hypergraph:
-    """Read an hMETIS ``.hgr`` file."""
+    """Read an hMETIS ``.hgr`` file.
+
+    Parse failures re-raise with the filename attached, so the error
+    reads ``<path>: line <n>: <problem>``.
+    """
     with open(path, encoding="utf-8") as handle:
-        return parse_hgr(handle.read())
+        text = handle.read()
+    try:
+        return parse_hgr(text)
+    except HgrFormatError as exc:
+        raise exc.with_source(str(path)) from None
 
 
 def write_hgr(hypergraph: Hypergraph, path: str | Path) -> dict:

@@ -18,6 +18,11 @@ import json
 from pathlib import Path
 
 from repro.core.hypergraph import Hypergraph
+from repro.io.errors import ParseError
+
+
+class JsonFormatError(ParseError):
+    """Raised on malformed JSON hypergraph content (with source/line context)."""
 
 
 def _encode_label(label):
@@ -51,24 +56,61 @@ def hypergraph_to_json(hypergraph: Hypergraph) -> str:
 
 
 def hypergraph_from_json(text: str) -> Hypergraph:
-    """Parse the JSON produced by :func:`hypergraph_to_json`."""
-    payload = json.loads(text)
+    """Parse the JSON produced by :func:`hypergraph_to_json`.
+
+    Raises :class:`JsonFormatError` on syntactically invalid JSON (with
+    the decoder's line number) or on structurally wrong payloads (wrong
+    keys, mis-shaped vertex/edge entries, non-numeric weights).
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise JsonFormatError(f"invalid JSON: {exc.msg}", line=exc.lineno) from None
     if not isinstance(payload, dict) or "vertices" not in payload or "edges" not in payload:
-        raise ValueError("JSON hypergraph must have 'vertices' and 'edges' keys")
+        raise JsonFormatError("JSON hypergraph must have 'vertices' and 'edges' keys")
+    if not isinstance(payload["vertices"], list) or not isinstance(payload["edges"], list):
+        raise JsonFormatError("'vertices' and 'edges' must be lists")
     h = Hypergraph()
-    for label, weight in payload["vertices"]:
+    for i, entry in enumerate(payload["vertices"]):
+        if not isinstance(entry, list) or len(entry) != 2:
+            raise JsonFormatError(
+                f"vertex entry {i}: expected [label, weight], got {entry!r}"
+            )
+        label, weight = entry
+        if not isinstance(weight, (int, float)) or isinstance(weight, bool):
+            raise JsonFormatError(f"vertex entry {i}: weight {weight!r} is not a number")
         h.add_vertex(_decode_label(label), weight)
-    for name, pins, weight in payload["edges"]:
-        h.add_edge(
-            [_decode_label(p) for p in pins], name=_decode_label(name), weight=weight
-        )
+    for i, entry in enumerate(payload["edges"]):
+        if not isinstance(entry, list) or len(entry) != 3:
+            raise JsonFormatError(
+                f"edge entry {i}: expected [name, [pins...], weight], got {entry!r}"
+            )
+        name, pins, weight = entry
+        if not isinstance(pins, list) or not pins:
+            raise JsonFormatError(f"edge entry {i}: pins must be a non-empty list")
+        if not isinstance(weight, (int, float)) or isinstance(weight, bool):
+            raise JsonFormatError(f"edge entry {i}: weight {weight!r} is not a number")
+        try:
+            h.add_edge(
+                [_decode_label(p) for p in pins], name=_decode_label(name), weight=weight
+            )
+        except (ValueError, TypeError) as exc:
+            raise JsonFormatError(f"edge entry {i}: {exc}") from None
     return h
 
 
 def read_json(path: str | Path) -> Hypergraph:
-    """Read a JSON hypergraph file."""
+    """Read a JSON hypergraph file.
+
+    Parse failures re-raise with the filename attached, so the error
+    reads ``<path>: [line <n>:] <problem>``.
+    """
     with open(path, encoding="utf-8") as handle:
-        return hypergraph_from_json(handle.read())
+        text = handle.read()
+    try:
+        return hypergraph_from_json(text)
+    except JsonFormatError as exc:
+        raise exc.with_source(str(path)) from None
 
 
 def write_json(hypergraph: Hypergraph, path: str | Path) -> None:

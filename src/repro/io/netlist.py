@@ -24,10 +24,11 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.core.hypergraph import Hypergraph
+from repro.io.errors import ParseError
 
 
-class NetlistFormatError(ValueError):
-    """Raised on malformed netlist text."""
+class NetlistFormatError(ParseError):
+    """Raised on malformed netlist text (with source/line context)."""
 
 
 def _parse_module_token(token: str):
@@ -56,17 +57,19 @@ def parse_netlist(text: str) -> Hypergraph:
             parts = line.split()
             if len(parts) != 3 or not parts[2].startswith("weight="):
                 raise NetlistFormatError(
-                    f"line {lineno}: expected '%module <name> weight=<w>', got {raw!r}"
+                    f"expected '%module <name> weight=<w>', got {raw!r}", line=lineno
                 )
             module = _parse_module_token(parts[1])
             try:
                 weight = float(parts[2][len("weight=") :])
             except ValueError:
-                raise NetlistFormatError(f"line {lineno}: bad weight in {raw!r}") from None
+                raise NetlistFormatError(f"bad weight in {raw!r}", line=lineno) from None
             pending_weights[module] = weight
             continue
         if ":" not in line:
-            raise NetlistFormatError(f"line {lineno}: expected '<signal>: <modules>', got {raw!r}")
+            raise NetlistFormatError(
+                f"expected '<signal>: <modules>', got {raw!r}", line=lineno
+            )
         head, _, tail = line.partition(":")
         name = head.strip()
         weight = 1.0
@@ -75,15 +78,17 @@ def parse_netlist(text: str) -> Hypergraph:
             try:
                 weight = float(suffix[:-1])
             except ValueError:
-                raise NetlistFormatError(f"line {lineno}: bad signal weight in {name!r}") from None
+                raise NetlistFormatError(
+                    f"bad signal weight in {name!r}", line=lineno
+                ) from None
             name = base.strip()
         if not name:
-            raise NetlistFormatError(f"line {lineno}: empty signal name")
+            raise NetlistFormatError("empty signal name", line=lineno)
         modules = [_parse_module_token(tok) for tok in tail.split()]
         if not modules:
-            raise NetlistFormatError(f"line {lineno}: signal {name!r} has no modules")
+            raise NetlistFormatError(f"signal {name!r} has no modules", line=lineno)
         if h.has_edge(name):
-            raise NetlistFormatError(f"line {lineno}: duplicate signal {name!r}")
+            raise NetlistFormatError(f"duplicate signal {name!r}", line=lineno)
         h.add_edge(modules, name=name, weight=weight)
 
     for module, weight in pending_weights.items():
@@ -110,9 +115,17 @@ def format_netlist(hypergraph: Hypergraph) -> str:
 
 
 def read_netlist(path: str | Path) -> Hypergraph:
-    """Read a netlist file (see :func:`parse_netlist`)."""
+    """Read a netlist file (see :func:`parse_netlist`).
+
+    Parse failures re-raise with the filename attached, so the error
+    reads ``<path>: line <n>: <problem>``.
+    """
     with open(path, encoding="utf-8") as handle:
-        return parse_netlist(handle.read())
+        text = handle.read()
+    try:
+        return parse_netlist(text)
+    except NetlistFormatError as exc:
+        raise exc.with_source(str(path)) from None
 
 
 def write_netlist(hypergraph: Hypergraph, path: str | Path) -> None:

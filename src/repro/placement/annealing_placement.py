@@ -18,6 +18,7 @@ import random
 from collections.abc import Hashable
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.hypergraph import Hypergraph
 from repro.placement.grid import SlotGrid
 from repro.placement.mincut_placement import PlacementError, PlacementResult, _default_grid
@@ -188,35 +189,41 @@ def annealing_place(
     total_moves = 0
     frozen = 0
 
-    while (
-        temperature > schedule.min_temperature
-        and total_moves < schedule.max_total_moves
-        and frozen < schedule.frozen_after
-    ):
-        accepted_any = False
-        for _ in range(moves_per_temp):
-            total_moves += 1
-            a, b, slot_b = random_move()
-            slot_a = positions[a]
-            if slot_a == slot_b:
-                continue
-            delta = state.swap_delta(a, b, slot_b)
-            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
-                state.commit_swap(a, b, slot_b)
-                occupant[slot_b] = a
-                if b is not None:
-                    occupant[slot_a] = b
-                else:
-                    del occupant[slot_a]
-                accepted_any = True
-                if state.total < best_hpwl:
-                    best_hpwl = state.total
-                    best_positions = dict(positions)
-            if total_moves >= schedule.max_total_moves:
-                break
-        frozen = 0 if accepted_any else frozen + 1
-        temperature *= schedule.alpha
+    temperature_steps = 0
+    with obs.span("placement.annealing"):
+        while (
+            temperature > schedule.min_temperature
+            and total_moves < schedule.max_total_moves
+            and frozen < schedule.frozen_after
+        ):
+            temperature_steps += 1
+            accepted_any = False
+            for _ in range(moves_per_temp):
+                total_moves += 1
+                a, b, slot_b = random_move()
+                slot_a = positions[a]
+                if slot_a == slot_b:
+                    continue
+                delta = state.swap_delta(a, b, slot_b)
+                if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                    state.commit_swap(a, b, slot_b)
+                    occupant[slot_b] = a
+                    if b is not None:
+                        occupant[slot_a] = b
+                    else:
+                        del occupant[slot_a]
+                    accepted_any = True
+                    if state.total < best_hpwl:
+                        best_hpwl = state.total
+                        best_positions = dict(positions)
+                if total_moves >= schedule.max_total_moves:
+                    break
+            frozen = 0 if accepted_any else frozen + 1
+            temperature *= schedule.alpha
 
+    obs.count("placement.annealing.runs")
+    obs.count("placement.annealing.temperature_steps", temperature_steps)
+    obs.count("placement.annealing.moves", total_moves)
     return PlacementResult(
         positions=best_positions,
         hypergraph=hypergraph,

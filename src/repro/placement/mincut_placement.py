@@ -30,6 +30,7 @@ from collections import deque
 from collections.abc import Hashable
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.baselines.cutstate import CutState
 from repro.baselines.fiduccia_mattheyses import fiduccia_mattheyses
 from repro.core.algorithm1 import algorithm1
@@ -139,37 +140,41 @@ def mincut_place(
     queue: deque[tuple[GridRegion, list[Vertex]]] = deque(
         [(grid.full_region(), sorted(hypergraph.vertices, key=repr))]
     )
-    while queue:
-        region, modules = queue.popleft()
-        if not modules:
-            continue
-        if region.capacity == 1 or len(modules) == 1:
-            for module, slot in zip(modules, region.slots()):
-                positions[module] = slot
-            continue
+    with obs.span("placement.mincut"):
+        while queue:
+            region, modules = queue.popleft()
+            if not modules:
+                continue
+            if region.capacity == 1 or len(modules) == 1:
+                for module, slot in zip(modules, region.slots()):
+                    positions[module] = slot
+                continue
 
-        first, second, axis = region.split()
-        left_modules, right_modules, cutsize = _bipartition_region(
-            hypergraph,
-            modules,
-            region,
-            first,
-            second,
-            axis,
-            partitioner,
-            terminal_propagation,
-            num_starts,
-            anchors,
-            rng,
-        )
-        cut_sizes.append(cutsize)
-        for module in left_modules:
-            anchors[module] = first.center
-        for module in right_modules:
-            anchors[module] = second.center
-        queue.append((first, left_modules))
-        queue.append((second, right_modules))
+            first, second, axis = region.split()
+            obs.count("placement.mincut.bisections")
+            left_modules, right_modules, cutsize = _bipartition_region(
+                hypergraph,
+                modules,
+                region,
+                first,
+                second,
+                axis,
+                partitioner,
+                terminal_propagation,
+                num_starts,
+                anchors,
+                rng,
+            )
+            cut_sizes.append(cutsize)
+            for module in left_modules:
+                anchors[module] = first.center
+            for module in right_modules:
+                anchors[module] = second.center
+            queue.append((first, left_modules))
+            queue.append((second, right_modules))
 
+    obs.count("placement.mincut.runs")
+    obs.count("placement.mincut.total_cut", sum(cut_sizes))
     return PlacementResult(
         positions=positions,
         hypergraph=hypergraph,

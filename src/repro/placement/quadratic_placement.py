@@ -20,6 +20,7 @@ from collections.abc import Hashable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.hypergraph import Hypergraph
 from repro.placement.grid import SlotGrid
 from repro.placement.mincut_placement import PlacementError, PlacementResult, _default_grid
@@ -99,6 +100,8 @@ def quadratic_place(
 
     anchor_slots = _border_slots(grid, len(anchors))
     anchor_pos = {v: anchor_slots[i] for i, v in enumerate(anchors)}
+    obs.count("placement.quadratic.runs")
+    obs.count("placement.quadratic.anchors", len(anchors))
 
     # Clique-expansion Laplacian (weights w(e)/(|e|-1)).
     import scipy.sparse as sp
@@ -136,12 +139,13 @@ def quadratic_place(
         coords[index[v]] = (float(c), float(r))  # (x, y)
 
     if free:
-        a_ff = laplacian[free][:, free].tocsc()
-        a_ff = a_ff + sp.identity(len(free)) * 1e-9  # isolated-module guard
-        a_fx = laplacian[free][:, fixed]
-        for axis in (0, 1):
-            rhs = -a_fx @ coords[fixed, axis]
-            coords[np.array(free), axis] = spla.spsolve(a_ff, rhs)
+        with obs.span("placement.quadratic.solve"):
+            a_ff = laplacian[free][:, free].tocsc()
+            a_ff = a_ff + sp.identity(len(free)) * 1e-9  # isolated-module guard
+            a_fx = laplacian[free][:, fixed]
+            for axis in (0, 1):
+                rhs = -a_fx @ coords[fixed, axis]
+                coords[np.array(free), axis] = spla.spsolve(a_ff, rhs)
 
     # Legalize: bucket by y into rows, sort by x within each row.
     order_by_y = sorted(modules, key=lambda v: (coords[index[v], 1], coords[index[v], 0], repr(v)))

@@ -5,6 +5,19 @@ literature consistently gives good results" — has a practical corollary:
 production flows run a *portfolio*.  This module packages it: run any
 subset of the library's engines on one netlist and return the best cut
 that satisfies the balance constraint, with a per-engine scoreboard.
+
+Robustness contract
+-------------------
+A portfolio exists so that one engine's bad day does not sink the run.
+Each engine executes in crash isolation: an exception is recorded as an
+infeasible :class:`PortfolioEntry` carrying the error string, the
+remaining engines still run, and winner selection skips failed entries.
+Only when *every* engine fails does :func:`best_partition` raise
+(:class:`PortfolioError`, listing each failure) — unless
+``on_error='raise'`` asks for the first engine exception to propagate
+immediately.  A ``deadline`` is threaded into every engine that accepts
+one; engines that have not started when it expires are recorded as
+skipped.
 """
 
 from __future__ import annotations
@@ -13,16 +26,30 @@ import random
 import time
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.hypergraph import Hypergraph
 from repro.core.partition import Bipartition
+from repro.runtime import Deadline, faults
 
 #: Engines available to the portfolio, in default running order.
 DEFAULT_METHODS = ("algorithm1", "multilevel", "fm", "kl", "sa", "spectral")
 
+ON_ERROR_MODES = ("raise", "degrade")
+
+
+class PortfolioError(RuntimeError):
+    """Raised when every engine in the portfolio failed."""
+
 
 @dataclass(frozen=True)
 class PortfolioEntry:
-    """One engine's outcome inside a portfolio run."""
+    """One engine's outcome inside a portfolio run.
+
+    ``error`` is ``None`` for a successful run; on failure it holds
+    ``"<ExceptionType>: <message>"`` and the cut fields are zeroed with
+    ``feasible=False`` so failed entries can never win.  ``degraded``
+    marks engines that hit their deadline and returned best-so-far.
+    """
 
     method: str
     cutsize: int
@@ -30,6 +57,12 @@ class PortfolioEntry:
     weight_imbalance_fraction: float
     feasible: bool
     seconds: float
+    error: str | None = None
+    degraded: bool = False
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
 
 @dataclass(frozen=True)
@@ -44,6 +77,11 @@ class PortfolioResult:
     def cutsize(self) -> int:
         return self.bipartition.cutsize
 
+    @property
+    def degraded(self) -> bool:
+        """True when any engine failed, was skipped, or hit its deadline."""
+        return any(e.failed or e.degraded for e in self.entries)
+
 
 def best_partition(
     hypergraph: Hypergraph,
@@ -51,6 +89,8 @@ def best_partition(
     balance_tolerance: float = 0.1,
     num_starts: int = 25,
     seed: int | random.Random | None = None,
+    deadline: Deadline | float | None = None,
+    on_error: str = "degrade",
 ) -> PortfolioResult:
     """Run a portfolio of partitioners and return the best feasible cut.
 
@@ -67,13 +107,23 @@ def best_partition(
         Multi-start budget for Algorithm I and random-restart engines.
     seed:
         Integer seed or :class:`random.Random`.
+    deadline:
+        Wall-clock budget (``Deadline`` or seconds) shared by the whole
+        portfolio; engines degrade cooperatively and engines not yet
+        started at expiry are recorded as skipped.
+    on_error:
+        ``'degrade'`` (default) records engine exceptions on the
+        scoreboard and continues; ``'raise'`` propagates the first one.
     """
     unknown = set(methods) - set(DEFAULT_METHODS)
     if unknown:
         raise ValueError(f"unknown methods {sorted(unknown)}; choose from {DEFAULT_METHODS}")
     if not methods:
         raise ValueError("need at least one method")
+    if on_error not in ON_ERROR_MODES:
+        raise ValueError(f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}")
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    deadline = Deadline.coerce(deadline)
 
     from repro.baselines import (
         fiduccia_mattheyses,
@@ -85,42 +135,88 @@ def best_partition(
     from repro.core.algorithm1 import algorithm1
 
     runners = {
-        "algorithm1": lambda s: algorithm1(
-            hypergraph, num_starts=num_starts, seed=s, balance_tolerance=balance_tolerance
-        ).bipartition,
-        "multilevel": lambda s: multilevel_bipartition(
-            hypergraph, balance_tolerance=balance_tolerance, seed=s
-        ).bipartition,
-        "fm": lambda s: fiduccia_mattheyses(
-            hypergraph, balance_tolerance=balance_tolerance, seed=s
-        ).bipartition,
-        "kl": lambda s: kernighan_lin(hypergraph, seed=s).bipartition,
-        "sa": lambda s: simulated_annealing(
-            hypergraph, balance_tolerance=balance_tolerance, seed=s
-        ).bipartition,
-        "spectral": lambda s: spectral_bisection(hypergraph, seed=s).bipartition,
+        "algorithm1": lambda s, d: algorithm1(
+            hypergraph,
+            num_starts=num_starts,
+            seed=s,
+            balance_tolerance=balance_tolerance,
+            deadline=d,
+        ),
+        "multilevel": lambda s, d: multilevel_bipartition(
+            hypergraph, balance_tolerance=balance_tolerance, seed=s, deadline=d
+        ),
+        "fm": lambda s, d: fiduccia_mattheyses(
+            hypergraph, balance_tolerance=balance_tolerance, seed=s, deadline=d
+        ),
+        "kl": lambda s, d: kernighan_lin(hypergraph, seed=s, deadline=d),
+        "sa": lambda s, d: simulated_annealing(
+            hypergraph, balance_tolerance=balance_tolerance, seed=s, deadline=d
+        ),
+        "spectral": lambda s, d: spectral_bisection(hypergraph, seed=s, deadline=d),
     }
 
     entries: list[PortfolioEntry] = []
     best: tuple[tuple, str, Bipartition] | None = None
-    for method in methods:
-        start = time.perf_counter()
-        bp = runners[method](rng.randrange(2**31))
-        elapsed = time.perf_counter() - start
-        feasible = bp.weight_imbalance_fraction <= balance_tolerance
-        entries.append(
-            PortfolioEntry(
-                method=method,
-                cutsize=bp.cutsize,
-                weighted_cutsize=bp.weighted_cutsize,
-                weight_imbalance_fraction=bp.weight_imbalance_fraction,
-                feasible=feasible,
-                seconds=elapsed,
+    with obs.span("portfolio"):
+        for position, method in enumerate(methods):
+            # The engine seed is drawn unconditionally so the rng stream —
+            # and thus every engine's behaviour — does not depend on how
+            # earlier engines fared.
+            engine_seed = rng.randrange(2**31)
+            if position > 0 and deadline is not None and deadline.expired():
+                entries.append(
+                    _failed_entry(method, 0.0, "skipped: portfolio deadline expired")
+                )
+                obs.count("portfolio.engines_skipped")
+                continue
+            start = time.perf_counter()
+            try:
+                faults.inject(f"portfolio.engine.{method}")
+                result = runners[method](engine_seed, deadline)
+            except Exception as exc:
+                if on_error == "raise":
+                    raise
+                elapsed = time.perf_counter() - start
+                entries.append(
+                    _failed_entry(method, elapsed, f"{type(exc).__name__}: {exc}")
+                )
+                obs.count("portfolio.engine_failures")
+                continue
+            elapsed = time.perf_counter() - start
+            bp = result.bipartition
+            feasible = bp.weight_imbalance_fraction <= balance_tolerance
+            degraded = bool(getattr(result, "degraded", False))
+            if degraded:
+                obs.count("portfolio.engines_degraded")
+            entries.append(
+                PortfolioEntry(
+                    method=method,
+                    cutsize=bp.cutsize,
+                    weighted_cutsize=bp.weighted_cutsize,
+                    weight_imbalance_fraction=bp.weight_imbalance_fraction,
+                    feasible=feasible,
+                    seconds=elapsed,
+                    degraded=degraded,
+                )
             )
-        )
-        key = (not feasible, bp.cutsize, bp.weight_imbalance_fraction)
-        if best is None or key < best[0]:
-            best = (key, method, bp)
+            key = (not feasible, bp.cutsize, bp.weight_imbalance_fraction)
+            if best is None or key < best[0]:
+                best = (key, method, bp)
 
-    assert best is not None
+    if best is None:
+        failures = "; ".join(f"{e.method}: {e.error}" for e in entries)
+        raise PortfolioError(f"all {len(entries)} portfolio engines failed ({failures})")
     return PortfolioResult(bipartition=best[2], winner=best[1], entries=tuple(entries))
+
+
+def _failed_entry(method: str, seconds: float, error: str) -> PortfolioEntry:
+    return PortfolioEntry(
+        method=method,
+        cutsize=0,
+        weighted_cutsize=0.0,
+        weight_imbalance_fraction=0.0,
+        feasible=False,
+        seconds=seconds,
+        error=error,
+        degraded=True,
+    )

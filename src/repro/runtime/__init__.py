@@ -1,0 +1,39 @@
+"""``repro.runtime`` — fault-tolerant execution for long-running paths.
+
+Three pieces, used together by Algorithm I multi-start, every baseline
+engine, the portfolio, and the bench harness:
+
+* :class:`Deadline` — a wall-clock budget checked at cooperative
+  checkpoints; on expiry a run returns its best-so-far feasible cut with
+  ``degraded=True`` and a reason instead of blowing the budget.
+* :class:`SupervisedPool` — a process pool with per-task timeouts,
+  crash/hang detection, bounded retry with a deterministic seed advance
+  (:func:`advance_seed`), and automatic sequential fallback.
+* :mod:`repro.runtime.faults` — env/config-driven probabilistic fault
+  injection at named sites, driving the chaos test suite and the CI
+  chaos job.
+
+See ``docs/ROBUSTNESS.md`` for the degradation contract and the fault
+site catalog.
+"""
+
+from repro.runtime import faults
+from repro.runtime.deadline import Deadline, DeadlineExpired
+from repro.runtime.supervisor import (
+    SEED_STRIDE,
+    SupervisedPool,
+    SupervisionReport,
+    TaskResult,
+    advance_seed,
+)
+
+__all__ = [
+    "Deadline",
+    "DeadlineExpired",
+    "SEED_STRIDE",
+    "SupervisedPool",
+    "SupervisionReport",
+    "TaskResult",
+    "advance_seed",
+    "faults",
+]

@@ -1,0 +1,100 @@
+"""Wall-clock budgets for cooperative, degradable runs.
+
+Production partitioners run under a time budget: Hartoog-style portfolios
+give each engine a slice, and the time-limited evaluation methodology of
+Gottesbüren & Hamann (arXiv:1907.02053) assumes an engine can be stopped
+at its budget and asked for its best-so-far answer.  A :class:`Deadline`
+is the one object every long-running path in this library threads through
+its loops; code *checks* it at cooperative checkpoints (between
+multi-starts, between FM/KL passes, between SA temperature steps, between
+multilevel levels) and, on expiry, returns the best feasible cut found so
+far with ``degraded=True`` and a human-readable reason — never a partial
+crash.
+
+The overrun is therefore bounded by the longest inter-checkpoint stretch,
+not by the total run; the chaos suite asserts deadline + 10% grace on the
+pinned instances.  ``Deadline`` is cheap (one ``time.monotonic`` call per
+check), picklable, and inherited by forked workers.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+__all__ = ["Deadline", "DeadlineExpired"]
+
+
+class DeadlineExpired(RuntimeError):
+    """Raised when a caller chose ``on_error='raise'`` for an expired budget.
+
+    The cooperative default is to *degrade* (return best-so-far with a
+    reason), so this exception only appears when explicitly requested.
+    """
+
+    def __init__(self, message: str, site: str | None = None) -> None:
+        super().__init__(message)
+        self.site = site
+
+
+class Deadline:
+    """A monotonic wall-clock budget.
+
+    ``Deadline.after(5.0)`` expires five seconds from construction;
+    ``Deadline.unlimited()`` never expires (every check is a cheap
+    comparison against ``inf``).  Instances are immutable in spirit: the
+    expiry instant is fixed at construction.
+    """
+
+    __slots__ = ("seconds", "_expiry")
+
+    def __init__(self, seconds: float | None = None) -> None:
+        if seconds is not None and seconds < 0:
+            raise ValueError(f"deadline seconds must be non-negative, got {seconds}")
+        self.seconds = seconds
+        self._expiry = math.inf if seconds is None else time.monotonic() + seconds
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline expiring ``seconds`` from now."""
+        return cls(seconds)
+
+    @classmethod
+    def unlimited(cls) -> "Deadline":
+        """A deadline that never expires."""
+        return cls(None)
+
+    @classmethod
+    def coerce(cls, value: "Deadline | float | int | None") -> "Deadline | None":
+        """Accept ``Deadline`` instances, plain seconds, or ``None``.
+
+        Every public ``deadline=`` parameter funnels through this, so
+        callers can pass ``deadline=2.5`` without importing the class.
+        """
+        if value is None or isinstance(value, Deadline):
+            return value
+        return cls(float(value))
+
+    @property
+    def limited(self) -> bool:
+        return self._expiry != math.inf
+
+    def remaining(self) -> float:
+        """Seconds left (``inf`` when unlimited; clamped at 0)."""
+        if self._expiry == math.inf:
+            return math.inf
+        return max(0.0, self._expiry - time.monotonic())
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self._expiry
+
+    def check(self, site: str = "") -> None:
+        """Raise :class:`DeadlineExpired` when past the budget."""
+        if self.expired():
+            where = f" at {site}" if site else ""
+            raise DeadlineExpired(f"deadline of {self.seconds}s expired{where}", site=site or None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.limited:
+            return "Deadline(unlimited)"
+        return f"Deadline({self.seconds}s, {self.remaining():.3f}s left)"

@@ -1,0 +1,374 @@
+"""Supervised worker pool: timeouts, crash/hang recovery, sequential fallback.
+
+``ProcessPoolExecutor`` is the wrong tool for a fault-tolerant fan-out:
+a worker killed by the OOM killer poisons the whole pool
+(``BrokenProcessPool`` aborts every pending future), and a *hung* worker
+is worse — the pool waits forever, with no per-task time bound.  This
+module owns its worker processes instead, one short-lived forked process
+per task, so the supervisor can:
+
+* enforce a **per-task timeout** — a worker past it is SIGTERMed and the
+  task retried;
+* detect **crashes** (process died without reporting: segfault, OOM
+  kill, ``os._exit`` — everything that surfaces as ``BrokenProcessPool``
+  under an executor) and retry with a **deterministic seed advance**, so
+  a retry explores a fresh rng stream but reruns are reproducible;
+* stop launching at a **deadline** and report what finished;
+* **fall back to sequential** in-process execution — per task once its
+  retry budget is exhausted, or wholesale when processes cannot be
+  forked at all — with fault injection suppressed, so chaos cannot chase
+  the run into its hardened path.
+
+Tasks are ``(key, payload)`` pairs; results come back as
+:class:`TaskResult` records plus a :class:`SupervisionReport` the caller
+folds into its ``degraded`` contract.  Everything is recorded through
+``repro.obs`` under ``runtime.supervisor.*``.
+
+The pool requires the ``fork`` start method (payloads and shared state
+are inherited, never pickled-in; only results cross the pipe).  On
+platforms without it the pool degrades to pure sequential execution —
+same results, no supervision.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import Connection, wait as _wait_connections
+from typing import Any, Callable
+
+from repro import obs
+from repro.runtime import faults
+from repro.runtime.deadline import Deadline
+
+__all__ = [
+    "SupervisedPool",
+    "SupervisionReport",
+    "TaskResult",
+    "advance_seed",
+]
+
+#: Fixed odd stride (the 64-bit golden ratio) for the deterministic
+#: retry seed-advance: attempt ``a`` of a task seeded ``s`` runs with
+#: ``(s + a * stride) mod 2^63`` — a pure function of ``(s, a)``, so
+#: retried runs remain reproducible while never replaying the rng stream
+#: that just crashed or hung.
+SEED_STRIDE = 0x9E3779B97F4A7C15
+
+_SEED_MASK = (1 << 63) - 1
+
+
+def advance_seed(seed: int, attempt: int) -> int:
+    """The documented retry seed rule (attempt 0 returns ``seed`` itself)."""
+    return (seed + attempt * SEED_STRIDE) & _SEED_MASK
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Outcome of one supervised task after all recovery attempts."""
+
+    key: Any
+    value: Any = None
+    ok: bool = False
+    attempts: int = 0
+    error: str | None = None
+    sequential: bool = False
+
+
+@dataclass
+class SupervisionReport:
+    """What the pool had to do to deliver the results."""
+
+    workers: int = 0
+    completed: int = 0
+    failed: int = 0
+    crashes: int = 0
+    hangs: int = 0
+    retries: int = 0
+    sequential_fallbacks: int = 0
+    deadline_expired: bool = False
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when anything beyond plain parallel execution happened."""
+        return bool(
+            self.failed
+            or self.crashes
+            or self.hangs
+            or self.retries
+            or self.sequential_fallbacks
+            or self.deadline_expired
+        )
+
+    def summary(self) -> str:
+        parts = []
+        if self.deadline_expired:
+            parts.append("deadline expired")
+        if self.crashes:
+            parts.append(f"{self.crashes} worker crash(es)")
+        if self.hangs:
+            parts.append(f"{self.hangs} hung worker(s)")
+        if self.retries:
+            parts.append(f"{self.retries} retried task(s)")
+        if self.sequential_fallbacks:
+            parts.append(f"{self.sequential_fallbacks} sequential fallback(s)")
+        if self.failed:
+            parts.append(f"{self.failed} task(s) failed")
+        return "; ".join(parts) if parts else "clean"
+
+
+@dataclass
+class _Running:
+    process: multiprocessing.process.BaseProcess
+    conn: Connection
+    key: Any
+    payload: Any
+    attempt: int
+    started: float
+
+
+def _child_entry(conn: Connection, worker: Callable, payload: Any) -> None:
+    """Worker-side wrapper: report a value or a typed error, then exit."""
+    try:
+        value = worker(payload)
+        message = ("ok", value)
+    except BaseException as exc:  # noqa: BLE001 - the whole point is to report it
+        message = ("error", f"{type(exc).__name__}: {exc}")
+    try:
+        conn.send(message)
+    except Exception:  # pragma: no cover - parent gone; nothing to report to
+        pass
+    finally:
+        conn.close()
+
+
+class SupervisedPool:
+    """Run tasks across forked workers with supervision and recovery.
+
+    Parameters
+    ----------
+    worker:
+        ``worker(payload) -> value``, executed in a forked child (and
+        in-process, under :func:`repro.runtime.faults.suppressed`, on the
+        sequential fallback).  The value must be picklable.
+    max_workers:
+        Concurrent worker processes.
+    task_timeout:
+        Seconds a single attempt may run before it is declared hung,
+        SIGTERMed and retried (``None`` disables hang detection; the
+        deadline still bounds the whole map).
+    max_retries:
+        Process re-launches per task after its first attempt.  When the
+        budget is exhausted the task gets one final sequential attempt.
+    deadline:
+        Overall budget.  When it expires the pool stops launching,
+        terminates in-flight workers, and reports the unfinished tasks
+        as failed — the caller degrades instead of blocking.
+    reseed:
+        ``reseed(payload, attempt) -> payload`` for retries; defaults to
+        passing the payload through unchanged.  Callers whose payloads
+        embed rng seeds should derive the new seed with
+        :func:`advance_seed`.
+    poll_interval:
+        Supervisor wake-up granularity (also the hang/deadline detection
+        latency bound).
+    """
+
+    def __init__(
+        self,
+        worker: Callable[[Any], Any],
+        *,
+        max_workers: int,
+        task_timeout: float | None = None,
+        max_retries: int = 2,
+        deadline: Deadline | None = None,
+        reseed: Callable[[Any, int], Any] | None = None,
+        poll_interval: float = 0.02,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be non-negative, got {max_retries}")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(f"task_timeout must be positive, got {task_timeout}")
+        self.worker = worker
+        self.max_workers = max_workers
+        self.task_timeout = task_timeout
+        self.max_retries = max_retries
+        self.deadline = deadline
+        self.reseed = reseed or (lambda payload, attempt: payload)
+        self.poll_interval = poll_interval
+
+    # ------------------------------------------------------------------
+
+    def map(self, tasks: list[tuple[Any, Any]]) -> tuple[list[TaskResult], SupervisionReport]:
+        """Execute every task; returns results in input order plus the report."""
+        report = SupervisionReport(workers=self.max_workers)
+        results: dict[Any, TaskResult] = {}
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            ctx = None
+
+        with obs.span("runtime.supervisor.map"):
+            if ctx is None:
+                report.sequential_fallbacks += len(tasks)
+                obs.count("runtime.supervisor.sequential_fallbacks", len(tasks))
+                for key, payload in tasks:
+                    results[key] = self._run_sequential(key, payload, 0, report)
+            else:
+                self._run_supervised(ctx, tasks, results, report)
+
+        obs.count("runtime.supervisor.tasks", len(tasks))
+        ordered = [results[key] for key, _ in tasks]
+        report.completed = sum(1 for r in ordered if r.ok)
+        report.failed = len(ordered) - report.completed
+        return ordered, report
+
+    # ------------------------------------------------------------------
+
+    def _run_supervised(
+        self,
+        ctx,
+        tasks: list[tuple[Any, Any]],
+        results: dict[Any, TaskResult],
+        report: SupervisionReport,
+    ) -> None:
+        queue: deque[tuple[Any, Any, int]] = deque((key, payload, 0) for key, payload in tasks)
+        running: dict[Connection, _Running] = {}
+        deadline = self.deadline
+
+        def reap(rec: _Running) -> None:
+            rec.conn.close()
+            rec.process.join(timeout=5.0)
+
+        def handle_failure(rec: _Running, reason: str, hung: bool = False) -> None:
+            next_attempt = rec.attempt + 1
+            if next_attempt <= self.max_retries and not (deadline and deadline.expired()):
+                report.retries += 1
+                obs.count("runtime.supervisor.retries")
+                queue.append((rec.key, self.reseed(rec.payload, next_attempt), next_attempt))
+            elif hung:
+                # Never rerun a hung task in-process: the parent cannot
+                # SIGTERM itself, so an in-process hang would be unbounded.
+                results[rec.key] = TaskResult(key=rec.key, attempts=next_attempt, error=reason)
+            else:
+                # Retry budget exhausted (or no time to retry in a fresh
+                # process): one hardened in-process attempt, then give up.
+                results[rec.key] = self._run_sequential(
+                    rec.key, rec.payload, next_attempt, report, prior_error=reason
+                )
+
+        while queue or running:
+            if deadline is not None and deadline.expired():
+                report.deadline_expired = True
+                obs.count("runtime.supervisor.deadline_expirations")
+                for rec in running.values():
+                    rec.process.terminate()
+                    reap(rec)
+                    results[rec.key] = TaskResult(
+                        key=rec.key,
+                        attempts=rec.attempt + 1,
+                        error="deadline expired mid-execution",
+                    )
+                running.clear()
+                for key, _payload, attempt in queue:
+                    results[key] = TaskResult(
+                        key=key, attempts=attempt, error="deadline expired before execution"
+                    )
+                queue.clear()
+                break
+
+            while queue and len(running) < self.max_workers:
+                key, payload, attempt = queue.popleft()
+                try:
+                    parent_conn, child_conn = ctx.Pipe(duplex=False)
+                    process = ctx.Process(
+                        target=_child_entry, args=(child_conn, self.worker, payload)
+                    )
+                    process.start()
+                    child_conn.close()
+                except OSError as exc:
+                    # Cannot fork at all (fd/process limits): the pool is
+                    # effectively broken — run this task sequentially.
+                    obs.count("runtime.supervisor.spawn_failures")
+                    results[key] = self._run_sequential(
+                        key, payload, attempt, report, prior_error=f"spawn failed: {exc}"
+                    )
+                    continue
+                running[parent_conn] = _Running(
+                    process=process,
+                    conn=parent_conn,
+                    key=key,
+                    payload=payload,
+                    attempt=attempt,
+                    started=time.monotonic(),
+                )
+
+            if not running:
+                continue
+
+            for conn in _wait_connections(list(running), timeout=self.poll_interval):
+                rec = running.pop(conn)
+                try:
+                    status, value = conn.recv()
+                except (EOFError, OSError):
+                    status, value = None, None
+                reap(rec)
+                if status == "ok":
+                    results[rec.key] = TaskResult(
+                        key=rec.key, value=value, ok=True, attempts=rec.attempt + 1
+                    )
+                elif status == "error":
+                    report.crashes += 1
+                    report.errors.append(str(value))
+                    obs.count("runtime.supervisor.worker_errors")
+                    handle_failure(rec, str(value))
+                else:
+                    exitcode = rec.process.exitcode
+                    reason = f"worker died without a result (exitcode {exitcode})"
+                    report.crashes += 1
+                    report.errors.append(reason)
+                    obs.count("runtime.supervisor.crashes")
+                    handle_failure(rec, reason)
+
+            if self.task_timeout is not None:
+                now = time.monotonic()
+                for conn in [
+                    c for c, rec in running.items() if now - rec.started > self.task_timeout
+                ]:
+                    rec = running.pop(conn)
+                    rec.process.terminate()
+                    reap(rec)
+                    reason = f"worker hung past the {self.task_timeout}s task timeout"
+                    report.hangs += 1
+                    report.errors.append(reason)
+                    obs.count("runtime.supervisor.hangs")
+                    handle_failure(rec, reason, hung=True)
+
+    # ------------------------------------------------------------------
+
+    def _run_sequential(
+        self,
+        key: Any,
+        payload: Any,
+        attempt: int,
+        report: SupervisionReport,
+        prior_error: str | None = None,
+    ) -> TaskResult:
+        """Hardened in-process attempt (fault injection suppressed)."""
+        report.sequential_fallbacks += 1
+        obs.count("runtime.supervisor.sequential_fallbacks")
+        try:
+            with faults.suppressed():
+                value = self.worker(self.reseed(payload, attempt) if attempt else payload)
+        except Exception as exc:  # noqa: BLE001 - recorded, not re-raised
+            error = f"{type(exc).__name__}: {exc}"
+            if prior_error:
+                error = f"{prior_error}; sequential fallback also failed: {error}"
+            report.errors.append(error)
+            return TaskResult(key=key, attempts=attempt + 1, error=error, sequential=True)
+        return TaskResult(key=key, value=value, ok=True, attempts=attempt + 1, sequential=True)

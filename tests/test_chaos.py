@@ -1,0 +1,182 @@
+"""Chaos suite: fault injection against the whole execution runtime.
+
+These tests arm ``repro.runtime.faults`` plans that crash, kill, or hang
+a large fraction of worker processes (and whole portfolio engines) and
+assert the ISSUE acceptance criteria: runs still deliver *valid*
+bipartitions, deadline runs finish within deadline + 10% grace with
+``degraded=True``, and a portfolio only raises when every engine fails.
+
+All tests are marked ``chaos`` (deselect with ``-m 'not chaos'``); CI
+runs them in a dedicated job.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.algorithm1 import Algorithm1Error, algorithm1
+from repro.generators import random_hypergraph
+from repro.io.hgr import write_hgr
+from repro.portfolio import PortfolioError, best_partition
+from repro.runtime import faults
+
+pytestmark = pytest.mark.chaos
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_plan():
+    yield
+    faults.configure(None)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return random_hypergraph(60, 100, seed=5, connect=True)
+
+
+def assert_valid_bipartition(h, bp):
+    left, right = set(bp.left), set(bp.right)
+    assert left and right
+    assert not (left & right)
+    assert left | right == set(h.vertices)
+
+
+# ----------------------------------------------------------------------
+# Acceptance: killing/hanging up to half the workers
+
+
+class TestWorkerChaos:
+    def test_killing_half_the_workers_still_yields_valid_bipartition(self, instance):
+        faults.configure("parallel.start=kill:0.5", seed=11)
+        result = algorithm1(instance, num_starts=8, seed=42, parallel=4, max_retries=2)
+        assert_valid_bipartition(instance, result.bipartition)
+        assert 1 <= len(result.starts) <= 8
+        assert result.counters["num_starts"] == len(result.starts)
+
+    def test_crashing_half_the_workers_still_yields_valid_bipartition(self, instance):
+        faults.configure("parallel.start=crash:0.5", seed=13)
+        result = algorithm1(instance, num_starts=8, seed=42, parallel=4, max_retries=2)
+        assert_valid_bipartition(instance, result.bipartition)
+        assert result.counters["num_starts"] == len(result.starts)
+
+    def test_hanging_half_the_workers_still_yields_valid_bipartition(self, instance):
+        faults.configure("parallel.start=hang:0.5:30", seed=17)
+        result = algorithm1(
+            instance,
+            num_starts=8,
+            seed=42,
+            parallel=4,
+            task_timeout=0.3,
+            max_retries=2,
+        )
+        assert_valid_bipartition(instance, result.bipartition)
+        assert result.counters["num_starts"] == len(result.starts)
+
+    def test_total_loss_raises_rather_than_fabricating(self, instance):
+        # Hang-mode faults never reach the sequential fallback (a hung
+        # task cannot safely rerun in-process), so probability 1 means
+        # every start is lost — the honest outcome is an error.
+        faults.configure("parallel.start=hang:1:30", seed=19)
+        with pytest.raises(Algorithm1Error, match="all parallel starts failed"):
+            algorithm1(
+                instance,
+                num_starts=4,
+                seed=42,
+                parallel=2,
+                task_timeout=0.25,
+                max_retries=0,
+            )
+
+    def test_slow_faults_only_delay(self, instance):
+        faults.configure("parallel.start=slow:1:0.01", seed=23)
+        result = algorithm1(instance, num_starts=4, seed=42, parallel=2)
+        assert_valid_bipartition(instance, result.bipartition)
+        assert result.counters["num_starts"] == 4
+
+
+# ----------------------------------------------------------------------
+# Acceptance: deadline + 10% grace, degraded=True
+
+
+class TestDeadlineGrace:
+    GRACE = 1.10
+
+    def test_sequential_deadline_respected_within_grace(self, instance):
+        budget = 0.6
+        started = time.monotonic()
+        result = algorithm1(instance, num_starts=100_000, seed=1, deadline=budget)
+        elapsed = time.monotonic() - started
+        assert elapsed <= budget * self.GRACE
+        assert result.degraded is True
+        assert "deadline" in result.degrade_reason
+        assert_valid_bipartition(instance, result.bipartition)
+
+    def test_parallel_deadline_respected_within_grace(self, instance):
+        budget = 0.6
+        started = time.monotonic()
+        result = algorithm1(
+            instance, num_starts=2000, seed=1, parallel=2, deadline=budget
+        )
+        elapsed = time.monotonic() - started
+        # Parallel teardown (terminate + join) gets the same grace.
+        assert elapsed <= budget * self.GRACE + 0.5
+        assert result.degraded is True
+        assert_valid_bipartition(instance, result.bipartition)
+
+
+# ----------------------------------------------------------------------
+# Portfolio crash isolation
+
+
+class TestPortfolioChaos:
+    def test_single_engine_failure_is_isolated(self, instance):
+        faults.configure("portfolio.engine.fm=error:1", seed=0)
+        result = best_partition(instance, seed=0, num_starts=2)
+        assert result.degraded
+        failed = [e for e in result.entries if e.failed]
+        assert [e.method for e in failed] == ["fm"]
+        assert "FaultInjected" in failed[0].error
+        assert result.winner != "fm"
+        assert_valid_bipartition(instance, result.bipartition)
+
+    def test_all_engines_failing_raises_portfolio_error(self, instance):
+        faults.configure("portfolio.engine.*=error:1", seed=0)
+        with pytest.raises(PortfolioError, match="all .* portfolio engines failed"):
+            best_partition(instance, seed=0, num_starts=2, methods=("fm", "kl", "sa"))
+
+    def test_on_error_raise_escalates_immediately(self, instance):
+        faults.configure("portfolio.engine.algorithm1=error:1", seed=0)
+        with pytest.raises(faults.FaultInjected):
+            best_partition(instance, seed=0, num_starts=2, on_error="raise")
+
+
+# ----------------------------------------------------------------------
+# Env-var arming: forked children and fresh processes inherit the plan
+
+
+class TestEnvironmentArming:
+    def test_cli_inherits_fault_plan_from_environment(self, tmp_path, instance):
+        path = tmp_path / "chaos.hgr"
+        write_hgr(instance, path)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        env["REPRO_FAULTS"] = "portfolio.engine.fm=error:1"
+        env["REPRO_FAULTS_SEED"] = "0"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "portfolio", str(path), "--seed", "0", "--starts", "2"],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "FAILED" in proc.stdout
+        assert "degraded" in proc.stdout

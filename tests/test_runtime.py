@@ -1,0 +1,223 @@
+"""Unit tests for ``repro.runtime``: deadlines, fault plans, degradation.
+
+The degradation contract under test (docs/ROBUSTNESS.md): any engine
+given an expired/expiring deadline still returns a *valid* bipartition —
+best-so-far, flagged ``degraded=True`` with a reason — never an
+exception, and never an invalid partition.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    fiduccia_mattheyses,
+    kernighan_lin,
+    multilevel_bipartition,
+    random_cut,
+    simulated_annealing,
+    spectral_bisection,
+)
+from repro.core.algorithm1 import algorithm1
+from repro.generators import random_hypergraph
+from repro.runtime import Deadline, DeadlineExpired, faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_plan():
+    yield
+    faults.configure(None)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return random_hypergraph(60, 100, seed=3, connect=True)
+
+
+def assert_valid_bipartition(h, bp):
+    left, right = set(bp.left), set(bp.right)
+    assert left and right
+    assert not (left & right)
+    assert left | right == set(h.vertices)
+
+
+class TestDeadline:
+    def test_unlimited_never_expires(self):
+        d = Deadline.unlimited()
+        assert not d.limited
+        assert not d.expired()
+        assert d.remaining() == float("inf")
+        d.check("anywhere")  # must not raise
+
+    def test_zero_budget_expires_immediately(self):
+        d = Deadline.after(0.0)
+        assert d.limited
+        assert d.expired()
+        assert d.remaining() == 0.0
+
+    def test_check_raises_with_site(self):
+        d = Deadline.after(0.0)
+        with pytest.raises(DeadlineExpired) as exc_info:
+            d.check("algorithm1.start")
+        assert exc_info.value.site == "algorithm1.start"
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+    def test_coerce(self):
+        d = Deadline.after(10.0)
+        assert Deadline.coerce(d) is d
+        assert Deadline.coerce(None) is None
+        coerced = Deadline.coerce(5)
+        assert isinstance(coerced, Deadline)
+        assert coerced.seconds == 5.0
+
+    def test_future_deadline_not_expired(self):
+        d = Deadline.after(60.0)
+        assert not d.expired()
+        assert 0 < d.remaining() <= 60.0
+
+
+class TestFaultSpec:
+    def test_parse_basic(self):
+        plan = faults.parse_spec("parallel.start=crash:0.5", seed=7)
+        assert plan.seed == 7
+        (rule,) = plan.rules
+        assert rule.site == "parallel.start"
+        assert rule.mode == "crash"
+        assert rule.probability == 0.5
+
+    def test_parse_multiple_rules_with_seconds(self):
+        plan = faults.parse_spec("a=hang:1:30, b=slow:0.2:0.01")
+        assert len(plan.rules) == 2
+        assert plan.rules[0].seconds == 30.0
+        assert plan.rules[1].mode == "slow"
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["nosite", "a=explode", "a=error:2.0", "a=error:x", ""],
+    )
+    def test_parse_rejects_malformed(self, spec):
+        with pytest.raises(faults.FaultSpecError):
+            faults.parse_spec(spec)
+
+    def test_glob_site_matching(self):
+        rule = faults.FaultRule(site="portfolio.engine.*", mode="error")
+        assert rule.matches("portfolio.engine.fm")
+        assert not rule.matches("portfolio.other")
+
+
+class TestFaultInjection:
+    def test_no_plan_is_noop(self):
+        faults.configure(None)
+        faults.inject("anything")  # must not raise
+
+    def test_error_mode_raises(self):
+        faults.configure("mysite=error:1")
+        with pytest.raises(faults.FaultInjected) as exc_info:
+            faults.inject("mysite")
+        assert exc_info.value.site == "mysite"
+
+    def test_unmatched_site_is_noop(self):
+        faults.configure("mysite=error:1")
+        faults.inject("othersite")
+
+    def test_zero_probability_never_fires(self):
+        faults.configure("mysite=error:0")
+        for _ in range(50):
+            faults.inject("mysite")
+
+    def test_suppressed_disarms_injection(self):
+        faults.configure("mysite=error:1")
+        with faults.suppressed():
+            assert not faults.is_active()
+            faults.inject("mysite")
+        assert faults.is_active()
+        with pytest.raises(faults.FaultInjected):
+            faults.inject("mysite")
+
+    def test_configure_clears(self):
+        faults.configure("mysite=error:1")
+        faults.configure(None)
+        assert faults.current_plan() is None
+        faults.inject("mysite")
+
+
+class TestAlgorithm1Deadline:
+    def test_sequential_deadline_degrades_truthfully(self, instance):
+        result = algorithm1(instance, num_starts=50, seed=1, deadline=0.0)
+        assert result.degraded
+        assert "deadline" in result.degrade_reason
+        # At least one start always runs; the counter reports completions.
+        assert 1 <= len(result.starts) < 50
+        assert result.counters["num_starts"] == len(result.starts)
+        assert_valid_bipartition(instance, result.bipartition)
+
+    def test_predrawn_seed_path_also_degrades(self, instance):
+        result = algorithm1(instance, num_starts=50, seed=1, parallel=1, deadline=0.0)
+        assert result.degraded
+        assert len(result.starts) == result.counters["num_starts"] == 1
+
+    def test_unlimited_run_not_degraded(self, instance):
+        result = algorithm1(instance, num_starts=4, seed=1)
+        assert not result.degraded
+        assert result.degrade_reason is None
+        assert result.counters["num_starts"] == 4
+
+
+class TestBaselineDeadlines:
+    """Every baseline degrades to best-so-far under an expired budget."""
+
+    def test_fm(self, instance):
+        result = fiduccia_mattheyses(instance, seed=0, deadline=0.0)
+        assert result.degraded
+        assert "deadline" in result.degrade_reason
+        assert_valid_bipartition(instance, result.bipartition)
+
+    def test_kl(self, instance):
+        result = kernighan_lin(instance, seed=0, deadline=0.0)
+        assert result.degraded
+        assert_valid_bipartition(instance, result.bipartition)
+
+    def test_sa(self, instance):
+        result = simulated_annealing(instance, seed=0, deadline=0.0)
+        assert result.degraded
+        assert result.iterations == 1  # one temperature step, then stop
+        assert_valid_bipartition(instance, result.bipartition)
+
+    def test_random_cut(self, instance):
+        result = random_cut(instance, num_starts=100, seed=0, deadline=0.0)
+        assert result.degraded
+        assert result.iterations == 1
+        assert_valid_bipartition(instance, result.bipartition)
+
+    def test_multilevel(self, instance):
+        result = multilevel_bipartition(instance, seed=0, deadline=0.0)
+        assert result.degraded
+        assert_valid_bipartition(instance, result.bipartition)
+
+    def test_spectral_median_split(self, instance):
+        result = spectral_bisection(instance, seed=0, deadline=0.0)
+        assert result.degraded
+        assert "median split" in result.degrade_reason
+        assert result.iterations == 0
+        assert_valid_bipartition(instance, result.bipartition)
+
+    @pytest.mark.parametrize(
+        "engine",
+        [
+            fiduccia_mattheyses,
+            kernighan_lin,
+            lambda h, seed, deadline: random_cut(h, num_starts=3, seed=seed, deadline=deadline),
+            multilevel_bipartition,
+        ],
+    )
+    def test_unlimited_runs_not_degraded(self, instance, engine):
+        result = engine(instance, seed=0, deadline=None)
+        assert not result.degraded
+        assert result.degrade_reason is None
+
+    def test_deadline_accepts_plain_seconds(self, instance):
+        result = fiduccia_mattheyses(instance, seed=0, deadline=60.0)
+        assert not result.degraded

@@ -1,0 +1,282 @@
+"""Tests for the supervised worker pool and its Algorithm I integration.
+
+Covers the supervisor contract directly (crash recovery, hang detection,
+retry-with-seed-advance, deadline expiry, sequential fallback, input-order
+results) and through ``algorithm1(parallel=k)``: injected worker crashes
+and hangs must still produce a valid bipartition and a *truthful*
+``Algorithm1Result`` start count.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.algorithm1 import algorithm1
+from repro.generators import random_hypergraph
+from repro.runtime import (
+    Deadline,
+    SupervisedPool,
+    advance_seed,
+    faults,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_plan():
+    yield
+    faults.configure(None)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return random_hypergraph(50, 85, seed=21, connect=True)
+
+
+def assert_valid_bipartition(h, bp):
+    left, right = set(bp.left), set(bp.right)
+    assert left and right
+    assert not (left & right)
+    assert left | right == set(h.vertices)
+
+
+# ----------------------------------------------------------------------
+# advance_seed
+
+
+class TestAdvanceSeed:
+    def test_attempt_zero_is_identity(self):
+        assert advance_seed(12345, 0) == 12345
+
+    def test_deterministic(self):
+        assert advance_seed(7, 3) == advance_seed(7, 3)
+
+    def test_attempts_map_to_distinct_seeds(self):
+        seeds = {advance_seed(99, a) for a in range(8)}
+        assert len(seeds) == 8
+
+    def test_stays_in_63_bits(self):
+        for attempt in range(5):
+            assert 0 <= advance_seed((1 << 63) - 1, attempt) < (1 << 63)
+
+
+# ----------------------------------------------------------------------
+# SupervisedPool direct
+
+
+def _double(payload):
+    return payload * 2
+
+
+def _crash_if_flagged(payload):
+    flag, x = payload
+    if flag == "crash":
+        os._exit(70)
+    if flag == "raise":
+        raise ValueError(f"injected failure for {x}")
+    if flag == "hang":
+        time.sleep(30)
+    return x * 10
+
+
+def _retry_payload(payload, attempt):
+    _flag, x = payload
+    return ("ok", x)
+
+
+class TestSupervisedPool:
+    def test_plain_map_is_clean_and_ordered(self):
+        pool = SupervisedPool(_double, max_workers=3)
+        results, report = pool.map([(i, i) for i in range(7)])
+        assert [r.value for r in results] == [0, 2, 4, 6, 8, 10, 12]
+        assert all(r.ok and r.attempts == 1 and not r.sequential for r in results)
+        assert not report.degraded
+        assert report.summary() == "clean"
+        assert report.completed == 7 and report.failed == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SupervisedPool(_double, max_workers=0)
+        with pytest.raises(ValueError):
+            SupervisedPool(_double, max_workers=1, max_retries=-1)
+        with pytest.raises(ValueError):
+            SupervisedPool(_double, max_workers=1, task_timeout=0)
+
+    def test_crash_recovered_by_retry(self):
+        pool = SupervisedPool(
+            _crash_if_flagged, max_workers=2, max_retries=2, reseed=_retry_payload
+        )
+        results, report = pool.map([(0, ("crash", 4)), (1, ("ok", 5))])
+        assert results[0].ok and results[0].value == 40
+        assert results[0].attempts == 2  # one crash + one clean retry
+        assert results[1].ok and results[1].attempts == 1
+        assert report.crashes == 1 and report.retries == 1
+        assert report.degraded
+
+    def test_worker_exception_recovered_by_retry(self):
+        pool = SupervisedPool(
+            _crash_if_flagged, max_workers=2, max_retries=2, reseed=_retry_payload
+        )
+        results, report = pool.map([(0, ("raise", 3))])
+        assert results[0].ok and results[0].value == 30
+        assert report.retries == 1
+        assert any("ValueError" in err for err in report.errors)
+
+    def test_exhausted_retries_fall_back_to_sequential(self):
+        # The reseed keeps the crash flag, so every forked attempt dies;
+        # the sequential fallback (in-process, no os._exit reachable for
+        # "raise" mode here) must still record a truthful error.
+        pool = SupervisedPool(
+            lambda payload: (_ for _ in ()).throw(RuntimeError("always fails")),
+            max_workers=1,
+            max_retries=1,
+        )
+        results, report = pool.map([(0, None)])
+        assert not results[0].ok
+        assert results[0].sequential
+        assert "sequential fallback also failed" in results[0].error
+        assert report.failed == 1
+        assert report.sequential_fallbacks == 1
+
+    def test_hang_detected_and_marked_failed_without_inprocess_rerun(self):
+        pool = SupervisedPool(
+            _crash_if_flagged, max_workers=2, task_timeout=0.25, max_retries=0
+        )
+        started = time.monotonic()
+        results, report = pool.map([(0, ("hang", 1)), (1, ("ok", 2))])
+        elapsed = time.monotonic() - started
+        # A hung task with no retry budget is failed, never rerun
+        # in-process (which would block for the full 30s sleep).
+        assert elapsed < 10.0
+        assert not results[0].ok
+        assert "hung" in results[0].error
+        assert results[1].ok and results[1].value == 20
+        assert report.hangs == 1
+        assert report.degraded
+
+    def test_hang_recovered_by_retry(self):
+        pool = SupervisedPool(
+            _crash_if_flagged,
+            max_workers=1,
+            task_timeout=0.25,
+            max_retries=1,
+            reseed=_retry_payload,
+        )
+        results, report = pool.map([(0, ("hang", 6))])
+        assert results[0].ok and results[0].value == 60
+        assert results[0].attempts == 2
+        assert report.hangs == 1 and report.retries == 1
+
+    def test_reseed_receives_advancing_attempts(self):
+        observed = []
+
+        def reseed(payload, attempt):
+            observed.append(attempt)
+            return ("ok", payload[1])
+
+        pool = SupervisedPool(
+            _crash_if_flagged, max_workers=1, max_retries=3, reseed=reseed
+        )
+        results, _report = pool.map([(0, ("raise", 2))])
+        assert results[0].ok
+        assert observed == [1]
+
+    def test_deadline_expiry_reports_every_task(self):
+        pool = SupervisedPool(
+            lambda payload: time.sleep(5.0),
+            max_workers=1,
+            deadline=Deadline.after(0.2),
+        )
+        started = time.monotonic()
+        results, report = pool.map([(i, i) for i in range(4)])
+        elapsed = time.monotonic() - started
+        assert elapsed < 5.0  # in-flight worker was terminated, not joined
+        assert report.deadline_expired
+        assert report.degraded
+        assert len(results) == 4
+        assert all(not r.ok for r in results)
+        assert any("mid-execution" in r.error for r in results)
+        assert any("before execution" in r.error for r in results)
+
+    def test_seed_advance_used_end_to_end(self):
+        # Worker crashes only on the original seed; the retried payload
+        # must be exactly advance_seed(seed, 1).
+        original = 424242
+
+        def worker(seed):
+            if seed == original:
+                os._exit(70)
+            return seed
+
+        pool = SupervisedPool(
+            worker,
+            max_workers=1,
+            max_retries=2,
+            reseed=lambda seed, attempt: advance_seed(original, attempt),
+        )
+        results, report = pool.map([(0, original)])
+        assert results[0].ok
+        assert results[0].value == advance_seed(original, 1)
+        assert report.crashes == 1
+
+
+# ----------------------------------------------------------------------
+# Algorithm I through the supervisor (ISSUE satellite: supervisor coverage)
+
+
+class TestAlgorithm1Supervised:
+    def test_injected_crashes_still_produce_valid_result(self, instance):
+        # Every forked attempt crashes (probability 1); each start is
+        # recovered by the hardened sequential fallback, so all starts
+        # complete and the counter stays truthful.
+        faults.configure("parallel.start=crash:1", seed=0)
+        result = algorithm1(
+            instance, num_starts=6, seed=123, parallel=2, max_retries=1
+        )
+        assert_valid_bipartition(instance, result.bipartition)
+        assert len(result.starts) == 6
+        assert result.counters["num_starts"] == 6
+        assert result.degraded
+        assert "crash" in result.degrade_reason
+
+    def test_injected_hangs_still_produce_valid_result(self, instance):
+        # Hangs are probabilistic (0.5 per attempt): some starts may be
+        # lost after retries, but whatever is reported must be valid and
+        # the start count truthful.
+        faults.configure("parallel.start=hang:0.5:30", seed=7)
+        result = algorithm1(
+            instance,
+            num_starts=6,
+            seed=123,
+            parallel=3,
+            task_timeout=0.3,
+            max_retries=2,
+        )
+        assert_valid_bipartition(instance, result.bipartition)
+        assert 1 <= len(result.starts) <= 6
+        assert result.counters["num_starts"] == len(result.starts)
+        if len(result.starts) < 6:
+            assert result.degraded
+
+    def test_retry_with_seed_advance_produces_valid_result(self, instance):
+        # Kill mode with probability 0.5: retries re-fork with the
+        # advanced seed; survivors plus sequential fallbacks must cover
+        # every start.
+        faults.configure("parallel.start=kill:0.5", seed=3)
+        result = algorithm1(
+            instance, num_starts=6, seed=123, parallel=2, max_retries=2
+        )
+        assert_valid_bipartition(instance, result.bipartition)
+        assert len(result.starts) == 6
+        assert result.counters["num_starts"] == 6
+
+    def test_faultless_parallel_run_matches_sequential_predrawn(self, instance):
+        # The supervisor must not perturb the worker-count-invariant
+        # reproducibility contract on the fault-free path.
+        a = algorithm1(instance, num_starts=4, seed=9, parallel=1)
+        b = algorithm1(instance, num_starts=4, seed=9, parallel=3)
+        assert a.cutsize == b.cutsize
+        assert a.bipartition == b.bipartition
+        assert not a.degraded and not b.degraded
