@@ -7,6 +7,16 @@ clique expansion of the hypergraph (each k-pin net becomes a k-clique
 with edge weight ``w / (k - 1)``, the standard net model that preserves
 cut weight up to the model's well-known distortion), compute the Fiedler
 vector of its weighted Laplacian, and split at the weighted median.
+
+The raw Fiedler vector is only defined up to sign and, within numerical
+noise, up to the ordering of (near-)equal components — both of which
+vary across BLAS builds and Lanczos start vectors.  The split is
+therefore *canonicalized* before use: components are quantized to
+:data:`_TIE_DECIMALS` decimals (absorbing eigensolver jitter), the sign
+is fixed so the first nonzero quantized component (in vertex order) is
+positive, and ties sort by vertex index.  This makes the returned cut a
+deterministic function of the hypergraph alone, which is what lets
+``spectral`` sit in the bench harness's exact cut-quality gate.
 """
 
 from __future__ import annotations
@@ -24,6 +34,27 @@ from repro.runtime import Deadline, faults
 #: Above this size the Laplacian eigenproblem is solved sparsely.
 _DENSE_LIMIT = 600
 
+#: Fiedler components are rounded to this many decimals before ordering;
+#: differences below it are eigensolver noise, not structure.
+_TIE_DECIMALS = 7
+
+
+def _canonical_order(fiedler: np.ndarray) -> np.ndarray:
+    """Deterministic vertex order from a Fiedler vector.
+
+    Quantize, fix the global sign (first nonzero quantized component
+    positive), then sort by (quantized value, vertex index).  Two
+    eigensolves that agree up to sign and sub-quantum jitter yield the
+    same order — the tie-break that makes spectral cuts bit-stable.
+    """
+    quantized = np.round(fiedler, _TIE_DECIMALS) + 0.0  # +0.0 folds -0.0 into 0.0
+    for value in quantized:
+        if value != 0.0:
+            if value < 0.0:
+                quantized = -quantized
+            break
+    return np.lexsort((np.arange(len(quantized)), quantized))
+
 
 def spectral_bisection(
     hypergraph: Hypergraph,
@@ -32,9 +63,12 @@ def spectral_bisection(
 ) -> BaselineResult:
     """Bisect ``hypergraph`` with the Fiedler vector of its clique expansion.
 
-    Deterministic up to eigensolver behaviour; ``seed`` only seeds the
-    sparse solver's start vector.  Returns a true bisection
-    (``| |L| - |R| | <= 1``) by splitting the Fiedler order at the median.
+    Deterministic: the Fiedler order is canonicalized (quantized, sign
+    fixed, ties broken by vertex index — see :func:`_canonical_order`),
+    so the cut does not depend on the BLAS build or on ``seed``, which
+    only seeds the sparse solver's start vector.  Returns a true
+    bisection (``| |L| - |R| | <= 1``) by splitting the canonical Fiedler
+    order at the median.
 
     The eigensolve is monolithic — it cannot be checkpointed — so an
     already-expired ``deadline`` degrades to a deterministic median split
@@ -92,7 +126,7 @@ def spectral_bisection(
 
     with obs.span("baseline.spectral"):
         fiedler = _fiedler_vector(laplacian, seed)
-    order = np.argsort(fiedler, kind="stable")
+    order = _canonical_order(fiedler)
     half = n // 2
     left = {vertices[i] for i in order[:half]}
     right = set(vertices) - left

@@ -20,6 +20,16 @@ cutsize / balance / per-phase runtime / observability counters per
 * **coverage** — a (instance, engine) pair present in the baseline but
   missing from the current run.
 
+Large (instance, engine) sweeps can be fanned out across a
+:class:`repro.runtime.SupervisedPool` (``bench --parallel k``): each pair
+runs in its own forked worker, so one crashing or hanging engine no
+longer takes down the whole bench run — the pair becomes an explicit
+*failed* entry (``"failed": true`` plus an ``"error"`` string) and every
+other pair still reports.  Fault-free records are byte-identical to the
+sequential path (timing fields aside): both paths build each entry
+through the same :func:`_bench_entry` and the engines are
+seed-deterministic, so worker count cannot change a cut number.
+
 The CLI front end is ``repro-partition bench`` (see ``repro.cli``); the
 ROADMAP's "every PR makes a hot path measurably faster" claim is audited
 by committing a ``BENCH_<pr>.json`` per perf PR and comparing in CI.
@@ -48,21 +58,26 @@ from repro.core.hypergraph import Hypergraph
 from repro.generators.difficult import planted_bisection
 from repro.generators.netlists import clustered_netlist
 from repro.generators.random_hypergraph import random_hypergraph
-from repro.runtime import Deadline
+from repro.runtime import Deadline, SupervisedPool, faults
 
-BENCH_SCHEMA_VERSION = 1
+#: Version 2 adds: per-pair ``failed``/``error`` entries, the merged
+#: top-level ``obs`` snapshot, the ``supervision`` report (parallel runs
+#: only), and the parallel/task_timeout/total-deadline settings keys.
+#: ``compare_bench`` still ingests schema-1 files.
+BENCH_SCHEMA_VERSION = 2
 
 #: A runtime regression must exceed the baseline by at least this many
 #: seconds (on top of the relative tolerance); smaller deltas are timer
 #: noise, not signal.
 MIN_COMPARABLE_SECONDS = 0.1
 
-#: Engines in the default sweep.  ``spectral`` is opt-in: its cut depends
-#: on eigensolver tie-breaking, which is not bit-stable across BLAS
-#: builds, so it would false-positive the exact cut-quality gate.
-DEFAULT_ENGINES = ("algorithm1", "fm", "kl", "sa", "random")
+#: Engines in the default sweep.  ``spectral`` joined once its Fiedler
+#: order was canonicalized (quantize + sign fix + vertex-index
+#: tie-break, see ``repro.baselines.spectral``) — its cut is now a
+#: deterministic function of the hypergraph, safe for the exact gate.
+DEFAULT_ENGINES = ("algorithm1", "fm", "kl", "sa", "random", "spectral")
 
-ALL_ENGINES = DEFAULT_ENGINES + ("spectral",)
+ALL_ENGINES = DEFAULT_ENGINES
 
 #: Bounded SA schedule so the bench stays minutes-free and each engine
 #: run sits well under a second (keeping the runtime gate's absolute
@@ -79,11 +94,19 @@ class BenchError(ValueError):
 
 @dataclass(frozen=True)
 class BenchCase:
-    """One pinned instance recipe of the regression suite."""
+    """One pinned instance recipe of the regression suite.
+
+    ``engines`` optionally restricts which engines run on this case —
+    the sweep intersects it with the requested engine list.  Used by the
+    10k-module case to exclude the engines whose asymptotics cannot pay
+    for that size (KL's O(n²) passes, spectral's minute-scale
+    eigensolve).
+    """
 
     name: str
     kind: str  # "difficult" | "random" | "netlist"
     params: dict = field(default_factory=dict)
+    engines: tuple[str, ...] | None = None
 
     def materialize(self) -> tuple[Hypergraph, dict]:
         """Build the instance; returns ``(hypergraph, metadata)``."""
@@ -127,6 +150,27 @@ QUICK_SUITE: tuple[BenchCase, ...] = (
     BenchCase("netlist40", "netlist", {"modules": 40, "signals": 70, "technology": "std_cell", "seed": 11}),
 )
 
+#: The pinned suite plus a ≥10k-module bounded-degree instance — the
+#: scale the paper's CPU-ratio claim (Table 2) is actually about.  Gated
+#: behind ``bench --scale large`` so tier-1 CI stays fast; the engine
+#: restriction keeps the case in CI-minutes territory (algorithm1 ~0.5s,
+#: fm ~10s at this size; KL and spectral would cost minutes each).
+LARGE_SUITE: tuple[BenchCase, ...] = PINNED_SUITE + (
+    BenchCase(
+        "random10k",
+        "random",
+        {"modules": 10_000, "signals": 16_000, "seed": 23},
+        engines=("algorithm1", "fm", "sa", "random"),
+    ),
+)
+
+#: ``--scale`` name -> suite.
+SUITES: dict[str, tuple[BenchCase, ...]] = {
+    "quick": QUICK_SUITE,
+    "pinned": PINNED_SUITE,
+    "large": LARGE_SUITE,
+}
+
 
 def _run_engine(
     engine: str,
@@ -165,6 +209,96 @@ def _run_engine(
     raise BenchError(f"unknown engine {engine!r}; choose from {ALL_ENGINES}")
 
 
+def _bench_entry(
+    case_name: str,
+    engine: str,
+    h: Hypergraph,
+    seed: int,
+    starts: int,
+    repeats: int,
+    deadline_seconds: float | None,
+) -> dict:
+    """Build one (instance, engine) result record.
+
+    The single construction site for both the sequential loop and the
+    supervised pool worker — whatever path ran the pair, the record is
+    the same function of the same deterministic inputs, which is what
+    makes parallel results byte-identical to sequential ones (timing
+    fields aside).
+    """
+    seconds = None
+    for _ in range(repeats):
+        deadline = (
+            Deadline.after(deadline_seconds) if deadline_seconds is not None else None
+        )
+        with obs.scoped() as reg:
+            t0 = time.perf_counter()
+            bipartition, extras = _run_engine(engine, h, seed, starts, deadline)
+            elapsed = time.perf_counter() - t0
+            snapshot = reg.snapshot()
+        if seconds is None or elapsed < seconds:
+            seconds = elapsed
+    entry = {
+        "instance": case_name,
+        "engine": engine,
+        "cutsize": bipartition.cutsize,
+        "weighted_cutsize": bipartition.weighted_cutsize,
+        "imbalance_fraction": bipartition.weight_imbalance_fraction,
+        "seconds": seconds,
+        "counters": snapshot["counters"],
+        "spans": snapshot["spans"],
+    }
+    entry.update(extras)
+    return entry
+
+
+def _failed_entry(case_name: str, engine: str, error: str) -> dict:
+    """Explicit degraded record for a pair whose worker never reported."""
+    return {
+        "instance": case_name,
+        "engine": engine,
+        "failed": True,
+        "error": error,
+        "cutsize": None,
+        "weighted_cutsize": None,
+        "imbalance_fraction": None,
+        "seconds": None,
+        "counters": {},
+        "spans": {},
+        "degraded": True,
+    }
+
+
+#: Fork-inherited shared state for the supervised bench workers: the
+#: parent materializes every instance once, workers look them up by case
+#: name.  Populated just before ``SupervisedPool.map`` and cleared right
+#: after — nothing heavyweight crosses the result pipe.
+_BENCH_STATE: dict = {}
+
+
+def _bench_worker(payload: dict) -> dict:
+    """One (instance, engine) pair inside a forked bench worker."""
+    faults.inject("bench.pair")
+    case_name, engine = payload["pair"]
+    h = _BENCH_STATE["instances"][case_name]
+    return _bench_entry(
+        case_name,
+        engine,
+        h,
+        payload["seed"],
+        payload["starts"],
+        payload["repeats"],
+        payload["deadline_seconds"],
+    )
+
+
+def _case_engines(case: BenchCase, engines: tuple[str, ...]) -> tuple[str, ...]:
+    """Requested engines intersected with the case's restriction."""
+    if case.engines is None:
+        return engines
+    return tuple(e for e in engines if e in case.engines)
+
+
 def run_bench(
     label: str,
     cases: tuple[BenchCase, ...] = PINNED_SUITE,
@@ -173,6 +307,10 @@ def run_bench(
     starts: int = 10,
     repeats: int = 3,
     deadline_seconds: float | None = None,
+    parallel: int | None = None,
+    task_timeout: float | None = None,
+    max_retries: int = 2,
+    total_deadline_seconds: float | None = None,
 ) -> dict:
     """Execute the suite and return the JSON-ready payload.
 
@@ -181,10 +319,24 @@ def run_bench(
     ``"degraded": true`` in the payload.  Leave unset for gate runs — a
     degraded cut is not comparable against an unbounded baseline.
 
+    ``parallel`` (optional) fans the (instance, engine) pairs out across
+    a :class:`repro.runtime.SupervisedPool` with that many workers.  A
+    crashed or hung pair is retried (``max_retries`` relaunches, then a
+    hardened in-process attempt; hangs past ``task_timeout`` seconds are
+    SIGTERMed and never rerun in-process) and, if it still cannot report,
+    becomes a ``"failed": true`` entry with the error string — the other
+    pairs are unaffected.  Payloads are not reseeded on retry: every
+    engine is seed-deterministic, so a retried pair reports the same
+    numbers it would have reported the first time, keeping results
+    worker-count-invariant and identical to the sequential path.
+
+    ``total_deadline_seconds`` bounds the whole run: pairs that cannot
+    start (or finish) inside it become failed entries instead of
+    blocking the harness.
+
     Every engine run executes inside a fresh scoped observability
     registry, so the recorded counters and spans are exactly that run's
-    work — the per-engine profile that makes "measurably faster" an
-    auditable claim rather than a wall-clock anecdote.
+    work; the payload also carries the merged snapshot under ``"obs"``.
 
     ``repeats`` re-runs each (deterministic) engine and keeps the
     *minimum* wall clock — the standard defence against scheduler noise;
@@ -198,41 +350,105 @@ def run_bench(
         raise BenchError(f"repeats must be >= 1, got {repeats}")
     if deadline_seconds is not None and deadline_seconds <= 0:
         raise BenchError(f"deadline_seconds must be positive, got {deadline_seconds}")
+    if parallel is not None and parallel < 1:
+        raise BenchError(f"parallel must be >= 1, got {parallel}")
+    if total_deadline_seconds is not None and total_deadline_seconds <= 0:
+        raise BenchError(
+            f"total_deadline_seconds must be positive, got {total_deadline_seconds}"
+        )
 
     instances = []
-    results = []
+    materialized: dict[str, Hypergraph] = {}
+    pair_list: list[tuple[str, str]] = []
     for case in cases:
         h, meta = case.materialize()
-        instances.append({"name": case.name, "kind": case.kind, **meta})
-        for engine in engines:
-            seconds = None
-            for _ in range(repeats):
-                deadline = (
-                    Deadline.after(deadline_seconds)
-                    if deadline_seconds is not None
-                    else None
-                )
-                with obs.scoped() as reg:
-                    t0 = time.perf_counter()
-                    bipartition, extras = _run_engine(engine, h, seed, starts, deadline)
-                    elapsed = time.perf_counter() - t0
-                    snapshot = reg.snapshot()
-                if seconds is None or elapsed < seconds:
-                    seconds = elapsed
-            entry = {
-                "instance": case.name,
-                "engine": engine,
-                "cutsize": bipartition.cutsize,
-                "weighted_cutsize": bipartition.weighted_cutsize,
-                "imbalance_fraction": bipartition.weight_imbalance_fraction,
-                "seconds": seconds,
-                "counters": snapshot["counters"],
-                "spans": snapshot["spans"],
-            }
-            entry.update(extras)
-            results.append(entry)
+        materialized[case.name] = h
+        case_engines = _case_engines(case, engines)
+        instances.append(
+            {"name": case.name, "kind": case.kind, "engines": list(case_engines), **meta}
+        )
+        pair_list.extend((case.name, engine) for engine in case_engines)
 
-    return {
+    total_deadline = (
+        Deadline.after(total_deadline_seconds)
+        if total_deadline_seconds is not None
+        else None
+    )
+
+    results: list[dict] = []
+    supervision: dict | None = None
+    if parallel is not None:
+        tasks = [
+            (
+                pair,
+                {
+                    "pair": pair,
+                    "seed": seed,
+                    "starts": starts,
+                    "repeats": repeats,
+                    "deadline_seconds": deadline_seconds,
+                },
+            )
+            for pair in pair_list
+        ]
+        _BENCH_STATE["instances"] = materialized
+        try:
+            pool = SupervisedPool(
+                _bench_worker,
+                max_workers=parallel,
+                task_timeout=task_timeout,
+                max_retries=max_retries,
+                deadline=total_deadline,
+            )
+            with obs.span("bench.parallel"):
+                task_results, report = pool.map(tasks)
+        finally:
+            _BENCH_STATE.clear()
+        for task in task_results:
+            if task.ok:
+                results.append(task.value)
+            else:
+                results.append(
+                    _failed_entry(task.key[0], task.key[1], task.error or "unknown failure")
+                )
+        supervision = {
+            "workers": report.workers,
+            "completed": report.completed,
+            "failed": report.failed,
+            "crashes": report.crashes,
+            "hangs": report.hangs,
+            "retries": report.retries,
+            "sequential_fallbacks": report.sequential_fallbacks,
+            "deadline_expired": report.deadline_expired,
+            "degraded": report.degraded,
+            "summary": report.summary(),
+        }
+    else:
+        for case_name, engine in pair_list:
+            if total_deadline is not None and total_deadline.expired():
+                results.append(
+                    _failed_entry(case_name, engine, "deadline expired before execution")
+                )
+                continue
+            results.append(
+                _bench_entry(
+                    case_name,
+                    engine,
+                    materialized[case_name],
+                    seed,
+                    starts,
+                    repeats,
+                    deadline_seconds,
+                )
+            )
+
+    merged = obs.ObsRegistry()
+    for entry in results:
+        merged.merge(
+            {"counters": entry.get("counters") or {}, "spans": entry.get("spans") or {}}
+        )
+
+    payload = {
         "schema": BENCH_SCHEMA_VERSION,
         "label": label,
         "settings": {
@@ -240,6 +456,10 @@ def run_bench(
             "starts": starts,
             "repeats": repeats,
             "deadline_seconds": deadline_seconds,
+            "total_deadline_seconds": total_deadline_seconds,
+            "parallel": parallel,
+            "task_timeout": task_timeout,
+            "max_retries": max_retries,
             "engines": list(engines),
             "cases": [case.name for case in cases],
         },
@@ -249,7 +469,11 @@ def run_bench(
         },
         "instances": instances,
         "results": results,
+        "obs": merged.snapshot(),
     }
+    if supervision is not None:
+        payload["supervision"] = supervision
+    return payload
 
 
 def bench_path(label: str, root: str | Path = ".") -> Path:
@@ -308,6 +532,12 @@ def compare_bench(
     ``runtime_tolerance`` is the allowed fractional slowdown (0.25 =
     +25%).  A runtime flag additionally requires the absolute slowdown
     to reach :data:`MIN_COMPARABLE_SECONDS`.  Cut comparisons are exact.
+
+    Failed entries (schema 2: a supervised pair whose worker never
+    reported) are handled asymmetrically: a *baseline* failure carries
+    no numbers to compare against, so the pair is skipped; a *current*
+    failure for a pair the baseline completed is a coverage regression —
+    the harness lost a measurement it used to have.
     """
     if runtime_tolerance < 0:
         raise BenchError("runtime_tolerance must be non-negative")
@@ -319,8 +549,10 @@ def compare_bench(
     cur = keyed(current)
     regressions: list[Regression] = []
     for (instance, engine), b in sorted(base.items()):
+        if b.get("failed") or b.get("cutsize") is None:
+            continue
         c = cur.get((instance, engine))
-        if c is None:
+        if c is None or c.get("failed") or c.get("cutsize") is None:
             regressions.append(Regression("coverage", instance, engine, 1, 0))
             continue
         if c["cutsize"] > b["cutsize"]:
@@ -328,7 +560,12 @@ def compare_bench(
                 Regression("cut", instance, engine, b["cutsize"], c["cutsize"])
             )
         bs, cs = b["seconds"], c["seconds"]
-        if cs - bs >= MIN_COMPARABLE_SECONDS and cs > bs * (1.0 + runtime_tolerance):
+        if (
+            bs is not None
+            and cs is not None
+            and cs - bs >= MIN_COMPARABLE_SECONDS
+            and cs > bs * (1.0 + runtime_tolerance)
+        ):
             regressions.append(Regression("runtime", instance, engine, bs, cs))
     return regressions
 

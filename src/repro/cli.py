@@ -62,7 +62,10 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     if args.k > 2:
         from repro.core.kway import recursive_bisection
 
-        kp = recursive_bisection(h, args.k, num_starts=args.starts, seed=args.seed)
+        kp = recursive_bisection(
+            h, args.k, num_starts=args.starts, seed=args.seed, deadline=args.deadline
+        )
+        _check_degraded(kp.degraded, kp.degrade_reason, args.on_error)
         print(f"k                  : {kp.k}")
         print(f"cut nets           : {kp.cutsize}")
         print(f"sum ext. degrees   : {kp.sum_external_degrees}")
@@ -182,7 +185,23 @@ def _cmd_place(args: argparse.Namespace) -> int:
 
     h = _load_hypergraph(args.file, args.format)
     grid = SlotGrid(args.rows, args.cols) if args.rows and args.cols else None
-    result = mincut_place(h, grid=grid, partitioner=args.partitioner, seed=args.seed)
+    if args.placer == "annealing":
+        from repro.placement import annealing_place
+
+        result = annealing_place(h, grid=grid, seed=args.seed, deadline=args.deadline)
+    elif args.placer == "quadratic":
+        from repro.placement import quadratic_place
+
+        result = quadratic_place(h, grid=grid, seed=args.seed, deadline=args.deadline)
+    else:
+        result = mincut_place(
+            h,
+            grid=grid,
+            partitioner=args.partitioner,
+            seed=args.seed,
+            deadline=args.deadline,
+        )
+    _check_degraded(result.degraded, result.degrade_reason, args.on_error)
     print(f"grid               : {result.grid.rows} x {result.grid.cols}")
     print(f"total HPWL         : {result.total_hpwl:.1f}")
     print(f"top-level cutsize  : {result.cut_sizes[0] if result.cut_sizes else 0}")
@@ -248,8 +267,7 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import (
         DEFAULT_ENGINES,
-        PINNED_SUITE,
-        QUICK_SUITE,
+        SUITES,
         bench_path,
         compare_bench,
         format_compare,
@@ -268,11 +286,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             # One file: rerun the baseline's recorded settings now and
             # compare against it (the standing "did this PR regress?" gate).
             settings = baseline.get("settings", {})
-            cases = tuple(
-                c
-                for c in PINNED_SUITE + QUICK_SUITE
-                if c.name in settings.get("cases", [c.name for c in PINNED_SUITE])
-            )
+            known = {c.name: c for suite in SUITES.values() for c in suite}
+            wanted = settings.get("cases", [c.name for c in SUITES["pinned"]])
+            cases = tuple(known[name] for name in wanted if name in known)
             current = run_bench(
                 "current",
                 cases=cases,
@@ -280,6 +296,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 seed=settings.get("seed", 0),
                 starts=settings.get("starts", 10),
                 repeats=settings.get("repeats", 3),
+                parallel=args.parallel,
+                task_timeout=args.task_timeout,
+                max_retries=args.max_retries,
+                total_deadline_seconds=args.total_deadline,
             )
         regressions = compare_bench(
             baseline, current, runtime_tolerance=args.runtime_tolerance
@@ -288,25 +308,44 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 1 if regressions else 0
 
     engines = tuple(args.engines.split(",")) if args.engines else DEFAULT_ENGINES
-    cases = QUICK_SUITE if args.quick else PINNED_SUITE
+    scale = "quick" if args.quick else args.scale
     payload = run_bench(
         args.label,
-        cases=cases,
+        cases=SUITES[scale],
         engines=engines,
         seed=args.seed,
         starts=args.starts,
         repeats=args.repeats,
         deadline_seconds=args.deadline,
+        parallel=args.parallel,
+        task_timeout=args.task_timeout,
+        max_retries=args.max_retries,
+        total_deadline_seconds=args.total_deadline,
     )
+    if args.json:
+        # Machine-only mode: the schema-versioned payload is the entire
+        # stdout — no human text to strip before piping into a dashboard.
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        if args.out:
+            write_bench(payload, Path(args.out))
+        return 0
     out = Path(args.out) if args.out else bench_path(args.label)
     write_bench(payload, out)
     print(f"{'instance':<12} {'engine':<10} {'cutsize':>8} {'imbalance':>10} {'seconds':>8}")
     for entry in payload["results"]:
+        if entry.get("failed"):
+            print(
+                f"{entry['instance']:<12} {entry['engine']:<10} "
+                f"{'FAILED':>8}  {entry['error']}"
+            )
+            continue
         mark = "  degraded" if entry.get("degraded") else ""
         print(
             f"{entry['instance']:<12} {entry['engine']:<10} {entry['cutsize']:>8} "
             f"{entry['imbalance_fraction']:>10.3f} {entry['seconds']:>8.3f}{mark}"
         )
+    if "supervision" in payload:
+        print(f"\nsupervision: {payload['supervision']['summary']}")
     print(f"\nbench written: {out}")
     return 0
 
@@ -445,7 +484,28 @@ def build_parser() -> argparse.ArgumentParser:
     pl.add_argument("--rows", type=int, default=0)
     pl.add_argument("--cols", type=int, default=0)
     pl.add_argument("--partitioner", choices=["algorithm1", "fm", "hybrid"], default="hybrid")
+    pl.add_argument(
+        "--placer",
+        choices=["mincut", "annealing", "quadratic"],
+        default="mincut",
+        help="placement engine (--partitioner applies to mincut only)",
+    )
     pl.add_argument("--seed", type=int, default=0)
+    pl.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget; on expiry the best placement so far is "
+        "returned and the run is reported as degraded",
+    )
+    pl.add_argument(
+        "--on-error",
+        choices=["raise", "degrade"],
+        default="degrade",
+        help="'degrade' (default) reports a degraded placement and exits 0; "
+        "'raise' exits non-zero",
+    )
     pl.add_argument("--assignment", help="write module->[row,col] JSON here")
     pl.add_argument("--report", help="write a markdown report here")
     pl.set_defaults(fn=_cmd_place)
@@ -490,7 +550,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="timing repeats per engine; the minimum wall clock is recorded",
     )
     b.add_argument("--seed", type=int, default=0)
-    b.add_argument("--quick", action="store_true", help="tiny suite for smoke runs")
+    b.add_argument(
+        "--scale",
+        choices=["quick", "pinned", "large"],
+        default="pinned",
+        help="suite size: 'quick' for smoke runs, 'pinned' (default) for the "
+        "gate, 'large' adds the 10k-module instance",
+    )
+    b.add_argument(
+        "--quick", action="store_true", help="alias for --scale quick"
+    )
+    b.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-only mode: print the schema-versioned JSON payload as "
+        "the entire stdout (the file is written only when --out is given)",
+    )
+    b.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="K",
+        help="fan (instance, engine) pairs across K supervised workers; a "
+        "crashed or hung pair becomes an explicit failed entry instead of "
+        "killing the run (results are worker-count-invariant)",
+    )
+    b.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-pair timeout for --parallel workers; a pair exceeding it "
+        "is killed and retried",
+    )
+    b.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="relaunches per crashed/hung pair before the hardened "
+        "in-process fallback (default 2)",
+    )
+    b.add_argument(
+        "--total-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for the whole bench run; pairs that cannot "
+        "start or finish inside it become failed entries",
+    )
     b.add_argument(
         "--deadline",
         type=float,

@@ -18,12 +18,13 @@ from __future__ import annotations
 
 import random
 from collections.abc import Callable, Hashable
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import cached_property
 
 from repro import obs
 from repro.core.algorithm1 import algorithm1
 from repro.core.hypergraph import Hypergraph
+from repro.runtime import Deadline
 
 Vertex = Hashable
 EdgeName = Hashable
@@ -38,10 +39,18 @@ class KWayError(ValueError):
 
 @dataclass(frozen=True)
 class KWayPartition:
-    """An immutable k-way partition with its quality measures."""
+    """An immutable k-way partition with its quality measures.
+
+    ``degraded`` / ``degrade_reason`` report whether the run that built
+    this partition was cut short by a wall-clock deadline (the blocks are
+    always a *valid* partition regardless); both are excluded from
+    equality comparisons, mirroring :class:`repro.baselines.BaselineResult`.
+    """
 
     hypergraph: Hypergraph
     blocks: tuple[frozenset[Vertex], ...]
+    degraded: bool = field(default=False, compare=False)
+    degrade_reason: str | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         seen: set[Vertex] = set()
@@ -113,14 +122,46 @@ class KWayPartition:
         return f"KWayPartition(k={self.k}, cutsize={self.cutsize}, connectivity={self.connectivity})"
 
 
-def _default_bisector(num_starts: int) -> Bisector:
+def _default_bisector(
+    num_starts: int,
+    deadline: Deadline | None = None,
+    inner_degradations: list[str] | None = None,
+) -> Bisector:
     def bisect(sub: Hypergraph, rng: random.Random) -> tuple[set, set]:
         result = algorithm1(
-            sub, num_starts=num_starts, seed=rng, balance_tolerance=0.1
+            sub, num_starts=num_starts, seed=rng, balance_tolerance=0.1,
+            deadline=deadline,
         )
+        if result.degraded and inner_degradations is not None:
+            inner_degradations.append(result.degrade_reason or "engine degraded")
         return set(result.bipartition.left), set(result.bipartition.right)
 
     return bisect
+
+
+def _deterministic_split(
+    hypergraph: Hypergraph,
+    vertices: set[Vertex],
+    parts_left: int,
+    parts_right: int,
+) -> tuple[set[Vertex], set[Vertex]]:
+    """Engine-free split used past the deadline: weight-aware prefix of
+    the repr-sorted vertex order.  Valid (both sides can host their block
+    counts) and deterministic, but makes no attempt at a small cut."""
+    ordered = sorted(vertices, key=repr)
+    total = sum(hypergraph.vertex_weight(v) for v in ordered)
+    target = total * parts_left / (parts_left + parts_right)
+    max_left = len(ordered) - parts_right
+    left: set[Vertex] = set()
+    accumulated = 0.0
+    for v in ordered:
+        if len(left) >= max_left:
+            break
+        if accumulated >= target and len(left) >= parts_left:
+            break
+        left.add(v)
+        accumulated += hypergraph.vertex_weight(v)
+    return left, set(ordered) - left
 
 
 def _rebalance(
@@ -166,6 +207,7 @@ def recursive_bisection(
     bisector: Bisector | None = None,
     num_starts: int = 10,
     seed: int | random.Random | None = None,
+    deadline: Deadline | float | None = None,
 ) -> KWayPartition:
     """Partition ``hypergraph`` into ``k`` near-equal-weight blocks.
 
@@ -183,17 +225,32 @@ def recursive_bisection(
         Multi-start count for the default bisector.
     seed:
         Integer seed or :class:`random.Random`.
+    deadline:
+        Wall-clock budget (:class:`repro.runtime.Deadline` or plain
+        seconds), checked cooperatively before every engine bisection.
+        The first bisection always runs (so even ``deadline=0`` does one
+        real unit of work); once expired, the remaining splits fall back
+        to deterministic weight-aware halvings and the result is marked
+        ``degraded`` with a reason.  The default bisector also threads
+        the deadline into Algorithm I's multi-start loop, so a budget
+        expiring *inside* a bisection degrades that bisection too.  The
+        returned blocks are always a valid partition.
     """
     if k < 1:
         raise KWayError(f"k must be >= 1, got {k}")
     if hypergraph.num_vertices < k:
         raise KWayError(f"cannot split {hypergraph.num_vertices} vertices into {k} blocks")
+    deadline = Deadline.coerce(deadline)
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
-    engine = bisector or _default_bisector(num_starts)
+    inner_degradations: list[str] = []
+    engine = bisector or _default_bisector(num_starts, deadline, inner_degradations)
 
     blocks: list[frozenset[Vertex]] = []
+    engine_calls = 0
+    deadline_skips = 0
 
     def split(vertices: set[Vertex], parts: int) -> None:
+        nonlocal engine_calls, deadline_skips
         if parts == 1:
             blocks.append(frozenset(vertices))
             return
@@ -203,8 +260,19 @@ def recursive_bisection(
         if len(vertices) == parts:  # exactly one vertex per block remains
             ordered = sorted(vertices, key=repr)
             left, right = set(ordered[:parts_left]), set(ordered[parts_left:])
+        elif (
+            engine_calls > 0
+            and deadline is not None
+            and deadline.expired()
+        ):
+            # Cooperative checkpoint: past the budget, stop paying for
+            # engine bisections but still deliver a valid partition.
+            deadline_skips += 1
+            obs.count("kway.deadline_skips")
+            left, right = _deterministic_split(sub, vertices, parts_left, parts_right)
         else:
             obs.count("kway.bisections")
+            engine_calls += 1
             left, right = engine(sub, rng)
             target = sub.total_vertex_weight * parts_left / parts
             _rebalance(sub, left, right, target, rng)
@@ -222,7 +290,20 @@ def recursive_bisection(
 
     with obs.span("kway.recursive_bisection"):
         split(set(hypergraph.vertices), k)
-        partition = KWayPartition(hypergraph=hypergraph, blocks=tuple(blocks))
+        reasons = []
+        if deadline_skips:
+            reasons.append(
+                f"deadline expired after {engine_calls} engine bisection(s); "
+                f"{deadline_skips} split(s) fell back to deterministic halving"
+            )
+        if inner_degradations:
+            reasons.append(f"engine degraded: {inner_degradations[0]}")
+        partition = KWayPartition(
+            hypergraph=hypergraph,
+            blocks=tuple(blocks),
+            degraded=bool(reasons),
+            degrade_reason="; ".join(reasons) or None,
+        )
     obs.count("kway.runs")
     obs.gauge("kway.k", k)
     return partition

@@ -18,11 +18,13 @@ from __future__ import annotations
 
 import random
 from collections.abc import Hashable
+from dataclasses import replace
 
 from repro import obs
 from repro.baselines.fiduccia_mattheyses import fiduccia_mattheyses
 from repro.core.kway import KWayPartition
 from repro.core.partition import Bipartition
+from repro.runtime import Deadline
 
 Vertex = Hashable
 
@@ -43,6 +45,7 @@ def refine_kway(
     balance_tolerance: float = 0.1,
     max_passes: int = 6,
     seed: int | random.Random | None = None,
+    deadline: Deadline | float | None = None,
 ) -> KWayPartition:
     """Improve a k-way partition with pairwise FM sweeps.
 
@@ -60,6 +63,12 @@ def refine_kway(
         FM passes per pair.
     seed:
         Integer seed or :class:`random.Random`.
+    deadline:
+        Wall-clock budget (:class:`repro.runtime.Deadline` or plain
+        seconds), checked cooperatively between block pairs.  The first
+        pair always runs; on expiry the best partition so far is
+        returned with ``degraded=True``.  An input partition that is
+        already degraded stays flagged.
 
     Returns
     -------
@@ -68,21 +77,38 @@ def refine_kway(
     """
     if sweeps < 0:
         raise ValueError("sweeps must be non-negative")
+    deadline = Deadline.coerce(deadline)
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
     h = partition.hypergraph
     current = partition
 
     sweeps_done = 0
+    pairs_done = 0
+    expired_reason: str | None = None
     with obs.span("kway.refine"):
         for _ in range(sweeps):
+            if expired_reason:
+                break
             sweeps_done += 1
             improved = False
             k = current.k
             for i in range(k):
                 for j in range(i + 1, k):
+                    if (
+                        pairs_done > 0
+                        and deadline is not None
+                        and deadline.expired()
+                    ):
+                        expired_reason = (
+                            f"deadline expired after {pairs_done} refined pair(s) "
+                            f"in sweep {sweeps_done}"
+                        )
+                        obs.count("kway.refine.deadline_stops")
+                        break
                     if not _pair_shares_cut_net(current, i, j):
                         continue
                     obs.count("kway.refine.pairs")
+                    pairs_done += 1
                     candidate = _refine_pair(
                         current, i, j, balance_tolerance, max_passes, rng
                     )
@@ -90,10 +116,18 @@ def refine_kway(
                         current = candidate
                         improved = True
                         obs.count("kway.refine.improvements")
+                if expired_reason:
+                    break
             if not improved:
                 break
     obs.count("kway.refine.runs")
     obs.count("kway.refine.sweeps", sweeps_done)
+    reasons = [r for r in (partition.degrade_reason, expired_reason) if r]
+    degraded = partition.degraded or expired_reason is not None
+    if degraded != current.degraded or current.degrade_reason != ("; ".join(reasons) or None):
+        current = replace(
+            current, degraded=degraded, degrade_reason="; ".join(reasons) or None
+        )
     return current
 
 

@@ -22,6 +22,11 @@ from repro import obs
 from repro.core.hypergraph import Hypergraph
 from repro.placement.grid import SlotGrid
 from repro.placement.mincut_placement import PlacementError, PlacementResult, _default_grid
+from repro.runtime import Deadline
+
+#: Deadline checks inside the move loop happen every this many moves —
+#: cheap enough to be noise, frequent enough to bound overrun tightly.
+_DEADLINE_CHECK_STRIDE = 128
 
 Vertex = Hashable
 Slot = tuple[int, int]
@@ -116,6 +121,7 @@ def annealing_place(
     schedule: PlacementSchedule | None = None,
     initial: dict[Vertex, Slot] | None = None,
     seed: int | random.Random | None = None,
+    deadline: Deadline | float | None = None,
 ) -> PlacementResult:
     """Place ``hypergraph`` on ``grid`` by simulated annealing on HPWL.
 
@@ -132,6 +138,12 @@ def annealing_place(
         when omitted.
     seed:
         Integer seed or :class:`random.Random`.
+    deadline:
+        Wall-clock budget (:class:`repro.runtime.Deadline` or plain
+        seconds), checked between temperature steps and every
+        :data:`_DEADLINE_CHECK_STRIDE` moves.  The first temperature
+        step always starts; on expiry the best placement seen so far is
+        returned with ``degraded=True``.
 
     Returns
     -------
@@ -145,6 +157,7 @@ def annealing_place(
             f"{hypergraph.num_vertices} modules do not fit {grid.capacity} slots"
         )
     schedule = schedule or PlacementSchedule()
+    deadline = Deadline.coerce(deadline)
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
 
     slots = grid.full_region().slots()
@@ -190,16 +203,38 @@ def annealing_place(
     frozen = 0
 
     temperature_steps = 0
+    expired_reason: str | None = None
     with obs.span("placement.annealing"):
         while (
             temperature > schedule.min_temperature
             and total_moves < schedule.max_total_moves
             and frozen < schedule.frozen_after
         ):
+            # Cooperative checkpoint between temperature steps: the first
+            # step always starts, so even deadline=0 does real work.
+            if (
+                temperature_steps > 0
+                and deadline is not None
+                and deadline.expired()
+            ):
+                expired_reason = (
+                    f"deadline expired after {temperature_steps} temperature "
+                    f"step(s) and {total_moves} move(s)"
+                )
+                break
             temperature_steps += 1
             accepted_any = False
             for _ in range(moves_per_temp):
                 total_moves += 1
+                if (
+                    total_moves % _DEADLINE_CHECK_STRIDE == 0
+                    and deadline is not None
+                    and deadline.expired()
+                ):
+                    expired_reason = (
+                        f"deadline expired mid-step after {total_moves} move(s)"
+                    )
+                    break
                 a, b, slot_b = random_move()
                 slot_a = positions[a]
                 if slot_a == slot_b:
@@ -218,15 +253,21 @@ def annealing_place(
                         best_positions = dict(positions)
                 if total_moves >= schedule.max_total_moves:
                     break
+            if expired_reason:
+                break
             frozen = 0 if accepted_any else frozen + 1
             temperature *= schedule.alpha
 
     obs.count("placement.annealing.runs")
     obs.count("placement.annealing.temperature_steps", temperature_steps)
     obs.count("placement.annealing.moves", total_moves)
+    if expired_reason:
+        obs.count("placement.annealing.deadline_stops")
     return PlacementResult(
         positions=best_positions,
         hypergraph=hypergraph,
         grid=grid,
         cut_sizes=(),
+        degraded=expired_reason is not None,
+        degrade_reason=expired_reason,
     )

@@ -38,6 +38,7 @@ from repro.core.hypergraph import Hypergraph
 from repro.core.partition import Bipartition
 from repro.placement.grid import GridRegion, SlotGrid
 from repro.placement.wirelength import hpwl
+from repro.runtime import Deadline
 
 Vertex = Hashable
 
@@ -66,12 +67,18 @@ class PlacementResult:
     cut_sizes:
         Cutsize recorded at each recursive bisection, in BFS order —
         the classic "sum of cuts" placement quality proxy.
+    degraded / degrade_reason:
+        Whether a wall-clock deadline cut the run short (the positions
+        are a valid one-module-per-slot placement regardless); excluded
+        from equality comparisons.
     """
 
     positions: dict[Vertex, tuple[int, int]]
     hypergraph: Hypergraph
     grid: SlotGrid
     cut_sizes: tuple[int, ...] = field(default=(), repr=False)
+    degraded: bool = field(default=False, compare=False)
+    degrade_reason: str | None = field(default=None, compare=False)
 
     @property
     def total_hpwl(self) -> float:
@@ -102,6 +109,7 @@ def mincut_place(
     terminal_propagation: bool = True,
     num_starts: int = 10,
     seed: int | random.Random | None = None,
+    deadline: Deadline | float | None = None,
 ) -> PlacementResult:
     """Place ``hypergraph`` on ``grid`` by recursive min-cut bisection.
 
@@ -121,6 +129,13 @@ def mincut_place(
         Multi-start count for the Algorithm I stages.
     seed:
         Integer seed or :class:`random.Random`.
+    deadline:
+        Wall-clock budget (:class:`repro.runtime.Deadline` or plain
+        seconds), checked cooperatively before every region bisection and
+        threaded into the inner Algorithm I / FM calls.  The first
+        bisection always runs; once expired, the remaining regions are
+        filled by deterministic repr-order assignment and the result is
+        marked ``degraded``.  The positions are always a valid placement.
     """
     if partitioner not in PARTITIONERS:
         raise PlacementError(f"unknown partitioner {partitioner!r}; choose from {PARTITIONERS}")
@@ -129,10 +144,14 @@ def mincut_place(
         raise PlacementError(
             f"{hypergraph.num_vertices} modules do not fit {grid.capacity} slots"
         )
+    deadline = Deadline.coerce(deadline)
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
 
     positions: dict[Vertex, tuple[int, int]] = {}
     cut_sizes: list[int] = []
+    bisections_done = 0
+    deadline_skips = 0
+    inner_degraded = False
     anchors: dict[Vertex, tuple[float, float]] = {
         v: grid.full_region().center for v in hypergraph.vertices
     }
@@ -149,10 +168,23 @@ def mincut_place(
                 for module, slot in zip(modules, region.slots()):
                     positions[module] = slot
                 continue
+            if (
+                bisections_done > 0
+                and deadline is not None
+                and deadline.expired()
+            ):
+                # Past the budget: fill the region deterministically
+                # (modules are already repr-sorted, slots row-major).
+                deadline_skips += 1
+                obs.count("placement.mincut.deadline_skips")
+                for module, slot in zip(modules, region.slots()):
+                    positions[module] = slot
+                continue
 
             first, second, axis = region.split()
             obs.count("placement.mincut.bisections")
-            left_modules, right_modules, cutsize = _bipartition_region(
+            bisections_done += 1
+            left_modules, right_modules, cutsize, region_degraded = _bipartition_region(
                 hypergraph,
                 modules,
                 region,
@@ -164,7 +196,9 @@ def mincut_place(
                 num_starts,
                 anchors,
                 rng,
+                deadline,
             )
+            inner_degraded = inner_degraded or region_degraded
             cut_sizes.append(cutsize)
             for module in left_modules:
                 anchors[module] = first.center
@@ -175,11 +209,21 @@ def mincut_place(
 
     obs.count("placement.mincut.runs")
     obs.count("placement.mincut.total_cut", sum(cut_sizes))
+    reasons = []
+    if deadline_skips:
+        reasons.append(
+            f"deadline expired after {bisections_done} bisection(s); "
+            f"{deadline_skips} region(s) filled deterministically"
+        )
+    elif inner_degraded:
+        reasons.append("deadline expired inside a region partitioner")
     return PlacementResult(
         positions=positions,
         hypergraph=hypergraph,
         grid=grid,
         cut_sizes=tuple(cut_sizes),
+        degraded=bool(reasons),
+        degrade_reason="; ".join(reasons) or None,
     )
 
 
@@ -195,8 +239,12 @@ def _bipartition_region(
     num_starts: int,
     anchors: dict[Vertex, tuple[float, float]],
     rng: random.Random,
-) -> tuple[list[Vertex], list[Vertex], int]:
-    """Split ``modules`` between the two sub-regions; returns the cutsize."""
+    deadline: Deadline | None = None,
+) -> tuple[list[Vertex], list[Vertex], int, bool]:
+    """Split ``modules`` between the two sub-regions.
+
+    Returns ``(left, right, cutsize, degraded)`` where ``degraded`` is
+    True when an inner engine hit the deadline mid-bisection."""
     module_set = set(modules)
     working = Hypergraph()
     for v in modules:
@@ -235,7 +283,7 @@ def _bipartition_region(
         elif pins:
             working.add_vertex(pins[0])
 
-    left, right = _partition_working(
+    left, right, degraded = _partition_working(
         working,
         modules,
         terminals_left,
@@ -243,6 +291,7 @@ def _bipartition_region(
         partitioner,
         num_starts,
         rng,
+        deadline,
     )
 
     _enforce_capacity(working, left, right, first.capacity, second.capacity, module_set)
@@ -254,7 +303,7 @@ def _bipartition_region(
         members = working.edge_members(name) & module_set
         if members & left and members & right:
             cutsize += 1
-    return left_modules, right_modules, cutsize
+    return left_modules, right_modules, cutsize, degraded
 
 
 def _partition_working(
@@ -265,31 +314,40 @@ def _partition_working(
     partitioner: str,
     num_starts: int,
     rng: random.Random,
-) -> tuple[set[Vertex], set[Vertex]]:
-    """Run the chosen partitioner on the region hypergraph."""
+    deadline: Deadline | None = None,
+) -> tuple[set[Vertex], set[Vertex], bool]:
+    """Run the chosen partitioner on the region hypergraph.
+
+    Returns ``(left, right, degraded)``; ``degraded`` reports an inner
+    engine stopping early at the deadline."""
+    degraded = False
     terminals = terminals_left | terminals_right
     if len(modules) == 2 and not terminals:
-        return {modules[0]}, {modules[1]}
+        return {modules[0]}, {modules[1]}, degraded
 
     if partitioner in ("algorithm1", "hybrid"):
         module_only = working.induced(set(modules)) if terminals else working
         if module_only.num_vertices >= 2:
             result = algorithm1(
-                module_only, num_starts=num_starts, seed=rng, balance_tolerance=0.2
+                module_only, num_starts=num_starts, seed=rng, balance_tolerance=0.2,
+                deadline=deadline,
             )
+            degraded = degraded or result.degraded
             left = set(result.bipartition.left)
             right = set(result.bipartition.right)
         else:
             left, right = set(modules[: len(modules) // 2]), set(modules[len(modules) // 2 :])
         if partitioner == "algorithm1":
-            return left, right
+            return left, right, degraded
         left |= terminals_left
         right |= terminals_right
         initial = Bipartition(working, left, right)
         refined = fiduccia_mattheyses(
-            working, initial=initial, fixed=terminals, balance_tolerance=0.2, seed=rng
+            working, initial=initial, fixed=terminals, balance_tolerance=0.2, seed=rng,
+            deadline=deadline,
         )
-        return set(refined.bipartition.left), set(refined.bipartition.right)
+        degraded = degraded or refined.degraded
+        return set(refined.bipartition.left), set(refined.bipartition.right), degraded
 
     # partitioner == "fm": random module split + fixed terminals
     shuffled = modules[:]
@@ -299,9 +357,11 @@ def _partition_working(
     right = set(shuffled[half:]) | terminals_right
     initial = Bipartition(working, left, right)
     refined = fiduccia_mattheyses(
-        working, initial=initial, fixed=terminals, balance_tolerance=0.2, seed=rng
+        working, initial=initial, fixed=terminals, balance_tolerance=0.2, seed=rng,
+        deadline=deadline,
     )
-    return set(refined.bipartition.left), set(refined.bipartition.right)
+    degraded = degraded or refined.degraded
+    return set(refined.bipartition.left), set(refined.bipartition.right), degraded
 
 
 def _enforce_capacity(

@@ -24,6 +24,7 @@ from repro import obs
 from repro.core.hypergraph import Hypergraph
 from repro.placement.grid import SlotGrid
 from repro.placement.mincut_placement import PlacementError, PlacementResult, _default_grid
+from repro.runtime import Deadline
 
 Vertex = Hashable
 
@@ -50,6 +51,7 @@ def quadratic_place(
     anchors: Sequence[Vertex] | None = None,
     num_anchors: int = 8,
     seed: int | random.Random | None = None,
+    deadline: Deadline | float | None = None,
 ) -> PlacementResult:
     """Quadratic placement with border anchors and row-bucket legalization.
 
@@ -68,6 +70,11 @@ def quadratic_place(
     seed:
         Unused except for API symmetry (the method is deterministic);
         accepted so callers can treat all placers uniformly.
+    deadline:
+        Wall-clock budget.  The sparse solve is monolithic — it cannot
+        be checkpointed — so a budget that is already expired degrades to
+        a deterministic row-major placement of the repr-sorted modules
+        instead of starting a solve it cannot pay for.
 
     Returns
     -------
@@ -79,11 +86,25 @@ def quadratic_place(
         raise PlacementError(
             f"{hypergraph.num_vertices} modules do not fit {grid.capacity} slots"
         )
+    deadline = Deadline.coerce(deadline)
     modules = sorted(hypergraph.vertices, key=repr)
     n = len(modules)
     if n == 0:
         return PlacementResult(positions={}, hypergraph=hypergraph, grid=grid)
     index = {v: i for i, v in enumerate(modules)}
+
+    if deadline is not None and deadline.expired():
+        slots = grid.full_region().slots()
+        positions = dict(zip(modules, slots))
+        obs.count("placement.quadratic.runs")
+        obs.count("placement.quadratic.deadline_stops")
+        return PlacementResult(
+            positions=positions,
+            hypergraph=hypergraph,
+            grid=grid,
+            degraded=True,
+            degrade_reason="deadline expired before solve; row-major placement",
+        )
 
     if anchors is None:
         count = max(2, min(num_anchors, n))

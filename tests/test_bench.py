@@ -16,9 +16,11 @@ import pytest
 from repro.bench import (
     ALL_ENGINES,
     DEFAULT_ENGINES,
+    LARGE_SUITE,
     MIN_COMPARABLE_SECONDS,
     PINNED_SUITE,
     QUICK_SUITE,
+    SUITES,
     BenchCase,
     BenchError,
     bench_path,
@@ -64,10 +66,29 @@ class TestSuites:
         with pytest.raises(BenchError, match="unknown bench case kind"):
             BenchCase("x", "nope").materialize()
 
+    def test_large_suite_extends_pinned_with_10k_case(self):
+        # The scale case is pinned like everything else: name, seed and
+        # size are frozen, and its engine restriction keeps the sweep in
+        # CI-minutes territory.
+        assert LARGE_SUITE[: len(PINNED_SUITE)] == PINNED_SUITE
+        big = LARGE_SUITE[-1]
+        assert big.name == "random10k"
+        assert big.params["modules"] >= 10_000
+        assert big.params["seed"] == 23
+        assert big.engines == ("algorithm1", "fm", "sa", "random")
+        assert "kl" not in big.engines and "spectral" not in big.engines
+
+    def test_scale_registry(self):
+        assert SUITES == {
+            "quick": QUICK_SUITE,
+            "pinned": PINNED_SUITE,
+            "large": LARGE_SUITE,
+        }
+
 
 class TestRunBench:
     def test_payload_shape(self, payload):
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
         assert payload["label"] == "test"
         assert payload["settings"]["engines"] == ["algorithm1", "random"]
         assert {i["name"] for i in payload["instances"]} == {"planted60", "random50"}
@@ -111,9 +132,69 @@ class TestRunBench:
         with pytest.raises(BenchError, match="repeats"):
             run_bench("x", cases=QUICK_SUITE[:1], engines=("random",), repeats=0)
 
-    def test_spectral_is_opt_in(self):
-        assert "spectral" not in DEFAULT_ENGINES
+    def test_spectral_is_in_the_default_gate(self):
+        # Canonicalized Fiedler ordering made spectral deterministic, so
+        # it joined the exact cut gate (ROADMAP open item).
+        assert "spectral" in DEFAULT_ENGINES
         assert "spectral" in ALL_ENGINES
+
+    def test_payload_carries_merged_obs_snapshot(self, payload):
+        merged = payload["obs"]
+        assert set(merged) == {"counters", "gauges", "spans"}
+        # The merge sums per-entry counters: algorithm1 ran on 2 cases.
+        assert merged["counters"]["algorithm1.runs"] == 2
+
+    def test_case_engine_restriction_is_honored(self):
+        case = BenchCase(
+            "tiny", "random", {"modules": 20, "signals": 30, "seed": 1},
+            engines=("random",),
+        )
+        result = run_bench(
+            "x", cases=(case,), engines=("algorithm1", "random"), starts=1, repeats=1
+        )
+        assert [(e["instance"], e["engine"]) for e in result["results"]] == [
+            ("tiny", "random")
+        ]
+        assert result["instances"][0]["engines"] == ["random"]
+
+
+class TestParallelBench:
+    def test_parallel_records_supervision_report(self):
+        payload = run_bench(
+            "par",
+            cases=QUICK_SUITE[:1],
+            engines=("random", "fm"),
+            starts=1,
+            repeats=1,
+            parallel=2,
+        )
+        sup = payload["supervision"]
+        assert sup["workers"] == 2
+        assert sup["completed"] == 2 and sup["failed"] == 0
+        assert sup["summary"] == "clean"
+        assert payload["settings"]["parallel"] == 2
+
+    def test_parallel_validation(self):
+        with pytest.raises(BenchError, match="parallel"):
+            run_bench("x", cases=QUICK_SUITE[:1], engines=("random",), parallel=0)
+        with pytest.raises(BenchError, match="total_deadline_seconds"):
+            run_bench(
+                "x", cases=QUICK_SUITE[:1], engines=("random",),
+                total_deadline_seconds=0,
+            )
+
+    def test_sequential_total_deadline_fails_pairs_explicitly(self):
+        payload = run_bench(
+            "dl",
+            cases=QUICK_SUITE[:1],
+            engines=("random", "fm"),
+            starts=1,
+            repeats=1,
+            total_deadline_seconds=1e-9,
+        )
+        assert all(e["failed"] for e in payload["results"])
+        assert all("deadline" in e["error"] for e in payload["results"])
+        assert all(e["cutsize"] is None for e in payload["results"])
 
 
 class TestFileIO:
@@ -230,6 +311,37 @@ class TestCompare:
         with pytest.raises(BenchError, match="non-negative"):
             compare_bench(_fake_payload(), _fake_payload(), runtime_tolerance=-0.1)
 
+    def test_current_failed_entry_is_a_coverage_regression(self):
+        baseline = _fake_payload()
+        current = copy.deepcopy(baseline)
+        current["results"][0] = {
+            "instance": "a",
+            "engine": "fm",
+            "failed": True,
+            "error": "worker died without a result (exitcode -9)",
+            "cutsize": None,
+            "seconds": None,
+        }
+        regs = compare_bench(baseline, current)
+        assert [(r.kind, r.instance, r.engine) for r in regs] == [
+            ("coverage", "a", "fm")
+        ]
+
+    def test_baseline_failed_entry_is_skipped(self):
+        baseline = _fake_payload()
+        baseline["results"][0] = {
+            "instance": "a",
+            "engine": "fm",
+            "failed": True,
+            "error": "hung",
+            "cutsize": None,
+            "seconds": None,
+        }
+        current = _fake_payload()
+        current["results"][0]["cutsize"] = 99  # would be a cut regression...
+        # ...but the baseline has no number to compare against.
+        assert compare_bench(baseline, current) == []
+
     def test_format_compare_reports(self):
         baseline = _fake_payload()
         current = copy.deepcopy(baseline)
@@ -279,6 +391,61 @@ class TestCli:
         write_bench(current, b)
         assert main(["bench", "--compare", str(a), str(b)]) == 1
         assert "CUT REGRESSION" in capsys.readouterr().out
+
+    def test_bench_json_round_trip(self, capsys):
+        # --json is machine-only: the entire stdout must parse as the
+        # schema-versioned payload, and that payload must feed straight
+        # back into compare_bench.
+        rc = main(
+            [
+                "bench",
+                "--quick",
+                "--json",
+                "--engines",
+                "random",
+                "--starts",
+                "1",
+                "--repeats",
+                "1",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert payload["schema"] == 2
+        for key in ("label", "settings", "environment", "instances", "results", "obs"):
+            assert key in payload
+        for entry in payload["results"]:
+            for key in ("instance", "engine", "cutsize", "seconds", "counters", "spans"):
+                assert key in entry
+        assert compare_bench(payload, payload) == []
+
+    def test_bench_json_writes_file_only_with_out(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        out = tmp_path / "BENCH_j.json"
+        rc = main(
+            [
+                "bench", "--quick", "--json", "--engines", "random",
+                "--starts", "1", "--repeats", "1", "--out", str(out),
+            ]
+        )
+        assert rc == 0
+        stdout_payload = json.loads(capsys.readouterr().out)
+        assert load_bench(out) == stdout_payload
+        # No BENCH_local.json side file in machine-only mode without --out.
+        assert sorted(p.name for p in tmp_path.glob("BENCH_*.json")) == ["BENCH_j.json"]
+
+    def test_bench_scale_flag_selects_suite(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_s.json"
+        rc = main(
+            [
+                "bench", "--scale", "quick", "--engines", "random",
+                "--starts", "1", "--repeats", "1", "--out", str(out),
+            ]
+        )
+        assert rc == 0
+        payload = load_bench(out)
+        assert payload["settings"]["cases"] == [c.name for c in QUICK_SUITE]
 
     def test_compare_respects_runtime_tolerance_flag(self, tmp_path):
         baseline = _fake_payload()

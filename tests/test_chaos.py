@@ -180,3 +180,111 @@ class TestEnvironmentArming:
         assert proc.returncode == 0, proc.stderr
         assert "FAILED" in proc.stdout
         assert "degraded" in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# Supervised bench fan-out: kill/hang half the bench workers
+
+
+class TestBenchChaos:
+    GRACE = 1.10
+
+    def test_killing_half_the_bench_workers_completes_every_pair(self):
+        from repro.bench import QUICK_SUITE, run_bench
+
+        faults.configure("bench.pair=kill:0.5", seed=31)
+        payload = run_bench(
+            "chaos",
+            cases=QUICK_SUITE,
+            engines=("random", "fm"),
+            starts=1,
+            repeats=1,
+            parallel=2,
+            task_timeout=60.0,
+        )
+        faults.configure(None)
+        assert len(payload["results"]) == 6
+        for entry in payload["results"]:
+            if entry.get("failed"):
+                assert isinstance(entry["error"], str) and entry["error"]
+            else:
+                assert entry["cutsize"] >= 0
+
+        # Survivors must report exactly the sequential truth: retries do
+        # not reseed, so a pair that reported at all reported the same
+        # deterministic numbers the sequential path produces.
+        sequential = run_bench(
+            "ref",
+            cases=QUICK_SUITE,
+            engines=("random", "fm"),
+            starts=1,
+            repeats=1,
+        )
+        ref = {(e["instance"], e["engine"]): e for e in sequential["results"]}
+
+        def strip(entry):
+            return {
+                k: v
+                for k, v in entry.items()
+                if k not in ("seconds", "spans", "phases")
+            }
+
+        for entry in payload["results"]:
+            if not entry.get("failed"):
+                assert strip(entry) == strip(ref[(entry["instance"], entry["engine"])])
+
+    def test_hanging_bench_workers_fail_within_deadline_grace(self):
+        from repro.bench import QUICK_SUITE, run_bench
+
+        faults.configure("bench.pair=hang:0.5:30", seed=7)
+        budget = 5.0
+        started = time.monotonic()
+        payload = run_bench(
+            "hangs",
+            cases=QUICK_SUITE,
+            engines=("random", "fm"),
+            starts=1,
+            repeats=1,
+            parallel=2,
+            task_timeout=0.5,
+            max_retries=0,
+            total_deadline_seconds=budget,
+        )
+        elapsed = time.monotonic() - started
+        # Worker teardown (terminate + join) gets the same grace as the
+        # parallel deadline tests above.
+        assert elapsed <= budget * self.GRACE + 0.5
+        assert len(payload["results"]) == 6
+        for entry in payload["results"]:
+            if entry.get("failed"):
+                assert entry["error"]  # per-pair error string, not a silent gap
+            else:
+                assert entry["cutsize"] >= 0
+        sup = payload["supervision"]
+        if sup["hangs"] or sup["failed"]:
+            assert sup["degraded"] is True
+            assert sup["summary"] != "clean"
+
+    def test_bench_crash_faults_surface_in_supervision_report(self):
+        from repro.bench import QUICK_SUITE, run_bench
+
+        faults.configure("bench.pair=crash:1", seed=3)
+        payload = run_bench(
+            "crashes",
+            cases=QUICK_SUITE[:1],
+            engines=("random",),
+            starts=1,
+            repeats=1,
+            parallel=2,
+            max_retries=1,
+        )
+        faults.configure(None)
+        # Every forked attempt crashes; the hardened sequential fallback
+        # (faults suppressed) still delivers the pair.
+        [entry] = payload["results"]
+        assert not entry.get("failed")
+        assert entry["cutsize"] >= 0
+        sup = payload["supervision"]
+        assert sup["crashes"] >= 1
+        assert sup["sequential_fallbacks"] >= 1
+        assert sup["degraded"] is True

@@ -1,0 +1,219 @@
+"""Property tests for deadline degradation (hypothesis).
+
+The deadline contract across every entry point is the same three
+clauses, and these tests state them as properties over random instances
+and budgets rather than hand-picked examples:
+
+1. **Validity is unconditional** — whatever the budget, a k-way call
+   returns a true partition of the vertex set and a placement call
+   returns one module per slot.  (``KWayPartition.__post_init__``
+   enforces the former, so *constructing* the result is the check.)
+2. **``degraded`` iff the budget was exceeded** — a generous budget
+   yields ``degraded=False``; an already-expired budget, on an instance
+   with more than one unit of work, yields ``degraded=True`` with a
+   reason string.
+3. **Zero-deadline still returns the first unit of work** — expired
+   budgets degrade, they do not raise or return empty results.
+
+Instances are kept small (hypothesis runs dozens of examples) and the
+shrunk counterexamples stay readable.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.kway import recursive_bisection
+from repro.core.kway_refine import refine_kway
+from repro.generators import random_hypergraph
+from repro.placement.annealing_placement import PlacementSchedule, annealing_place
+from repro.placement.mincut_placement import mincut_place
+from repro.placement.quadratic_placement import quadratic_place
+
+#: Far beyond anything these tiny instances need; "budget not exceeded".
+GENEROUS = 300.0
+
+SETTINGS = settings(max_examples=20, deadline=None)
+
+
+def small_instance(n: int, seed: int):
+    return random_hypergraph(n, int(1.5 * n), seed=seed, connect=True)
+
+
+def assert_valid_placement(h, result):
+    assert set(result.positions) == set(h.vertices)
+    assert len(set(result.positions.values())) == h.num_vertices
+    for row, col in result.positions.values():
+        assert 0 <= row < result.grid.rows
+        assert 0 <= col < result.grid.cols
+
+
+# ----------------------------------------------------------------------
+# k-way recursive bisection
+
+
+class TestKWayDeadlineProperties:
+    @SETTINGS
+    @given(
+        n=st.integers(min_value=12, max_value=40),
+        k=st.integers(min_value=3, max_value=6),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_zero_deadline_degrades_but_stays_valid(self, n, k, seed):
+        h = small_instance(n, seed)
+        partition = recursive_bisection(h, k, num_starts=2, seed=seed, deadline=0.0)
+        # Construction validated the blocks; k >= 3 needs >= 2 engine
+        # bisections, so an expired budget always skips at least one.
+        assert partition.k == k
+        assert partition.degraded is True
+        assert "deadline" in partition.degrade_reason
+
+    @SETTINGS
+    @given(
+        n=st.integers(min_value=12, max_value=40),
+        k=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_generous_deadline_never_degrades(self, n, k, seed):
+        h = small_instance(n, seed)
+        partition = recursive_bisection(h, k, num_starts=2, seed=seed, deadline=GENEROUS)
+        assert partition.degraded is False
+        assert partition.degrade_reason is None
+        unconstrained = recursive_bisection(h, k, num_starts=2, seed=seed)
+        assert partition.blocks == unconstrained.blocks
+
+    @SETTINGS
+    @given(
+        n=st.integers(min_value=12, max_value=30),
+        seed=st.integers(min_value=0, max_value=10_000),
+        budget=st.floats(min_value=0.0, max_value=0.02, allow_nan=False),
+    )
+    def test_arbitrary_budgets_always_yield_valid_partitions(self, n, seed, budget):
+        h = small_instance(n, seed)
+        partition = recursive_bisection(h, 4, num_starts=2, seed=seed, deadline=budget)
+        assert partition.k == 4
+        assert isinstance(partition.degraded, bool)
+        if partition.degraded:
+            assert partition.degrade_reason
+
+
+class TestRefineDeadlineProperties:
+    @SETTINGS
+    @given(
+        n=st.integers(min_value=12, max_value=30),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_zero_deadline_refine_is_valid_and_never_worse(self, n, seed):
+        h = small_instance(n, seed)
+        partition = recursive_bisection(h, 4, num_starts=2, seed=seed)
+        refined = refine_kway(partition, sweeps=2, seed=seed, deadline=0.0)
+        assert refined.k == partition.k
+        assert refined.connectivity <= partition.connectivity
+        # With >= 2 interacting pairs the budget expires mid-sweep; with
+        # fewer the sweep may finish inside its first unit of work — the
+        # flag must then stay False (degraded iff budget exceeded).
+        if refined.degraded:
+            assert "deadline" in refined.degrade_reason
+
+    @SETTINGS
+    @given(
+        n=st.integers(min_value=12, max_value=30),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_generous_deadline_refine_never_degrades(self, n, seed):
+        h = small_instance(n, seed)
+        partition = recursive_bisection(h, 4, num_starts=2, seed=seed)
+        refined = refine_kway(partition, sweeps=2, seed=seed, deadline=GENEROUS)
+        assert refined.degraded is False
+        assert refined.degrade_reason is None
+
+
+# ----------------------------------------------------------------------
+# Placement engines
+
+
+class TestPlacementDeadlineProperties:
+    @SETTINGS
+    @given(
+        n=st.integers(min_value=6, max_value=30),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_mincut_zero_deadline_degrades_but_places_everything(self, n, seed):
+        h = small_instance(n, seed)
+        result = mincut_place(h, seed=seed, deadline=0.0)
+        assert_valid_placement(h, result)
+        # n >= 6 needs more than one bisection, so the expired budget
+        # always skips at least one region.
+        assert result.degraded is True
+        assert "deadline" in result.degrade_reason
+
+    @SETTINGS
+    @given(
+        n=st.integers(min_value=4, max_value=25),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_mincut_generous_deadline_never_degrades(self, n, seed):
+        h = small_instance(n, seed)
+        result = mincut_place(h, seed=seed, deadline=GENEROUS)
+        assert_valid_placement(h, result)
+        assert result.degraded is False
+        unconstrained = mincut_place(h, seed=seed)
+        assert result.positions == unconstrained.positions
+
+    @SETTINGS
+    @given(
+        n=st.integers(min_value=4, max_value=25),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_annealing_zero_deadline_degrades_but_places_everything(self, n, seed):
+        h = small_instance(n, seed)
+        schedule = PlacementSchedule(
+            initial_temperature=5.0, moves_per_temperature=2_000
+        )
+        result = annealing_place(h, schedule=schedule, seed=seed, deadline=0.0)
+        assert_valid_placement(h, result)
+        # moves_per_temperature exceeds the check stride, so the expired
+        # budget is always noticed inside the first temperature step.
+        assert result.degraded is True
+        assert "deadline" in result.degrade_reason
+
+    @SETTINGS
+    @given(
+        n=st.integers(min_value=4, max_value=20),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_annealing_generous_deadline_never_degrades(self, n, seed):
+        h = small_instance(n, seed)
+        schedule = PlacementSchedule(
+            initial_temperature=1.0, moves_per_temperature=50, min_temperature=0.5
+        )
+        result = annealing_place(h, schedule=schedule, seed=seed, deadline=GENEROUS)
+        assert_valid_placement(h, result)
+        assert result.degraded is False
+
+    @SETTINGS
+    @given(
+        n=st.integers(min_value=4, max_value=30),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_quadratic_zero_deadline_falls_back_deterministically(self, n, seed):
+        h = small_instance(n, seed)
+        result = quadratic_place(h, deadline=0.0)
+        assert_valid_placement(h, result)
+        assert result.degraded is True
+        assert "deadline" in result.degrade_reason
+        again = quadratic_place(h, deadline=0.0)
+        assert result.positions == again.positions
+
+    @SETTINGS
+    @given(
+        n=st.integers(min_value=4, max_value=30),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_quadratic_generous_deadline_never_degrades(self, n, seed):
+        h = small_instance(n, seed)
+        result = quadratic_place(h, deadline=GENEROUS)
+        assert_valid_placement(h, result)
+        assert result.degraded is False
+        unconstrained = quadratic_place(h)
+        assert result.positions == unconstrained.positions

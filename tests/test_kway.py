@@ -121,3 +121,33 @@ class TestRecursiveBisection:
         assert kp.k == k
         assert set().union(*kp.blocks) == set(h.vertices)
         assert sum(len(b) for b in kp.blocks) == h.num_vertices
+
+
+class TestKWayDeadline:
+    def test_zero_deadline_degrades_with_valid_blocks(self, netlist):
+        kp = recursive_bisection(netlist, 4, num_starts=2, seed=0, deadline=0.0)
+        assert kp.k == 4
+        assert kp.degraded is True
+        assert "deadline" in kp.degrade_reason
+        assert set().union(*kp.blocks) == set(netlist.vertices)
+
+    def test_generous_deadline_matches_unconstrained(self, netlist):
+        bounded = recursive_bisection(netlist, 4, num_starts=2, seed=0, deadline=600.0)
+        free = recursive_bisection(netlist, 4, num_starts=2, seed=0)
+        assert bounded.degraded is False
+        assert bounded.degrade_reason is None
+        assert bounded.blocks == free.blocks
+
+    def test_degraded_flags_excluded_from_equality(self, netlist):
+        a = recursive_bisection(netlist, 2, num_starts=1, seed=0)
+        b = KWayPartition(
+            hypergraph=a.hypergraph,
+            blocks=a.blocks,
+            degraded=True,
+            degrade_reason="synthetic",
+        )
+        assert a == b
+
+    def test_plain_seconds_accepted_as_deadline(self, netlist):
+        kp = recursive_bisection(netlist, 3, num_starts=1, seed=0, deadline=600)
+        assert kp.degraded is False

@@ -66,3 +66,27 @@ class TestRefineKway:
         assert refined.connectivity <= start.connectivity
         assert set().union(*refined.blocks) == set(h.vertices)
         assert all(refined.blocks)
+
+
+class TestRefineDeadline:
+    def test_zero_deadline_stops_early_but_stays_monotone(self, netlist):
+        start = recursive_bisection(netlist, 4, num_starts=2, seed=0)
+        refined = refine_kway(start, sweeps=3, seed=0, deadline=0.0)
+        assert refined.connectivity <= start.connectivity
+        assert set().union(*refined.blocks) == set(netlist.vertices)
+        if refined.degraded:
+            assert "deadline" in refined.degrade_reason
+
+    def test_generous_deadline_never_degrades(self, netlist):
+        start = recursive_bisection(netlist, 4, num_starts=2, seed=0)
+        refined = refine_kway(start, sweeps=2, seed=0, deadline=600.0)
+        assert refined.degraded is False
+        unconstrained = refine_kway(start, sweeps=2, seed=0)
+        assert refined.blocks == unconstrained.blocks
+
+    def test_degraded_input_stays_flagged(self, netlist):
+        start = recursive_bisection(netlist, 4, num_starts=1, seed=0, deadline=0.0)
+        assert start.degraded
+        refined = refine_kway(start, sweeps=1, seed=0, deadline=600.0)
+        assert refined.degraded is True
+        assert start.degrade_reason.split(";")[0] in refined.degrade_reason

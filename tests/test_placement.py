@@ -161,3 +161,20 @@ class TestPlacement:
         h = clustered_netlist(20, 40, "std_cell", seed=4)  # weighted profile
         result = mincut_place(h, SlotGrid(5, 4), seed=0)
         assert len(result.positions) == 20
+
+
+class TestMincutDeadline:
+    def test_zero_deadline_degrades_but_fills_every_slot(self, netlist):
+        result = mincut_place(netlist, SlotGrid(6, 6), seed=0, deadline=0.0)
+        assert set(result.positions) == set(netlist.vertices)
+        assert len(set(result.positions.values())) == netlist.num_vertices
+        assert result.degraded is True
+        assert "deadline" in result.degrade_reason
+
+    def test_generous_deadline_matches_unconstrained(self, netlist):
+        bounded = mincut_place(netlist, SlotGrid(6, 6), seed=0, deadline=600.0)
+        free = mincut_place(netlist, SlotGrid(6, 6), seed=0)
+        assert bounded.degraded is False
+        assert bounded.degrade_reason is None
+        assert bounded.positions == free.positions
+        assert bounded.cut_sizes == free.cut_sizes

@@ -162,3 +162,38 @@ class TestQuadraticPlace:
 
     def test_border_slots_small_grid(self):
         assert _border_slots(SlotGrid(1, 3), 10) == [(0, 0), (0, 1), (0, 2)]
+
+
+class TestPlacementEngineDeadlines:
+    def test_annealing_zero_deadline_degrades_validly(self, netlist):
+        result = annealing_place(
+            netlist,
+            SlotGrid(6, 6),
+            seed=0,
+            deadline=0.0,
+            schedule=PlacementSchedule(initial_temperature=5.0, moves_per_temperature=5_000),
+        )
+        assert len(set(result.positions.values())) == 36
+        assert result.degraded is True
+        assert "deadline" in result.degrade_reason
+
+    def test_annealing_generous_deadline_matches_unconstrained(self, netlist):
+        schedule = PlacementSchedule(max_total_moves=2_000)
+        bounded = annealing_place(netlist, SlotGrid(6, 6), seed=3, schedule=schedule, deadline=600.0)
+        free = annealing_place(netlist, SlotGrid(6, 6), seed=3, schedule=schedule)
+        assert bounded.degraded is False
+        assert bounded.positions == free.positions
+
+    def test_quadratic_zero_deadline_is_deterministic_fallback(self, netlist):
+        a = quadratic_place(netlist, SlotGrid(6, 6), deadline=0.0)
+        b = quadratic_place(netlist, SlotGrid(6, 6), deadline=0.0)
+        assert a.degraded is True
+        assert "row-major" in a.degrade_reason
+        assert a.positions == b.positions
+        assert len(set(a.positions.values())) == 36
+
+    def test_quadratic_generous_deadline_matches_unconstrained(self, netlist):
+        bounded = quadratic_place(netlist, SlotGrid(6, 6), deadline=600.0)
+        free = quadratic_place(netlist, SlotGrid(6, 6))
+        assert bounded.degraded is False
+        assert bounded.positions == free.positions

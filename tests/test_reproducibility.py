@@ -81,3 +81,60 @@ class TestRunToRunDeterminism:
             for seed in (1, 2, 3)
         }
         assert len(set(streams.values())) > 1
+
+
+# ----------------------------------------------------------------------
+# Bench fan-out: worker count must not change a single recorded number
+
+
+TIMING_FIELDS = ("seconds", "spans", "phases")
+
+
+def _bench_records(payload):
+    """Result records with timing fields stripped, in suite order."""
+    return [
+        {k: v for k, v in entry.items() if k not in TIMING_FIELDS}
+        for entry in payload["results"]
+    ]
+
+
+class TestBenchWorkerCountInvariance:
+    @pytest.fixture(scope="class")
+    def bench_runs(self):
+        from repro.bench import QUICK_SUITE, run_bench
+
+        kwargs = dict(
+            cases=QUICK_SUITE,
+            engines=("algorithm1", "random", "fm"),
+            starts=2,
+            repeats=1,
+            seed=0,
+        )
+        sequential = run_bench("seq", **kwargs)
+        parallel = {
+            workers: run_bench(f"par{workers}", **kwargs, parallel=workers)
+            for workers in (1, 2, 4)
+        }
+        return sequential, parallel
+
+    def test_parallel_matches_sequential_excluding_timing(self, bench_runs):
+        sequential, parallel = bench_runs
+        expected = _bench_records(sequential)
+        for workers, payload in parallel.items():
+            assert _bench_records(payload) == expected, f"parallel={workers} diverged"
+
+    def test_no_pair_failed_without_faults(self, bench_runs):
+        sequential, parallel = bench_runs
+        for payload in [sequential, *parallel.values()]:
+            assert not any(e.get("failed") for e in payload["results"])
+        for payload in parallel.values():
+            assert payload["supervision"]["summary"] == "clean"
+
+    def test_compare_bench_sees_no_regressions_across_paths(self, bench_runs):
+        from repro.bench import compare_bench
+
+        sequential, parallel = bench_runs
+        for payload in parallel.values():
+            # Generous runtime tolerance: this asserts cut/coverage
+            # identity, not machine timing.
+            assert compare_bench(sequential, payload, runtime_tolerance=100.0) == []
