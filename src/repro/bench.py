@@ -30,6 +30,18 @@ sequential path (timing fields aside): both paths build each entry
 through the same :func:`_bench_entry` and the engines are
 seed-deterministic, so worker count cannot change a cut number.
 
+Long sweeps are additionally **crash-durable**: ``bench --journal PATH``
+appends every completed/failed pair to a fsynced
+:class:`repro.runtime.RunJournal` the moment it finishes, and ``bench
+--resume PATH`` verifies the journal's settings fingerprint, replays the
+recorded pairs, and runs only what is missing — a run SIGKILLed at any
+pair boundary resumes to a payload byte-identical (timings and the
+supervision block aside) to an uninterrupted one.  ``bench
+--memory-limit MB`` budgets each supervised worker (``RLIMIT_AS`` +
+parent-side RSS polling): an engine that would OOM the host becomes an
+explicit failed entry with a memory-budget error string instead of a
+dead run.
+
 The CLI front end is ``repro-partition bench`` (see ``repro.cli``); the
 ROADMAP's "every PR makes a hot path measurably faster" claim is audited
 by committing a ``BENCH_<pr>.json`` per perf PR and comparing in CI.
@@ -58,7 +70,7 @@ from repro.core.hypergraph import Hypergraph
 from repro.generators.difficult import planted_bisection
 from repro.generators.netlists import clustered_netlist
 from repro.generators.random_hypergraph import random_hypergraph
-from repro.runtime import Deadline, SupervisedPool, faults
+from repro.runtime import Deadline, RunJournal, SupervisedPool, faults
 
 #: Version 2 adds: per-pair ``failed``/``error`` entries, the merged
 #: top-level ``obs`` snapshot, the ``supervision`` report (parallel runs
@@ -299,6 +311,46 @@ def _case_engines(case: BenchCase, engines: tuple[str, ...]) -> tuple[str, ...]:
     return tuple(e for e in engines if e in case.engines)
 
 
+def _journal_settings(
+    cases: tuple[BenchCase, ...],
+    engines: tuple[str, ...],
+    seed: int,
+    starts: int,
+    repeats: int,
+    deadline_seconds: float | None,
+    memory_limit_mb: float | None,
+) -> dict:
+    """The *result-affecting* settings a bench journal fingerprints.
+
+    Worker count, task timeout, retry budget and the total deadline are
+    deliberately absent: pair records are invariant to them (engines are
+    seed-deterministic and retries keep their seeds), so a ``--parallel
+    4`` run may be resumed with ``--parallel 2`` or sequentially.  The
+    memory budget *is* included — it decides whether a pair fails —
+    and so are the full case recipes, not just their names, so a suite
+    redefinition between versions cannot silently replay stale records.
+    """
+    return {
+        "task": "bench",
+        "schema": BENCH_SCHEMA_VERSION,
+        "seed": seed,
+        "starts": starts,
+        "repeats": repeats,
+        "deadline_seconds": deadline_seconds,
+        "memory_limit_mb": memory_limit_mb,
+        "engines": list(engines),
+        "cases": [
+            {
+                "name": c.name,
+                "kind": c.kind,
+                "params": c.params,
+                "engines": list(c.engines) if c.engines is not None else None,
+            }
+            for c in cases
+        ],
+    }
+
+
 def run_bench(
     label: str,
     cases: tuple[BenchCase, ...] = PINNED_SUITE,
@@ -311,6 +363,10 @@ def run_bench(
     task_timeout: float | None = None,
     max_retries: int = 2,
     total_deadline_seconds: float | None = None,
+    journal_path: str | Path | None = None,
+    resume_path: str | Path | None = None,
+    memory_limit_mb: float | None = None,
+    on_resume=None,
 ) -> dict:
     """Execute the suite and return the JSON-ready payload.
 
@@ -334,6 +390,25 @@ def run_bench(
     start (or finish) inside it become failed entries instead of
     blocking the harness.
 
+    ``journal_path`` makes the run crash-durable: every completed or
+    failed pair is appended (fsynced) to a
+    :class:`repro.runtime.RunJournal` the moment it finishes.
+    ``resume_path`` reopens such a journal — after verifying its
+    settings fingerprint — replays the recorded pairs, runs only the
+    missing ones, and keeps journaling to the same file, so a resumed
+    run can itself be resumed.  A resumed fault-free run's payload is
+    byte-identical to an uninterrupted one apart from timing fields and
+    the ``supervision`` block (replayed entries keep their recorded
+    timings).  Journal-recorded *failed* pairs are re-attempted on
+    resume, never replayed.  ``on_resume(replayed, pending)`` is
+    invoked once with the replay/remaining pair counts.
+
+    ``memory_limit_mb`` (requires ``parallel``) budgets each worker's
+    memory: the forked child caps its address space via ``RLIMIT_AS``
+    and the supervisor SIGTERMs workers whose RSS exceeds the budget,
+    so an over-allocating engine becomes an explicit failed entry with
+    a memory-budget error string instead of taking down the host.
+
     Every engine run executes inside a fresh scoped observability
     registry, so the recorded counters and spans are exactly that run's
     work; the payload also carries the merged snapshot under ``"obs"``.
@@ -356,6 +431,20 @@ def run_bench(
         raise BenchError(
             f"total_deadline_seconds must be positive, got {total_deadline_seconds}"
         )
+    if memory_limit_mb is not None:
+        if memory_limit_mb <= 0:
+            raise BenchError(f"memory_limit_mb must be positive, got {memory_limit_mb}")
+        if parallel is None:
+            raise BenchError(
+                "memory limits require parallel workers (pass parallel=k): only a "
+                "forked worker can be budgeted and killed without ending the run"
+            )
+    if journal_path is not None and resume_path is not None:
+        if Path(journal_path) != Path(resume_path):
+            raise BenchError(
+                "journal and resume paths differ: a resumed run keeps appending "
+                "to the journal it resumes from"
+            )
 
     instances = []
     materialized: dict[str, Hypergraph] = {}
@@ -369,78 +458,136 @@ def run_bench(
         )
         pair_list.extend((case.name, engine) for engine in case_engines)
 
+    journal: RunJournal | None = None
+    entries: dict[tuple[str, str], dict] = {}
+    if resume_path is not None:
+        fingerprint_settings = _journal_settings(
+            cases, engines, seed, starts, repeats, deadline_seconds, memory_limit_mb
+        )
+        journal, recorded = RunJournal.resume(
+            resume_path, "bench", fingerprint_settings
+        )
+        for key, value in recorded:
+            # Completed pairs replay verbatim; recorded *failures* are
+            # re-attempted — resume exists to finish the run, and a
+            # deterministic failure will simply fail identically again.
+            if isinstance(value, dict) and value.get("ok"):
+                entries[tuple(key)] = value["entry"]
+    elif journal_path is not None:
+        journal = RunJournal.create(
+            journal_path,
+            "bench",
+            _journal_settings(
+                cases, engines, seed, starts, repeats, deadline_seconds, memory_limit_mb
+            ),
+        )
+
+    pending = [pair for pair in pair_list if pair not in entries]
+    if resume_path is not None and on_resume is not None:
+        on_resume(len(pair_list) - len(pending), len(pending))
+
     total_deadline = (
         Deadline.after(total_deadline_seconds)
         if total_deadline_seconds is not None
         else None
     )
 
-    results: list[dict] = []
+    memory_limit_bytes = (
+        int(memory_limit_mb * (1 << 20)) if memory_limit_mb is not None else None
+    )
+
+    def checkpoint(pair: tuple[str, str], entry: dict, ok: bool) -> None:
+        entries[pair] = entry
+        if journal is not None:
+            journal.record(list(pair), {"ok": ok, "seed": seed, "entry": entry})
+
     supervision: dict | None = None
-    if parallel is not None:
-        tasks = [
-            (
-                pair,
-                {
-                    "pair": pair,
-                    "seed": seed,
-                    "starts": starts,
-                    "repeats": repeats,
-                    "deadline_seconds": deadline_seconds,
-                },
-            )
-            for pair in pair_list
-        ]
-        _BENCH_STATE["instances"] = materialized
-        try:
-            pool = SupervisedPool(
-                _bench_worker,
-                max_workers=parallel,
-                task_timeout=task_timeout,
-                max_retries=max_retries,
-                deadline=total_deadline,
-            )
-            with obs.span("bench.parallel"):
-                task_results, report = pool.map(tasks)
-        finally:
-            _BENCH_STATE.clear()
-        for task in task_results:
-            if task.ok:
-                results.append(task.value)
-            else:
-                results.append(
-                    _failed_entry(task.key[0], task.key[1], task.error or "unknown failure")
+    try:
+        if parallel is not None:
+            tasks = [
+                (
+                    pair,
+                    {
+                        "pair": pair,
+                        "seed": seed,
+                        "starts": starts,
+                        "repeats": repeats,
+                        "deadline_seconds": deadline_seconds,
+                    },
                 )
-        supervision = {
-            "workers": report.workers,
-            "completed": report.completed,
-            "failed": report.failed,
-            "crashes": report.crashes,
-            "hangs": report.hangs,
-            "retries": report.retries,
-            "sequential_fallbacks": report.sequential_fallbacks,
-            "deadline_expired": report.deadline_expired,
-            "degraded": report.degraded,
-            "summary": report.summary(),
-        }
-    else:
-        for case_name, engine in pair_list:
-            if total_deadline is not None and total_deadline.expired():
-                results.append(
-                    _failed_entry(case_name, engine, "deadline expired before execution")
+                for pair in pending
+            ]
+
+            def on_result(task) -> None:
+                if task.ok:
+                    checkpoint(task.key, task.value, True)
+                else:
+                    checkpoint(
+                        task.key,
+                        _failed_entry(
+                            task.key[0], task.key[1], task.error or "unknown failure"
+                        ),
+                        False,
+                    )
+
+            _BENCH_STATE["instances"] = materialized
+            try:
+                pool = SupervisedPool(
+                    _bench_worker,
+                    max_workers=parallel,
+                    task_timeout=task_timeout,
+                    max_retries=max_retries,
+                    deadline=total_deadline,
+                    memory_limit_bytes=memory_limit_bytes,
+                    on_result=on_result,
                 )
-                continue
-            results.append(
-                _bench_entry(
-                    case_name,
-                    engine,
-                    materialized[case_name],
-                    seed,
-                    starts,
-                    repeats,
-                    deadline_seconds,
+                with obs.span("bench.parallel"):
+                    _task_results, report = pool.map(tasks)
+            finally:
+                _BENCH_STATE.clear()
+            supervision = {
+                "workers": report.workers,
+                "completed": report.completed,
+                "failed": report.failed,
+                "crashes": report.crashes,
+                "hangs": report.hangs,
+                "retries": report.retries,
+                "sequential_fallbacks": report.sequential_fallbacks,
+                "memory_kills": report.memory_kills,
+                "peak_rss_bytes": report.peak_rss_bytes,
+                "deadline_expired": report.deadline_expired,
+                "degraded": report.degraded,
+                "summary": report.summary(),
+            }
+        else:
+            for case_name, engine in pending:
+                if total_deadline is not None and total_deadline.expired():
+                    checkpoint(
+                        (case_name, engine),
+                        _failed_entry(
+                            case_name, engine, "deadline expired before execution"
+                        ),
+                        False,
+                    )
+                    continue
+                checkpoint(
+                    (case_name, engine),
+                    _bench_entry(
+                        case_name,
+                        engine,
+                        materialized[case_name],
+                        seed,
+                        starts,
+                        repeats,
+                        deadline_seconds,
+                    ),
+                    True,
                 )
-            )
+    finally:
+        if journal is not None:
+            journal.close()
+
+    results = [entries[pair] for pair in pair_list]
 
     merged = obs.ObsRegistry()
     for entry in results:
@@ -460,6 +607,7 @@ def run_bench(
             "parallel": parallel,
             "task_timeout": task_timeout,
             "max_retries": max_retries,
+            "memory_limit_mb": memory_limit_mb,
             "engines": list(engines),
             "cases": [case.name for case in cases],
         },
@@ -501,7 +649,7 @@ def load_bench(path: str | Path) -> dict:
 class Regression:
     """One flagged baseline-versus-current deviation."""
 
-    kind: str  # "cut" | "runtime" | "coverage"
+    kind: str  # "cut" | "runtime" | "coverage" | "profile"
     instance: str
     engine: str
     baseline: float
@@ -519,6 +667,12 @@ class Regression:
                 f"RUNTIME REGRESSION  {self.instance}/{self.engine}: "
                 f"{self.baseline:.3f}s -> {self.current:.3f}s (+{pct:.0f}%)"
             )
+        if self.kind == "profile":
+            pct = 100.0 * (self.current / self.baseline - 1.0) if self.baseline else 0.0
+            return (
+                f"PROFILE REGRESSION  obs/{self.engine}: "
+                f"{self.baseline:g} -> {self.current:g} (+{pct:.0f}%)"
+            )
         return f"MISSING RESULT  {self.instance}/{self.engine}: present in baseline only"
 
 
@@ -526,12 +680,23 @@ def compare_bench(
     baseline: dict,
     current: dict,
     runtime_tolerance: float = 0.25,
+    profile_tolerance: float | None = None,
 ) -> list[Regression]:
     """Diff two bench payloads; returns the regressions (empty = gate passes).
 
     ``runtime_tolerance`` is the allowed fractional slowdown (0.25 =
     +25%).  A runtime flag additionally requires the absolute slowdown
     to reach :data:`MIN_COMPARABLE_SECONDS`.  Cut comparisons are exact.
+
+    ``profile_tolerance`` (off by default) additionally diffs the merged
+    obs *work counters* — passes, moves, gain recomputations — between
+    the payloads.  A counter present in both with a positive baseline is
+    flagged when ``current > baseline * (1 + profile_tolerance)``.  Work
+    counters are wall-clock-noise-free, so this catches algorithmic
+    regressions (a pruning rule silently disabled, a convergence check
+    looping longer) that the runtime gate's timing floor hides on small
+    instances.  Nondeterministic ``runtime.*`` counters (retries, fault
+    injections, scheduling) are excluded.
 
     Failed entries (schema 2: a supervised pair whose worker never
     reported) are handled asymmetrically: a *baseline* failure carries
@@ -541,6 +706,8 @@ def compare_bench(
     """
     if runtime_tolerance < 0:
         raise BenchError("runtime_tolerance must be non-negative")
+    if profile_tolerance is not None and profile_tolerance < 0:
+        raise BenchError("profile_tolerance must be non-negative")
 
     def keyed(payload: dict) -> dict[tuple[str, str], dict]:
         return {(r["instance"], r["engine"]): r for r in payload["results"]}
@@ -567,6 +734,18 @@ def compare_bench(
             and cs > bs * (1.0 + runtime_tolerance)
         ):
             regressions.append(Regression("runtime", instance, engine, bs, cs))
+    if profile_tolerance is not None:
+        b_counters = (baseline.get("obs") or {}).get("counters") or {}
+        c_counters = (current.get("obs") or {}).get("counters") or {}
+        for name in sorted(b_counters):
+            if name.startswith("runtime."):
+                continue
+            b_val = b_counters[name]
+            c_val = c_counters.get(name)
+            if c_val is None or not b_val or b_val <= 0:
+                continue
+            if c_val > b_val * (1.0 + profile_tolerance):
+                regressions.append(Regression("profile", "obs", name, b_val, c_val))
     return regressions
 
 
@@ -580,6 +759,14 @@ def format_compare(
         f"current  : {current.get('label', '?')} "
         f"({len(current['results'])} results)",
     ]
+    # A degraded baseline (retried, fallen-back, or memory-killed
+    # workers) may carry inflated timings or missing pairs — the numbers
+    # compared against are weaker than a clean run's.  Say so instead of
+    # silently treating it as authoritative.
+    for role, payload in (("baseline", baseline), ("current", current)):
+        sup = payload.get("supervision")
+        if sup and sup.get("degraded"):
+            lines.append(f"note: {role} run was degraded ({sup.get('summary')})")
     if regressions:
         lines.append(f"regressions ({len(regressions)}):")
         lines.extend(f"  {r}" for r in regressions)

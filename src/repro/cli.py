@@ -59,6 +59,8 @@ def _check_degraded(degraded: bool, reason: str | None, on_error: str) -> None:
 
 def _cmd_partition(args: argparse.Namespace) -> int:
     h = _load_hypergraph(args.file, args.format)
+    if (args.journal or args.resume) and (args.k > 2 or args.algorithm != "algorithm1"):
+        raise SystemExit("--journal/--resume support algorithm1 bisection only")
     if args.k > 2:
         from repro.core.kway import recursive_bisection
 
@@ -88,6 +90,11 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             print(f"report written     : {args.report}")
         return 0
     if args.algorithm == "algorithm1":
+        parallel = args.parallel
+        if parallel is None and (args.journal or args.resume):
+            # Journaling needs the pre-drawn per-start seed contract;
+            # parallel=1 provides it without any pool overhead.
+            parallel = 1
         result = algorithm1(
             h,
             num_starts=args.starts,
@@ -95,13 +102,17 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             edge_size_threshold=args.threshold,
             weighted_balance=args.weighted_balance,
             balance_tolerance=args.balance_tolerance,
-            parallel=args.parallel,
+            parallel=parallel,
             deadline=args.deadline,
             task_timeout=args.task_timeout,
             max_retries=args.max_retries,
+            journal_path=args.journal,
+            resume_path=args.resume,
         )
         bp = result.bipartition
         _check_degraded(result.degraded, result.degrade_reason, args.on_error)
+        if args.resume:
+            print(f"resumed            : {args.resume}")
         if args.timings:
             for phase in ("filter", "dualize", "cut", "complete", "balance"):
                 print(f"time {phase:<14}: {result.timings.get(phase, 0.0):.4f}s")
@@ -302,13 +313,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 total_deadline_seconds=args.total_deadline,
             )
         regressions = compare_bench(
-            baseline, current, runtime_tolerance=args.runtime_tolerance
+            baseline,
+            current,
+            runtime_tolerance=args.runtime_tolerance,
+            profile_tolerance=args.profile_tolerance if args.profile else None,
         )
         print(format_compare(baseline, current, regressions))
         return 1 if regressions else 0
 
     engines = tuple(args.engines.split(",")) if args.engines else DEFAULT_ENGINES
     scale = "quick" if args.quick else args.scale
+    resume_notes: list[str] = []
     payload = run_bench(
         args.label,
         cases=SUITES[scale],
@@ -321,7 +336,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         task_timeout=args.task_timeout,
         max_retries=args.max_retries,
         total_deadline_seconds=args.total_deadline,
+        journal_path=args.journal,
+        resume_path=args.resume,
+        memory_limit_mb=args.memory_limit,
+        on_resume=lambda replayed, pending: resume_notes.append(
+            f"resume: {replayed} pair(s) replayed, {pending} remaining"
+        ),
     )
+    # Resume progress goes to stderr: --json promises the payload is the
+    # entire stdout, and the payload itself must stay resume-agnostic.
+    for note in resume_notes:
+        print(note, file=sys.stderr)
     if args.json:
         # Machine-only mode: the schema-versioned payload is the entire
         # stdout — no human text to strip before piping into a dashboard.
@@ -424,8 +449,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--parallel",
         type=int,
         default=None,
-        help="fan independent starts across this many worker processes "
-        "(default: sequential; same seed gives the same cut for any worker count)",
+        help="fan independent starts across this many worker processes. "
+        "Default (unset) runs sequentially on the caller's rng stream — "
+        "bit-for-bit the historical behaviour; any --parallel K draws "
+        "per-start child seeds up front, so the cut for a fixed seed is "
+        "identical for every K but intentionally differs from the "
+        "sequential stream (both streams are stable, documented contracts)",
+    )
+    p.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="checkpoint each completed start to an fsynced JSONL journal "
+        "(implies --parallel 1 unless --parallel is given), so a killed "
+        "run can continue via --resume",
+    )
+    p.add_argument(
+        "--resume",
+        metavar="PATH",
+        help="resume a journaled multi-start run: verify the journal's "
+        "settings fingerprint, skip recorded starts, keep journaling to "
+        "the same file",
     )
     p.add_argument(
         "--deadline",
@@ -607,6 +650,29 @@ def build_parser() -> argparse.ArgumentParser:
         "degraded in the payload (leave unset for gate runs)",
     )
     b.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="append each completed (instance, engine) pair to an fsynced "
+        "JSONL journal as it finishes, so a killed run can continue via "
+        "--resume instead of starting over",
+    )
+    b.add_argument(
+        "--resume",
+        metavar="PATH",
+        help="resume a journaled bench run: verify the journal's settings "
+        "fingerprint, replay recorded pairs, run only the missing ones "
+        "(journaling continues to the same file)",
+    )
+    b.add_argument(
+        "--memory-limit",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="per-worker memory budget in MiB (requires --parallel): an "
+        "over-budget pair becomes an explicit failed entry instead of "
+        "letting the host OOM killer take down the run",
+    )
+    b.add_argument(
         "--compare",
         nargs="+",
         metavar="BENCH_JSON",
@@ -619,6 +685,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.25,
         help="allowed fractional runtime slowdown in --compare (0.25 = +25%%; "
         "use a larger value when comparing across machines)",
+    )
+    b.add_argument(
+        "--profile",
+        action="store_true",
+        help="with --compare: also diff the merged obs work counters "
+        "(passes, moves, gain recomputations) — catches algorithmic "
+        "regressions that timing noise hides",
+    )
+    b.add_argument(
+        "--profile-tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional work-counter growth for --profile "
+        "(0.25 = +25%%)",
     )
     b.set_defaults(fn=_cmd_bench)
 

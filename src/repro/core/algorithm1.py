@@ -31,12 +31,21 @@ exact sequential behaviour).
 
 from __future__ import annotations
 
+import hashlib
 import random
 from collections.abc import Hashable
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro import obs
-from repro.runtime import Deadline, SupervisedPool, advance_seed, faults
+from repro.runtime import (
+    Deadline,
+    RunJournal,
+    SupervisedPool,
+    SupervisionReport,
+    advance_seed,
+    faults,
+)
 from repro.core.boundary import BoundaryGraph, boundary_graph
 from repro.core.complete_cut import (
     CompletionResult,
@@ -350,6 +359,64 @@ def _rank_key(
 
 
 # ----------------------------------------------------------------------
+# Multi-start journaling (crash-durable checkpoint/resume; repro.runtime)
+# ----------------------------------------------------------------------
+
+
+def _hypergraph_digest(hypergraph: Hypergraph) -> str:
+    """Order-independent content hash binding a journal to its instance.
+
+    A resumed run must be partitioning the *same* hypergraph the journal
+    was written for — replaying start records against a different
+    instance would silently return a cut of the wrong netlist.
+    """
+    vertices = sorted(
+        (repr(v), hypergraph.vertex_weight(v)) for v in hypergraph.vertices
+    )
+    edges = sorted(
+        (repr(name), sorted(repr(m) for m in members), hypergraph.edge_weight(name))
+        for name, members in hypergraph.edges.items()
+    )
+    blob = repr((vertices, edges)).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _start_value(
+    record: StartRecord, rank: tuple, left, right, child_seed: int
+) -> dict:
+    """JSON-ready journal value for one completed start."""
+    return {
+        "record": {
+            "seed_u": record.seed_u,
+            "seed_v": record.seed_v,
+            "bfs_depth": record.bfs_depth,
+            "boundary_size": record.boundary_size,
+            "num_losers": record.num_losers,
+            "cutsize": record.cutsize,
+            "weight_imbalance": record.weight_imbalance,
+        },
+        "rank": list(rank),
+        "left": sorted(left, key=repr),
+        "right": sorted(right, key=repr),
+        "seed": child_seed,
+    }
+
+
+def _load_start_value(value) -> tuple[StartRecord, tuple, frozenset, frozenset]:
+    """Inverse of :func:`_start_value`; raises on unrecognizable entries."""
+    try:
+        record = StartRecord(**value["record"])
+        return (
+            record,
+            tuple(value["rank"]),
+            frozenset(value["left"]),
+            frozenset(value["right"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise Algorithm1Error(f"journal start entry is malformed: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
 # Parallel multi-start machinery (supervised; see repro.runtime)
 # ----------------------------------------------------------------------
 
@@ -427,6 +494,8 @@ def _run_parallel_starts(
     deadline: Deadline | None,
     task_timeout: float | None,
     max_retries: int,
+    journal: RunJournal | None = None,
+    replayed: dict[int, tuple] | None = None,
 ):
     """Fan ``num_starts`` independent starts across supervised processes.
 
@@ -437,40 +506,72 @@ def _run_parallel_starts(
     hung workers are retried with a deterministic seed advance; starts
     that never complete (deadline, exhausted retries) are simply absent
     from the result, which the caller reports as ``degraded``.
+
+    ``journal`` checkpoints each completed start the moment its worker
+    reports (fsynced, from the parent); ``replayed`` carries the starts
+    an earlier journal already recorded — they are folded into the
+    ranking without being re-run.  All child seeds are still drawn in
+    index order, so the pending starts get the exact seeds the original
+    run would have given them.
     """
     pairs = [(i, (i, rng.getrandbits(63))) for i in range(num_starts)]
-    workers = min(parallel, num_starts)
-
-    _parallel_init(state)
-    try:
-        pool = SupervisedPool(
-            _run_one_start,
-            max_workers=workers,
-            task_timeout=task_timeout,
-            max_retries=max_retries,
-            deadline=deadline,
-            reseed=_reseed_start,
-        )
-        outcomes, report = pool.map(pairs)
-    finally:
-        _PARALLEL_STATE.clear()
+    seeds_by_index = {i: payload[1] for i, payload in pairs}
+    replayed = replayed or {}
+    pending = [p for p in pairs if p[0] not in replayed]
 
     best_pack = None
     records_by_index: dict[int, StartRecord] = {}
     timings = {"cut": 0.0, "complete": 0.0, "balance": 0.0}
-    for outcome in outcomes:
-        if not outcome.ok:
-            continue
-        record, rank, left, right, start_timings, snapshot = outcome.value
-        index = outcome.key
+
+    def absorb(index: int, record: StartRecord, rank, left, right) -> None:
+        nonlocal best_pack
         records_by_index[index] = record
         key = (rank, index)
         if best_pack is None or key < best_pack[0]:
             best_pack = (key, left, right)
-        for phase, dt in start_timings.items():
-            timings[phase] = timings.get(phase, 0.0) + dt
-        if snapshot is not None and obs.is_enabled():
-            obs.registry().merge(snapshot)
+
+    for index in sorted(replayed):
+        absorb(index, *replayed[index])
+
+    if pending:
+        workers = min(parallel, len(pending))
+
+        def on_result(task) -> None:
+            if journal is not None and task.ok:
+                record, rank, left, right, _timings, _snapshot = task.value
+                journal.record(
+                    task.key,
+                    _start_value(record, rank, left, right, seeds_by_index[task.key]),
+                )
+
+        _parallel_init(state)
+        try:
+            pool = SupervisedPool(
+                _run_one_start,
+                max_workers=workers,
+                task_timeout=task_timeout,
+                max_retries=max_retries,
+                deadline=deadline,
+                reseed=_reseed_start,
+                on_result=on_result,
+            )
+            outcomes, report = pool.map(pending)
+        finally:
+            _PARALLEL_STATE.clear()
+
+        for outcome in outcomes:
+            if not outcome.ok:
+                continue
+            record, rank, left, right, start_timings, snapshot = outcome.value
+            absorb(outcome.key, record, rank, left, right)
+            for phase, dt in start_timings.items():
+                timings[phase] = timings.get(phase, 0.0) + dt
+            if snapshot is not None and obs.is_enabled():
+                obs.registry().merge(snapshot)
+    else:
+        workers = 0
+        report = SupervisionReport()
+
     if best_pack is None:
         raise Algorithm1Error(
             "all parallel starts failed: " + ("; ".join(report.errors[:5]) or "unknown")
@@ -494,6 +595,8 @@ def algorithm1(
     deadline: Deadline | float | None = None,
     task_timeout: float | None = None,
     max_retries: int = 2,
+    journal_path: str | Path | None = None,
+    resume_path: str | Path | None = None,
 ) -> Algorithm1Result:
     """Bipartition ``hypergraph`` with Algorithm I.
 
@@ -557,6 +660,19 @@ def algorithm1(
         a deterministic seed advance
         (:func:`repro.runtime.advance_seed`); an exhausted budget falls
         back to one hardened in-process attempt.
+    journal_path:
+        Checkpoint every completed start to an fsynced
+        :class:`repro.runtime.RunJournal`, making a long multi-start run
+        crash-durable.  Requires ``parallel`` (the pre-drawn per-start
+        seed contract — the ``parallel=None`` shared-rng stream cannot
+        skip already-completed starts) and an integer-or-``None`` seed.
+    resume_path:
+        Reopen such a journal: after verifying its settings fingerprint
+        (which binds the journal to this exact hypergraph and
+        configuration), recorded starts are folded in without re-running
+        and only the missing ones execute; journaling continues to the
+        same file.  Replayed starts keep their recorded diagnostics but
+        do not re-contribute per-start timings or obs counters.
 
     Returns
     -------
@@ -572,6 +688,27 @@ def algorithm1(
         raise Algorithm1Error(f"objective must be 'edges' or 'weight', got {objective!r}")
     if parallel is not None and parallel < 1:
         raise Algorithm1Error(f"parallel must be >= 1 or None, got {parallel}")
+    if journal_path is not None or resume_path is not None:
+        if parallel is None:
+            raise Algorithm1Error(
+                "journaling requires parallel (even parallel=1): only the "
+                "pre-drawn per-start seed contract can skip completed starts; "
+                "the parallel=None shared-rng stream cannot"
+            )
+        if isinstance(seed, random.Random):
+            raise Algorithm1Error(
+                "journaling requires an integer (or None) seed: a Random "
+                "instance cannot be fingerprinted for resume verification"
+            )
+        if (
+            journal_path is not None
+            and resume_path is not None
+            and Path(journal_path) != Path(resume_path)
+        ):
+            raise Algorithm1Error(
+                "journal and resume paths differ: a resumed run keeps "
+                "appending to the journal it resumes from"
+            )
     deadline = Deadline.coerce(deadline)
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
 
@@ -601,8 +738,40 @@ def algorithm1(
     obs.gauge("algorithm1.dual_nodes", intersection.num_nodes)
     obs.gauge("algorithm1.dual_edges", intersection.num_edges)
 
+    # Open the journal before the deterministic early returns (edgeless
+    # instance, balanced component packing): those paths never record a
+    # start, but the header-only journal they leave behind still resumes
+    # — the fingerprint check runs and the run recomputes, so a user who
+    # asked for --journal always gets a resumable artifact.
+    journal: RunJournal | None = None
+    replayed: dict[int, tuple] = {}
+    if journal_path is not None or resume_path is not None:
+        journal_settings = {
+            "task": "partition",
+            "hypergraph": _hypergraph_digest(hypergraph),
+            "num_starts": num_starts,
+            "seed": seed,
+            "edge_size_threshold": edge_size_threshold,
+            "variant": variant,
+            "weighted_balance": weighted_balance,
+            "double_sweep": double_sweep,
+            "balance_tolerance": balance_tolerance,
+            "bfs_mode": bfs_mode,
+            "objective": objective,
+        }
+        if resume_path is not None:
+            journal, recorded = RunJournal.resume(
+                resume_path, "partition", journal_settings
+            )
+            for key, value in recorded:
+                replayed[int(key)] = _load_start_value(value)
+        else:
+            journal = RunJournal.create(journal_path, "partition", journal_settings)
+
     if intersection.num_nodes == 0:
         # Edgeless hypergraph: any balanced split is optimal (cutsize 0).
+        if journal is not None:
+            journal.close()
         with timer.phase("balance"):
             left: set[Vertex] = set()
             right: set[Vertex] = set()
@@ -647,6 +816,8 @@ def algorithm1(
             bipartition = _pack_components(hypergraph, working, components, rng)
         packing_limit = balance_tolerance if balance_tolerance is not None else 0.25
         if bipartition.weight_imbalance / total_weight <= packing_limit:
+            if journal is not None:
+                journal.close()
             obs.count("algorithm1.component_packings")
             record = StartRecord(
                 seed_u=None,
@@ -666,78 +837,97 @@ def algorithm1(
                 counters=counters,
             )
 
-    if parallel is not None and num_starts > 1 and parallel > 1:
-        state = {
-            "intersection": intersection,
-            "original": hypergraph,
-            "variant": variant,
-            "weighted_balance": weighted_balance,
-            "double_sweep": double_sweep,
-            "bfs_mode": bfs_mode,
-            "objective": objective,
-            "balance_tolerance": balance_tolerance,
-            "total_weight": total_weight,
-            "obs_enabled": obs.is_enabled(),
-        }
-        (best_left, best_right), records, start_timings, workers, report = (
-            _run_parallel_starts(
-                state, num_starts, parallel, rng, deadline, task_timeout, max_retries
+    try:
+        if parallel is not None and num_starts > 1 and parallel > 1:
+            state = {
+                "intersection": intersection,
+                "original": hypergraph,
+                "variant": variant,
+                "weighted_balance": weighted_balance,
+                "double_sweep": double_sweep,
+                "bfs_mode": bfs_mode,
+                "objective": objective,
+                "balance_tolerance": balance_tolerance,
+                "total_weight": total_weight,
+                "obs_enabled": obs.is_enabled(),
+            }
+            (best_left, best_right), records, start_timings, workers, report = (
+                _run_parallel_starts(
+                    state,
+                    num_starts,
+                    parallel,
+                    rng,
+                    deadline,
+                    task_timeout,
+                    max_retries,
+                    journal=journal,
+                    replayed=replayed,
+                )
             )
-        )
-        for phase, dt in start_timings.items():
-            timings[phase] = timings.get(phase, 0.0) + dt
-        counters["num_starts"] = len(records)
-        counters["parallel_workers"] = workers
-        obs.count("algorithm1.starts", len(records))
-        obs.gauge("algorithm1.parallel_workers", workers)
-        degraded = report.degraded or len(records) < num_starts
-        best = Bipartition(hypergraph, best_left, best_right)
-        return Algorithm1Result(
-            bipartition=best,
-            ignored_edges=ignored,
-            starts=tuple(records),
-            intersection=intersection,
-            timings=timings,
-            counters=counters,
-            degraded=degraded,
-            degrade_reason=(
-                f"{report.summary()} ({len(records)}/{num_starts} starts completed)"
-                if degraded
-                else None
-            ),
-        )
-    if parallel is not None:
-        # parallel=1 (or a single start): same seed contract as parallel
-        # runs — child seeds drawn up front — without any pool overhead.
-        child_seeds = [rng.getrandbits(63) for _ in range(num_starts)]
-        start_rngs = [random.Random(s) for s in child_seeds]
-    else:
-        start_rngs = [rng] * num_starts
+            for phase, dt in start_timings.items():
+                timings[phase] = timings.get(phase, 0.0) + dt
+            counters["num_starts"] = len(records)
+            counters["parallel_workers"] = workers
+            obs.count("algorithm1.starts", len(records))
+            obs.gauge("algorithm1.parallel_workers", workers)
+            degraded = report.degraded or len(records) < num_starts
+            best = Bipartition(hypergraph, best_left, best_right)
+            return Algorithm1Result(
+                bipartition=best,
+                ignored_edges=ignored,
+                starts=tuple(records),
+                intersection=intersection,
+                timings=timings,
+                counters=counters,
+                degraded=degraded,
+                degrade_reason=(
+                    f"{report.summary()} ({len(records)}/{num_starts} starts completed)"
+                    if degraded
+                    else None
+                ),
+            )
+        if parallel is not None:
+            # parallel=1 (or a single start): same seed contract as parallel
+            # runs — child seeds drawn up front — without any pool overhead.
+            child_seeds = [rng.getrandbits(63) for _ in range(num_starts)]
+            start_rngs = [random.Random(s) for s in child_seeds]
+        else:
+            child_seeds = []
+            start_rngs = [rng] * num_starts
 
-    best: Bipartition | None = None
-    best_key: tuple | None = None
-    records = []
-    degrade_reason: str | None = None
-    for index in range(num_starts):
-        # Cooperative checkpoint: at least one start always runs, so a
-        # best-so-far cut exists even for an already-expired budget.
-        if index > 0 and deadline is not None and deadline.expired():
-            degrade_reason = f"deadline expired after {index}/{num_starts} starts"
-            obs.count("algorithm1.deadline_stops")
-            break
-        faults.inject("algorithm1.start")
-        trace = run_single_start(
-            intersection,
-            hypergraph,
-            start_rngs[index],
-            variant=variant,
-            weighted_balance=weighted_balance,
-            double_sweep=double_sweep,
-            bfs_mode=bfs_mode,
-        )
-        bp = trace.bipartition
-        records.append(
-            StartRecord(
+        best: Bipartition | None = None
+        best_key: tuple | None = None
+        records = []
+        degrade_reason: str | None = None
+        for index in range(num_starts):
+            if index in replayed:
+                # Journal replay: fold in the recorded start without
+                # re-running it (the Bipartition is rebuilt only if it
+                # wins, to re-evaluate against the original hypergraph).
+                record, rank, left, right = replayed[index]
+                records.append(record)
+                if best_key is None or rank < best_key:
+                    best = Bipartition(hypergraph, set(left), set(right))
+                    best_key = rank
+                continue
+            # Cooperative checkpoint: at least one start always runs, so a
+            # best-so-far cut exists even for an already-expired budget.
+            if index > 0 and deadline is not None and deadline.expired():
+                degrade_reason = f"deadline expired after {index}/{num_starts} starts"
+                obs.count("algorithm1.deadline_stops")
+                break
+            faults.inject("algorithm1.start")
+            trace = run_single_start(
+                intersection,
+                hypergraph,
+                start_rngs[index],
+                variant=variant,
+                weighted_balance=weighted_balance,
+                double_sweep=double_sweep,
+                bfs_mode=bfs_mode,
+            )
+            bp = trace.bipartition
+            record = StartRecord(
                 seed_u=trace.cut.seed_u,
                 seed_v=trace.cut.seed_v,
                 bfs_depth=trace.bfs_depth,
@@ -746,23 +936,30 @@ def algorithm1(
                 cutsize=bp.cutsize,
                 weight_imbalance=bp.weight_imbalance,
             )
-        )
-        for phase, dt in trace.timings.items():
-            timings[phase] += dt
-        key = _rank_key(bp, objective, balance_tolerance, total_weight)
-        if best_key is None or key < best_key:
-            best, best_key = bp, key
+            records.append(record)
+            for phase, dt in trace.timings.items():
+                timings[phase] += dt
+            key = _rank_key(bp, objective, balance_tolerance, total_weight)
+            if journal is not None:
+                journal.record(
+                    index, _start_value(record, key, bp.left, bp.right, child_seeds[index])
+                )
+            if best_key is None or key < best_key:
+                best, best_key = bp, key
 
-    assert best is not None
-    counters["num_starts"] = len(records)
-    obs.count("algorithm1.starts", len(records))
-    return Algorithm1Result(
-        bipartition=best,
-        ignored_edges=ignored,
-        starts=tuple(records),
-        intersection=intersection,
-        timings=timings,
-        counters=counters,
-        degraded=degrade_reason is not None,
-        degrade_reason=degrade_reason,
-    )
+        assert best is not None
+        counters["num_starts"] = len(records)
+        obs.count("algorithm1.starts", len(records))
+        return Algorithm1Result(
+            bipartition=best,
+            ignored_edges=ignored,
+            starts=tuple(records),
+            intersection=intersection,
+            timings=timings,
+            counters=counters,
+            degraded=degrade_reason is not None,
+            degrade_reason=degrade_reason,
+        )
+    finally:
+        if journal is not None:
+            journal.close()

@@ -13,6 +13,9 @@ crash     ``os._exit(70)`` — the process dies without cleanup
 kill      ``SIGKILL`` the process — not even ``finally`` runs
 hang      sleep ``seconds`` (default 3600) — simulates a stuck worker
 slow      sleep ``seconds`` (default 0.05) — simulates a slow worker
+oom       raise ``MemoryError`` — simulates an over-budget allocation
+          without actually ballooning the host (inside a supervised
+          worker it drives the typed memory-budget failure path)
 ========  ==========================================================
 
 Plans come from :func:`configure` or the ``REPRO_FAULTS`` environment
@@ -59,7 +62,7 @@ __all__ = [
     "suppressed",
 ]
 
-MODES = ("error", "crash", "kill", "hang", "slow")
+MODES = ("error", "crash", "kill", "hang", "slow", "oom")
 
 _DEFAULT_SECONDS = {"hang": 3600.0, "slow": 0.05}
 
@@ -193,6 +196,10 @@ def inject(site: str) -> None:
         obs.count(f"runtime.faults.{rule.mode}")
         if rule.mode == "error":
             raise FaultInjected(site)
+        if rule.mode == "oom":
+            # MemoryError, not FaultInjected: the point is to exercise
+            # the same handler an over-budget allocation reaches.
+            raise MemoryError(f"injected oom at {site!r}")
         if rule.mode == "crash":
             os._exit(70)
         if rule.mode == "kill":

@@ -1,0 +1,282 @@
+"""Append-only run journals: crash-durable checkpoint/resume for long runs.
+
+A long bench sweep or 50-start Algorithm I run loses *everything* when
+the orchestrating process is killed — every completed (instance, engine)
+pair, every finished start.  A :class:`RunJournal` makes those runs
+resumable: each completed unit of work is appended to a JSONL file and
+fsynced **before** the run moves on, so after a SIGKILL the journal
+holds exactly the work that finished, and a ``--resume`` run replays it
+instead of recomputing.
+
+File format (one JSON object per line)::
+
+    {"journal": 1, "task": "bench", "fingerprint": "<sha256>", "settings": {...}}
+    {"key": ["planted300", "fm"], "value": {...}}
+    {"key": ["planted300", "kl"], "value": {...}}
+
+* The **header** carries a fingerprint — a SHA-256 over the
+  canonicalized *result-affecting* settings (seed, starts, cases,
+  engines, ... — never worker counts or timeouts, which cannot change a
+  deterministic result).  Resume refuses a journal whose fingerprint
+  does not match the current invocation: replaying records produced
+  under different settings would silently fabricate a payload no real
+  run could produce.
+* **Appends are fsynced per record** (``write`` + ``flush`` +
+  ``os.fsync``), so a crash loses at most the record being written.
+* **A truncated final line is tolerated**: the one partial record a
+  mid-``write`` crash can leave is detected, dropped, and truncated
+  away on resume, and the journal is then appended to from the last
+  durable record.  A malformed line anywhere *else* is corruption and
+  raises.
+
+Errors extend the typed, context-carrying style of
+:class:`repro.io.errors.ParseError` (PR 3): :class:`JournalError` is a
+``ValueError`` with subclasses per failure class, each message carrying
+the journal path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "JournalError",
+    "JournalFingerprintError",
+    "JournalFormatError",
+    "RunJournal",
+    "settings_fingerprint",
+]
+
+#: Bumped when the on-disk record shapes change incompatibly; resume
+#: refuses a journal written by a different journal schema.
+JOURNAL_SCHEMA_VERSION = 1
+
+
+class JournalError(ValueError):
+    """Base class for run-journal failures (a ``ValueError``, like ParseError).
+
+    Attributes
+    ----------
+    message:
+        The bare problem description (no location prefix).
+    path:
+        The journal file involved, when known.
+    """
+
+    def __init__(self, message: str, *, path: str | os.PathLike | None = None) -> None:
+        self.message = message
+        self.path = str(path) if path is not None else None
+        prefix = f"{self.path}: " if self.path is not None else ""
+        super().__init__(prefix + message)
+
+
+class JournalFormatError(JournalError):
+    """The journal file is malformed beyond the tolerated truncated tail."""
+
+
+class JournalFingerprintError(JournalError):
+    """The journal was written under different result-affecting settings."""
+
+
+def settings_fingerprint(settings: dict) -> str:
+    """SHA-256 over the canonical JSON form of a settings dict.
+
+    ``settings`` must be JSON-serializable; keys are sorted so dict
+    construction order cannot change the fingerprint.
+    """
+    try:
+        canonical = json.dumps(settings, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise JournalError(f"settings are not JSON-serializable: {exc}") from exc
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _encode_line(obj: dict) -> bytes:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+class RunJournal:
+    """An open, append-only run journal.
+
+    Use :meth:`create` for a fresh run and :meth:`resume` to reopen an
+    interrupted one; both return a journal ready for :meth:`record`
+    calls.  The journal owns its file handle — :meth:`close` it (or use
+    it as a context manager) when the run ends.
+    """
+
+    def __init__(self, path: Path, fh, task: str, fingerprint: str) -> None:
+        self.path = path
+        self._fh = fh
+        self.task = task
+        self.fingerprint = fingerprint
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    @classmethod
+    def create(cls, path: str | os.PathLike, task: str, settings: dict) -> "RunJournal":
+        """Start a fresh journal at ``path`` (truncating any existing file)."""
+        path = Path(path)
+        fingerprint = settings_fingerprint(settings)
+        header = {
+            "journal": JOURNAL_SCHEMA_VERSION,
+            "task": task,
+            "fingerprint": fingerprint,
+            "settings": settings,
+        }
+        try:
+            fh = open(path, "wb")
+            fh.write(_encode_line(header))
+            fh.flush()
+            os.fsync(fh.fileno())
+        except OSError as exc:
+            raise JournalError(f"cannot create journal: {exc}", path=path) from exc
+        return cls(path, fh, task, fingerprint)
+
+    @classmethod
+    def resume(
+        cls, path: str | os.PathLike, task: str, settings: dict
+    ) -> tuple["RunJournal", list[tuple[Any, Any]]]:
+        """Reopen ``path`` for appending; returns ``(journal, records)``.
+
+        Verifies the header fingerprint against ``settings`` (raising
+        :class:`JournalFingerprintError` on mismatch), drops and
+        truncates away a partial final line if the writing process died
+        mid-append, and returns the durable ``(key, value)`` records in
+        append order.
+        """
+        path = Path(path)
+        fingerprint = settings_fingerprint(settings)
+        header, records, valid_bytes = cls._read(path)
+        if header.get("journal") != JOURNAL_SCHEMA_VERSION:
+            raise JournalFormatError(
+                f"journal schema {header.get('journal')!r} is not "
+                f"{JOURNAL_SCHEMA_VERSION} (written by an incompatible version)",
+                path=path,
+            )
+        if header.get("task") != task:
+            raise JournalFingerprintError(
+                f"journal records a {header.get('task')!r} run, not {task!r}",
+                path=path,
+            )
+        if header.get("fingerprint") != fingerprint:
+            changed = _settings_diff(header.get("settings"), settings)
+            raise JournalFingerprintError(
+                "journal settings fingerprint mismatch "
+                f"({header.get('fingerprint')} != {fingerprint}); resuming would "
+                "replay records from a different run"
+                + (f" — differing settings: {changed}" if changed else ""),
+                path=path,
+            )
+        try:
+            fh = open(path, "r+b")
+            fh.truncate(valid_bytes)  # drop the partial tail before appending
+            fh.seek(valid_bytes)
+        except OSError as exc:
+            raise JournalError(f"cannot reopen journal: {exc}", path=path) from exc
+        return cls(path, fh, task, fingerprint), records
+
+    @staticmethod
+    def _read(path: Path) -> tuple[dict, list[tuple[Any, Any]], int]:
+        """Parse ``path``; returns ``(header, records, durable_byte_count)``.
+
+        The final line is allowed to be truncated/corrupt (it is simply
+        not counted as durable); any earlier malformed line raises
+        :class:`JournalFormatError` with its 1-based line number.
+        """
+        try:
+            raw = path.read_bytes()
+        except OSError as exc:
+            raise JournalError(f"cannot read journal: {exc}", path=path) from exc
+        if not raw:
+            raise JournalFormatError("empty journal (no header line)", path=path)
+
+        header: dict | None = None
+        records: list[tuple[Any, Any]] = []
+        offset = 0
+        lineno = 0
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            final = newline < 0
+            end = len(raw) if final else newline
+            line = raw[offset:end]
+            lineno += 1
+            try:
+                obj = json.loads(line)
+                if not isinstance(obj, dict):
+                    raise ValueError("journal lines must be JSON objects")
+            except ValueError as exc:
+                if final or newline == len(raw) - 1:
+                    # The last line (with or without its newline) is the
+                    # one record a mid-append crash can corrupt: drop it.
+                    break
+                raise JournalFormatError(
+                    f"line {lineno}: malformed journal record: {exc}", path=path
+                ) from exc
+            if header is None:
+                if "journal" not in obj:
+                    raise JournalFormatError(
+                        "line 1: first line is not a journal header", path=path
+                    )
+                header = obj
+            elif "key" not in obj:
+                raise JournalFormatError(
+                    f"line {lineno}: record without a 'key' field", path=path
+                )
+            else:
+                records.append((obj["key"], obj.get("value")))
+            offset = end + 1  # durable through this line's newline
+
+        if header is None:
+            raise JournalFormatError(
+                "no durable header line (journal truncated at birth)", path=path
+            )
+        return header, records, min(offset, len(raw))
+
+    # ------------------------------------------------------------------
+    # Appending
+
+    def record(self, key: Any, value: Any) -> None:
+        """Append one ``(key, value)`` record durably (write+flush+fsync)."""
+        try:
+            line = _encode_line({"key": key, "value": value})
+        except (TypeError, ValueError) as exc:
+            raise JournalError(
+                f"record for key {key!r} is not JSON-serializable: {exc}",
+                path=self.path,
+            ) from exc
+        try:
+            self._fh.write(line)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        except OSError as exc:  # pragma: no cover - disk-level failures
+            raise JournalError(f"cannot append record: {exc}", path=self.path) from exc
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _settings_diff(recorded: Any, current: dict) -> str:
+    """Human-readable list of top-level settings keys that differ."""
+    if not isinstance(recorded, dict):
+        return ""
+    keys = sorted(set(recorded) | set(current))
+    changed = [
+        f"{k}: {recorded.get(k)!r} -> {current.get(k)!r}"
+        for k in keys
+        if recorded.get(k) != current.get(k)
+    ]
+    return "; ".join(changed)

@@ -14,6 +14,14 @@ per task, so the supervisor can:
   under an executor) and retry with a **deterministic seed advance**, so
   a retry explores a fresh rng stream but reruns are reproducible;
 * stop launching at a **deadline** and report what finished;
+* enforce a **per-worker memory budget** (``memory_limit_bytes``) — the
+  child caps its own address space with ``RLIMIT_AS`` and converts the
+  resulting ``MemoryError`` into a typed over-budget failure, while the
+  supervisor polls ``/proc/<pid>/status`` RSS and SIGTERMs workers whose
+  resident set exceeds the budget.  Over-budget tasks fail *terminally*:
+  the allocation pattern is deterministic, so a retry would fail the
+  same way, and an in-process rerun would OOM the parent — exactly the
+  outcome the budget exists to prevent;
 * **fall back to sequential** in-process execution — per task once its
   retry budget is exhausted, or wholesale when processes cannot be
   forked at all — with fault injection suppressed, so chaos cannot chase
@@ -21,7 +29,10 @@ per task, so the supervisor can:
 
 Tasks are ``(key, payload)`` pairs; results come back as
 :class:`TaskResult` records plus a :class:`SupervisionReport` the caller
-folds into its ``degraded`` contract.  Everything is recorded through
+folds into its ``degraded`` contract.  An ``on_result`` callback fires
+in the parent the moment each task reaches its final state — the hook
+crash-durable journals (:mod:`repro.runtime.journal`) use to checkpoint
+completed work before the run moves on.  Everything is recorded through
 ``repro.obs`` under ``runtime.supervisor.*``.
 
 The pool requires the ``fork`` start method (payloads and shared state
@@ -40,7 +51,7 @@ from multiprocessing.connection import Connection, wait as _wait_connections
 from typing import Any, Callable
 
 from repro import obs
-from repro.runtime import faults
+from repro.runtime import faults, memory
 from repro.runtime.deadline import Deadline
 
 __all__ = [
@@ -88,6 +99,8 @@ class SupervisionReport:
     hangs: int = 0
     retries: int = 0
     sequential_fallbacks: int = 0
+    memory_kills: int = 0
+    peak_rss_bytes: int = 0
     deadline_expired: bool = False
     errors: list[str] = field(default_factory=list)
 
@@ -100,6 +113,7 @@ class SupervisionReport:
             or self.hangs
             or self.retries
             or self.sequential_fallbacks
+            or self.memory_kills
             or self.deadline_expired
         )
 
@@ -111,6 +125,8 @@ class SupervisionReport:
             parts.append(f"{self.crashes} worker crash(es)")
         if self.hangs:
             parts.append(f"{self.hangs} hung worker(s)")
+        if self.memory_kills:
+            parts.append(f"{self.memory_kills} over-memory-budget worker(s)")
         if self.retries:
             parts.append(f"{self.retries} retried task(s)")
         if self.sequential_fallbacks:
@@ -128,13 +144,35 @@ class _Running:
     payload: Any
     attempt: int
     started: float
+    peak_rss: int = 0
 
 
-def _child_entry(conn: Connection, worker: Callable, payload: Any) -> None:
-    """Worker-side wrapper: report a value or a typed error, then exit."""
+def _child_entry(
+    conn: Connection,
+    worker: Callable,
+    payload: Any,
+    memory_limit_bytes: int | None = None,
+) -> None:
+    """Worker-side wrapper: report a value or a typed error, then exit.
+
+    With a memory budget the child caps its own address space first, so
+    an over-budget allocation surfaces here as ``MemoryError`` and is
+    reported as a *typed* over-budget failure (``"memory"`` status) —
+    distinguishable from ordinary crashes because the supervisor must
+    neither retry it nor rerun it in the parent process.
+    """
+    if memory_limit_bytes is not None:
+        memory.apply_address_space_limit(memory_limit_bytes)
     try:
         value = worker(payload)
         message = ("ok", value)
+    except MemoryError as exc:
+        budget = (
+            f"the {memory.format_bytes(memory_limit_bytes)} memory budget"
+            if memory_limit_bytes is not None
+            else "available memory"
+        )
+        message = ("memory", f"worker exceeded {budget}: {type(exc).__name__}: {exc}")
     except BaseException as exc:  # noqa: BLE001 - the whole point is to report it
         message = ("error", f"{type(exc).__name__}: {exc}")
     try:
@@ -172,9 +210,21 @@ class SupervisedPool:
         passing the payload through unchanged.  Callers whose payloads
         embed rng seeds should derive the new seed with
         :func:`advance_seed`.
+    memory_limit_bytes:
+        Per-worker memory budget.  Applied as ``RLIMIT_AS`` inside the
+        forked child (over-budget allocations fail there as a typed
+        task failure) and enforced from the parent by polling worker
+        RSS (over-budget workers are SIGTERMed).  Over-budget tasks are
+        never retried and never rerun in-process.  ``None`` disables
+        governance; peak RSS is still tracked where ``/proc`` exists.
+    on_result:
+        ``on_result(task_result)`` invoked in the parent the moment a
+        task reaches its *final* :class:`TaskResult` (retries do not
+        fire it).  Journaling callers checkpoint completed work here;
+        exceptions from the callback propagate and abort the map.
     poll_interval:
-        Supervisor wake-up granularity (also the hang/deadline detection
-        latency bound).
+        Supervisor wake-up granularity (also the hang/deadline/memory
+        detection latency bound).
     """
 
     def __init__(
@@ -186,6 +236,8 @@ class SupervisedPool:
         max_retries: int = 2,
         deadline: Deadline | None = None,
         reseed: Callable[[Any, int], Any] | None = None,
+        memory_limit_bytes: int | None = None,
+        on_result: Callable[[TaskResult], None] | None = None,
         poll_interval: float = 0.02,
     ) -> None:
         if max_workers < 1:
@@ -194,12 +246,18 @@ class SupervisedPool:
             raise ValueError(f"max_retries must be non-negative, got {max_retries}")
         if task_timeout is not None and task_timeout <= 0:
             raise ValueError(f"task_timeout must be positive, got {task_timeout}")
+        if memory_limit_bytes is not None and memory_limit_bytes <= 0:
+            raise ValueError(
+                f"memory_limit_bytes must be positive, got {memory_limit_bytes}"
+            )
         self.worker = worker
         self.max_workers = max_workers
         self.task_timeout = task_timeout
         self.max_retries = max_retries
         self.deadline = deadline
         self.reseed = reseed or (lambda payload, attempt: payload)
+        self.memory_limit_bytes = memory_limit_bytes
+        self.on_result = on_result
         self.poll_interval = poll_interval
 
     # ------------------------------------------------------------------
@@ -218,15 +276,25 @@ class SupervisedPool:
                 report.sequential_fallbacks += len(tasks)
                 obs.count("runtime.supervisor.sequential_fallbacks", len(tasks))
                 for key, payload in tasks:
-                    results[key] = self._run_sequential(key, payload, 0, report)
+                    self._finish(results, self._run_sequential(key, payload, 0, report))
             else:
                 self._run_supervised(ctx, tasks, results, report)
 
         obs.count("runtime.supervisor.tasks", len(tasks))
+        if report.peak_rss_bytes:
+            obs.gauge("runtime.worker.peak_rss", report.peak_rss_bytes)
         ordered = [results[key] for key, _ in tasks]
         report.completed = sum(1 for r in ordered if r.ok)
         report.failed = len(ordered) - report.completed
         return ordered, report
+
+    # ------------------------------------------------------------------
+
+    def _finish(self, results: dict[Any, TaskResult], result: TaskResult) -> None:
+        """Commit a task's final state and fire the ``on_result`` checkpoint."""
+        results[result.key] = result
+        if self.on_result is not None:
+            self.on_result(result)
 
     # ------------------------------------------------------------------
 
@@ -254,13 +322,30 @@ class SupervisedPool:
             elif hung:
                 # Never rerun a hung task in-process: the parent cannot
                 # SIGTERM itself, so an in-process hang would be unbounded.
-                results[rec.key] = TaskResult(key=rec.key, attempts=next_attempt, error=reason)
+                self._finish(
+                    results, TaskResult(key=rec.key, attempts=next_attempt, error=reason)
+                )
             else:
                 # Retry budget exhausted (or no time to retry in a fresh
                 # process): one hardened in-process attempt, then give up.
-                results[rec.key] = self._run_sequential(
-                    rec.key, rec.payload, next_attempt, report, prior_error=reason
+                self._finish(
+                    results,
+                    self._run_sequential(
+                        rec.key, rec.payload, next_attempt, report, prior_error=reason
+                    ),
                 )
+
+        def handle_memory_failure(rec: _Running, reason: str) -> None:
+            # Terminal by design: the allocation pattern is deterministic
+            # (a retry fails identically) and an in-process rerun would
+            # put the over-budget allocation in the *parent* — the one
+            # process the budget exists to protect.
+            report.memory_kills += 1
+            report.errors.append(reason)
+            obs.count("runtime.supervisor.memory_kills")
+            self._finish(
+                results, TaskResult(key=rec.key, attempts=rec.attempt + 1, error=reason)
+            )
 
         while queue or running:
             if deadline is not None and deadline.expired():
@@ -269,15 +354,23 @@ class SupervisedPool:
                 for rec in running.values():
                     rec.process.terminate()
                     reap(rec)
-                    results[rec.key] = TaskResult(
-                        key=rec.key,
-                        attempts=rec.attempt + 1,
-                        error="deadline expired mid-execution",
+                    self._finish(
+                        results,
+                        TaskResult(
+                            key=rec.key,
+                            attempts=rec.attempt + 1,
+                            error="deadline expired mid-execution",
+                        ),
                     )
                 running.clear()
                 for key, _payload, attempt in queue:
-                    results[key] = TaskResult(
-                        key=key, attempts=attempt, error="deadline expired before execution"
+                    self._finish(
+                        results,
+                        TaskResult(
+                            key=key,
+                            attempts=attempt,
+                            error="deadline expired before execution",
+                        ),
                     )
                 queue.clear()
                 break
@@ -287,7 +380,8 @@ class SupervisedPool:
                 try:
                     parent_conn, child_conn = ctx.Pipe(duplex=False)
                     process = ctx.Process(
-                        target=_child_entry, args=(child_conn, self.worker, payload)
+                        target=_child_entry,
+                        args=(child_conn, self.worker, payload, self.memory_limit_bytes),
                     )
                     process.start()
                     child_conn.close()
@@ -295,8 +389,12 @@ class SupervisedPool:
                     # Cannot fork at all (fd/process limits): the pool is
                     # effectively broken — run this task sequentially.
                     obs.count("runtime.supervisor.spawn_failures")
-                    results[key] = self._run_sequential(
-                        key, payload, attempt, report, prior_error=f"spawn failed: {exc}"
+                    self._finish(
+                        results,
+                        self._run_sequential(
+                            key, payload, attempt, report,
+                            prior_error=f"spawn failed: {exc}",
+                        ),
                     )
                     continue
                 running[parent_conn] = _Running(
@@ -319,9 +417,14 @@ class SupervisedPool:
                     status, value = None, None
                 reap(rec)
                 if status == "ok":
-                    results[rec.key] = TaskResult(
-                        key=rec.key, value=value, ok=True, attempts=rec.attempt + 1
+                    self._finish(
+                        results,
+                        TaskResult(
+                            key=rec.key, value=value, ok=True, attempts=rec.attempt + 1
+                        ),
                     )
+                elif status == "memory":
+                    handle_memory_failure(rec, str(value))
                 elif status == "error":
                     report.crashes += 1
                     report.errors.append(str(value))
@@ -348,6 +451,34 @@ class SupervisedPool:
                     report.errors.append(reason)
                     obs.count("runtime.supervisor.hangs")
                     handle_failure(rec, reason, hung=True)
+
+            if memory.rss_supported():
+                # Track peak RSS for the report, and — with a budget —
+                # SIGTERM workers whose *resident* set exceeds it (the
+                # parent-side backstop; RLIMIT_AS inside the child
+                # cannot see lazily-touched mappings grow).
+                over_budget = []
+                for conn, rec in running.items():
+                    rss = memory.rss_bytes(rec.process.pid)
+                    if rss is None:
+                        continue
+                    rec.peak_rss = max(rec.peak_rss, rss)
+                    report.peak_rss_bytes = max(report.peak_rss_bytes, rss)
+                    if (
+                        self.memory_limit_bytes is not None
+                        and rss > self.memory_limit_bytes
+                    ):
+                        over_budget.append(conn)
+                for conn in over_budget:
+                    rec = running.pop(conn)
+                    rec.process.terminate()
+                    reap(rec)
+                    reason = (
+                        f"worker RSS {memory.format_bytes(rec.peak_rss)} exceeded "
+                        f"the {memory.format_bytes(self.memory_limit_bytes)} "
+                        "memory budget"
+                    )
+                    handle_memory_failure(rec, reason)
 
     # ------------------------------------------------------------------
 

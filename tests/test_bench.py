@@ -352,6 +352,71 @@ class TestCompare:
         report = format_compare(baseline, current, regs)
         assert "regressions (1):" in report and "a/fm" in report
 
+    def test_format_compare_notes_degraded_baseline(self):
+        baseline = _fake_payload(
+            supervision={"degraded": True, "summary": "1 crashed worker(s)"}
+        )
+        current = _fake_payload(label="cur")
+        report = format_compare(baseline, current, [])
+        assert "note: baseline run was degraded (1 crashed worker(s))" in report
+        # A clean supervision block stays silent.
+        baseline["supervision"] = {"degraded": False, "summary": "clean"}
+        assert "note:" not in format_compare(baseline, current, [])
+
+
+def _profiled_payload(counters, **overrides):
+    return _fake_payload(obs={"counters": counters, "gauges": {}}, **overrides)
+
+
+class TestProfileCompare:
+    BASE = {"fm.passes": 100, "fm.moves": 4000, "runtime.supervisor.retries": 1}
+
+    def test_profile_diff_is_off_by_default(self):
+        baseline = _profiled_payload(self.BASE)
+        current = _profiled_payload({**self.BASE, "fm.moves": 40000})
+        assert compare_bench(baseline, current) == []
+
+    def test_work_counter_growth_beyond_tolerance_is_flagged(self):
+        baseline = _profiled_payload(self.BASE)
+        current = _profiled_payload({**self.BASE, "fm.moves": 6000})  # +50%
+        regs = compare_bench(baseline, current, profile_tolerance=0.25)
+        assert len(regs) == 1
+        assert (regs[0].kind, regs[0].engine) == ("profile", "fm.moves")
+        assert "PROFILE REGRESSION" in str(regs[0])
+        assert "obs/fm.moves" in str(regs[0])
+
+    def test_growth_within_tolerance_passes(self):
+        baseline = _profiled_payload(self.BASE)
+        current = _profiled_payload({**self.BASE, "fm.moves": 4800})  # +20%
+        assert compare_bench(baseline, current, profile_tolerance=0.25) == []
+
+    def test_runtime_counters_are_excluded(self):
+        # Supervisor counters (retries, fault injections) are scheduling
+        # noise, not algorithmic work — never flagged.
+        baseline = _profiled_payload(self.BASE)
+        current = _profiled_payload(
+            {**self.BASE, "runtime.supervisor.retries": 500}
+        )
+        assert compare_bench(baseline, current, profile_tolerance=0.0) == []
+
+    def test_counters_missing_from_current_are_skipped(self):
+        baseline = _profiled_payload(self.BASE)
+        current = _profiled_payload({"fm.passes": 100})
+        assert compare_bench(baseline, current, profile_tolerance=0.25) == []
+
+    def test_payloads_without_obs_are_tolerated(self):
+        assert (
+            compare_bench(_fake_payload(), _fake_payload(), profile_tolerance=0.25)
+            == []
+        )
+
+    def test_negative_profile_tolerance_rejected(self):
+        with pytest.raises(BenchError, match="profile_tolerance"):
+            compare_bench(_fake_payload(), _fake_payload(), profile_tolerance=-0.1)
+
+    def test_real_payload_self_compare_passes_profile(self, payload):
+        assert compare_bench(payload, payload, profile_tolerance=0.0) == []
+
 
 class TestCli:
     def test_bench_run_writes_file(self, tmp_path, capsys):

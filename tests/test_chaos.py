@@ -288,3 +288,90 @@ class TestBenchChaos:
         assert sup["crashes"] >= 1
         assert sup["sequential_fallbacks"] >= 1
         assert sup["degraded"] is True
+
+
+# ----------------------------------------------------------------------
+# Memory-budget chaos: oom faults at the worker sites.  Keep "oom" in
+# every test name — the CI chaos matrix splits on `-k oom`.
+
+
+class TestOomChaos:
+    def test_oom_in_half_the_bench_workers_completes_the_run(self):
+        from repro.bench import QUICK_SUITE, run_bench
+
+        faults.configure("bench.pair=oom:0.5", seed=37)
+        payload = run_bench(
+            "oom",
+            cases=QUICK_SUITE,
+            engines=("random", "fm"),
+            starts=1,
+            repeats=1,
+            parallel=2,
+            memory_limit_mb=8192,
+        )
+        faults.configure(None)
+        assert len(payload["results"]) == 6
+        # The fault rng is decorrelated per worker pid, so the hit set
+        # varies run to run; ~98% of runs inject at least one oom.
+        over_budget = [e for e in payload["results"] if e.get("failed")]
+        for entry in over_budget:
+            assert "memory budget" in entry["error"]
+        sup = payload["supervision"]
+        assert sup["memory_kills"] == len(over_budget)
+        assert sup["retries"] == 0  # memory failures are terminal
+        assert sup["sequential_fallbacks"] == 0  # never rerun in the parent
+        assert sup["degraded"] is bool(over_budget)
+
+        # Survivors are byte-identical to the sequential truth.
+        sequential = run_bench(
+            "ref",
+            cases=QUICK_SUITE,
+            engines=("random", "fm"),
+            starts=1,
+            repeats=1,
+        )
+        ref = {(e["instance"], e["engine"]): e for e in sequential["results"]}
+
+        def strip(entry):
+            return {
+                k: v for k, v in entry.items() if k not in ("seconds", "spans", "phases")
+            }
+
+        for entry in payload["results"]:
+            if not entry.get("failed"):
+                assert strip(entry) == strip(ref[(entry["instance"], entry["engine"])])
+
+    def test_oom_in_half_the_starts_still_yields_valid_bipartition(self, instance):
+        faults.configure("parallel.start=oom:0.5", seed=41)
+        try:
+            result = algorithm1(instance, num_starts=8, seed=42, parallel=4)
+        except Algorithm1Error as exc:
+            # Memory failures are terminal (no retry, no fallback), so
+            # a full wipeout — every start over budget, ~2^-8 per run —
+            # is a legitimate outcome; it must surface as the typed
+            # all-failed error naming the budget, never a raw crash.
+            assert "all parallel starts failed" in str(exc)
+            assert "memory" in str(exc)
+            return
+        finally:
+            faults.configure(None)
+        assert_valid_bipartition(instance, result.bipartition)
+        assert 1 <= len(result.starts) <= 8
+        assert result.counters["num_starts"] == len(result.starts)
+
+    def test_oom_faults_never_kill_a_journaled_resume(self, instance, tmp_path):
+        # A journaled run under oom chaos keeps its completed starts; a
+        # clean resume finishes the rest and matches the fault-free run.
+        path = tmp_path / "oom.jsonl"
+        reference = algorithm1(instance, num_starts=8, seed=42, parallel=2)
+        faults.configure("parallel.start=oom:0.4", seed=43)
+        try:
+            algorithm1(instance, num_starts=8, seed=42, parallel=2, journal_path=path)
+        except Algorithm1Error:
+            pass  # rare full wipeout; the journal (header only) still resumes
+        finally:
+            faults.configure(None)
+        resumed = algorithm1(instance, num_starts=8, seed=42, parallel=2, resume_path=path)
+        assert resumed.starts == reference.starts
+        assert resumed.cutsize == reference.cutsize
+        assert not resumed.degraded

@@ -9,6 +9,14 @@ it preserves the historical sequential rng stream (one shared
 from the pre-drawn per-start seeds; changing that would silently shift
 every seeded result users have recorded.  It must still be deterministic
 run to run, which is asserted separately.
+
+Resolution (PR 5, recorded in ROADMAP.md): the two streams are **both
+permanent, intended contracts** — they will not be unified.  The
+sequential stream is frozen for historical reproducibility; the
+pre-drawn per-start stream is frozen because worker-count invariance
+and journal checkpoint/resume (``--journal``/``--resume`` skip
+completed starts by index) both depend on it.  ``partition --help``
+documents the split under ``--parallel``.
 """
 
 from __future__ import annotations
