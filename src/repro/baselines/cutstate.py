@@ -30,6 +30,12 @@ EdgeName = Hashable
 LEFT = 0
 RIGHT = 1
 
+#: Pin count at which CutState interns the netlist into flat numpy arrays
+#: and vectorizes pin-count / initial-gain computation.  Gains and pin
+#: counts are integers, so the vectorized results are bit-identical to
+#: the per-vertex loops; the threshold is a pure performance knob.
+VECTORIZE_MIN_PINS = 4096
+
 
 class CutState:
     """Mutable two-way assignment with O(pins)-per-move cut maintenance.
@@ -62,14 +68,43 @@ class CutState:
         self.pins: dict[EdgeName, list[int]] = {}
         self.cutsize = 0
         self.weighted_cutsize = 0.0
-        for name in hypergraph.edge_names:
-            counts = [0, 0]
-            for pin in hypergraph.edge_members(name):
-                counts[self.side[pin]] += 1
-            self.pins[name] = counts
-            if counts[LEFT] and counts[RIGHT]:
-                self.cutsize += 1
-                self.weighted_cutsize += hypergraph.edge_weight(name)
+        # Interned flat-array view of the (immutable during a run)
+        # netlist, built once for large instances: vertex order, edge
+        # order, and the concatenated pin slots per edge.  Powers the
+        # vectorized pin counting below and :meth:`all_gains`.
+        self._arrays = None
+        if hypergraph.num_pins >= VECTORIZE_MIN_PINS:
+            self._build_arrays()
+        if self._arrays is not None:
+            import numpy as np
+
+            verts, vidx, names, sizes, eptr, pins_flat = self._arrays
+            side_np = self._side_array()
+            # Per-edge right-pin counts by prefix-sum differencing over
+            # the concatenated pin sides (integer arithmetic — exact).
+            cs = np.concatenate(([0], np.cumsum(side_np[pins_flat], dtype=np.int64)))
+            cright = cs[eptr[1:]] - cs[eptr[:-1]]
+            cleft = sizes - cright
+            is_cut = (cleft > 0) & (cright > 0)
+            self.cutsize = int(is_cut.sum())
+            cl_list = cleft.tolist()
+            cr_list = cright.tolist()
+            cut_list = is_cut.tolist()
+            # Weighted cutsize accumulates in edge-name order, exactly
+            # like the per-edge loop (float addition order matters).
+            for k, name in enumerate(names):
+                self.pins[name] = [cl_list[k], cr_list[k]]
+                if cut_list[k]:
+                    self.weighted_cutsize += hypergraph.edge_weight(name)
+        else:
+            for name in hypergraph.edge_names:
+                counts = [0, 0]
+                for pin in hypergraph.edge_members(name):
+                    counts[self.side[pin]] += 1
+                self.pins[name] = counts
+                if counts[LEFT] and counts[RIGHT]:
+                    self.cutsize += 1
+                    self.weighted_cutsize += hypergraph.edge_weight(name)
 
         self.side_sizes = [0, 0]
         self.side_weights = [0.0, 0.0]
@@ -80,9 +115,64 @@ class CutState:
         #: number of single-move gain/apply operations performed (cost proxy)
         self.evaluations = 0
 
+    def _build_arrays(self) -> None:
+        """Intern the netlist into flat numpy arrays (one-time cost)."""
+        import numpy as np
+
+        h = self.h
+        verts = h.vertices
+        vidx = {v: i for i, v in enumerate(verts)}
+        names = h.edge_names
+        sizes = np.fromiter(
+            (h.edge_size(n) for n in names), count=len(names), dtype=np.int64
+        )
+        eptr = np.zeros(len(names) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=eptr[1:])
+        pins_flat = np.fromiter(
+            (vidx[p] for n in names for p in h.edge_members(n)),
+            count=int(eptr[-1]),
+            dtype=np.int64,
+        )
+        self._arrays = (verts, vidx, names, sizes, eptr, pins_flat)
+
+    def _side_array(self):
+        """Current side per interned vertex (int8 numpy array)."""
+        import numpy as np
+
+        verts = self._arrays[0]
+        side = self.side
+        return np.fromiter((side[v] for v in verts), count=len(verts), dtype=np.int8)
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+
+    def all_gains(self) -> dict[Vertex, int] | None:
+        """All single-move gains at once, or ``None`` when not interned.
+
+        Bit-identical to calling :meth:`gain` per vertex (pure integer
+        arithmetic), but computed in a handful of array passes over the
+        flat pin arrays.  Does **not** bump ``evaluations`` — callers
+        replacing per-vertex ``gain()`` loops account for that
+        themselves so the cost proxy stays comparable.
+        """
+        if self._arrays is None:
+            return None
+        import numpy as np
+
+        verts, vidx, names, sizes, eptr, pins_flat = self._arrays
+        side_np = self._side_array()
+        pin_side = side_np[pins_flat]
+        cs = np.concatenate(([0], np.cumsum(pin_side, dtype=np.int64)))
+        cright = cs[eptr[1:]] - cs[eptr[:-1]]
+        cleft = sizes - cright
+        own = np.where(pin_side == 0, np.repeat(cleft, sizes), np.repeat(cright, sizes))
+        oth = np.where(pin_side == 0, np.repeat(cright, sizes), np.repeat(cleft, sizes))
+        contrib = np.where(oth == 0, -1, np.where(own == 1, 1, 0))
+        # bincount-with-weights sums small integers exactly in float64.
+        gains = np.bincount(pins_flat, weights=contrib, minlength=len(verts))
+        gains_list = gains.astype(np.int64).tolist()
+        return {v: gains_list[i] for i, v in enumerate(verts)}
 
     def gain(self, v: Vertex) -> int:
         """Cutsize decrease if ``v`` moved to the other side (may be < 0)."""

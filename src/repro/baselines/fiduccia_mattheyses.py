@@ -175,9 +175,18 @@ def _fm_pass(state: CutState, tolerance: float, fixed: frozenset[Vertex] = froze
     """One FM pass with rollback; returns the realized gain."""
     h = state.h
     buckets = _GainBuckets()
-    for v in h.vertices:
-        if v not in fixed:
-            buckets.insert(v, state.side[v], state.gain(v))
+    gains = state.all_gains()
+    if gains is None:
+        for v in h.vertices:
+            if v not in fixed:
+                buckets.insert(v, state.side[v], state.gain(v))
+    else:
+        # Vectorized bulk init (bit-identical gains); keep the
+        # evaluations cost proxy aligned with the per-vertex path.
+        for v in h.vertices:
+            if v not in fixed:
+                buckets.insert(v, state.side[v], gains[v])
+                state.evaluations += 1
 
     moves: list[Vertex] = []
     cumulative = 0

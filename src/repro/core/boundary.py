@@ -69,13 +69,34 @@ def boundary_graph(graph: Graph, cut: GraphCut) -> BoundaryGraph:
         g.add_vertex(node, weight=graph.node_weight(node))
     for node in cut.boundary_right:
         g.add_vertex(node, weight=graph.node_weight(node))
-    adj = graph.adjacency_view()
     labels = graph.labels_view()
-    right_ids = {graph.index_of(n) for n in cut.boundary_right}
-    for node in cut.boundary_left:
-        for j in adj[graph.index_of(node)]:
-            if j in right_ids:
-                g.add_edge(node, labels[j])
+    if graph._use_csr():
+        import numpy as np
+
+        # Vectorized cross-pair discovery over the CSR snapshot: gather
+        # the concatenated rows of all left boundary slots (in the same
+        # left-iteration x row order the legacy scan used) and keep the
+        # entries that land in the right boundary.
+        csr = graph.csr()
+        li = np.fromiter(
+            (graph.index_of(n) for n in cut.boundary_left),
+            count=len(cut.boundary_left),
+            dtype=np.int64,
+        )
+        right_mask = np.zeros(graph.slot_capacity(), dtype=bool)
+        for n in cut.boundary_right:
+            right_mask[graph.index_of(n)] = True
+        owners, nbrs = csr.gather(li)
+        hit = right_mask[nbrs]
+        for a, b in zip(owners[hit].tolist(), nbrs[hit].tolist()):
+            g.add_edge(labels[a], labels[b])
+    else:
+        adj = graph.adjacency_view()
+        right_ids = {graph.index_of(n) for n in cut.boundary_right}
+        for node in cut.boundary_left:
+            for j in adj[graph.index_of(node)]:
+                if j in right_ids:
+                    g.add_edge(node, labels[j])
     return BoundaryGraph(
         graph=g, left=frozenset(cut.boundary_left), right=frozenset(cut.boundary_right)
     )

@@ -232,14 +232,31 @@ def double_bfs_cut(
     right: list[Node] = []
     boundary_left: list[Node] = []
     boundary_right: list[Node] = []
-    for i in graph.node_indices():
-        s = side[i]
-        (left if s == 0 else right).append(labels[i])
-        other = 1 - s
-        for nbr in adj[i]:
-            if side[nbr] == other:
+    if graph._use_csr():
+        import numpy as np
+
+        # Vectorized boundary extraction: a node is boundary iff any CSR
+        # entry in its row lands on the other side.  Per-row "any" via
+        # prefix-sum differencing (reduceat mishandles empty rows).
+        csr = graph.csr()
+        side_np = np.asarray(side, dtype=np.int8)
+        cross = side_np[csr.indices] != np.repeat(side_np, csr.degrees())
+        cs = np.concatenate(([0], np.cumsum(cross, dtype=np.int64)))
+        has_cross = cs[csr.indptr[1:]] > cs[csr.indptr[:-1]]
+        for i in graph.node_indices():
+            s = side[i]
+            (left if s == 0 else right).append(labels[i])
+            if has_cross[i]:
                 (boundary_left if s == 0 else boundary_right).append(labels[i])
-                break
+    else:
+        for i in graph.node_indices():
+            s = side[i]
+            (left if s == 0 else right).append(labels[i])
+            other = 1 - s
+            for nbr in adj[i]:
+                if side[nbr] == other:
+                    (boundary_left if s == 0 else boundary_right).append(labels[i])
+                    break
     obs.count("dual_cut.cuts")
     obs.count("dual_cut.boundary_nodes", len(boundary_left) + len(boundary_right))
     return GraphCut(

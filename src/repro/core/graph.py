@@ -48,6 +48,14 @@ from repro import obs
 
 Node = Hashable
 
+#: Edge count at which traversals switch from the pure-python set walk to
+#: the vectorized CSR path (:mod:`repro.core.csr`).  Below it the numpy
+#: per-level fixed costs exceed the win; above it the flat-array frontier
+#: expansion dominates.  Both paths are element-for-element identical
+#: (the CSR snapshot freezes the exact set iteration order), so the
+#: threshold is a pure performance knob — tests pin the equivalence.
+CSR_MIN_EDGES = 2048
+
 
 class GraphError(ValueError):
     """Raised on structurally invalid graph operations."""
@@ -75,6 +83,13 @@ class Graph:
         self._bfs_dist: list[int] = []
         self._bfs_seen: list[int] = []
         self._bfs_stamp = 0
+        # Frozen CSR snapshot cache: rebuilt lazily whenever a mutation
+        # bumps the version.  ``_active_dist`` is whichever distance
+        # buffer the last BFS populated (python list or numpy array).
+        self._version = 0
+        self._csr = None
+        self._csr_version = -1
+        self._active_dist = self._bfs_dist
         if nodes is not None:
             if isinstance(nodes, Mapping):
                 for v, w in nodes.items():
@@ -90,22 +105,34 @@ class Graph:
     # construction
     # ------------------------------------------------------------------
 
-    def add_vertex(self, v: Node, weight: float = 1.0) -> Node:
+    def add_vertex(self, v: Node, weight: float | None = None) -> Node:
+        """Add ``v`` (idempotent).
+
+        Re-adding an existing vertex *without* an explicit weight
+        preserves the stored weight (it used to silently reset it to the
+        default 1.0); an explicit weight always updates.  Non-positive
+        weights are rejected, matching ``Hypergraph.add_vertex``.
+        """
+        if weight is not None and weight <= 0:
+            raise GraphError(f"node weight must be positive, got {weight!r}")
         i = self._index.get(v)
         if i is None:
+            w = 1.0 if weight is None else float(weight)
             if self._free:
                 i = self._free.pop()
                 self._labels[i] = v
-                self._weights[i] = float(weight)
+                self._weights[i] = w
                 self._adj[i] = set()
             else:
                 i = len(self._labels)
                 self._labels.append(v)
-                self._weights.append(float(weight))
+                self._weights.append(w)
                 self._adj.append(set())
             self._index[v] = i
-        else:
+            self._version += 1
+        elif weight is not None:
             self._weights[i] = float(weight)
+            self._version += 1
         return v
 
     def add_edge(self, u: Node, v: Node) -> None:
@@ -123,22 +150,30 @@ class Graph:
             self._adj[iu].add(iv)
             self._adj[iv].add(iu)
             self._edge_count += 1
+            self._version += 1
 
     def add_clique(self, members: Iterable[Node]) -> None:
         """Add all pairwise edges over ``members`` (vertices created as needed).
 
         The workhorse of intersection-graph construction: one interning
         pass, then pure integer pair insertion — no label hashing or
-        ``repr`` calls in the pair loop.
+        ``repr`` calls in the pair loop.  Duplicate labels in ``members``
+        collapse to one clique vertex — a repeated label used to survive
+        ``sort()`` as two equal slots and inject a self-loop (which
+        :meth:`add_edge` rejects and :meth:`edges` silently hides) while
+        still bumping the edge count.
         """
         index = self._index
+        seen_ids = set()
         ids = []
         for v in members:
             i = index.get(v)
             if i is None:
                 self.add_vertex(v)
                 i = index[v]
-            ids.append(i)
+            if i not in seen_ids:
+                seen_ids.add(i)
+                ids.append(i)
         ids.sort()
         adj = self._adj
         added = 0
@@ -150,6 +185,8 @@ class Graph:
                     adj[b].add(a)
                     added += 1
         self._edge_count += added
+        if added:
+            self._version += 1
 
     def remove_edge(self, u: Node, v: Node) -> None:
         iu = self._index.get(u)
@@ -159,6 +196,7 @@ class Graph:
         self._adj[iu].discard(iv)
         self._adj[iv].discard(iu)
         self._edge_count -= 1
+        self._version += 1
 
     def remove_vertex(self, v: Node) -> None:
         i = self._index.pop(v, None)
@@ -171,6 +209,7 @@ class Graph:
         self._adj[i] = set()
         self._weights[i] = 0.0
         self._free.append(i)
+        self._version += 1
 
     def copy(self) -> "Graph":
         g = Graph()
@@ -181,6 +220,33 @@ class Graph:
         g._free = list(self._free)
         g._edge_count = self._edge_count
         return g
+
+    # ------------------------------------------------------------------
+    # CSR snapshot
+    # ------------------------------------------------------------------
+
+    def csr(self):
+        """The frozen :class:`repro.core.csr.CSRAdjacency` snapshot.
+
+        Built lazily and cached until the next mutation (every mutator
+        bumps an internal version counter).  The snapshot freezes the
+        *exact* neighbor iteration order of the internal sets, so the
+        vectorized traversals it powers are element-for-element identical
+        to the legacy ``list[set[int]]`` walks.
+        """
+        if self._csr is None or self._csr_version != self._version:
+            from repro.core.csr import CSRAdjacency
+
+            self._csr = CSRAdjacency.from_graph(self)
+            self._csr_version = self._version
+            obs.count("graph.csr.builds")
+        else:
+            obs.count("graph.csr.reuses")
+        return self._csr
+
+    def _use_csr(self) -> bool:
+        """True when traversals should take the vectorized CSR path."""
+        return self._edge_count >= CSR_MIN_EDGES
 
     # ------------------------------------------------------------------
     # index-path API (zero-copy access for the core pipeline)
@@ -208,6 +274,10 @@ class Graph:
     def labels_view(self) -> list[Node]:
         """The internal slot -> label array — read-only, zero-copy."""
         return self._labels
+
+    def weights_view(self) -> list[float]:
+        """The internal slot -> weight array — read-only, zero-copy."""
+        return self._weights
 
     def slot_capacity(self) -> int:
         """Number of allocated slots (>= num_nodes; sizes side buffers)."""
@@ -323,14 +393,23 @@ class Graph:
         else:
             obs.count("graph.scratch.reuses")
 
-    def bfs_order_from(self, source: int) -> list[int]:
+    def bfs_order_from(self, source: int):
         """BFS from slot ``source``; returns slots in visit order.
 
-        Distances are left in the reusable buffer returned by
+        Returns a ``list[int]`` on the legacy path or a numpy array on
+        the CSR path — both in the *identical* visit order.  Distances
+        are left in the reusable buffer returned by
         :meth:`bfs_dist_view`, valid only for the slots in the returned
         order and only until the next BFS call.
         """
+        if self._use_csr():
+            order, dist = self.csr().bfs(source)
+            self._active_dist = dist
+            obs.count("graph.bfs.calls")
+            obs.count("graph.bfs.nodes_visited", len(order))
+            return order
         self._ensure_scratch()
+        self._active_dist = self._bfs_dist
         self._bfs_stamp += 1
         stamp = self._bfs_stamp
         seen = self._bfs_seen
@@ -353,9 +432,13 @@ class Graph:
         obs.count("graph.bfs.nodes_visited", len(order))
         return order
 
-    def bfs_dist_view(self) -> list[int]:
-        """The reusable BFS distance buffer (see :meth:`bfs_order_from`)."""
-        return self._bfs_dist
+    def bfs_dist_view(self):
+        """The reusable BFS distance buffer (see :meth:`bfs_order_from`).
+
+        A python list after a legacy BFS, a numpy array after a CSR BFS —
+        integer-indexable either way.
+        """
+        return self._active_dist
 
     def bfs_levels(self, source: Node) -> dict[Node, int]:
         """Distance (in hops) from ``source`` to every reachable node."""
@@ -365,7 +448,10 @@ class Graph:
             raise GraphError(f"no such node {source!r}") from None
         order = self.bfs_order_from(s)
         labels = self._labels
-        dist = self._bfs_dist
+        dist = self._active_dist
+        if not isinstance(order, list):
+            order = order.tolist()
+            return {labels[i]: int(dist[i]) for i in order}
         return {labels[i]: dist[i] for i in order}
 
     def bfs_farthest(self, source: Node, rng: random.Random | None = None) -> tuple[Node, int]:
@@ -381,18 +467,25 @@ class Graph:
         except KeyError:
             raise GraphError(f"no such node {source!r}") from None
         order = self.bfs_order_from(s)
-        dist = self._bfs_dist
-        depth = dist[order[-1]]
+        dist = self._active_dist
+        depth = int(dist[order[-1]])
         # BFS visit order is non-decreasing in distance: the deepest nodes
         # are exactly the tail block of the order.
-        lo = len(order) - 1
-        while lo > 0 and dist[order[lo - 1]] == depth:
-            lo -= 1
+        if isinstance(order, list):
+            lo = len(order) - 1
+            while lo > 0 and dist[order[lo - 1]] == depth:
+                lo -= 1
+        else:
+            import numpy as np
+
+            # Same tail block, found by binary search on the sorted
+            # distance-over-order array instead of a backwards scan.
+            lo = int(np.searchsorted(dist[order], depth, side="left"))
         if rng is None:
             far = order[lo]
         else:
             far = order[lo + rng.randrange(len(order) - lo)]
-        return self._labels[far], depth
+        return self._labels[int(far)], depth
 
     def eccentricity(self, v: Node) -> int:
         """Max BFS distance from ``v`` within its component."""
@@ -401,7 +494,7 @@ class Graph:
         except KeyError:
             raise GraphError(f"no such node {v!r}") from None
         order = self.bfs_order_from(s)
-        return self._bfs_dist[order[-1]]
+        return int(self._active_dist[order[-1]])
 
     def diameter(self) -> int:
         """Exact diameter by all-pairs BFS. O(V * (V + E)) — small graphs only.
@@ -412,12 +505,11 @@ class Graph:
             raise GraphError("diameter of empty graph is undefined")
         best = 0
         n = len(self._index)
-        dist = self._bfs_dist
         for i in self._index.values():
             order = self.bfs_order_from(i)
             if len(order) != n:
                 raise GraphError("diameter of disconnected graph is undefined")
-            d = dist[order[-1]]
+            d = int(self._active_dist[order[-1]])
             if d > best:
                 best = d
         return best
@@ -430,6 +522,8 @@ class Graph:
             if i in seen:
                 continue
             order = self.bfs_order_from(i)
+            if not isinstance(order, list):
+                order = order.tolist()
             seen.update(order)
             out.append({labels[j] for j in order})
         return out
@@ -469,11 +563,22 @@ class Graph:
         return True, {labels[i]: c for i, c in color.items()}
 
     def min_degree_node(self, candidates: Iterable[Node] | None = None) -> Node:
-        """A node of minimum degree (deterministic: first in iteration order)."""
+        """A node of minimum degree (deterministic: first in iteration order).
+
+        Unknown (or removed) candidates raise :class:`GraphError` like
+        every other query path — not a raw ``KeyError``.
+        """
         pool = self._index if candidates is None else list(candidates)
         if not pool:
             raise GraphError("no candidates")
-        return min(pool, key=lambda v: (len(self._adj[self._index[v]]), repr(v)))
+
+        def degree_key(v: Node) -> tuple[int, str]:
+            try:
+                return (len(self._adj[self._index[v]]), repr(v))
+            except KeyError:
+                raise GraphError(f"no such node {v!r}") from None
+
+        return min(pool, key=degree_key)
 
     def to_networkx(self):
         """Interop: export to a :mod:`networkx` graph (weights as attrs)."""
@@ -492,6 +597,10 @@ class Graph:
         state["_bfs_dist"] = []
         state["_bfs_seen"] = []
         state["_bfs_stamp"] = 0
+        state["_active_dist"] = state["_bfs_dist"]
+        # The CSR snapshot is a derived cache — cheap to rebuild, big to ship.
+        state["_csr"] = None
+        state["_csr_version"] = -1
         return state
 
     def __repr__(self) -> str:

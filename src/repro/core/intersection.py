@@ -127,4 +127,9 @@ def intersection_graph(hypergraph: Hypergraph) -> IntersectionGraph:
         incident = hypergraph.incident_edges_view(v)
         if len(incident) > 1:
             g.add_clique(incident)
+    if g._use_csr():
+        # Pre-freeze the CSR snapshot while still inside the dualize
+        # phase so its build cost is attributed here, not to the first
+        # BFS of the cut phase.
+        g.csr()
     return IntersectionGraph(hypergraph=hypergraph, graph=g)

@@ -14,9 +14,84 @@ random ``d``-regular graphs, the model of Bollobás & de la Vega's
 from __future__ import annotations
 
 import random
+from collections.abc import Iterable, Sequence
 
 from repro.core.graph import Graph
 from repro.core.hypergraph import Hypergraph
+
+
+class _CapacityPool(Sequence):
+    """The vertices with remaining degree capacity, in ascending order.
+
+    Drop-in replacement for the ``available`` list the sampler used to
+    rebuild after every edge (an O(edges * vertices) rebuild that
+    dominated generation beyond ~10k modules).  A Fenwick tree gives
+    O(log n) k-th-element selection and O(log n) removal instead.
+
+    ``rng.sample(pool, k)`` draws the **exact same stream** as with the
+    legacy list: CPython's sampler only touches ``len(population)``,
+    ``population[j]`` (selection-set path, used whenever the pool is
+    larger than its small-``n`` threshold) and ``list(population)``
+    (pool-copy path for tiny populations, served index-by-index through
+    the Sequence mixin) — and because the legacy rebuild preserved
+    relative order, its list was always exactly the alive vertices in
+    ascending id order, which is what indexing the tree yields.
+    """
+
+    __slots__ = ("_n", "_tree", "_size", "_alive", "_top")
+
+    def __init__(self, alive: Iterable[int], n: int) -> None:
+        self._n = n
+        self._tree = [0] * (n + 1)
+        self._size = 0
+        self._alive = bytearray(n)
+        top = 1
+        while top * 2 <= n:
+            top *= 2
+        self._top = top
+        for v in alive:
+            self.add(v)
+
+    def _update(self, v: int, delta: int) -> None:
+        i = v + 1
+        tree = self._tree
+        while i <= self._n:
+            tree[i] += delta
+            i += i & (-i)
+
+    def add(self, v: int) -> None:
+        if not self._alive[v]:
+            self._alive[v] = 1
+            self._size += 1
+            self._update(v, 1)
+
+    def discard(self, v: int) -> None:
+        if self._alive[v]:
+            self._alive[v] = 0
+            self._size -= 1
+            self._update(v, -1)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __getitem__(self, j: int) -> int:
+        if j < 0:
+            j += self._size
+        if not 0 <= j < self._size:
+            raise IndexError(j)
+        # Smallest vertex whose alive-prefix count reaches j + 1.
+        pos = 0
+        rem = j + 1
+        bit = self._top
+        tree = self._tree
+        n = self._n
+        while bit:
+            nxt = pos + bit
+            if nxt <= n and tree[nxt] < rem:
+                pos = nxt
+                rem -= tree[nxt]
+            bit >>= 1
+        return pos
 
 
 def random_hypergraph(
@@ -75,7 +150,9 @@ def random_hypergraph(
             capacity[b] -= 1
             edges_made += 1
 
-    available = [v for v, c in capacity.items() if c > 0]
+    available = _CapacityPool(
+        (v for v, c in capacity.items() if c > 0), num_vertices
+    )
     while edges_made < num_edges and len(available) >= 2:
         size = rng.randint(2, min(max_edge_size, len(available)))
         pins = rng.sample(available, size)
@@ -83,7 +160,8 @@ def random_hypergraph(
         edges_made += 1
         for v in pins:
             capacity[v] -= 1
-        available = [v for v in available if capacity[v] > 0]
+            if capacity[v] == 0:
+                available.discard(v)
     return h
 
 

@@ -66,17 +66,23 @@ class TestSuites:
         with pytest.raises(BenchError, match="unknown bench case kind"):
             BenchCase("x", "nope").materialize()
 
-    def test_large_suite_extends_pinned_with_10k_case(self):
-        # The scale case is pinned like everything else: name, seed and
-        # size are frozen, and its engine restriction keeps the sweep in
-        # CI-minutes territory.
+    def test_large_suite_extends_pinned_with_scale_cases(self):
+        # The scale cases are pinned like everything else: name, seed
+        # and size are frozen, and their engine restrictions keep the
+        # sweep in CI-minutes territory.
         assert LARGE_SUITE[: len(PINNED_SUITE)] == PINNED_SUITE
-        big = LARGE_SUITE[-1]
-        assert big.name == "random10k"
-        assert big.params["modules"] >= 10_000
-        assert big.params["seed"] == 23
-        assert big.engines == ("algorithm1", "fm", "sa", "random")
-        assert "kl" not in big.engines and "spectral" not in big.engines
+        big10k, big100k = LARGE_SUITE[-2], LARGE_SUITE[-1]
+        assert big10k.name == "random10k"
+        assert big10k.params["modules"] >= 10_000
+        assert big10k.params["seed"] == 23
+        assert big10k.engines == ("algorithm1", "fm", "sa", "random")
+        assert "kl" not in big10k.engines and "spectral" not in big10k.engines
+        assert big100k.name == "random100k"
+        assert big100k.params["modules"] >= 100_000
+        assert big100k.params["seed"] == 29
+        # FM's python bucket walk costs minutes per repeat at 100k, so
+        # only the engines that finish in CI-seconds run at this scale.
+        assert big100k.engines == ("algorithm1", "sa", "random")
 
     def test_scale_registry(self):
         assert SUITES == {

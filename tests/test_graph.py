@@ -247,3 +247,61 @@ class TestIndexedCore:
         distances = [dist[i] for i in order]
         assert distances == sorted(distances)
         assert len(order) == 8
+
+
+class TestMutationBugfixes:
+    """Regressions for the PR-6 graph-core mutation bugs."""
+
+    def test_add_clique_duplicate_labels_no_self_loop(self):
+        g = Graph()
+        g.add_clique(["a", "b", "a"])
+        assert g.num_edges == 1
+        assert not g.has_edge("a", "a")
+        assert g.index_of("a") not in g.adjacency_view()[g.index_of("a")]
+        assert sorted(g.edges()) == [("a", "b")]
+
+    def test_add_clique_all_duplicates_is_noop_edgewise(self):
+        g = Graph()
+        g.add_clique(["x", "x", "x"])
+        assert g.num_nodes == 1
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_add_clique_edge_count_matches_edges(self):
+        g = Graph()
+        g.add_clique([1, 2, 3, 2, 1])
+        assert g.num_edges == len(list(g.edges())) == 3
+
+    def test_re_add_vertex_preserves_weight(self):
+        g = Graph()
+        g.add_vertex("a", weight=5.0)
+        g.add_vertex("a")
+        assert g.node_weight("a") == 5.0
+
+    def test_re_add_vertex_with_weight_updates(self):
+        g = Graph()
+        g.add_vertex("a", weight=5.0)
+        g.add_vertex("a", weight=2.5)
+        assert g.node_weight("a") == 2.5
+
+    def test_add_vertex_rejects_non_positive_weight(self):
+        g = Graph()
+        for bad in (0, 0.0, -1.0):
+            with pytest.raises(GraphError):
+                g.add_vertex("a", weight=bad)
+        g.add_vertex("a", weight=1.5)
+        with pytest.raises(GraphError):
+            g.add_vertex("a", weight=-2.0)
+        assert g.node_weight("a") == 1.5
+
+    def test_min_degree_node_unknown_candidate(self):
+        g = path_graph(3)
+        with pytest.raises(GraphError):
+            g.min_degree_node(candidates=[0, "missing"])
+
+    def test_min_degree_node_removed_candidate(self):
+        g = path_graph(3)
+        g.remove_vertex(2)
+        with pytest.raises(GraphError):
+            g.min_degree_node(candidates=[0, 2])
+        assert g.min_degree_node(candidates=[0, 1]) == 0
