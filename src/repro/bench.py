@@ -57,16 +57,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro import obs
-from repro.baselines import (
-    fiduccia_mattheyses,
-    kernighan_lin,
-    random_cut,
-    simulated_annealing,
-    spectral_bisection,
-)
-from repro.baselines.simulated_annealing import AnnealingSchedule
-from repro.core.algorithm1 import algorithm1
 from repro.core.hypergraph import Hypergraph
+from repro.engines import ALL_ENGINES, DEFAULT_ENGINES, run_engine
 from repro.generators.difficult import planted_bisection
 from repro.generators.netlists import clustered_netlist
 from repro.generators.random_hypergraph import random_hypergraph
@@ -82,23 +74,6 @@ BENCH_SCHEMA_VERSION = 2
 #: seconds (on top of the relative tolerance); smaller deltas are timer
 #: noise, not signal.
 MIN_COMPARABLE_SECONDS = 0.1
-
-#: Engines in the default sweep.  ``spectral`` joined once its Fiedler
-#: order was canonicalized (quantize + sign fix + vertex-index
-#: tie-break, see ``repro.baselines.spectral``) — its cut is now a
-#: deterministic function of the hypergraph, safe for the exact gate.
-DEFAULT_ENGINES = ("algorithm1", "fm", "kl", "sa", "random", "spectral")
-
-ALL_ENGINES = DEFAULT_ENGINES
-
-#: Bounded SA schedule so the bench stays minutes-free and each engine
-#: run sits well under a second (keeping the runtime gate's absolute
-#: noise floor meaningful); the full-length schedule belongs to the
-#: paper-table experiments, not the gate.
-_BENCH_SA_SCHEDULE = AnnealingSchedule(
-    alpha=0.9, max_total_moves=20_000, min_temperature=1e-2, frozen_after=2
-)
-
 
 class BenchError(ValueError):
     """Raised on invalid bench configuration or malformed BENCH files."""
@@ -192,43 +167,6 @@ SUITES: dict[str, tuple[BenchCase, ...]] = {
 }
 
 
-def _run_engine(
-    engine: str,
-    h: Hypergraph,
-    seed: int,
-    starts: int,
-    deadline: Deadline | None = None,
-) -> tuple:
-    """Run one engine; returns ``(bipartition, extras)``."""
-    if engine == "algorithm1":
-        result = algorithm1(
-            h, num_starts=starts, seed=seed, balance_tolerance=0.1, deadline=deadline
-        )
-        return result.bipartition, {
-            "phases": dict(result.timings),
-            "work_counters": dict(result.counters),
-            "degraded": result.degraded,
-        }
-    if engine == "fm":
-        result = fiduccia_mattheyses(h, seed=seed, deadline=deadline)
-        return result.bipartition, {"degraded": result.degraded}
-    if engine == "kl":
-        result = kernighan_lin(h, seed=seed, deadline=deadline)
-        return result.bipartition, {"degraded": result.degraded}
-    if engine == "sa":
-        result = simulated_annealing(
-            h, schedule=_BENCH_SA_SCHEDULE, seed=seed, deadline=deadline
-        )
-        return result.bipartition, {"degraded": result.degraded}
-    if engine == "random":
-        result = random_cut(h, num_starts=starts, seed=seed, deadline=deadline)
-        return result.bipartition, {"degraded": result.degraded}
-    if engine == "spectral":
-        result = spectral_bisection(h, seed=seed, deadline=deadline)
-        return result.bipartition, {"degraded": result.degraded}
-    raise BenchError(f"unknown engine {engine!r}; choose from {ALL_ENGINES}")
-
-
 def _bench_entry(
     case_name: str,
     engine: str,
@@ -253,7 +191,7 @@ def _bench_entry(
         )
         with obs.scoped() as reg:
             t0 = time.perf_counter()
-            bipartition, extras = _run_engine(engine, h, seed, starts, deadline)
+            bipartition, extras = run_engine(engine, h, seed, starts, deadline)
             elapsed = time.perf_counter() - t0
             snapshot = reg.snapshot()
         if seconds is None or elapsed < seconds:
@@ -310,6 +248,72 @@ def _bench_worker(payload: dict) -> dict:
         payload["repeats"],
         payload["deadline_seconds"],
     )
+
+
+def _server_entry(
+    client,
+    case_name: str,
+    engine: str,
+    h: Hypergraph,
+    seed: int,
+    starts: int,
+    deadline_seconds: float | None,
+) -> tuple[dict, bool]:
+    """One (instance, engine) pair replayed through a partition daemon.
+
+    The daemon runs the same :func:`repro.engines.run_engine` dispatch,
+    so a fault-free pair reports the same cut the local path would —
+    that parity is asserted by ``tests/test_server.py``.  Timing comes
+    from the daemon's ``served.seconds`` (one request per pair: the
+    daemon caches, so local-style timing repeats would only measure the
+    cache).
+    """
+    from repro.server.client import ServiceClientError, ServiceResponseError
+
+    settings = {"starts": starts, "seed": seed}
+    if deadline_seconds is not None:
+        settings["deadline_seconds"] = deadline_seconds
+    try:
+        response = client.partition(h, engine=engine, settings=settings)
+    except ServiceResponseError as exc:
+        return (
+            _failed_entry(
+                case_name,
+                engine,
+                f"[{exc.error_type}] {exc.error.get('message', '')}",
+            ),
+            False,
+        )
+    except ServiceClientError as exc:
+        return _failed_entry(case_name, engine, f"service unreachable: {exc}"), False
+    body = response["result"]
+    entry = {
+        "instance": case_name,
+        "engine": engine,
+        "cutsize": body["cutsize"],
+        "weighted_cutsize": body["weighted_cutsize"],
+        "imbalance_fraction": body["imbalance_fraction"],
+        "seconds": response["served"]["seconds"],
+        "counters": {},
+        "spans": {},
+        "degraded": body["degraded"],
+        "degrade_reason": body["degrade_reason"],
+        "served": response["served"],
+    }
+    return entry, True
+
+
+def _server_client(server: str, timeout: float = 600.0):
+    """Build a :class:`repro.server.ServiceClient` from a ``--server`` spec.
+
+    ``unix:/path/to.sock`` selects the AF_UNIX transport; anything else
+    is treated as an ``http://host:port`` URL.
+    """
+    from repro.server.client import ServiceClient
+
+    if server.startswith("unix:"):
+        return ServiceClient(socket_path=server[len("unix:"):], timeout=timeout)
+    return ServiceClient(url=server, timeout=timeout)
 
 
 def _case_engines(case: BenchCase, engines: tuple[str, ...]) -> tuple[str, ...]:
@@ -375,6 +379,7 @@ def run_bench(
     resume_path: str | Path | None = None,
     memory_limit_mb: float | None = None,
     on_resume=None,
+    server: str | None = None,
 ) -> dict:
     """Execute the suite and return the JSON-ready payload.
 
@@ -425,6 +430,13 @@ def run_bench(
     *minimum* wall clock — the standard defence against scheduler noise;
     a single sample can easily read +100% on a loaded machine, which
     would make the 25% runtime gate meaningless.
+
+    ``server`` replays every pair through a running partition daemon
+    (``http://host:port`` or ``unix:/path``) instead of executing
+    locally — the cut-parity check that the service dispatches engines
+    identically.  Execution knobs that configure the *local* pool
+    (``parallel``, ``memory_limit_mb``, journaling) are the daemon's
+    business in this mode and are rejected.
     """
     unknown = [e for e in engines if e not in ALL_ENGINES]
     if unknown:
@@ -446,6 +458,24 @@ def run_bench(
             raise BenchError(
                 "memory limits require parallel workers (pass parallel=k): only a "
                 "forked worker can be budgeted and killed without ending the run"
+            )
+    if server is not None:
+        incompatible = [
+            name
+            for name, value in (
+                ("parallel", parallel),
+                ("journal_path", journal_path),
+                ("resume_path", resume_path),
+                ("memory_limit_mb", memory_limit_mb),
+                ("task_timeout", task_timeout),
+            )
+            if value is not None
+        ]
+        if incompatible:
+            raise BenchError(
+                f"server mode is incompatible with {incompatible}: those knobs "
+                "configure the local pool; the daemon owns execution in "
+                "server mode"
             )
     if journal_path is not None and resume_path is not None:
         if Path(journal_path) != Path(resume_path):
@@ -511,7 +541,29 @@ def run_bench(
 
     supervision: dict | None = None
     try:
-        if parallel is not None:
+        if server is not None:
+            client = _server_client(server)
+            for case_name, engine in pending:
+                if total_deadline is not None and total_deadline.expired():
+                    checkpoint(
+                        (case_name, engine),
+                        _failed_entry(
+                            case_name, engine, "deadline expired before execution"
+                        ),
+                        False,
+                    )
+                    continue
+                entry, ok = _server_entry(
+                    client,
+                    case_name,
+                    engine,
+                    materialized[case_name],
+                    seed,
+                    starts,
+                    deadline_seconds,
+                )
+                checkpoint((case_name, engine), entry, ok)
+        elif parallel is not None:
             tasks = [
                 (
                     pair,
@@ -616,6 +668,7 @@ def run_bench(
             "task_timeout": task_timeout,
             "max_retries": max_retries,
             "memory_limit_mb": memory_limit_mb,
+            "server": server,
             "engines": list(engines),
             "cases": [case.name for case in cases],
         },

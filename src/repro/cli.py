@@ -342,6 +342,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         on_resume=lambda replayed, pending: resume_notes.append(
             f"resume: {replayed} pair(s) replayed, {pending} remaining"
         ),
+        server=args.server,
     )
     # Resume progress goes to stderr: --json promises the payload is the
     # entire stdout, and the payload itself must stay resume-agnostic.
@@ -372,6 +373,80 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if "supervision" in payload:
         print(f"\nsupervision: {payload['supervision']['summary']}")
     print(f"\nbench written: {out}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.server import PartitionService, ServiceConfig, ServiceError
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        workers=args.workers,
+        task_timeout=args.task_timeout,
+        max_retries=args.max_retries,
+        memory_limit_mb=args.memory_limit,
+        cache_max_bytes=args.cache_max_bytes,
+        cache_max_entries=args.cache_max_entries,
+        batch_window=args.batch_window,
+        obs_enabled=not args.no_obs,
+    )
+    try:
+        service = PartitionService(config).start()
+    except (ServiceError, OSError) as exc:
+        raise SystemExit(f"cannot start daemon: {exc}")
+    address = service.address
+    if isinstance(address, str):
+        print(f"serving on unix:{address}", flush=True)
+    else:
+        print(f"serving on http://{address[0]}:{address[1]}", flush=True)
+
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+    try:
+        stop.wait()
+    finally:
+        service.stop()
+        print("daemon stopped", flush=True)
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.server import ServiceClient, ServiceClientError, ServiceResponseError
+
+    if (args.url is None) == (args.socket is None):
+        raise SystemExit("give exactly one of --url or --socket")
+    client = ServiceClient(url=args.url, socket_path=args.socket, timeout=args.timeout)
+    try:
+        if args.op in ("healthz", "metrics"):
+            response = getattr(client, args.op)()
+        else:
+            if args.file is None:
+                raise SystemExit(f"op {args.op!r} needs a hypergraph FILE")
+            h = _load_hypergraph(args.file, args.format)
+            settings = json.loads(args.settings) if args.settings else {}
+            if args.op == "partition":
+                settings.setdefault("starts", args.starts)
+                settings.setdefault("seed", args.seed)
+                if args.deadline is not None:
+                    settings.setdefault("deadline_seconds", args.deadline)
+                response = client.partition(h, engine=args.engine, settings=settings)
+            else:
+                settings.setdefault("seed", args.seed)
+                if args.deadline is not None:
+                    settings.setdefault("deadline_seconds", args.deadline)
+                response = client.place(h, placer=args.placer, settings=settings)
+    except ServiceResponseError as exc:
+        print(json.dumps({"error": exc.error}, indent=2, sort_keys=True), file=sys.stderr)
+        return 1
+    except ServiceClientError as exc:
+        raise SystemExit(f"request failed: {exc}")
+    print(json.dumps(response, indent=2, sort_keys=True))
     return 0
 
 
@@ -673,6 +748,15 @@ def build_parser() -> argparse.ArgumentParser:
         "letting the host OOM killer take down the run",
     )
     b.add_argument(
+        "--server",
+        metavar="URL",
+        default=None,
+        help="replay every (instance, engine) pair through a running "
+        "partition daemon ('http://host:port' or 'unix:/path') instead of "
+        "executing locally — the cut-parity check for the service; "
+        "incompatible with --parallel/--journal/--resume/--memory-limit",
+    )
+    b.add_argument(
         "--compare",
         nargs="+",
         metavar="BENCH_JSON",
@@ -701,6 +785,112 @@ def build_parser() -> argparse.ArgumentParser:
         "(0.25 = +25%%)",
     )
     b.set_defaults(fn=_cmd_bench)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the partition daemon (JSON over HTTP; TCP or AF_UNIX)",
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0 = OS-assigned; the bound address is printed)",
+    )
+    sv.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=None,
+        help="serve on an AF_UNIX socket at PATH instead of TCP",
+    )
+    sv.add_argument("--workers", type=int, default=2, help="supervised pool size")
+    sv.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill a worker that exceeds this per-request wall clock "
+        "(the request becomes a typed error response)",
+    )
+    sv.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        help="relaunches per crashed request before a typed error response "
+        "(default 1; crashing work is never rerun inside the daemon)",
+    )
+    sv.add_argument(
+        "--memory-limit",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="per-worker memory budget in MiB; an over-budget request "
+        "becomes a typed error response",
+    )
+    sv.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=64 << 20,
+        help="result-cache byte budget (LRU eviction; default 64 MiB)",
+    )
+    sv.add_argument(
+        "--cache-max-entries", type=int, default=4096, help="result-cache entry cap"
+    )
+    sv.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.005,
+        metavar="SECONDS",
+        help="how long concurrent requests accumulate into one pool batch",
+    )
+    sv.add_argument(
+        "--no-obs",
+        action="store_true",
+        help="disable observability counters (/metrics still reports the "
+        "always-on cache/broker tallies)",
+    )
+    sv.set_defaults(fn=_cmd_serve)
+
+    c = sub.add_parser(
+        "client", help="send one request to a running partition daemon"
+    )
+    c.add_argument(
+        "file", nargs="?", default=None, help="hypergraph file (partition/place ops)"
+    )
+    c.add_argument("--format", choices=["hgr", "netlist", "json"], default=None)
+    c.add_argument(
+        "--op",
+        choices=["partition", "place", "healthz", "metrics"],
+        default="partition",
+    )
+    c.add_argument("--url", default=None, help="daemon URL, e.g. http://127.0.0.1:8642")
+    c.add_argument("--socket", metavar="PATH", default=None, help="daemon AF_UNIX socket")
+    c.add_argument(
+        "--engine",
+        choices=["algorithm1", "fm", "kl", "sa", "random", "spectral"],
+        default="algorithm1",
+    )
+    c.add_argument(
+        "--placer", choices=["mincut", "annealing", "quadratic"], default="mincut"
+    )
+    c.add_argument("--starts", type=int, default=10)
+    c.add_argument("--seed", type=int, default=0)
+    c.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request wall-clock budget (results past it are degraded)",
+    )
+    c.add_argument(
+        "--settings",
+        metavar="JSON",
+        default=None,
+        help='extra settings as a JSON object, e.g. \'{"balance_tolerance": 0.2}\' '
+        "(explicit flags fill in any keys it omits)",
+    )
+    c.add_argument("--timeout", type=float, default=120.0, help="client HTTP timeout")
+    c.set_defaults(fn=_cmd_client)
 
     e = sub.add_parser("experiment", help="regenerate a paper table/figure")
     e.add_argument("which", help="table1|table2|difficult|diameter|boundary|crossing|scaling|multistart|filtering|variants|balance|refinement|quotient|granularization|variance|rent|all")

@@ -34,7 +34,15 @@ from repro.core.kway import KWayPartition, recursive_bisection
 from repro.core.kway_refine import refine_kway
 from repro.core.exact import branch_and_bound_min_cut
 
+# Bound last so ``repro.core.digest`` resolves to the callable, not the
+# submodule the imports above registered on the package: the public
+# spelling is ``repro.core.digest(h)`` (see docs/SERVICE.md).
+from repro.core.digest import hypergraph_digest as digest
+from repro.core.digest import hypergraph_digest
+
 __all__ = [
+    "digest",
+    "hypergraph_digest",
     "Hypergraph",
     "Graph",
     "Bipartition",

@@ -31,7 +31,6 @@ exact sequential behaviour).
 
 from __future__ import annotations
 
-import hashlib
 import random
 from collections.abc import Hashable
 from dataclasses import dataclass, field
@@ -52,6 +51,7 @@ from repro.core.complete_cut import (
     complete_cut,
     complete_cut_weighted,
 )
+from repro.core.digest import hypergraph_digest
 from repro.core.dual_cut import (
     GraphCut,
     PartialBipartition,
@@ -363,22 +363,12 @@ def _rank_key(
 # ----------------------------------------------------------------------
 
 
-def _hypergraph_digest(hypergraph: Hypergraph) -> str:
-    """Order-independent content hash binding a journal to its instance.
-
-    A resumed run must be partitioning the *same* hypergraph the journal
-    was written for — replaying start records against a different
-    instance would silently return a cut of the wrong netlist.
-    """
-    vertices = sorted(
-        (repr(v), hypergraph.vertex_weight(v)) for v in hypergraph.vertices
-    )
-    edges = sorted(
-        (repr(name), sorted(repr(m) for m in members), hypergraph.edge_weight(name))
-        for name, members in hypergraph.edges.items()
-    )
-    blob = repr((vertices, edges)).encode("utf-8")
-    return hashlib.sha256(blob).hexdigest()
+# A resumed run must be partitioning the *same* hypergraph the journal
+# was written for — replaying start records against a different instance
+# would silently return a cut of the wrong netlist.  The content hash
+# that enforces this is shared with the service result cache:
+# :func:`repro.core.digest.hypergraph_digest`.
+_hypergraph_digest = hypergraph_digest
 
 
 def _start_value(

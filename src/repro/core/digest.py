@@ -1,0 +1,49 @@
+"""Content digest of a hypergraph — the canonical cache/journal identity.
+
+One SHA-256 identifies a hypergraph by *content*: its vertex labels and
+weights plus its named, weighted hyperedges — nothing else.  Everything
+that keys work by instance shares this single implementation:
+
+* the multi-start journal layer binds a ``--journal`` file to its
+  instance with it (resuming against a different netlist must fail);
+* the partition service (:mod:`repro.server`) keys its content-addressed
+  result cache by ``(digest, settings fingerprint)``, so two clients
+  submitting the same netlist — however they built or ordered it — hit
+  the same cache entry.
+
+Stability contract
+------------------
+The digest is **insertion-order independent**: vertices and edges are
+sorted by ``repr`` before hashing, so two construction orders of the
+same hypergraph digest identically.  It is **weight sensitive**: any
+vertex- or edge-weight change, any membership change, and any label
+rename produces a different digest.  ``tests/test_digest.py`` pins both
+halves of the contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.hypergraph import Hypergraph
+
+__all__ = ["hypergraph_digest"]
+
+
+def hypergraph_digest(hypergraph: Hypergraph) -> str:
+    """Order-independent SHA-256 content hash of ``hypergraph``.
+
+    Two hypergraphs digest equally iff they compare equal under
+    ``Hypergraph.__eq__`` (same labelled vertices with the same weights,
+    same named edges over the same members with the same weights) —
+    construction order and internal slot layout never matter.
+    """
+    vertices = sorted(
+        (repr(v), hypergraph.vertex_weight(v)) for v in hypergraph.vertices
+    )
+    edges = sorted(
+        (repr(name), sorted(repr(m) for m in members), hypergraph.edge_weight(name))
+        for name, members in hypergraph.edges.items()
+    )
+    blob = repr((vertices, edges)).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()

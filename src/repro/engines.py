@@ -1,0 +1,102 @@
+"""The shared partition-engine registry: one name -> run mapping.
+
+Both repeat-invocation front ends — the ``BENCH_*.json`` regression
+harness (:mod:`repro.bench`) and the partition service
+(:mod:`repro.server`) — execute engines by name with deterministic
+settings.  They must agree *exactly*: a bench pair replayed through the
+daemon (``bench --server``) has to report the same cut as a local run,
+and a service cache entry must be reproducible from its settings
+fingerprint alone.  So the name -> engine dispatch lives here, in one
+place, and every front end imports it.
+
+Every engine is a deterministic function of ``(hypergraph, seed,
+starts)``; ``deadline`` only ever *truncates* work (best-so-far result,
+``degraded=True``), never changes the fault-free answer.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    fiduccia_mattheyses,
+    kernighan_lin,
+    random_cut,
+    simulated_annealing,
+    spectral_bisection,
+)
+from repro.baselines.simulated_annealing import AnnealingSchedule
+from repro.core.algorithm1 import algorithm1
+from repro.core.hypergraph import Hypergraph
+from repro.runtime import Deadline
+
+__all__ = ["ALL_ENGINES", "DEFAULT_ENGINES", "EngineError", "run_engine"]
+
+#: Engines in the default sweep.  ``spectral`` joined once its Fiedler
+#: order was canonicalized (quantize + sign fix + vertex-index
+#: tie-break, see ``repro.baselines.spectral``) — its cut is now a
+#: deterministic function of the hypergraph, safe for the exact gate.
+DEFAULT_ENGINES = ("algorithm1", "fm", "kl", "sa", "random", "spectral")
+
+ALL_ENGINES = DEFAULT_ENGINES
+
+#: Bounded SA schedule so repeat-invocation runs stay minutes-free and
+#: each engine run sits well under a second (keeping the bench runtime
+#: gate's absolute noise floor meaningful); the full-length schedule
+#: belongs to the paper-table experiments, not to bench or the service.
+BOUNDED_SA_SCHEDULE = AnnealingSchedule(
+    alpha=0.9, max_total_moves=20_000, min_temperature=1e-2, frozen_after=2
+)
+
+
+class EngineError(ValueError):
+    """Raised when an unknown engine name is dispatched."""
+
+
+def _base_extras(result) -> dict:
+    return {"degraded": result.degraded, "degrade_reason": result.degrade_reason}
+
+
+def run_engine(
+    engine: str,
+    h: Hypergraph,
+    seed: int,
+    starts: int,
+    deadline: Deadline | None = None,
+    balance_tolerance: float = 0.1,
+) -> tuple:
+    """Run one engine by name; returns ``(bipartition, extras)``.
+
+    ``extras`` is a JSON-ready dict always carrying ``degraded`` (and,
+    for ``algorithm1``, the per-phase timings and work counters).
+    """
+    if engine == "algorithm1":
+        result = algorithm1(
+            h,
+            num_starts=starts,
+            seed=seed,
+            balance_tolerance=balance_tolerance,
+            deadline=deadline,
+        )
+        return result.bipartition, {
+            "phases": dict(result.timings),
+            "work_counters": dict(result.counters),
+            "degraded": result.degraded,
+            "degrade_reason": result.degrade_reason,
+        }
+    if engine == "fm":
+        result = fiduccia_mattheyses(h, seed=seed, deadline=deadline)
+        return result.bipartition, _base_extras(result)
+    if engine == "kl":
+        result = kernighan_lin(h, seed=seed, deadline=deadline)
+        return result.bipartition, _base_extras(result)
+    if engine == "sa":
+        result = simulated_annealing(
+            h, schedule=BOUNDED_SA_SCHEDULE, seed=seed, deadline=deadline
+        )
+        return result.bipartition, _base_extras(result)
+    if engine == "random":
+        result = random_cut(h, num_starts=starts, seed=seed, deadline=deadline)
+        return result.bipartition, _base_extras(result)
+    if engine == "spectral":
+        result = spectral_bisection(h, seed=seed, deadline=deadline)
+        return result.bipartition, _base_extras(result)
+    raise EngineError(f"unknown engine {engine!r}; choose from {ALL_ENGINES}")

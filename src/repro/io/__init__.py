@@ -25,7 +25,9 @@ from repro.io.hgr import HgrFormatError, format_hgr, parse_hgr, read_hgr, write_
 from repro.io.json_io import (
     JsonFormatError,
     hypergraph_from_json,
+    hypergraph_from_payload,
     hypergraph_to_json,
+    hypergraph_to_payload,
     read_json,
     write_json,
 )
@@ -46,6 +48,8 @@ __all__ = [
     "write_hgr",
     "hypergraph_to_json",
     "hypergraph_from_json",
+    "hypergraph_to_payload",
+    "hypergraph_from_payload",
     "read_json",
     "write_json",
     "format_parts",

@@ -37,9 +37,13 @@ def _decode_label(obj):
     return obj
 
 
-def hypergraph_to_json(hypergraph: Hypergraph) -> str:
-    """Serialize to a JSON string (stable key order for diffs)."""
-    payload = {
+def hypergraph_to_payload(hypergraph: Hypergraph) -> dict:
+    """The JSON-ready dict form (the schema above, before serialization).
+
+    Used directly by callers embedding a hypergraph inside a larger JSON
+    document — e.g. a :mod:`repro.server` partition request.
+    """
+    return {
         "vertices": [
             [_encode_label(v), hypergraph.vertex_weight(v)] for v in hypergraph.vertices
         ],
@@ -52,7 +56,11 @@ def hypergraph_to_json(hypergraph: Hypergraph) -> str:
             for name in hypergraph.edge_names
         ],
     }
-    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def hypergraph_to_json(hypergraph: Hypergraph) -> str:
+    """Serialize to a JSON string (stable key order for diffs)."""
+    return json.dumps(hypergraph_to_payload(hypergraph), indent=2, sort_keys=False)
 
 
 def hypergraph_from_json(text: str) -> Hypergraph:
@@ -66,6 +74,16 @@ def hypergraph_from_json(text: str) -> Hypergraph:
         payload = json.loads(text)
     except json.JSONDecodeError as exc:
         raise JsonFormatError(f"invalid JSON: {exc.msg}", line=exc.lineno) from None
+    return hypergraph_from_payload(payload)
+
+
+def hypergraph_from_payload(payload) -> Hypergraph:
+    """Validate and build a hypergraph from the already-decoded dict form.
+
+    The dict-level half of :func:`hypergraph_from_json`; raises
+    :class:`JsonFormatError` (never a bare ``KeyError``/``TypeError``)
+    on structurally wrong payloads.
+    """
     if not isinstance(payload, dict) or "vertices" not in payload or "edges" not in payload:
         raise JsonFormatError("JSON hypergraph must have 'vertices' and 'edges' keys")
     if not isinstance(payload["vertices"], list) or not isinstance(payload["edges"], list):

@@ -222,6 +222,16 @@ class SupervisedPool:
         task reaches its *final* :class:`TaskResult` (retries do not
         fire it).  Journaling callers checkpoint completed work here;
         exceptions from the callback propagate and abort the map.
+    sequential_fallback:
+        When ``False``, a task that exhausts its retry budget (or whose
+        worker cannot be spawned) becomes a failed :class:`TaskResult`
+        instead of getting the hardened in-process attempt.  Long-lived
+        parents — the partition daemon above all — set this: running a
+        crashing task in the serving process would trade one lost
+        request for the process the budget and timeout exist to protect.
+        (On platforms without the ``fork`` start method the pool still
+        degrades to sequential execution regardless — there is no worker
+        process to protect the parent with in the first place.)
     poll_interval:
         Supervisor wake-up granularity (also the hang/deadline/memory
         detection latency bound).
@@ -238,6 +248,7 @@ class SupervisedPool:
         reseed: Callable[[Any, int], Any] | None = None,
         memory_limit_bytes: int | None = None,
         on_result: Callable[[TaskResult], None] | None = None,
+        sequential_fallback: bool = True,
         poll_interval: float = 0.02,
     ) -> None:
         if max_workers < 1:
@@ -258,6 +269,7 @@ class SupervisedPool:
         self.reseed = reseed or (lambda payload, attempt: payload)
         self.memory_limit_bytes = memory_limit_bytes
         self.on_result = on_result
+        self.sequential_fallback = sequential_fallback
         self.poll_interval = poll_interval
 
     # ------------------------------------------------------------------
@@ -319,9 +331,11 @@ class SupervisedPool:
                 report.retries += 1
                 obs.count("runtime.supervisor.retries")
                 queue.append((rec.key, self.reseed(rec.payload, next_attempt), next_attempt))
-            elif hung:
-                # Never rerun a hung task in-process: the parent cannot
-                # SIGTERM itself, so an in-process hang would be unbounded.
+            elif hung or not self.sequential_fallback:
+                # Never rerun a hung task in-process (the parent cannot
+                # SIGTERM itself, so an in-process hang would be
+                # unbounded) — and never rerun anything in-process when
+                # the caller disabled the fallback to protect itself.
                 self._finish(
                     results, TaskResult(key=rec.key, attempts=next_attempt, error=reason)
                 )
@@ -387,8 +401,19 @@ class SupervisedPool:
                     child_conn.close()
                 except OSError as exc:
                     # Cannot fork at all (fd/process limits): the pool is
-                    # effectively broken — run this task sequentially.
+                    # effectively broken — run this task sequentially,
+                    # unless the caller forbade in-process execution.
                     obs.count("runtime.supervisor.spawn_failures")
+                    if not self.sequential_fallback:
+                        self._finish(
+                            results,
+                            TaskResult(
+                                key=key,
+                                attempts=attempt + 1,
+                                error=f"spawn failed: {exc}",
+                            ),
+                        )
+                        continue
                     self._finish(
                         results,
                         self._run_sequential(

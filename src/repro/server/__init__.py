@@ -1,0 +1,54 @@
+"""``repro.server`` — partition-as-a-service.
+
+A long-running daemon (``repro-partition serve``) that accepts
+partition/place requests as JSON over HTTP (TCP or a local ``AF_UNIX``
+socket), executes them on a shared supervised worker pool with
+per-request deadlines and memory budgets, batches concurrent requests,
+coalesces identical in-flight ones, and caches completed results
+content-addressed by ``(hypergraph digest, settings fingerprint)``.
+
+Pieces:
+
+* :mod:`repro.server.protocol` — request parsing/validation (typed
+  :class:`~repro.server.protocol.RequestError`), cache keys, canonical
+  byte encoding.
+* :mod:`repro.server.cache` — LRU + max-bytes content-addressed result
+  cache.
+* :mod:`repro.server.batching` — the request broker (batch window,
+  in-flight dedupe).
+* :mod:`repro.server.app` — the daemon itself
+  (:class:`~repro.server.app.PartitionService`).
+* :mod:`repro.server.client` — a small blocking client
+  (:class:`~repro.server.client.ServiceClient`).
+
+See ``docs/SERVICE.md`` for the protocol, cache-key semantics, degraded
+responses, and deployment knobs.
+"""
+
+from repro.server.app import PartitionService, ServiceConfig, ServiceError
+from repro.server.batching import RequestBroker
+from repro.server.cache import ResultCache
+from repro.server.client import ServiceClient, ServiceClientError, ServiceResponseError
+from repro.server.protocol import (
+    RequestError,
+    ServiceRequest,
+    canonical_bytes,
+    error_payload,
+    parse_request,
+)
+
+__all__ = [
+    "PartitionService",
+    "RequestBroker",
+    "RequestError",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceRequest",
+    "ServiceResponseError",
+    "canonical_bytes",
+    "error_payload",
+    "parse_request",
+]

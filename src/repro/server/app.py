@@ -1,0 +1,587 @@
+"""The partition daemon: HTTP front end, supervised execution, caching.
+
+Request lifecycle
+-----------------
+
+1. A handler thread reads the body and parses it
+   (:func:`repro.server.protocol.parse_request`); malformed requests
+   stop here with a structured 400.
+2. The content-addressed cache is probed (``digest:fingerprint``); a
+   hit splices the stored canonical bytes into the response — the
+   result section is byte-identical to the cold run that produced it.
+3. A miss goes through the :class:`~repro.server.batching.RequestBroker`
+   which coalesces identical in-flight requests and batches distinct
+   ones onto a shared :class:`~repro.runtime.SupervisedPool`.
+4. The pool executes :func:`_service_worker` in a forked child under
+   the configured per-task timeout and memory budget.  Crashes, hangs
+   and budget overruns surface as **typed error responses** (500) while
+   the daemon itself stays up — the pool is built with
+   ``sequential_fallback=False`` precisely so failing work is never
+   pulled into the serving process.
+5. Fault-free, non-degraded results are cached; degraded (deadline-cut)
+   results are served but *not* cached, since they depend on wall-clock
+   luck rather than request content.
+
+Thread/fork safety: the worker enters ``obs.scoped()`` first thing, so
+the forked child swaps in a fresh registry (and, crucially, a fresh
+lock — a handler thread holding the parent registry's lock at fork time
+must not deadlock the child).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import socketserver
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro import obs
+from repro.engines import run_engine
+from repro.io.json_io import _encode_label
+from repro.placement import (
+    SlotGrid,
+    annealing_place,
+    mincut_place,
+    quadratic_place,
+)
+from repro.runtime import Deadline, SupervisedPool, faults
+from repro.server.batching import RequestBroker
+from repro.server.cache import ResultCache
+from repro.server.protocol import (
+    MAX_REQUEST_BYTES,
+    RequestError,
+    ServiceRequest,
+    canonical_bytes,
+    error_payload,
+    parse_request,
+)
+
+__all__ = ["PartitionService", "ServiceConfig", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """Raised on daemon misconfiguration (bad socket path, reuse, ...)."""
+
+
+@dataclass
+class ServiceConfig:
+    """Deployment knobs for one daemon (see ``docs/SERVICE.md``)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = let the OS pick (the flake-free test default)
+    socket_path: str | None = None  # set -> AF_UNIX instead of TCP
+    workers: int = 2
+    task_timeout: float | None = None
+    max_retries: int = 1
+    memory_limit_mb: float | None = None
+    cache_max_bytes: int = 64 << 20
+    cache_max_entries: int = 4096
+    batch_window: float = 0.005
+    obs_enabled: bool = True
+
+
+# ----------------------------------------------------------------------
+# Worker side (runs in a forked pool child)
+# ----------------------------------------------------------------------
+
+
+def _partition_body(request: ServiceRequest, deadline: Deadline | None) -> dict:
+    settings = request.settings
+    bipartition, extras = run_engine(
+        request.engine,
+        request.hypergraph,
+        seed=settings["seed"],
+        starts=settings["starts"],
+        deadline=deadline,
+        balance_tolerance=settings["balance_tolerance"],
+    )
+    return {
+        "op": "partition",
+        "engine": request.engine,
+        "digest": request.digest,
+        "fingerprint": request.fingerprint,
+        "settings": settings,
+        "cutsize": bipartition.cutsize,
+        "weighted_cutsize": bipartition.weighted_cutsize,
+        "imbalance_fraction": bipartition.weight_imbalance_fraction,
+        "left": sorted((_encode_label(v) for v in bipartition.left), key=repr),
+        "right": sorted((_encode_label(v) for v in bipartition.right), key=repr),
+        "degraded": bool(extras.get("degraded")),
+        "degrade_reason": extras.get("degrade_reason"),
+    }
+
+
+def _place_body(request: ServiceRequest, deadline: Deadline | None) -> dict:
+    settings = request.settings
+    grid = None
+    if settings["rows"] and settings["cols"]:
+        grid = SlotGrid(settings["rows"], settings["cols"])
+    if request.engine == "mincut":
+        result = mincut_place(
+            request.hypergraph,
+            grid=grid,
+            partitioner=settings["partitioner"],
+            seed=settings["seed"],
+            deadline=deadline,
+        )
+    elif request.engine == "annealing":
+        result = annealing_place(
+            request.hypergraph, grid=grid, seed=settings["seed"], deadline=deadline
+        )
+    else:
+        result = quadratic_place(
+            request.hypergraph, grid=grid, seed=settings["seed"], deadline=deadline
+        )
+    positions = sorted(result.positions.items(), key=lambda item: repr(item[0]))
+    return {
+        "op": "place",
+        "placer": request.engine,
+        "digest": request.digest,
+        "fingerprint": request.fingerprint,
+        "settings": settings,
+        "grid": {"rows": result.grid.rows, "cols": result.grid.cols},
+        "positions": [
+            [_encode_label(v), [row, col]] for v, (row, col) in positions
+        ],
+        "total_hpwl": result.total_hpwl,
+        "cut_sizes": list(result.cut_sizes),
+        "degraded": bool(result.degraded),
+        "degrade_reason": result.degrade_reason,
+    }
+
+
+def _service_worker(payload: dict) -> dict:
+    """Execute one validated request inside a forked pool child.
+
+    Module-level (not a closure) so the supervisor can run it in both
+    forked and sequential-fallback modes; returns a JSON-ready dict that
+    pickles cleanly through the result pipe.
+    """
+    request: ServiceRequest = payload["request"]
+    # Fresh registry *and* fresh lock before anything else — see the
+    # module docstring's fork-safety note.
+    with obs.scoped(activate=payload["obs"]) as registry:
+        faults.inject("server.request")
+        deadline = Deadline.coerce(request.settings["deadline_seconds"])
+        with obs.span(f"server.execute.{request.op}"):
+            if request.op == "partition":
+                body = _partition_body(request, deadline)
+            else:
+                body = _place_body(request, deadline)
+        snapshot = registry.snapshot() if payload["obs"] else None
+    return {"body": body, "obs": snapshot}
+
+
+# ----------------------------------------------------------------------
+# Outcomes crossing the broker boundary
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Success:
+    body_bytes: bytes
+    attempts: int
+    degraded: bool
+
+
+@dataclass(frozen=True)
+class _Failure:
+    error_type: str
+    message: str
+    attempts: int
+
+
+def _classify_failure(message: str) -> str:
+    """Map a supervisor failure message onto a stable typed error name."""
+    text = message.lower()
+    if "memory budget" in text or "memoryerror" in text:
+        return "MemoryBudgetExceeded"
+    if "hung past" in text:
+        return "WorkerHung"
+    if "died without a result" in text:
+        return "WorkerCrashed"
+    if "deadline expired" in text:
+        return "DeadlineExpired"
+    if "spawn failed" in text:
+        return "WorkerSpawnFailed"
+    return "ExecutionFailed"
+
+
+# ----------------------------------------------------------------------
+# HTTP plumbing
+# ----------------------------------------------------------------------
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    service: "PartitionService" = None  # attached by PartitionService.start
+
+
+class _UnixServiceHTTPServer(_ServiceHTTPServer):
+    """HTTP over an ``AF_UNIX`` stream socket (local-only deployments)."""
+
+    address_family = socket.AF_UNIX
+
+    def server_bind(self):
+        # HTTPServer.server_bind assumes a (host, port) address; for a
+        # path-addressed socket do the raw bind and fake the name fields
+        # BaseHTTPRequestHandler wants for response headers.
+        socketserver.TCPServer.server_bind(self)
+        self.server_name = "localhost"
+        self.server_port = 0
+
+    def get_request(self):
+        request, _ = self.socket.accept()
+        return request, ("local", 0)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    # A stalled keep-alive connection releases its handler thread.
+    timeout = 30
+
+    _POST_OPS = {"/partition": "partition", "/place": "place", "/": None}
+
+    @property
+    def service(self) -> "PartitionService":
+        return self.server.service
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # the daemon's observability lives in /metrics, not stderr
+
+    def _send(self, status: int, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_payload(self, status: int, exc: Exception, **kwargs) -> None:
+        self._send(status, canonical_bytes(error_payload(exc, **kwargs)))
+
+    def do_GET(self):
+        try:
+            if self.path == "/healthz":
+                self._send(200, canonical_bytes(self.service.health()))
+            elif self.path == "/metrics":
+                self._send(200, canonical_bytes(self.service.metrics()))
+            else:
+                self._send_error_payload(
+                    404,
+                    RequestError(
+                        f"no such endpoint {self.path!r}; GET serves "
+                        "/healthz and /metrics"
+                    ),
+                    error_type="NotFound",
+                )
+        except Exception as exc:  # never leak a traceback to the client
+            self._send_error_payload(500, exc, error_type="InternalError")
+
+    def do_POST(self):
+        try:
+            if self.path not in self._POST_OPS:
+                self._send_error_payload(
+                    404,
+                    RequestError(
+                        f"no such endpoint {self.path!r}; POST serves "
+                        "/partition, /place and /"
+                    ),
+                    error_type="NotFound",
+                )
+                return
+            length_header = self.headers.get("Content-Length")
+            try:
+                length = int(length_header)
+            except (TypeError, ValueError):
+                self._send_error_payload(
+                    411,
+                    RequestError("a Content-Length header is required"),
+                    error_type="LengthRequired",
+                )
+                return
+            if length < 0 or length > MAX_REQUEST_BYTES:
+                self._send_error_payload(
+                    413,
+                    RequestError(
+                        f"Content-Length {length} is outside "
+                        f"[0, {MAX_REQUEST_BYTES}]"
+                    ),
+                    error_type="PayloadTooLarge",
+                )
+                return
+            raw = self.rfile.read(length)
+            status, body = self.service.handle_request(
+                raw, expected_op=self._POST_OPS[self.path]
+            )
+            self._send(status, body)
+        except Exception as exc:  # never leak a traceback to the client
+            try:
+                self._send_error_payload(500, exc, error_type="InternalError")
+            except Exception:
+                pass  # client already gone
+
+
+# ----------------------------------------------------------------------
+# The service
+# ----------------------------------------------------------------------
+
+
+class PartitionService:
+    """One partition daemon: pool + broker + cache + HTTP listener."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self._httpd: _ServiceHTTPServer | None = None
+        self._serve_thread: threading.Thread | None = None
+        self._started_at: float | None = None
+        self._tally_lock = threading.Lock()
+        self._tallies = {
+            "requests": 0,
+            "malformed": 0,
+            "hits": 0,
+            "misses": 0,
+            "coalesced": 0,
+            "executions": 0,
+            "failures": 0,
+            "degraded": 0,
+        }
+        cfg = self.config
+        self.cache = ResultCache(
+            max_bytes=cfg.cache_max_bytes, max_entries=cfg.cache_max_entries
+        )
+        self.pool = SupervisedPool(
+            _service_worker,
+            max_workers=cfg.workers,
+            task_timeout=cfg.task_timeout,
+            max_retries=cfg.max_retries,
+            memory_limit_bytes=(
+                int(cfg.memory_limit_mb * (1 << 20))
+                if cfg.memory_limit_mb is not None
+                else None
+            ),
+            # A crashing request must become a typed error response, not
+            # an in-process rerun of the thing that just killed a worker.
+            sequential_fallback=False,
+        )
+        self.broker = RequestBroker(
+            self._execute_batch, batch_window=cfg.batch_window
+        )
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "PartitionService":
+        if self._httpd is not None:
+            return self
+        cfg = self.config
+        if cfg.obs_enabled and not obs.is_enabled():
+            obs.enable()
+        if cfg.socket_path is not None:
+            if not hasattr(socket, "AF_UNIX"):
+                raise ServiceError(
+                    "AF_UNIX sockets are not available on this platform; "
+                    "use host/port instead"
+                )
+            self._claim_socket_path(cfg.socket_path)
+            httpd = _UnixServiceHTTPServer(cfg.socket_path, _Handler)
+        else:
+            httpd = _ServiceHTTPServer((cfg.host, cfg.port), _Handler)
+        httpd.service = self
+        self._httpd = httpd
+        self._started_at = time.time()
+        self.broker.start()
+        self._serve_thread = threading.Thread(
+            target=httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-server-http",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        return self
+
+    def stop(self) -> None:
+        httpd, self._httpd = self._httpd, None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=30.0)
+            self._serve_thread = None
+        self.broker.stop()
+        if self.config.socket_path is not None:
+            try:
+                os.unlink(self.config.socket_path)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "PartitionService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @staticmethod
+    def _claim_socket_path(path: str) -> None:
+        """Remove a stale socket file; refuse to steal a live one."""
+        if not os.path.exists(path):
+            return
+        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            probe.settimeout(0.25)
+            probe.connect(path)
+        except OSError:
+            os.unlink(path)  # nobody answering: stale leftover
+        else:
+            raise ServiceError(f"socket path {path!r} already has a live server")
+        finally:
+            probe.close()
+
+    @property
+    def address(self) -> tuple[str, int] | str:
+        """Bound TCP ``(host, port)`` or the UNIX socket path."""
+        if self._httpd is None:
+            raise ServiceError("service is not started")
+        if self.config.socket_path is not None:
+            return self.config.socket_path
+        host, port = self._httpd.server_address[:2]
+        return (host, port)
+
+    @property
+    def url(self) -> str:
+        address = self.address
+        if isinstance(address, str):
+            raise ServiceError("a UNIX-socket service has no http:// URL")
+        return f"http://{address[0]}:{address[1]}"
+
+    # -- request path --------------------------------------------------
+
+    def _tally(self, name: str, amount: int = 1) -> None:
+        with self._tally_lock:
+            self._tallies[name] += amount
+
+    def handle_request(
+        self, raw: bytes, expected_op: str | None = None
+    ) -> tuple[int, bytes]:
+        """Full request pipeline; returns ``(http_status, body_bytes)``."""
+        t0 = time.perf_counter()
+        self._tally("requests")
+        obs.count("server.requests")
+        try:
+            request = parse_request(raw, expected_op=expected_op)
+        except RequestError as exc:
+            self._tally("malformed")
+            obs.count("server.requests.malformed")
+            return 400, canonical_bytes(error_payload(exc))
+
+        cached = self.cache.get(request.cache_key)
+        if cached is not None:
+            self._tally("hits")
+            return 200, self._envelope(cached, "hit", t0, attempts=0)
+        self._tally("misses")
+
+        outcome, coalesced = self.broker.submit(request.cache_key, request)
+        if coalesced:
+            self._tally("coalesced")
+        if isinstance(outcome, _Success):
+            if outcome.degraded:
+                self._tally("degraded")
+            status = "coalesced" if coalesced else "miss"
+            return 200, self._envelope(
+                outcome.body_bytes, status, t0, attempts=outcome.attempts
+            )
+        if isinstance(outcome, _Failure):
+            body = error_payload(
+                RuntimeError(outcome.message), error_type=outcome.error_type
+            )
+            body["error"]["attempts"] = outcome.attempts
+            return 500, canonical_bytes(body)
+        # Broker-level exception (executor blew up, shutdown, ...).
+        exc = (
+            outcome
+            if isinstance(outcome, Exception)
+            else RuntimeError(f"unexpected outcome {outcome!r}")
+        )
+        status = 503 if "shutting down" in str(exc) else 500
+        return status, canonical_bytes(error_payload(exc, error_type="ServerError"))
+
+    def _envelope(
+        self, result_bytes: bytes, cache_status: str, t0: float, attempts: int
+    ) -> bytes:
+        """Splice canonical result bytes into the response envelope.
+
+        The ``result`` section is the stored/cold bytes verbatim — this
+        is what makes hit and cold responses byte-identical modulo the
+        ``served`` timing section.
+        """
+        served = {
+            "cache": cache_status,
+            "seconds": round(time.perf_counter() - t0, 6),
+            "attempts": attempts,
+        }
+        return (
+            b'{"result":' + result_bytes + b',"served":' + canonical_bytes(served) + b"}"
+        )
+
+    # -- executor (called from the broker dispatch thread) -------------
+
+    def _execute_batch(self, tasks: list) -> dict:
+        pool_tasks = [
+            (key, {"request": request, "obs": self.config.obs_enabled})
+            for key, request in tasks
+        ]
+        self._tally("executions", len(pool_tasks))
+        obs.count("server.executions", len(pool_tasks))
+        results, _report = self.pool.map(pool_tasks)
+        outcomes = {}
+        for task_result in results:
+            if task_result.ok:
+                body = task_result.value["body"]
+                body_bytes = canonical_bytes(body)
+                degraded = bool(body.get("degraded"))
+                if degraded:
+                    # A deadline-cut answer reflects wall-clock luck,
+                    # not request content: serving it is fine, caching
+                    # it would freeze the luck.
+                    obs.count("server.cache.uncacheable")
+                else:
+                    self.cache.put(task_result.key, body_bytes)
+                snapshot = task_result.value.get("obs")
+                if snapshot and obs.is_enabled():
+                    obs.registry().merge(snapshot)
+                outcomes[task_result.key] = _Success(
+                    body_bytes=body_bytes,
+                    attempts=task_result.attempts,
+                    degraded=degraded,
+                )
+            else:
+                message = task_result.error or "task failed"
+                self._tally("failures")
+                obs.count("server.errors")
+                outcomes[task_result.key] = _Failure(
+                    error_type=_classify_failure(message),
+                    message=message,
+                    attempts=task_result.attempts,
+                )
+        return outcomes
+
+    # -- introspection endpoints ---------------------------------------
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_seconds": round(time.time() - (self._started_at or time.time()), 3),
+            "workers": self.config.workers,
+            "transport": "unix" if self.config.socket_path else "tcp",
+        }
+
+    def metrics(self) -> dict:
+        with self._tally_lock:
+            service = dict(self._tallies)
+        return {
+            "service": service,
+            "cache": self.cache.stats(),
+            "broker": self.broker.stats(),
+            "obs": obs.registry().snapshot() if obs.is_enabled() else None,
+        }

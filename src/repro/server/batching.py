@@ -1,0 +1,178 @@
+"""Request batching and in-flight deduplication for the daemon.
+
+The HTTP layer is thread-per-connection; the execution layer is one
+shared :class:`~repro.runtime.SupervisedPool`.  The broker sits between
+them:
+
+* concurrent requests accumulate for a short **batch window** and are
+  submitted to the pool as one batch (one ``pool.map`` call), so N
+  simultaneous clients cost one supervision cycle, not N;
+* identical in-flight requests (same cache key) are **coalesced**: the
+  first becomes the pool task, the rest block on the same outcome and
+  are counted under ``server.dedupe.coalesced``.  N identical
+  concurrent requests therefore execute exactly once.
+
+The broker is generic over the execution function: ``execute_batch``
+receives ``[(key, payload), ...]`` (unique keys) and must return
+``{key: outcome}``.  If it raises, every waiter in the batch receives
+the exception object as its outcome — the dispatcher thread itself must
+never die, because a dead dispatcher hangs every future request.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro import obs
+
+__all__ = ["RequestBroker"]
+
+
+@dataclass
+class _Pending:
+    """One in-flight unique request and everyone waiting on it."""
+
+    key: str
+    payload: Any
+    done: threading.Event = field(default_factory=threading.Event)
+    outcome: Any = None
+    waiters: int = 1
+
+
+class RequestBroker:
+    """Batches unique requests; coalesces duplicate in-flight ones."""
+
+    def __init__(
+        self,
+        execute_batch: Callable[[list[tuple[str, Any]]], dict],
+        batch_window: float = 0.005,
+    ) -> None:
+        self._execute_batch = execute_batch
+        self.batch_window = batch_window
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._inflight: dict[str, _Pending] = {}
+        self._queue: list[_Pending] = []
+        self._stopping = False
+        self._thread: threading.Thread | None = None
+        # Always-on tallies for /metrics (obs counters mirror them).
+        self._submitted = 0
+        self._coalesced = 0
+        self._batches = 0
+        self._executed = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        with self._lock:
+            if self._thread is not None:
+                return
+            self._stopping = False
+            self._thread = threading.Thread(
+                target=self._dispatch_loop, name="repro-server-broker", daemon=True
+            )
+            self._thread.start()
+
+    def stop(self) -> None:
+        """Stop dispatching; fail queued-but-unstarted requests cleanly."""
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+            self._stopping = True
+            self._wakeup.notify_all()
+        if thread is not None:
+            thread.join(timeout=30.0)
+        with self._lock:
+            leftovers = self._queue
+            self._queue = []
+            for pending in leftovers:
+                self._inflight.pop(pending.key, None)
+        for pending in leftovers:
+            pending.outcome = RuntimeError("server is shutting down")
+            pending.done.set()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, key: str, payload: Any) -> tuple[Any, bool]:
+        """Execute (or join the in-flight execution of) ``key``.
+
+        Blocks until the outcome is available.  Returns ``(outcome,
+        coalesced)`` where ``coalesced`` is True when this call rode an
+        execution some earlier concurrent request started.
+        """
+        with self._lock:
+            self._submitted += 1
+            pending = self._inflight.get(key)
+            if pending is not None:
+                pending.waiters += 1
+                self._coalesced += 1
+                coalesced = True
+            else:
+                pending = _Pending(key=key, payload=payload)
+                self._inflight[key] = pending
+                self._queue.append(pending)
+                coalesced = False
+                self._wakeup.notify_all()
+        if coalesced:
+            obs.count("server.dedupe.coalesced")
+        pending.done.wait()
+        return pending.outcome, coalesced
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "submitted": self._submitted,
+                "coalesced": self._coalesced,
+                "batches": self._batches,
+                "executed": self._executed,
+                "inflight": len(self._inflight),
+            }
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._stopping:
+                    self._wakeup.wait()
+                if self._stopping:
+                    return
+            # Let concurrent arrivals pile into the same batch.  The
+            # window trades a few ms of latency for one supervision
+            # cycle per burst; coalescing (above) happens regardless.
+            if self.batch_window > 0:
+                threading.Event().wait(self.batch_window)
+            with self._lock:
+                batch = self._queue
+                self._queue = []
+                self._batches += 1
+                self._executed += len(batch)
+            obs.count("server.batches")
+            obs.count("server.batch.requests", len(batch))
+            try:
+                with obs.span("server.batch"):
+                    outcomes = self._execute_batch(
+                        [(p.key, p.payload) for p in batch]
+                    )
+            except Exception as exc:  # keep the dispatcher alive
+                outcomes = {p.key: exc for p in batch}
+            for pending in batch:
+                outcome = outcomes.get(
+                    pending.key,
+                    RuntimeError(f"executor returned no outcome for {pending.key}"),
+                )
+                with self._lock:
+                    self._inflight.pop(pending.key, None)
+                    pending.outcome = outcome
+                # Set *after* the key leaves the in-flight map so a
+                # waiter that saw the outcome can immediately re-submit
+                # and get a fresh execution, not a stale coalesce.
+                pending.done.set()

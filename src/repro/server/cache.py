@@ -1,0 +1,124 @@
+"""Content-addressed LRU result cache with a byte budget.
+
+Keys are the ``digest:fingerprint`` strings from
+:mod:`repro.server.protocol`; values are the **canonical result bytes**
+(`canonical_bytes` of the result body).  Storing bytes rather than dicts
+is what makes the cache-hit byte-identity guarantee structural: a hit
+response splices the stored bytes straight into the envelope, so it
+cannot differ from the cold-run response it was cut from.
+
+Eviction is LRU, driven by both an entry count and a byte budget; an
+oversized single value is rejected outright rather than wiping the
+cache to make room.  Counters flow two ways:
+
+* through :mod:`repro.obs` (``server.cache.hits`` / ``.misses`` /
+  ``.evictions`` / ``.insertions`` / ``.rejected``) when observability
+  is enabled — zero-cost when disabled, like every other obs site;
+* into an always-on internal tally exposed by :meth:`ResultCache.stats`
+  so the ``/metrics`` endpoint works even with obs off.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro import obs
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Thread-safe LRU mapping of cache keys to canonical result bytes."""
+
+    def __init__(self, max_bytes: int = 64 << 20, max_entries: int = 4096) -> None:
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_bytes = int(max_bytes)
+        self.max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, bytes] = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._insertions = 0
+        self._rejected = 0
+
+    def get(self, key: str) -> bytes | None:
+        """Return the cached bytes for ``key`` (refreshing LRU) or None."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self._misses += 1
+                obs.count("server.cache.misses")
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            obs.count("server.cache.hits")
+            return value
+
+    def put(self, key: str, value: bytes) -> bool:
+        """Insert ``value`` under ``key``, evicting LRU entries to fit.
+
+        Returns False (and counts a rejection) when the value alone
+        exceeds the byte budget — caching it would evict everything else
+        for a single entry.
+        """
+        size = len(value)
+        if size > self.max_bytes:
+            with self._lock:
+                self._rejected += 1
+            obs.count("server.cache.rejected")
+            return False
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= len(old)
+            self._entries[key] = value
+            self._bytes += size
+            self._insertions += 1
+            evicted = 0
+            while self._entries and (
+                self._bytes > self.max_bytes or len(self._entries) > self.max_entries
+            ):
+                stale_key, stale = self._entries.popitem(last=False)
+                self._bytes -= len(stale)
+                evicted += 1
+            self._evictions += evicted
+        obs.count("server.cache.insertions")
+        if evicted:
+            obs.count("server.cache.evictions", evicted)
+        obs.gauge("server.cache.bytes", self._bytes)
+        obs.gauge("server.cache.entries", len(self._entries))
+        return True
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def stats(self) -> dict:
+        """Always-on counters for ``/metrics`` (independent of obs)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "max_entries": self.max_entries,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "insertions": self._insertions,
+                "rejected": self._rejected,
+            }

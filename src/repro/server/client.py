@@ -1,0 +1,184 @@
+"""A small blocking client for the partition daemon.
+
+Speaks the :mod:`repro.server.protocol` JSON over TCP or an ``AF_UNIX``
+socket (one connection per request, ``Connection: close`` — the daemon
+is thread-per-connection, so connection reuse buys nothing and keeps
+handler threads pinned).  Error responses raise
+:class:`ServiceResponseError` carrying the structured error body, so
+callers branch on ``exc.error_type`` instead of parsing messages.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from urllib.parse import urlsplit
+
+from repro.core.hypergraph import Hypergraph
+from repro.io.json_io import hypergraph_to_payload
+
+__all__ = ["ServiceClient", "ServiceClientError", "ServiceResponseError"]
+
+
+class ServiceClientError(RuntimeError):
+    """Transport-level failure: cannot reach or parse the daemon."""
+
+
+class ServiceResponseError(ServiceClientError):
+    """The daemon answered with a structured error body."""
+
+    def __init__(self, status: int, error: dict) -> None:
+        self.status = status
+        self.error = error
+        self.error_type = error.get("type", "Unknown")
+        super().__init__(
+            f"HTTP {status}: [{self.error_type}] {error.get('message', '')}"
+        )
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """``http.client`` over an ``AF_UNIX`` stream socket."""
+
+    def __init__(self, path: str, timeout: float) -> None:
+        super().__init__("localhost", timeout=timeout)
+        self._path = path
+
+    def connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        sock.connect(self._path)
+        self.sock = sock
+
+
+class ServiceClient:
+    """Blocking JSON client for one daemon (TCP URL or UNIX socket path)."""
+
+    def __init__(
+        self,
+        url: str | None = None,
+        socket_path: str | None = None,
+        timeout: float = 120.0,
+    ) -> None:
+        if (url is None) == (socket_path is None):
+            raise ServiceClientError(
+                "give exactly one of url= (TCP) or socket_path= (AF_UNIX)"
+            )
+        self.timeout = timeout
+        self.socket_path = socket_path
+        self.host = self.port = None
+        if url is not None:
+            parts = urlsplit(url if "//" in url else f"http://{url}")
+            if parts.scheme not in ("", "http") or parts.hostname is None:
+                raise ServiceClientError(f"unsupported service URL {url!r}")
+            self.host = parts.hostname
+            self.port = parts.port or 80
+
+    # -- transport -----------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self.socket_path is not None:
+            return _UnixHTTPConnection(self.socket_path, self.timeout)
+        return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    def request_raw(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, bytes]:
+        """One HTTP round trip; returns ``(status, body_bytes)``."""
+        conn = self._connection()
+        try:
+            headers = {"Connection": "close"}
+            if body is not None:
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            return response.status, response.read()
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServiceClientError(
+                f"{method} {path} failed: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+
+    def request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        """Round trip + JSON decode; raises on structured error bodies."""
+        body = (
+            json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+            if payload is not None
+            else None
+        )
+        status, raw = self.request_raw(method, path, body)
+        try:
+            decoded = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceClientError(
+                f"{method} {path}: daemon sent undecodable body ({exc})"
+            ) from None
+        if status != 200:
+            raise ServiceResponseError(status, decoded.get("error", {}))
+        return decoded
+
+    # -- readiness -----------------------------------------------------
+
+    def wait_ready(self, timeout: float = 10.0, interval: float = 0.02) -> dict:
+        """Poll ``/healthz`` until the daemon answers (no sleeps-and-hope).
+
+        Returns the health payload; raises :class:`ServiceClientError`
+        if the daemon is not up within ``timeout`` seconds.
+        """
+        t0 = time.monotonic()
+        last_error: Exception | None = None
+        while time.monotonic() - t0 < timeout:
+            try:
+                return self.healthz()
+            except ServiceClientError as exc:
+                last_error = exc
+                time.sleep(interval)
+        raise ServiceClientError(
+            f"daemon not ready after {timeout}s (last error: {last_error})"
+        )
+
+    # -- endpoints -----------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self.request("GET", "/metrics")
+
+    def partition(
+        self,
+        hypergraph: Hypergraph | dict,
+        engine: str = "algorithm1",
+        settings: dict | None = None,
+    ) -> dict:
+        """Partition a hypergraph (object or already-encoded payload)."""
+        return self.request("POST", "/partition", self._body(
+            "partition", hypergraph, {"engine": engine}, settings
+        ))
+
+    def place(
+        self,
+        hypergraph: Hypergraph | dict,
+        placer: str = "mincut",
+        settings: dict | None = None,
+    ) -> dict:
+        """Place a hypergraph (object or already-encoded payload)."""
+        return self.request("POST", "/place", self._body(
+            "place", hypergraph, {"placer": placer}, settings
+        ))
+
+    @staticmethod
+    def _body(
+        op: str, hypergraph: Hypergraph | dict, engine_key: dict, settings: dict | None
+    ) -> dict:
+        payload = (
+            hypergraph_to_payload(hypergraph)
+            if isinstance(hypergraph, Hypergraph)
+            else hypergraph
+        )
+        body = {"op": op, "hypergraph": payload, **engine_key}
+        if settings:
+            body["settings"] = settings
+        return body

@@ -1,0 +1,661 @@
+"""Black-box tests for the partition service (``repro.server``).
+
+Everything here talks to a real daemon over a real transport (TCP on an
+OS-assigned port, or an AF_UNIX socket in a tmpdir) through
+:class:`repro.server.ServiceClient` — no reaching into service
+internals except via ``/metrics``.  Covered:
+
+* cache-hit responses byte-identical to the cold run (modulo the
+  ``served`` timing section);
+* N identical concurrent requests coalescing onto exactly one pool
+  execution;
+* per-request deadline enforcement (degraded results served, never
+  cached);
+* LRU eviction under a tiny byte budget;
+* structured error responses for every malformed-payload shape — typed
+  ``RequestError`` context, never a stack trace;
+* cache/dedupe observability in ``/metrics`` (and the disabled-path
+  zero-cost contract from ``tests/test_obs.py``);
+* a hypothesis property: any interleaving of distinct/duplicate
+  requests returns the same cuts as sequential cold runs.
+
+Fixtures bind port 0 / tmpdir sockets, poll readiness (no sleeps), and
+tear the daemon down, so ``-x -q`` stays deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import socket as socket_module
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.core.hypergraph import Hypergraph
+from repro.engines import run_engine
+from repro.io.json_io import hypergraph_to_payload
+from repro.placement import mincut_place
+from repro.server import (
+    PartitionService,
+    ServiceClient,
+    ServiceClientError,
+    ServiceConfig,
+    ServiceError,
+    ServiceResponseError,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::pytest.PytestUnhandledThreadExceptionWarning")
+
+
+@pytest.fixture(autouse=True)
+def _obs_reset():
+    """The daemon enables obs; leave the global switchboard clean."""
+    obs.disable()
+    obs.registry().clear()
+    yield
+    obs.disable()
+    obs.registry().clear()
+
+
+def _graph(seed_edges) -> Hypergraph:
+    h = Hypergraph(vertices=range(12))
+    for i, pins in enumerate(seed_edges):
+        h.add_edge(list(pins), name=f"n{i}")
+    return h
+
+
+EDGESETS = [
+    [(0, 1, 2), (2, 3), (3, 4, 5), (5, 6), (6, 7, 8), (8, 9), (9, 10, 11), (11, 0)],
+    [(0, 3), (1, 4), (2, 5), (0, 1, 2), (3, 4, 5), (6, 7, 8, 9), (9, 10, 11), (5, 6)],
+]
+
+
+@pytest.fixture
+def h() -> Hypergraph:
+    return _graph(EDGESETS[0])
+
+
+@pytest.fixture
+def service():
+    svc = PartitionService(ServiceConfig(port=0, workers=2, batch_window=0.002)).start()
+    client = ServiceClient(url=svc.url, timeout=120.0)
+    client.wait_ready(timeout=10.0)
+    yield svc, client
+    svc.stop()
+
+
+def _post_raw(client: ServiceClient, body: dict | bytes, path: str = "/partition"):
+    raw = (
+        body
+        if isinstance(body, bytes)
+        else json.dumps(body).encode("utf-8")
+    )
+    return client.request_raw("POST", path, raw)
+
+
+def _partition_body(h: Hypergraph, engine: str = "fm", **settings) -> dict:
+    body = {"op": "partition", "engine": engine, "hypergraph": hypergraph_to_payload(h)}
+    if settings:
+        body["settings"] = settings
+    return body
+
+
+class TestLifecycle:
+    def test_healthz(self, service):
+        _, client = service
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["transport"] == "tcp"
+        assert health["uptime_seconds"] >= 0
+
+    def test_wait_ready_times_out_against_nothing(self):
+        # Grab a port that nothing is listening on.
+        probe = socket_module.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = ServiceClient(url=f"http://127.0.0.1:{port}", timeout=0.2)
+        with pytest.raises(ServiceClientError, match="not ready"):
+            client.wait_ready(timeout=0.3, interval=0.05)
+
+    def test_client_needs_exactly_one_transport(self):
+        with pytest.raises(ServiceClientError):
+            ServiceClient()
+        with pytest.raises(ServiceClientError):
+            ServiceClient(url="http://x:1", socket_path="/tmp/y")
+
+
+class TestCacheByteIdentity:
+    def test_hit_result_section_is_byte_identical(self, service, h):
+        _, client = service
+        body = _partition_body(h, engine="algorithm1", starts=4, seed=7)
+        status1, raw1 = _post_raw(client, body)
+        status2, raw2 = _post_raw(client, body)
+        assert status1 == status2 == 200
+        # The envelope is {"result":<canonical bytes>,"served":{...}};
+        # the result section must match byte for byte.
+        result1, served1 = raw1.split(b',"served":')
+        result2, served2 = raw2.split(b',"served":')
+        assert result1 == result2
+        assert json.loads(raw2)["served"]["cache"] == "hit"
+        assert json.loads(raw1)["served"]["cache"] == "miss"
+
+    def test_hit_skips_execution(self, service, h):
+        _, client = service
+        client.partition(h, engine="fm", settings={"seed": 1})
+        before = client.metrics()["service"]["executions"]
+        response = client.partition(h, engine="fm", settings={"seed": 1})
+        assert response["served"]["cache"] == "hit"
+        assert response["served"]["attempts"] == 0
+        assert client.metrics()["service"]["executions"] == before
+
+    def test_normalized_settings_share_a_cache_entry(self, service, h):
+        _, client = service
+        # Explicit defaults and omitted settings mean the same run.
+        first = client.partition(
+            h, engine="fm", settings={"seed": 0, "starts": 10, "balance_tolerance": 0.1}
+        )
+        second = client.partition(h, engine="fm")
+        assert second["served"]["cache"] == "hit"
+        assert second["result"] == first["result"]
+
+    def test_different_settings_miss(self, service, h):
+        _, client = service
+        client.partition(h, engine="fm", settings={"seed": 0})
+        response = client.partition(h, engine="fm", settings={"seed": 1})
+        assert response["served"]["cache"] == "miss"
+
+    def test_different_graph_misses(self, service):
+        _, client = service
+        client.partition(_graph(EDGESETS[0]), engine="fm")
+        response = client.partition(_graph(EDGESETS[1]), engine="fm")
+        assert response["served"]["cache"] == "miss"
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("engine", ["algorithm1", "fm", "kl", "sa", "random", "spectral"])
+    def test_served_cut_equals_local_run(self, service, h, engine):
+        _, client = service
+        response = client.partition(h, engine=engine, settings={"starts": 4, "seed": 3})
+        local_bp, _ = run_engine(engine, h, seed=3, starts=4)
+        assert response["result"]["cutsize"] == local_bp.cutsize
+        assert response["result"]["weighted_cutsize"] == local_bp.weighted_cutsize
+        left = frozenset(response["result"]["left"])
+        assert left in (local_bp.left, local_bp.right)
+
+    def test_place_matches_local_run(self, service, h):
+        _, client = service
+        response = client.place(
+            h, placer="mincut", settings={"seed": 2, "partitioner": "fm"}
+        )
+        local = mincut_place(h, partitioner="fm", seed=2)
+        assert response["result"]["total_hpwl"] == pytest.approx(local.total_hpwl)
+        assert response["result"]["grid"] == {
+            "rows": local.grid.rows,
+            "cols": local.grid.cols,
+        }
+        positions = {tuple(slot) for _, slot in response["result"]["positions"]}
+        assert len(positions) == h.num_vertices
+
+    @pytest.mark.parametrize("placer", ["mincut", "annealing", "quadratic"])
+    def test_all_placers_serve(self, service, h, placer):
+        _, client = service
+        response = client.place(h, placer=placer, settings={"seed": 0})
+        assert response["result"]["op"] == "place"
+        assert response["result"]["placer"] == placer
+        assert len(response["result"]["positions"]) == h.num_vertices
+
+
+class TestDedupe:
+    def test_identical_concurrent_requests_execute_once(self, h):
+        svc = PartitionService(
+            # A wide batch window so all threads land in one in-flight
+            # generation; workers=2 proves dedupe isn't pool starvation.
+            ServiceConfig(port=0, workers=2, batch_window=0.25)
+        ).start()
+        try:
+            client = ServiceClient(url=svc.url, timeout=120.0)
+            client.wait_ready(timeout=10.0)
+            body = _partition_body(h, engine="algorithm1", starts=8, seed=5)
+            n = 6
+            barrier = threading.Barrier(n)
+            statuses: list[str] = []
+            errors: list[Exception] = []
+            lock = threading.Lock()
+
+            def fire():
+                try:
+                    barrier.wait(timeout=10)
+                    status, raw = _post_raw(client, body)
+                    assert status == 200
+                    with lock:
+                        statuses.append(json.loads(raw)["served"]["cache"])
+                except Exception as exc:  # surfaced after join
+                    with lock:
+                        errors.append(exc)
+
+            threads = [threading.Thread(target=fire) for _ in range(n)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert not errors, errors
+            assert len(statuses) == n
+            # Exactly one request created the execution; everyone else
+            # coalesced onto it (or arrived late enough for a cache hit).
+            assert statuses.count("miss") == 1
+            assert set(statuses) <= {"miss", "coalesced", "hit"}
+            metrics = client.metrics()
+            assert metrics["service"]["executions"] == 1
+            assert metrics["service"]["coalesced"] >= n - 2
+            assert metrics["broker"]["coalesced"] == metrics["service"]["coalesced"]
+        finally:
+            svc.stop()
+
+    def test_distinct_concurrent_requests_all_execute(self, service, h):
+        _, client = service
+        n = 4
+        barrier = threading.Barrier(n)
+        results: list[dict] = []
+        errors: list[Exception] = []
+        lock = threading.Lock()
+
+        def fire(seed: int):
+            try:
+                barrier.wait(timeout=10)
+                response = client.partition(h, engine="fm", settings={"seed": seed})
+                with lock:
+                    results.append(response)
+            except Exception as exc:
+                with lock:
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=fire, args=(seed,)) for seed in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, errors
+        assert len(results) == n
+        assert client.metrics()["service"]["executions"] == n
+        by_seed = {r["result"]["settings"]["seed"]: r for r in results}
+        for seed in range(n):
+            local_bp, _ = run_engine("fm", h, seed=seed, starts=10)
+            assert by_seed[seed]["result"]["cutsize"] == local_bp.cutsize
+
+
+class TestDeadline:
+    def test_degraded_result_served_but_not_cached(self, service):
+        _, client = service
+        big = Hypergraph(vertices=range(60))
+        import random as random_module
+
+        rng = random_module.Random(5)
+        for i in range(120):
+            big.add_edge(rng.sample(range(60), rng.choice([2, 3, 4])), name=f"e{i}")
+        settings = {"starts": 400, "seed": 0, "deadline_seconds": 0.02}
+        first = client.partition(big, engine="algorithm1", settings=settings)
+        assert first["result"]["degraded"] is True
+        assert first["result"]["degrade_reason"]
+        # Degraded answers depend on wall-clock luck -> never cached.
+        second = client.partition(big, engine="algorithm1", settings=settings)
+        assert second["served"]["cache"] == "miss"
+        metrics = client.metrics()
+        assert metrics["service"]["degraded"] >= 2
+        assert metrics["cache"]["entries"] == 0
+
+    def test_deadline_is_part_of_the_cache_key(self, service, h):
+        _, client = service
+        no_deadline = client.partition(h, engine="fm", settings={"seed": 0})
+        with_deadline = client.partition(
+            h, engine="fm", settings={"seed": 0, "deadline_seconds": 60.0}
+        )
+        # A generous deadline doesn't degrade, so both cache — under
+        # different keys (the fingerprint covers deadline_seconds).
+        assert no_deadline["served"]["cache"] == "miss"
+        assert with_deadline["served"]["cache"] == "miss"
+        assert (
+            no_deadline["result"]["fingerprint"]
+            != with_deadline["result"]["fingerprint"]
+        )
+        assert no_deadline["result"]["cutsize"] == with_deadline["result"]["cutsize"]
+
+
+class TestEviction:
+    def test_lru_eviction_under_small_byte_budget(self, h):
+        svc = PartitionService(
+            ServiceConfig(port=0, workers=1, batch_window=0.0, cache_max_bytes=2048)
+        ).start()
+        try:
+            client = ServiceClient(url=svc.url, timeout=120.0)
+            client.wait_ready(timeout=10.0)
+            first = client.partition(h, engine="fm", settings={"seed": 0})
+            for seed in range(1, 8):
+                client.partition(h, engine="fm", settings={"seed": seed})
+            metrics = client.metrics()
+            assert metrics["cache"]["evictions"] > 0
+            assert metrics["cache"]["bytes"] <= 2048
+            # seed 0 was evicted: re-requesting is a miss, and the
+            # recomputed result is identical (determinism).
+            again = client.partition(h, engine="fm", settings={"seed": 0})
+            assert again["served"]["cache"] == "miss"
+            assert again["result"] == first["result"]
+        finally:
+            svc.stop()
+
+    def test_entry_cap_evicts(self, h):
+        svc = PartitionService(
+            ServiceConfig(port=0, workers=1, batch_window=0.0, cache_max_entries=2)
+        ).start()
+        try:
+            client = ServiceClient(url=svc.url, timeout=120.0)
+            client.wait_ready(timeout=10.0)
+            for seed in range(4):
+                client.partition(h, engine="fm", settings={"seed": seed})
+            metrics = client.metrics()
+            assert metrics["cache"]["entries"] <= 2
+            assert metrics["cache"]["evictions"] >= 2
+        finally:
+            svc.stop()
+
+
+MALFORMED_BODIES = [
+    pytest.param(b"{not json", "invalid JSON", id="syntax"),
+    pytest.param(b"[1, 2, 3]", "must be a JSON object", id="non-object"),
+    pytest.param(b'{"op": "partition"}', "missing the 'hypergraph' key", id="no-graph"),
+    pytest.param(
+        b'{"op": "shred", "hypergraph": {}}', "unknown op", id="unknown-op"
+    ),
+    pytest.param(
+        json.dumps(
+            {"op": "partition", "engine": "cplex", "hypergraph": {"vertices": [], "edges": []}}
+        ).encode(),
+        "unknown engine 'cplex'",
+        id="unknown-engine",
+    ),
+    pytest.param(
+        json.dumps(
+            {
+                "op": "partition",
+                "hypergraph": {"vertices": [["a", 1], ["b", 1]], "edges": []},
+                "settings": {"starts": "many"},
+            }
+        ).encode(),
+        "settings.starts must be an integer",
+        id="mistyped-setting",
+    ),
+    pytest.param(
+        json.dumps(
+            {
+                "op": "partition",
+                "hypergraph": {"vertices": [["a", 1], ["b", 1]], "edges": []},
+                "settings": {"granularity": 3},
+            }
+        ).encode(),
+        "unknown settings key",
+        id="unknown-setting",
+    ),
+    pytest.param(
+        json.dumps(
+            {
+                "op": "partition",
+                "hypergraph": {"vertices": [["a", 1], ["b", 1]], "edges": []},
+                "fanout": 2,
+            }
+        ).encode(),
+        "unknown request key",
+        id="unknown-top-key",
+    ),
+    pytest.param(
+        json.dumps(
+            {
+                "op": "partition",
+                "placer": "mincut",
+                "hypergraph": {"vertices": [["a", 1], ["b", 1]], "edges": []},
+            }
+        ).encode(),
+        "'placer' is a place-op key",
+        id="placer-on-partition",
+    ),
+    pytest.param(
+        json.dumps({"op": "partition", "hypergraph": {"vertices": "x"}}).encode(),
+        "hypergraph",
+        id="malformed-graph",
+    ),
+    pytest.param(
+        json.dumps(
+            {
+                "op": "partition",
+                "hypergraph": {"vertices": [["a", "heavy"]], "edges": []},
+            }
+        ).encode(),
+        "hypergraph",
+        id="non-numeric-weight",
+    ),
+    pytest.param(
+        json.dumps(
+            {"op": "partition", "hypergraph": {"vertices": [["a", 1]], "edges": []}}
+        ).encode(),
+        "at least 2",
+        id="too-small",
+    ),
+]
+
+
+class TestMalformedRequests:
+    @pytest.mark.parametrize("raw,needle", MALFORMED_BODIES)
+    def test_structured_400_never_a_traceback(self, service, raw, needle):
+        _, client = service
+        status, body = _post_raw(client, raw)
+        assert status == 400
+        decoded = json.loads(body)
+        error = decoded["error"]
+        assert error["type"] == "RequestError"
+        assert needle in error["message"]
+        assert error["source"] == "request body"
+        text = body.decode()
+        assert "Traceback" not in text
+        assert 'File "' not in text
+
+    def test_syntax_error_carries_line_context(self, service):
+        _, client = service
+        status, body = _post_raw(client, b'{\n  "op": "partition",\n  !\n}')
+        assert status == 400
+        error = json.loads(body)["error"]
+        assert error["line"] == 3
+
+    def test_unknown_placer(self, service, h):
+        _, client = service
+        with pytest.raises(ServiceResponseError) as excinfo:
+            client.place(h, placer="dreamplace")
+        assert excinfo.value.status == 400
+        assert "unknown placer" in excinfo.value.error["message"]
+
+    def test_op_endpoint_mismatch(self, service, h):
+        _, client = service
+        body = {"op": "place", "hypergraph": hypergraph_to_payload(h)}
+        status, raw = _post_raw(client, body, path="/partition")
+        assert status == 400
+        assert "does not match" in json.loads(raw)["error"]["message"]
+
+    def test_generic_endpoint_accepts_both_ops(self, service, h):
+        _, client = service
+        status, raw = _post_raw(client, _partition_body(h, engine="fm"), path="/")
+        assert status == 200
+        assert json.loads(raw)["result"]["op"] == "partition"
+
+    def test_unknown_endpoints_are_structured_404s(self, service):
+        _, client = service
+        status, raw = client.request_raw("GET", "/nope")
+        assert status == 404
+        assert json.loads(raw)["error"]["type"] == "NotFound"
+        status, raw = client.request_raw("POST", "/shred", b"{}")
+        assert status == 404
+        assert json.loads(raw)["error"]["type"] == "NotFound"
+
+    def test_malformed_requests_are_counted(self, service):
+        _, client = service
+        before = client.metrics()["service"]["malformed"]
+        _post_raw(client, b"{broken")
+        assert client.metrics()["service"]["malformed"] == before + 1
+
+
+class TestObservability:
+    def test_cache_and_dedupe_counters_in_metrics_obs(self, service, h):
+        _, client = service
+        client.partition(h, engine="fm", settings={"seed": 0})
+        client.partition(h, engine="fm", settings={"seed": 0})
+        counters = client.metrics()["obs"]["counters"]
+        assert counters["server.requests"] >= 2
+        assert counters["server.cache.hits"] == 1
+        assert counters["server.cache.misses"] >= 1
+        assert counters["server.cache.insertions"] == 1
+        assert counters["server.executions"] == 1
+
+    def test_worker_obs_snapshots_merge_into_daemon_registry(self, service, h):
+        _, client = service
+        client.partition(h, engine="algorithm1", settings={"starts": 3, "seed": 0})
+        counters = client.metrics()["obs"]["counters"]
+        # Engine work recorded inside the forked worker must surface in
+        # the daemon's merged registry.
+        assert counters.get("algorithm1.runs", 0) >= 1, counters
+
+    def test_eviction_counter_in_obs(self, h):
+        svc = PartitionService(
+            ServiceConfig(port=0, workers=1, batch_window=0.0, cache_max_entries=1)
+        ).start()
+        try:
+            client = ServiceClient(url=svc.url, timeout=120.0)
+            client.wait_ready(timeout=10.0)
+            client.partition(h, engine="fm", settings={"seed": 0})
+            client.partition(h, engine="fm", settings={"seed": 1})
+            counters = client.metrics()["obs"]["counters"]
+            assert counters["server.cache.evictions"] >= 1
+        finally:
+            svc.stop()
+
+    def test_disabled_obs_keeps_always_on_metrics(self, h):
+        svc = PartitionService(
+            ServiceConfig(port=0, workers=1, batch_window=0.0, obs_enabled=False)
+        ).start()
+        try:
+            client = ServiceClient(url=svc.url, timeout=120.0)
+            client.wait_ready(timeout=10.0)
+            client.partition(h, engine="fm", settings={"seed": 0})
+            client.partition(h, engine="fm", settings={"seed": 0})
+            metrics = client.metrics()
+            # Zero-cost disabled path: no obs snapshot, nothing recorded
+            # in the (inactive) global registry...
+            assert metrics["obs"] is None
+            assert not obs.is_enabled()
+            assert obs.registry().snapshot()["counters"] == {}
+            # ...but the always-on tallies still work.
+            assert metrics["cache"]["hits"] == 1
+            assert metrics["service"]["executions"] == 1
+        finally:
+            svc.stop()
+
+
+@pytest.mark.skipif(
+    not hasattr(socket_module, "AF_UNIX"),
+    reason="AF_UNIX sockets are not available on this platform",
+)
+class TestUnixSocket:
+    def test_serves_over_unix_socket(self, tmp_path, h):
+        path = str(tmp_path / "svc.sock")
+        svc = PartitionService(
+            ServiceConfig(socket_path=path, workers=1, batch_window=0.0)
+        ).start()
+        try:
+            client = ServiceClient(socket_path=path, timeout=120.0)
+            health = client.wait_ready(timeout=10.0)
+            assert health["transport"] == "unix"
+            response = client.partition(h, engine="fm")
+            assert response["served"]["cache"] == "miss"
+            assert client.partition(h, engine="fm")["served"]["cache"] == "hit"
+        finally:
+            svc.stop()
+
+    def test_stale_socket_file_is_reclaimed(self, tmp_path, h):
+        path = str(tmp_path / "svc.sock")
+        first = PartitionService(ServiceConfig(socket_path=path, workers=1)).start()
+        # Simulate a crashed daemon: the listener is gone but the socket
+        # file stays behind.  shutdown() is joined before close so no
+        # serve-loop select() still pins the kernel socket when the
+        # second daemon probes it.
+        first._httpd.shutdown()
+        first._httpd.server_close()
+        first._httpd = None  # skip graceful stop(); file stays behind
+        second = PartitionService(ServiceConfig(socket_path=path, workers=1)).start()
+        try:
+            client = ServiceClient(socket_path=path, timeout=120.0)
+            client.wait_ready(timeout=10.0)
+            assert client.healthz()["status"] == "ok"
+        finally:
+            second.stop()
+            first.broker.stop()
+
+    def test_live_socket_is_not_stolen(self, tmp_path):
+        path = str(tmp_path / "svc.sock")
+        svc = PartitionService(ServiceConfig(socket_path=path, workers=1)).start()
+        try:
+            with pytest.raises(ServiceError, match="live server"):
+                PartitionService(ServiceConfig(socket_path=path, workers=1)).start()
+        finally:
+            svc.stop()
+
+
+class TestInterleavingProperty:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        plan=st.lists(
+            st.tuples(st.integers(0, 1), st.integers(0, 2)), min_size=2, max_size=8
+        )
+    )
+    def test_any_interleaving_matches_sequential_cold_runs(self, service, plan):
+        """Concurrent duplicate/distinct mixes == sequential cold runs.
+
+        ``plan`` is a list of (graph index, seed) request specs, fired
+        concurrently in arbitrary interleavings.  Whatever mix of cache
+        hits, coalesced waits, and fresh executions results, every
+        response must carry the cut a sequential cold run produces.
+        """
+        _, client = service
+        graphs = [_graph(edges) for edges in EDGESETS]
+        expected = {
+            spec: run_engine("fm", graphs[spec[0]], seed=spec[1], starts=10)[0].cutsize
+            for spec in set(plan)
+        }
+        outcomes: list[tuple[tuple[int, int], int]] = []
+        errors: list[Exception] = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(len(plan))
+
+        def fire(spec):
+            try:
+                barrier.wait(timeout=10)
+                response = client.partition(
+                    graphs[spec[0]], engine="fm", settings={"seed": spec[1]}
+                )
+                with lock:
+                    outcomes.append((spec, response["result"]["cutsize"]))
+            except Exception as exc:
+                with lock:
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=fire, args=(spec,)) for spec in plan]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, errors
+        assert len(outcomes) == len(plan)
+        for spec, cutsize in outcomes:
+            assert cutsize == expected[spec]
