@@ -394,6 +394,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_max_entries=args.cache_max_entries,
         batch_window=args.batch_window,
         obs_enabled=not args.no_obs,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        drain_timeout=args.drain_timeout,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
     )
     try:
         service = PartitionService(config).start()
@@ -411,8 +416,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         stop.wait()
     finally:
+        # SIGTERM/SIGINT = graceful drain: /healthz flips to
+        # "draining", in-flight work gets --drain-timeout seconds.
+        print("draining...", flush=True)
         service.stop()
         print("daemon stopped", flush=True)
+    return 0
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from repro.server.loadgen import run_load
+
+    if (args.url is None) == (args.socket is None):
+        raise SystemExit("give exactly one of --url or --socket")
+    report = run_load(
+        url=args.url,
+        socket_path=args.socket,
+        duration=args.duration,
+        clients=args.clients,
+        distinct=args.distinct,
+        vertices=args.vertices,
+        starts=args.starts,
+        seed=args.seed,
+        request_timeout=args.timeout,
+        healthz_budget=args.healthz_budget,
+        server_pid=args.server_pid,
+    )
+    print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    failures = report.healthz_failures
+    if report.total_requests == 0:
+        print("soak made zero requests — is the daemon up?", file=sys.stderr)
+        return 1
+    if failures:
+        print(
+            f"healthz violated its {args.healthz_budget}s budget "
+            f"{failures} time(s) under load",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -849,7 +890,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable observability counters (/metrics still reports the "
         "always-on cache/broker tallies)",
     )
+    sv.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="admitted concurrent requests; the excess is shed with a "
+        "typed 429 + Retry-After (default 64)",
+    )
+    sv.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        help="broker dispatch-queue bound (distinct pending requests); "
+        "the excess is shed with a typed 429 (default 256)",
+    )
+    sv.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="on SIGTERM, seconds in-flight requests may finish before "
+        "stragglers are cut with a typed 503 (default 5)",
+    )
+    sv.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        help="worker deaths for one request key before it is "
+        "quarantined (typed 503 + cooldown; default 3)",
+    )
+    sv.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="how long a quarantined request key is shed before one "
+        "half-open probe is admitted (default 30)",
+    )
     sv.set_defaults(fn=_cmd_serve)
+
+    sk = sub.add_parser(
+        "soak",
+        help="closed-loop load/soak run against a running daemon "
+        "(asserts /healthz stays responsive while the data plane sheds)",
+    )
+    sk.add_argument("--url", default=None, help="daemon URL, e.g. http://127.0.0.1:8642")
+    sk.add_argument("--socket", metavar="PATH", default=None, help="daemon AF_UNIX socket")
+    sk.add_argument("--duration", type=float, default=10.0, metavar="SECONDS")
+    sk.add_argument("--clients", type=int, default=8, help="closed-loop client threads")
+    sk.add_argument(
+        "--distinct",
+        type=int,
+        default=4,
+        help="distinct request payloads cycled (cold/hot cache mix)",
+    )
+    sk.add_argument(
+        "--vertices", type=int, default=16, help="vertices per generated hypergraph"
+    )
+    sk.add_argument(
+        "--starts", type=int, default=5, help="partition starts per request (cost knob)"
+    )
+    sk.add_argument("--seed", type=int, default=0)
+    sk.add_argument("--timeout", type=float, default=60.0, help="per-request timeout")
+    sk.add_argument(
+        "--healthz-budget",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="fail the soak if any /healthz round trip exceeds this",
+    )
+    sk.add_argument(
+        "--server-pid",
+        type=int,
+        default=None,
+        help="sample this PID's RSS during the run (reported as rss_peak_bytes)",
+    )
+    sk.set_defaults(fn=_cmd_soak)
 
     c = sub.add_parser(
         "client", help="send one request to a running partition daemon"

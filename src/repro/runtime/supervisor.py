@@ -271,6 +271,21 @@ class SupervisedPool:
         self.on_result = on_result
         self.sequential_fallback = sequential_fallback
         self.poll_interval = poll_interval
+        self._abort_message: str | None = None
+
+    # ------------------------------------------------------------------
+
+    def abort(self, message: str = "pool aborted") -> None:
+        """Ask an in-flight (and any future) :meth:`map` to stop now.
+
+        Running workers are SIGTERMed and their tasks — plus everything
+        still queued — fail with ``message`` in the error string.  The
+        hook exists for graceful drain: a daemon past its drain timeout
+        must cut the surviving work *without* waiting out per-task
+        timeouts.  Sticky by design — a pool that has been aborted is
+        shutting down; there is no un-abort.
+        """
+        self._abort_message = message
 
     # ------------------------------------------------------------------
 
@@ -327,7 +342,11 @@ class SupervisedPool:
 
         def handle_failure(rec: _Running, reason: str, hung: bool = False) -> None:
             next_attempt = rec.attempt + 1
-            if next_attempt <= self.max_retries and not (deadline and deadline.expired()):
+            if (
+                next_attempt <= self.max_retries
+                and self._abort_message is None
+                and not (deadline and deadline.expired())
+            ):
                 report.retries += 1
                 obs.count("runtime.supervisor.retries")
                 queue.append((rec.key, self.reseed(rec.payload, next_attempt), next_attempt))
@@ -362,9 +381,13 @@ class SupervisedPool:
             )
 
         while queue or running:
-            if deadline is not None and deadline.expired():
-                report.deadline_expired = True
-                obs.count("runtime.supervisor.deadline_expirations")
+            abort_message = self._abort_message
+            expired = deadline is not None and deadline.expired()
+            if expired or abort_message is not None:
+                if expired:
+                    report.deadline_expired = True
+                    obs.count("runtime.supervisor.deadline_expirations")
+                reason = abort_message if abort_message is not None else "deadline expired"
                 for rec in running.values():
                     rec.process.terminate()
                     reap(rec)
@@ -373,7 +396,7 @@ class SupervisedPool:
                         TaskResult(
                             key=rec.key,
                             attempts=rec.attempt + 1,
-                            error="deadline expired mid-execution",
+                            error=f"{reason} mid-execution",
                         ),
                     )
                 running.clear()
@@ -383,7 +406,7 @@ class SupervisedPool:
                         TaskResult(
                             key=key,
                             attempts=attempt,
-                            error="deadline expired before execution",
+                            error=f"{reason} before execution",
                         ),
                     )
                 queue.clear()

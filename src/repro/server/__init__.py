@@ -15,7 +15,11 @@ Pieces:
 * :mod:`repro.server.cache` — LRU + max-bytes content-addressed result
   cache.
 * :mod:`repro.server.batching` — the request broker (batch window,
-  in-flight dedupe).
+  in-flight dedupe, bounded dispatch queue).
+* :mod:`repro.server.admission` — overload guards: the bounded
+  in-flight :class:`~repro.server.admission.AdmissionController` and
+  the poisoned-request
+  :class:`~repro.server.admission.QuarantineBreaker`.
 * :mod:`repro.server.app` — the daemon itself
   (:class:`~repro.server.app.PartitionService`).
 * :mod:`repro.server.client` — a small blocking client
@@ -25,29 +29,46 @@ See ``docs/SERVICE.md`` for the protocol, cache-key semantics, degraded
 responses, and deployment knobs.
 """
 
+from repro.server.admission import AdmissionController, QuarantineBreaker
 from repro.server.app import PartitionService, ServiceConfig, ServiceError
 from repro.server.batching import RequestBroker
 from repro.server.cache import ResultCache
-from repro.server.client import ServiceClient, ServiceClientError, ServiceResponseError
+from repro.server.client import (
+    ServiceClient,
+    ServiceClientError,
+    ServiceConnectionError,
+    ServiceResponseError,
+)
 from repro.server.protocol import (
+    Draining,
+    Overloaded,
+    Quarantined,
     RequestError,
     ServiceRequest,
+    ServiceUnavailable,
     canonical_bytes,
     error_payload,
     parse_request,
 )
 
 __all__ = [
+    "AdmissionController",
+    "Draining",
+    "Overloaded",
     "PartitionService",
+    "Quarantined",
+    "QuarantineBreaker",
     "RequestBroker",
     "RequestError",
     "ResultCache",
     "ServiceClient",
     "ServiceClientError",
     "ServiceConfig",
+    "ServiceConnectionError",
     "ServiceError",
     "ServiceRequest",
     "ServiceResponseError",
+    "ServiceUnavailable",
     "canonical_bytes",
     "error_payload",
     "parse_request",

@@ -22,6 +22,20 @@ Request lifecycle
    results are served but *not* cached, since they depend on wall-clock
    luck rather than request content.
 
+Overload posture (see ``docs/SERVICE.md`` § Overload & lifecycle): in
+front of step 3 sit three guards.  A **draining** daemon rejects new
+work with a typed 503; the :class:`~repro.server.admission.QuarantineBreaker`
+short-circuits request keys that keep killing workers with a typed 503
+and a cooldown; the :class:`~repro.server.admission.AdmissionController`
+bounds concurrently admitted requests and sheds the excess with a typed
+429 + ``Retry-After`` (the broker's bounded dispatch queue backs it
+up).  Cache hits bypass all three — they cost no pool capacity, and a
+draining daemon still answering hits would only *delay* its drain.
+``SIGTERM``/:meth:`PartitionService.stop` runs the graceful drain:
+``/healthz`` flips to ``"draining"``, in-flight requests finish up to
+``drain_timeout`` seconds, stragglers are cut via ``pool.abort()``, and
+only then is the listener torn down.
+
 Thread/fork safety: the worker enters ``obs.scoped()`` first thing, so
 the forked child swaps in a fresh registry (and, crucially, a fresh
 lock — a handler thread holding the parent registry's lock at fork time
@@ -30,6 +44,7 @@ must not deadlock the child).
 
 from __future__ import annotations
 
+import math
 import os
 import socket
 import socketserver
@@ -48,12 +63,15 @@ from repro.placement import (
     quadratic_place,
 )
 from repro.runtime import Deadline, SupervisedPool, faults
+from repro.server.admission import AdmissionController, QuarantineBreaker
 from repro.server.batching import RequestBroker
 from repro.server.cache import ResultCache
 from repro.server.protocol import (
     MAX_REQUEST_BYTES,
+    Draining,
     RequestError,
     ServiceRequest,
+    ServiceUnavailable,
     canonical_bytes,
     error_payload,
     parse_request,
@@ -81,6 +99,12 @@ class ServiceConfig:
     cache_max_entries: int = 4096
     batch_window: float = 0.005
     obs_enabled: bool = True
+    # Overload & lifecycle knobs (docs/SERVICE.md § Overload & lifecycle)
+    max_inflight: int = 64  # admitted concurrent requests; excess -> 429
+    max_queue: int = 256  # broker dispatch-queue bound; excess -> 429
+    drain_timeout: float = 5.0  # SIGTERM: seconds in-flight work may finish
+    breaker_threshold: int = 3  # worker deaths per key before quarantine
+    breaker_cooldown: float = 30.0  # seconds a quarantined key stays shed
 
 
 # ----------------------------------------------------------------------
@@ -197,6 +221,10 @@ class _Failure:
 def _classify_failure(message: str) -> str:
     """Map a supervisor failure message onto a stable typed error name."""
     text = message.lower()
+    if "draining" in text:
+        # pool.abort() during graceful drain cut this task; the request
+        # was abandoned, not poisoned, so it maps to the 503 family.
+        return "Draining"
     if "memory budget" in text or "memoryerror" in text:
         return "MemoryBudgetExceeded"
     if "hung past" in text:
@@ -217,6 +245,11 @@ def _classify_failure(message: str) -> str:
 
 class _ServiceHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
+    # The stdlib default backlog (5) collapses under a client stampede:
+    # connections are refused at the kernel before the daemon can answer
+    # with a *typed* shed.  A deep backlog keeps the shed path — which
+    # is O(1) per request — in charge of saying no.
+    request_queue_size = 128
     service: "PartitionService" = None  # attached by PartitionService.start
 
 
@@ -252,10 +285,14 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass  # the daemon's observability lives in /metrics, not stderr
 
-    def _send(self, status: int, body: bytes) -> None:
+    def _send(
+        self, status: int, body: bytes, headers: dict[str, str] | None = None
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -313,10 +350,10 @@ class _Handler(BaseHTTPRequestHandler):
                 )
                 return
             raw = self.rfile.read(length)
-            status, body = self.service.handle_request(
+            status, body, headers = self.service.handle_request(
                 raw, expected_op=self._POST_OPS[self.path]
             )
-            self._send(status, body)
+            self._send(status, body, headers)
         except Exception as exc:  # never leak a traceback to the client
             try:
                 self._send_error_payload(500, exc, error_type="InternalError")
@@ -347,10 +384,24 @@ class PartitionService:
             "executions": 0,
             "failures": 0,
             "degraded": 0,
+            "shed_overloaded": 0,
+            "shed_draining": 0,
+            "shed_quarantined": 0,
         }
         cfg = self.config
+        self._draining = threading.Event()
+        self._drain_deadline: float | None = None
+        self._drain_seconds: float | None = None
+        self._stopped = False
+        self._socket_bound = False
         self.cache = ResultCache(
             max_bytes=cfg.cache_max_bytes, max_entries=cfg.cache_max_entries
+        )
+        self.admission = AdmissionController(
+            max_inflight=cfg.max_inflight, workers=cfg.workers
+        )
+        self.breaker = QuarantineBreaker(
+            threshold=cfg.breaker_threshold, cooldown=cfg.breaker_cooldown
         )
         self.pool = SupervisedPool(
             _service_worker,
@@ -367,7 +418,9 @@ class PartitionService:
             sequential_fallback=False,
         )
         self.broker = RequestBroker(
-            self._execute_batch, batch_window=cfg.batch_window
+            self._execute_batch,
+            batch_window=cfg.batch_window,
+            max_queue=cfg.max_queue,
         )
 
     # -- lifecycle -----------------------------------------------------
@@ -386,11 +439,14 @@ class PartitionService:
                 )
             self._claim_socket_path(cfg.socket_path)
             httpd = _UnixServiceHTTPServer(cfg.socket_path, _Handler)
+            self._socket_bound = True
         else:
             httpd = _ServiceHTTPServer((cfg.host, cfg.port), _Handler)
         httpd.service = self
         self._httpd = httpd
         self._started_at = time.time()
+        self._draining.clear()
+        self._stopped = False
         self.broker.start()
         self._serve_thread = threading.Thread(
             target=httpd.serve_forever,
@@ -401,7 +457,37 @@ class PartitionService:
         self._serve_thread.start()
         return self
 
-    def stop(self) -> None:
+    def stop(self, drain_timeout: float | None = None) -> None:
+        """Drain gracefully, then tear the daemon down.
+
+        Sequence (idempotent; the second call is a no-op):
+
+        1. Flip into **draining**: ``/healthz`` reports ``"draining"``,
+           new POSTs are shed with a typed 503 + ``Retry-After``.
+        2. Wait up to ``drain_timeout`` (default: the config knob) for
+           every admitted request to finish and write its response.
+        3. Stragglers past the window are cut: ``pool.abort()``
+           SIGTERMs their workers and their waiters get a typed
+           ``Draining`` failure — nothing is left for client timeouts.
+        4. The listener shuts down, the broker fails anything still
+           queued (typed, promptly), and the UNIX socket file — if this
+           daemon bound one — is removed exactly once.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        cfg = self.config
+        timeout = cfg.drain_timeout if drain_timeout is None else drain_timeout
+        t0 = time.monotonic()
+        self._drain_deadline = t0 + max(0.0, timeout)
+        self._draining.set()
+        drained = self.admission.drain_wait(timeout)
+        if not drained:
+            # In-flight work outlived the window: cut it.  Waiters see a
+            # typed Draining failure; workers are SIGTERMed and reaped.
+            self.pool.abort("service is draining")
+            self.admission.drain_wait(5.0)
+        self.broker.stop()
         httpd, self._httpd = self._httpd, None
         if httpd is not None:
             httpd.shutdown()
@@ -409,10 +495,16 @@ class PartitionService:
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=30.0)
             self._serve_thread = None
-        self.broker.stop()
-        if self.config.socket_path is not None:
+        self._drain_seconds = time.monotonic() - t0
+        obs.gauge("server.drain.seconds", round(self._drain_seconds, 6))
+        if not drained:
+            obs.count("server.drain.aborted")
+        if self._socket_bound:
+            # Exactly once: a later stop() (or a path the next daemon
+            # has since claimed) must never unlink someone else's file.
+            self._socket_bound = False
             try:
-                os.unlink(self.config.socket_path)
+                os.unlink(cfg.socket_path)
             except OSError:
                 pass
 
@@ -463,8 +555,8 @@ class PartitionService:
 
     def handle_request(
         self, raw: bytes, expected_op: str | None = None
-    ) -> tuple[int, bytes]:
-        """Full request pipeline; returns ``(http_status, body_bytes)``."""
+    ) -> tuple[int, bytes, dict[str, str]]:
+        """Full request pipeline; returns ``(status, body_bytes, headers)``."""
         t0 = time.perf_counter()
         self._tally("requests")
         obs.count("server.requests")
@@ -473,15 +565,48 @@ class PartitionService:
         except RequestError as exc:
             self._tally("malformed")
             obs.count("server.requests.malformed")
-            return 400, canonical_bytes(error_payload(exc))
+            return 400, canonical_bytes(error_payload(exc)), {}
+
+        # Guard 0 — draining: a stopping daemon takes no new work (the
+        # cheap parse above still runs so malformed traffic stays 400).
+        if self._draining.is_set():
+            obs.count("server.shed.draining")
+            return self._unavailable(
+                Draining(
+                    "daemon is draining; retry against another instance",
+                    retry_after=self._drain_retry_after(),
+                )
+            )
 
         cached = self.cache.get(request.cache_key)
         if cached is not None:
             self._tally("hits")
-            return 200, self._envelope(cached, "hit", t0, attempts=0)
+            return 200, self._envelope(cached, "hit", t0, attempts=0), {}
         self._tally("misses")
 
-        outcome, coalesced = self.broker.submit(request.cache_key, request)
+        # Guard 1 — quarantine: a key that keeps killing workers is
+        # short-circuited before it can burn another one.
+        try:
+            self.breaker.check(request.cache_key)
+        except ServiceUnavailable as exc:
+            return self._unavailable(exc)
+
+        # Guard 2 — admission: bounded in-flight budget; excess is shed
+        # with 429 + Retry-After instead of queuing unboundedly.
+        try:
+            self.admission.admit()
+        except ServiceUnavailable as exc:
+            return self._unavailable(exc)
+        admitted_at = time.monotonic()
+        try:
+            outcome, coalesced = self.broker.submit(request.cache_key, request)
+        except ServiceUnavailable as exc:
+            # Broker-level shed: dispatch queue full, or stop() raced us.
+            if exc.retry_after is None:
+                exc.retry_after = self.admission.retry_after_hint()
+            return self._unavailable(exc)
+        finally:
+            self.admission.release(time.monotonic() - admitted_at)
         if coalesced:
             self._tally("coalesced")
         if isinstance(outcome, _Success):
@@ -490,21 +615,51 @@ class PartitionService:
             status = "coalesced" if coalesced else "miss"
             return 200, self._envelope(
                 outcome.body_bytes, status, t0, attempts=outcome.attempts
-            )
+            ), {}
         if isinstance(outcome, _Failure):
+            if outcome.error_type == "Draining":
+                # The drain cut this in-flight task; not executed to
+                # completion anywhere, so a retry elsewhere is safe.
+                return self._unavailable(
+                    Draining(outcome.message, retry_after=1.0)
+                )
             body = error_payload(
                 RuntimeError(outcome.message), error_type=outcome.error_type
             )
             body["error"]["attempts"] = outcome.attempts
-            return 500, canonical_bytes(body)
-        # Broker-level exception (executor blew up, shutdown, ...).
+            return 500, canonical_bytes(body), {}
+        if isinstance(outcome, ServiceUnavailable):
+            # A parked waiter failed by broker.stop() gets the typed
+            # draining outcome as an object, not a raise.
+            return self._unavailable(outcome)
+        # Broker-level exception (executor blew up, unexpected outcome).
         exc = (
             outcome
             if isinstance(outcome, Exception)
             else RuntimeError(f"unexpected outcome {outcome!r}")
         )
-        status = 503 if "shutting down" in str(exc) else 500
-        return status, canonical_bytes(error_payload(exc, error_type="ServerError"))
+        return 500, canonical_bytes(error_payload(exc, error_type="ServerError")), {}
+
+    def _unavailable(
+        self, exc: ServiceUnavailable
+    ) -> tuple[int, bytes, dict[str, str]]:
+        """Render a typed shed as ``(status, body, headers)`` + tally it."""
+        tally = {
+            "Overloaded": "shed_overloaded",
+            "Draining": "shed_draining",
+            "Quarantined": "shed_quarantined",
+        }.get(exc.error_type, "shed_overloaded")
+        self._tally(tally)
+        headers: dict[str, str] = {}
+        if exc.retry_after is not None:
+            headers["Retry-After"] = str(max(1, math.ceil(exc.retry_after)))
+        return exc.http_status, canonical_bytes(error_payload(exc)), headers
+
+    def _drain_retry_after(self) -> float:
+        """Seconds after which a drained-off client should try again."""
+        if self._drain_deadline is None:
+            return 1.0
+        return max(1.0, self._drain_deadline - time.monotonic())
 
     def _envelope(
         self, result_bytes: bytes, cache_status: str, t0: float, attempts: int
@@ -550,6 +705,9 @@ class PartitionService:
                 snapshot = task_result.value.get("obs")
                 if snapshot and obs.is_enabled():
                     obs.registry().merge(snapshot)
+                # One breaker vote per *execution*: coalesced waiters
+                # share this result and therefore this vote.
+                self.breaker.record(task_result.key, None)
                 outcomes[task_result.key] = _Success(
                     body_bytes=body_bytes,
                     attempts=task_result.attempts,
@@ -559,8 +717,10 @@ class PartitionService:
                 message = task_result.error or "task failed"
                 self._tally("failures")
                 obs.count("server.errors")
+                error_type = _classify_failure(message)
+                self.breaker.record(task_result.key, error_type)
                 outcomes[task_result.key] = _Failure(
-                    error_type=_classify_failure(message),
+                    error_type=error_type,
                     message=message,
                     attempts=task_result.attempts,
                 )
@@ -570,10 +730,11 @@ class PartitionService:
 
     def health(self) -> dict:
         return {
-            "status": "ok",
+            "status": "draining" if self._draining.is_set() else "ok",
             "uptime_seconds": round(time.time() - (self._started_at or time.time()), 3),
             "workers": self.config.workers,
             "transport": "unix" if self.config.socket_path else "tcp",
+            "inflight": self.admission.inflight,
         }
 
     def metrics(self) -> dict:
@@ -583,5 +744,12 @@ class PartitionService:
             "service": service,
             "cache": self.cache.stats(),
             "broker": self.broker.stats(),
+            "admission": self.admission.stats(),
+            "breaker": self.breaker.stats(),
+            "drain": {
+                "draining": self._draining.is_set(),
+                "drain_timeout": self.config.drain_timeout,
+                "drain_seconds": self._drain_seconds,
+            },
             "obs": obs.registry().snapshot() if obs.is_enabled() else None,
         }

@@ -10,7 +10,19 @@ them:
 * identical in-flight requests (same cache key) are **coalesced**: the
   first becomes the pool task, the rest block on the same outcome and
   are counted under ``server.dedupe.coalesced``.  N identical
-  concurrent requests therefore execute exactly once.
+  concurrent requests therefore execute exactly once;
+* the dispatch queue is **bounded** (``max_queue`` distinct pending
+  requests): a submission that would grow it further is rejected with a
+  typed :class:`~repro.server.protocol.Overloaded` before it allocates
+  anything — the queue can never balloon under a client stampede.
+
+Lifecycle: :meth:`RequestBroker.stop` first flips the broker into
+**draining** (new submissions raise a typed
+:class:`~repro.server.protocol.Draining`; already-queued work keeps
+dispatching), optionally waits ``drain_timeout`` seconds for the queue
+and in-flight batches to empty, then fails whatever is still queued —
+*promptly*, before joining the dispatcher thread — with the same typed
+draining error, so parked waiters never rely on their own timeouts.
 
 The broker is generic over the execution function: ``execute_batch``
 receives ``[(key, payload), ...]`` (unique keys) and must return
@@ -22,10 +34,12 @@ never die, because a dead dispatcher hangs every future request.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro import obs
+from repro.server.protocol import Draining, Overloaded
 
 __all__ = ["RequestBroker"]
 
@@ -48,13 +62,19 @@ class RequestBroker:
         self,
         execute_batch: Callable[[list[tuple[str, Any]]], dict],
         batch_window: float = 0.005,
+        max_queue: int | None = None,
     ) -> None:
+        if max_queue is not None and max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         self._execute_batch = execute_batch
         self.batch_window = batch_window
+        self.max_queue = max_queue
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
         self._inflight: dict[str, _Pending] = {}
         self._queue: list[_Pending] = []
+        self._draining = False
         self._stopping = False
         self._thread: threading.Thread | None = None
         # Always-on tallies for /metrics (obs counters mirror them).
@@ -62,6 +82,9 @@ class RequestBroker:
         self._coalesced = 0
         self._batches = 0
         self._executed = 0
+        self._shed_queue_full = 0
+        self._shed_draining = 0
+        self._peak_queue_depth = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -71,29 +94,50 @@ class RequestBroker:
         with self._lock:
             if self._thread is not None:
                 return
+            self._draining = False
             self._stopping = False
             self._thread = threading.Thread(
                 target=self._dispatch_loop, name="repro-server-broker", daemon=True
             )
             self._thread.start()
 
-    def stop(self) -> None:
-        """Stop dispatching; fail queued-but-unstarted requests cleanly."""
+    def stop(self, drain_timeout: float = 0.0) -> None:
+        """Drain (up to ``drain_timeout``), then fail leftovers promptly.
+
+        New submissions raise a typed
+        :class:`~repro.server.protocol.Draining` the moment this is
+        called.  Queued-but-unstarted requests that outlive the drain
+        window receive the same typed error as their outcome — *before*
+        the dispatcher thread is joined, so their waiters unblock
+        immediately instead of riding out a client timeout.
+        """
+        deadline = time.monotonic() + max(0.0, drain_timeout)
+        with self._lock:
+            self._draining = True
+            self._wakeup.notify_all()
+            if drain_timeout > 0:
+                while self._queue or self._inflight:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._idle.wait(timeout=min(remaining, 0.05))
         with self._lock:
             thread = self._thread
             self._thread = None
             self._stopping = True
-            self._wakeup.notify_all()
-        if thread is not None:
-            thread.join(timeout=30.0)
-        with self._lock:
             leftovers = self._queue
             self._queue = []
             for pending in leftovers:
                 self._inflight.pop(pending.key, None)
+            self._wakeup.notify_all()
         for pending in leftovers:
-            pending.outcome = RuntimeError("server is shutting down")
+            pending.outcome = Draining(
+                "server is draining; the request was never started",
+                retry_after=1.0,
+            )
             pending.done.set()
+        if thread is not None:
+            thread.join(timeout=30.0)
 
     # ------------------------------------------------------------------
     # Submission
@@ -104,9 +148,19 @@ class RequestBroker:
 
         Blocks until the outcome is available.  Returns ``(outcome,
         coalesced)`` where ``coalesced`` is True when this call rode an
-        execution some earlier concurrent request started.
+        execution some earlier concurrent request started.  Raises
+        :class:`~repro.server.protocol.Draining` once :meth:`stop` has
+        been called and :class:`~repro.server.protocol.Overloaded` when
+        the dispatch queue is at ``max_queue``.
         """
         with self._lock:
+            if self._draining:
+                self._shed_draining += 1
+                obs.count("server.shed.draining")
+                raise Draining(
+                    "server is draining; not accepting new requests",
+                    retry_after=1.0,
+                )
             self._submitted += 1
             pending = self._inflight.get(key)
             if pending is not None:
@@ -114,11 +168,26 @@ class RequestBroker:
                 self._coalesced += 1
                 coalesced = True
             else:
+                if (
+                    self.max_queue is not None
+                    and len(self._queue) >= self.max_queue
+                ):
+                    self._shed_queue_full += 1
+                    obs.count("server.shed.queue_full")
+                    raise Overloaded(
+                        f"dispatch queue is full "
+                        f"({len(self._queue)}/{self.max_queue}); shedding load"
+                    )
                 pending = _Pending(key=key, payload=payload)
                 self._inflight[key] = pending
                 self._queue.append(pending)
+                self._peak_queue_depth = max(
+                    self._peak_queue_depth, len(self._queue)
+                )
                 coalesced = False
                 self._wakeup.notify_all()
+            depth = len(self._queue)
+        obs.gauge("server.broker.queue_depth", depth)
         if coalesced:
             obs.count("server.dedupe.coalesced")
         pending.done.wait()
@@ -132,6 +201,12 @@ class RequestBroker:
                 "batches": self._batches,
                 "executed": self._executed,
                 "inflight": len(self._inflight),
+                "queue_depth": len(self._queue),
+                "peak_queue_depth": self._peak_queue_depth,
+                "max_queue": self.max_queue,
+                "shed_queue_full": self._shed_queue_full,
+                "shed_draining": self._shed_draining,
+                "draining": self._draining,
             }
 
     # ------------------------------------------------------------------
@@ -153,8 +228,12 @@ class RequestBroker:
             with self._lock:
                 batch = self._queue
                 self._queue = []
-                self._batches += 1
-                self._executed += len(batch)
+                if batch:
+                    self._batches += 1
+                    self._executed += len(batch)
+            if not batch:
+                continue  # stop() raced the window and claimed the queue
+            obs.gauge("server.broker.queue_depth", 0)
             obs.count("server.batches")
             obs.count("server.batch.requests", len(batch))
             try:
@@ -176,3 +255,6 @@ class RequestBroker:
                 # waiter that saw the outcome can immediately re-submit
                 # and get a fresh execution, not a stale coalesce.
                 pending.done.set()
+            with self._lock:
+                if not self._queue and not self._inflight:
+                    self._idle.notify_all()

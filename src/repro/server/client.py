@@ -6,12 +6,32 @@ is thread-per-connection, so connection reuse buys nothing and keeps
 handler threads pinned).  Error responses raise
 :class:`ServiceResponseError` carrying the structured error body, so
 callers branch on ``exc.error_type`` instead of parsing messages.
+
+Retry policy (``max_retries``, default 2): a retry happens **only** for
+outcomes where the request provably never executed —
+
+* connection refused / socket file missing (the daemon never saw it),
+* a typed ``429 Overloaded`` shed,
+* a typed ``503 Draining``/``ServiceUnavailable`` shed.
+
+Typed 4xx request errors are deterministic and never retried; mid-flight
+transport failures (reset after the bytes left) and 500-family execution
+failures are never retried either — the daemon may have done (or be
+doing) the work, and hammering a failing request is exactly what the
+server's quarantine breaker exists to punish.  ``Quarantined`` is
+therefore also not retried: its cooldown is long by design.
+
+Backoff between retries is decorrelated jitter
+(``delay = uniform(base, prev * 3)``, capped), and a ``Retry-After``
+hint from the daemon overrides the jitter when present (still capped by
+``backoff_cap`` so a 30 s server hint cannot stall a test-scale client).
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
 import time
 from urllib.parse import urlsplit
@@ -19,23 +39,59 @@ from urllib.parse import urlsplit
 from repro.core.hypergraph import Hypergraph
 from repro.io.json_io import hypergraph_to_payload
 
-__all__ = ["ServiceClient", "ServiceClientError", "ServiceResponseError"]
+__all__ = [
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceConnectionError",
+    "ServiceResponseError",
+]
+
+#: ``error.type`` values that are safe to retry: the daemon *shed* the
+#: request before execution.  Everything else either executed or will
+#: deterministically fail again.
+RETRYABLE_ERROR_TYPES = frozenset(
+    {"Overloaded", "Draining", "ServiceUnavailable"}
+)
 
 
 class ServiceClientError(RuntimeError):
     """Transport-level failure: cannot reach or parse the daemon."""
 
 
+class ServiceConnectionError(ServiceClientError):
+    """Could not connect at all.  ``refused=True`` means nobody was
+    listening (connection refused / socket file absent) — the one
+    transport failure where the request certainly never executed."""
+
+    def __init__(self, message: str, refused: bool = False) -> None:
+        super().__init__(message)
+        self.refused = refused
+
+
 class ServiceResponseError(ServiceClientError):
     """The daemon answered with a structured error body."""
 
-    def __init__(self, status: int, error: dict) -> None:
+    def __init__(
+        self, status: int, error: dict, retry_after: float | None = None
+    ) -> None:
         self.status = status
         self.error = error
         self.error_type = error.get("type", "Unknown")
+        self.retry_after = retry_after
         super().__init__(
             f"HTTP {status}: [{self.error_type}] {error.get('message', '')}"
         )
+
+
+def _parse_retry_after(value: str | None) -> float | None:
+    """Parse a delta-seconds ``Retry-After`` header (dates unsupported)."""
+    if value is None:
+        return None
+    try:
+        seconds = float(value)
+    except ValueError:
+        return None
+    return seconds if seconds >= 0 else None
 
 
 class _UnixHTTPConnection(http.client.HTTPConnection):
@@ -60,12 +116,24 @@ class ServiceClient:
         url: str | None = None,
         socket_path: str | None = None,
         timeout: float = 120.0,
+        max_retries: int = 2,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        retry_seed: int | None = None,
     ) -> None:
         if (url is None) == (socket_path is None):
             raise ServiceClientError(
                 "give exactly one of url= (TCP) or socket_path= (AF_UNIX)"
             )
+        if max_retries < 0:
+            raise ServiceClientError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
         self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = random.Random(retry_seed)
         self.socket_path = socket_path
         self.host = self.port = None
         if url is not None:
@@ -82,59 +150,138 @@ class ServiceClient:
             return _UnixHTTPConnection(self.socket_path, self.timeout)
         return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
 
-    def request_raw(
+    def _request_once(
         self, method: str, path: str, body: bytes | None = None
-    ) -> tuple[int, bytes]:
-        """One HTTP round trip; returns ``(status, body_bytes)``."""
+    ) -> tuple[int, bytes, float | None]:
+        """One HTTP round trip: ``(status, body_bytes, retry_after)``."""
         conn = self._connection()
+        connected = False
         try:
+            conn.connect()
+            connected = True
             headers = {"Connection": "close"}
             if body is not None:
                 headers["Content-Type"] = "application/json"
             conn.request(method, path, body=body, headers=headers)
             response = conn.getresponse()
-            return response.status, response.read()
+            raw = response.read()
+            retry_after = _parse_retry_after(response.getheader("Retry-After"))
+            return response.status, raw, retry_after
         except (OSError, http.client.HTTPException) as exc:
-            raise ServiceClientError(
-                f"{method} {path} failed: {exc}"
-            ) from exc
+            if not connected:
+                # Nobody listening: the request never left this process.
+                refused = isinstance(exc, (ConnectionRefusedError, FileNotFoundError))
+                raise ServiceConnectionError(
+                    f"{method} {path}: cannot connect: {exc}", refused=refused
+                ) from exc
+            # Mid-flight failure — the daemon may have executed the
+            # request; the caller must not blindly retry.
+            raise ServiceClientError(f"{method} {path} failed: {exc}") from exc
         finally:
             conn.close()
 
-    def request(self, method: str, path: str, payload: dict | None = None) -> dict:
-        """Round trip + JSON decode; raises on structured error bodies."""
+    def request_raw(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, bytes]:
+        """One HTTP round trip (no retries); ``(status, body_bytes)``."""
+        status, raw, _ = self._request_once(method, path, body)
+        return status, raw
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        max_retries: int | None = None,
+    ) -> dict:
+        """Round trip + JSON decode, with the shed-aware retry policy.
+
+        Raises :class:`ServiceResponseError` on structured error bodies
+        once retries (see the module docstring for what qualifies) are
+        exhausted.  ``max_retries`` overrides the client default for
+        this one call (``0`` = exactly one attempt).
+        """
         body = (
             json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
             if payload is not None
             else None
         )
-        status, raw = self.request_raw(method, path, body)
-        try:
-            decoded = json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ServiceClientError(
-                f"{method} {path}: daemon sent undecodable body ({exc})"
-            ) from None
-        if status != 200:
-            raise ServiceResponseError(status, decoded.get("error", {}))
-        return decoded
+        retries = self.max_retries if max_retries is None else max_retries
+        delay = self.backoff_base
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                status, raw, retry_after = self._request_once(method, path, body)
+            except ServiceConnectionError as exc:
+                if not exc.refused or attempt > retries:
+                    raise
+                delay = self._backoff(delay, None)
+                continue
+            try:
+                decoded = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ServiceClientError(
+                    f"{method} {path}: daemon sent undecodable body ({exc})"
+                ) from None
+            if status == 200:
+                return decoded
+            error = decoded.get("error", {})
+            response_error = ServiceResponseError(status, error, retry_after)
+            retryable = (
+                status in (429, 503)
+                and response_error.error_type in RETRYABLE_ERROR_TYPES
+            )
+            if not retryable or attempt > retries:
+                raise response_error
+            hint = retry_after
+            if hint is None:
+                hint = error.get("retry_after")
+            delay = self._backoff(delay, hint)
+
+    def _backoff(self, previous: float, hint: float | None) -> float:
+        """Sleep before a retry; returns the delay for the *next* one.
+
+        Decorrelated jitter keeps a shed client herd from re-arriving in
+        lockstep; a server ``Retry-After`` hint wins over the jitter but
+        is still capped so it cannot stall the client arbitrarily.
+        """
+        if hint is not None and hint > 0:
+            delay = min(float(hint), self.backoff_cap)
+        else:
+            delay = min(
+                self.backoff_cap,
+                self._rng.uniform(self.backoff_base, previous * 3),
+            )
+        time.sleep(delay)
+        return max(delay, self.backoff_base)
 
     # -- readiness -----------------------------------------------------
 
     def wait_ready(self, timeout: float = 10.0, interval: float = 0.02) -> dict:
         """Poll ``/healthz`` until the daemon answers (no sleeps-and-hope).
 
+        Connection-refused means "not up *yet*" and keeps polling with a
+        capped exponential interval; any other failure — an HTTP error
+        body, an undecodable response, a mid-flight transport death —
+        means something is listening but broken, and fails fast with
+        that context instead of burning the whole timeout.
+
         Returns the health payload; raises :class:`ServiceClientError`
         if the daemon is not up within ``timeout`` seconds.
         """
         t0 = time.monotonic()
         last_error: Exception | None = None
+        poll = max(0.001, interval)
         while time.monotonic() - t0 < timeout:
             try:
-                return self.healthz()
-            except ServiceClientError as exc:
+                return self.request("GET", "/healthz", max_retries=0)
+            except ServiceConnectionError as exc:
+                if not exc.refused:
+                    raise
                 last_error = exc
-                time.sleep(interval)
+                time.sleep(min(poll, max(0.0, timeout - (time.monotonic() - t0))))
+                poll = min(poll * 2, 0.5)  # capped exponential
         raise ServiceClientError(
             f"daemon not ready after {timeout}s (last error: {last_error})"
         )

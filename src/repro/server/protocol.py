@@ -46,8 +46,12 @@ from repro.runtime import settings_fingerprint
 __all__ = [
     "OPS",
     "PLACERS",
+    "Draining",
+    "Overloaded",
+    "Quarantined",
     "RequestError",
     "ServiceRequest",
+    "ServiceUnavailable",
     "canonical_bytes",
     "error_payload",
     "parse_request",
@@ -72,6 +76,52 @@ MAX_REQUEST_BYTES = 64 << 20
 
 class RequestError(ParseError):
     """A malformed service request (maps to a structured 400 response)."""
+
+
+# ----------------------------------------------------------------------
+# Overload-path rejections: the typed 429/503 hierarchy
+# ----------------------------------------------------------------------
+
+
+class ServiceUnavailable(RuntimeError):
+    """Base of the overload-path rejections the daemon can issue.
+
+    Every subclass names a *why* (``error_type``), an HTTP status, and
+    optionally carries ``retry_after`` seconds — surfaced both in the
+    JSON error body and as a ``Retry-After`` header so naive and smart
+    clients alike learn when a retry is worth the bytes.  These are
+    raised by the admission layer and the broker, never by workers:
+    a :class:`ServiceUnavailable` means the request was **not executed**
+    (and is therefore always safe to retry elsewhere).
+    """
+
+    error_type = "ServiceUnavailable"
+    http_status = 503
+
+    def __init__(self, message: str, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class Overloaded(ServiceUnavailable):
+    """Admission control shed the request: in-flight/queue budget full."""
+
+    error_type = "Overloaded"
+    http_status = 429
+
+
+class Draining(ServiceUnavailable):
+    """The daemon is shutting down gracefully; not accepting new work."""
+
+    error_type = "Draining"
+    http_status = 503
+
+
+class Quarantined(ServiceUnavailable):
+    """The request's circuit breaker is open after repeated worker deaths."""
+
+    error_type = "Quarantined"
+    http_status = 503
 
 
 @dataclass(frozen=True)
@@ -333,6 +383,16 @@ def error_payload(exc: Exception, *, error_type: str | None = None) -> dict:
                 "message": exc.message,
                 "source": exc.source,
                 "line": exc.line,
+            }
+        }
+    if isinstance(exc, ServiceUnavailable):
+        return {
+            "error": {
+                "type": error_type or exc.error_type,
+                "message": str(exc),
+                "source": None,
+                "line": None,
+                "retry_after": exc.retry_after,
             }
         }
     return {
