@@ -86,6 +86,11 @@ class TaskResult:
     attempts: int = 0
     error: str | None = None
     sequential: bool = False
+    # True when :meth:`SupervisedPool.abort` cut this task (its worker
+    # SIGTERMed mid-flight, or it was still queued).  The task was
+    # abandoned by the *pool*, not judged: callers must not treat the
+    # failure as a verdict on the task's content.
+    aborted: bool = False
 
 
 @dataclass
@@ -397,6 +402,7 @@ class SupervisedPool:
                             key=rec.key,
                             attempts=rec.attempt + 1,
                             error=f"{reason} mid-execution",
+                            aborted=abort_message is not None,
                         ),
                     )
                 running.clear()
@@ -407,6 +413,7 @@ class SupervisedPool:
                             key=key,
                             attempts=attempt,
                             error=f"{reason} before execution",
+                            aborted=abort_message is not None,
                         ),
                     )
                 queue.clear()

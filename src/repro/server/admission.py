@@ -22,7 +22,10 @@ pool:
   with ``Retry-After`` = the cooldown remaining.  When the cooldown
   expires the breaker goes **half-open**: exactly one probe is admitted
   (concurrent duplicates stay quarantined); a clean probe closes the
-  breaker, a poisoned one re-opens it for another cooldown.
+  breaker, a poisoned one re-opens it for another cooldown, and a probe
+  that is shed before it ever executes returns its slot via
+  :meth:`QuarantineBreaker.probe_aborted` so the next submission probes
+  again.
 
 Both guards keep always-on tallies (for ``/metrics``, independent of
 obs) and mirror the interesting events into ``repro.obs`` counters.
@@ -206,23 +209,29 @@ class QuarantineBreaker:
         self._reopens = 0
         self._shed = 0
         self._probes = 0
+        self._probe_aborts = 0
         self._recoveries = 0
 
     # ------------------------------------------------------------------
 
-    def check(self, key: str) -> None:
+    def check(self, key: str) -> bool:
         """Gate one submission of ``key``.
 
-        Passes silently for closed keys; raises
+        Returns False for closed keys; raises
         :class:`~repro.server.protocol.Quarantined` while the breaker is
         open (``retry_after`` = cooldown remaining).  The first check
-        after the cooldown expires is admitted as the half-open probe;
-        concurrent duplicates stay quarantined until it resolves.
+        after the cooldown expires is admitted as the half-open probe
+        and returns True; concurrent duplicates stay quarantined until
+        it resolves.  A True return reserves the key's single probe
+        slot: the caller must guarantee that either an execution
+        outcome reaches :meth:`record` or the slot is returned via
+        :meth:`probe_aborted` — a leaked slot quarantines the key
+        permanently.
         """
         with self._lock:
             record = self._records.get(key)
             if record is None or record.opened_at is None:
-                return
+                return False
             now = self._clock()
             remaining = record.opened_at + self.cooldown - now
             if remaining > 0:
@@ -244,6 +253,29 @@ class QuarantineBreaker:
             record.probing = True
             self._probes += 1
             obs.count("server.breaker.probes")
+            return True
+
+    def probe_aborted(self, key: str) -> None:
+        """Return the half-open probe slot for ``key`` without a verdict.
+
+        A :meth:`check` that admits the probe reserves the key's single
+        probe slot.  When the probing request is then shed before it
+        ever reaches an execution — admission budget, full dispatch
+        queue, broker drain, executor blow-up — no :meth:`record` will
+        run for it, and without this hook the slot would stay reserved
+        forever, turning every future :meth:`check` into a permanent
+        "probe already in flight" quarantine.  Restores the pre-check
+        state exactly: the key stays open with its cooldown already
+        expired, so the next :meth:`check` admits a fresh probe.  No-op
+        when the key holds no in-flight probe.
+        """
+        with self._lock:
+            record = self._records.get(key)
+            if record is None or not record.probing:
+                return
+            record.probing = False
+            self._probe_aborts += 1
+            obs.count("server.breaker.probe_aborts")
 
     def record(self, key: str, error_type: str | None) -> None:
         """Feed one *execution* outcome back (``None`` = success).
@@ -316,5 +348,6 @@ class QuarantineBreaker:
                 "reopens": self._reopens,
                 "shed": self._shed,
                 "probes": self._probes,
+                "probe_aborts": self._probe_aborts,
                 "recoveries": self._recoveries,
             }

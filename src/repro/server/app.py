@@ -29,8 +29,9 @@ short-circuits request keys that keep killing workers with a typed 503
 and a cooldown; the :class:`~repro.server.admission.AdmissionController`
 bounds concurrently admitted requests and sheds the excess with a typed
 429 + ``Retry-After`` (the broker's bounded dispatch queue backs it
-up).  Cache hits bypass all three — they cost no pool capacity, and a
-draining daemon still answering hits would only *delay* its drain.
+up).  The cache is probed *before* any guard, so hits bypass all three
+— they cost no pool capacity, and answering them cannot delay a drain
+(the drain barrier waits only on admitted requests).
 ``SIGTERM``/:meth:`PartitionService.stop` runs the graceful drain:
 ``/healthz`` flips to ``"draining"``, in-flight requests finish up to
 ``drain_timeout`` seconds, stragglers are cut via ``pool.abort()``, and
@@ -219,12 +220,14 @@ class _Failure:
 
 
 def _classify_failure(message: str) -> str:
-    """Map a supervisor failure message onto a stable typed error name."""
+    """Map a supervisor failure message onto a stable typed error name.
+
+    Only supervisor-generated phrasings are matched; drain aborts are
+    recognized structurally via ``TaskResult.aborted``, never by text —
+    a worker error whose *own* message mentions draining must stay an
+    ``ExecutionFailed``, not become a safe-to-retry 503.
+    """
     text = message.lower()
-    if "draining" in text:
-        # pool.abort() during graceful drain cut this task; the request
-        # was abandoned, not poisoned, so it maps to the 503 family.
-        return "Draining"
     if "memory budget" in text or "memoryerror" in text:
         return "MemoryBudgetExceeded"
     if "hung past" in text:
@@ -567,6 +570,15 @@ class PartitionService:
             obs.count("server.requests.malformed")
             return 400, canonical_bytes(error_payload(exc)), {}
 
+        # The cache is probed before any guard: hits cost no pool
+        # capacity, so even a draining daemon keeps answering them —
+        # doing so cannot delay its drain, since the drain barrier
+        # waits only on admitted requests.
+        cached = self.cache.get(request.cache_key)
+        if cached is not None:
+            self._tally("hits")
+            return 200, self._envelope(cached, "hit", t0, attempts=0), {}
+
         # Guard 0 — draining: a stopping daemon takes no new work (the
         # cheap parse above still runs so malformed traffic stays 400).
         if self._draining.is_set():
@@ -577,17 +589,16 @@ class PartitionService:
                     retry_after=self._drain_retry_after(),
                 )
             )
-
-        cached = self.cache.get(request.cache_key)
-        if cached is not None:
-            self._tally("hits")
-            return 200, self._envelope(cached, "hit", t0, attempts=0), {}
         self._tally("misses")
 
         # Guard 1 — quarantine: a key that keeps killing workers is
-        # short-circuited before it can burn another one.
+        # short-circuited before it can burn another one.  A True
+        # return means this request holds the key's single half-open
+        # probe slot: every path below that fails to deliver an
+        # execution outcome must give it back via probe_aborted(), or
+        # the key would answer "probe already in flight" forever.
         try:
-            self.breaker.check(request.cache_key)
+            probing = self.breaker.check(request.cache_key)
         except ServiceUnavailable as exc:
             return self._unavailable(exc)
 
@@ -596,17 +607,29 @@ class PartitionService:
         try:
             self.admission.admit()
         except ServiceUnavailable as exc:
+            if probing:
+                self.breaker.probe_aborted(request.cache_key)
             return self._unavailable(exc)
         admitted_at = time.monotonic()
+        executed = False
         try:
             outcome, coalesced = self.broker.submit(request.cache_key, request)
+            executed = isinstance(outcome, (_Success, _Failure))
         except ServiceUnavailable as exc:
             # Broker-level shed: dispatch queue full, or stop() raced us.
+            if probing:
+                self.breaker.probe_aborted(request.cache_key)
             if exc.retry_after is None:
                 exc.retry_after = self.admission.retry_after_hint()
             return self._unavailable(exc)
         finally:
-            self.admission.release(time.monotonic() - admitted_at)
+            # The slot always comes back, but only a delivered execution
+            # outcome feeds the service-time EWMA — an immediate shed's
+            # ~0 s sample would drag the Retry-After hint toward its
+            # floor exactly when backpressure matters most.
+            self.admission.release(
+                time.monotonic() - admitted_at if executed else None
+            )
         if coalesced:
             self._tally("coalesced")
         if isinstance(outcome, _Success):
@@ -630,9 +653,16 @@ class PartitionService:
             return 500, canonical_bytes(body), {}
         if isinstance(outcome, ServiceUnavailable):
             # A parked waiter failed by broker.stop() gets the typed
-            # draining outcome as an object, not a raise.
+            # draining outcome as an object, not a raise.  Nothing
+            # executed, so a held probe slot comes back.
+            if probing:
+                self.breaker.probe_aborted(request.cache_key)
             return self._unavailable(outcome)
-        # Broker-level exception (executor blew up, unexpected outcome).
+        # Broker-level exception (executor blew up, unexpected outcome):
+        # no execution outcome was delivered, so the probe slot — if
+        # this request held it — must not stay reserved.
+        if probing:
+            self.breaker.probe_aborted(request.cache_key)
         exc = (
             outcome
             if isinstance(outcome, Exception)
@@ -717,8 +747,16 @@ class PartitionService:
                 message = task_result.error or "task failed"
                 self._tally("failures")
                 obs.count("server.errors")
-                error_type = _classify_failure(message)
-                self.breaker.record(task_result.key, error_type)
+                if task_result.aborted:
+                    # pool.abort() cut this execution during drain: the
+                    # daemon's doing, not a verdict on the request, so
+                    # the breaker gets no vote — but a half-open probe
+                    # that rode this execution must get its slot back.
+                    error_type = "Draining"
+                    self.breaker.probe_aborted(task_result.key)
+                else:
+                    error_type = _classify_failure(message)
+                    self.breaker.record(task_result.key, error_type)
                 outcomes[task_result.key] = _Failure(
                     error_type=error_type,
                     message=message,

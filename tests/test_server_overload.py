@@ -35,6 +35,7 @@ from repro import obs
 from repro.core.hypergraph import Hypergraph
 from repro.io.json_io import hypergraph_to_payload
 from repro.runtime import faults
+from repro.runtime.supervisor import SupervisionReport, TaskResult
 from repro.server import (
     PartitionService,
     ServiceClient,
@@ -42,10 +43,17 @@ from repro.server import (
     ServiceResponseError,
 )
 from repro.server.admission import AdmissionController, QuarantineBreaker
+from repro.server.app import _classify_failure
 from repro.server.batching import RequestBroker
 from repro.server.client import ServiceClientError, ServiceConnectionError
 from repro.server.loadgen import run_load
-from repro.server.protocol import Draining, Overloaded, Quarantined
+from repro.server.protocol import (
+    Draining,
+    Overloaded,
+    Quarantined,
+    canonical_bytes,
+    parse_request,
+)
 
 pytestmark = pytest.mark.filterwarnings(
     "ignore::pytest.PytestUnhandledThreadExceptionWarning"
@@ -106,6 +114,19 @@ class TestAdmissionController:
         with pytest.raises(Overloaded) as excinfo:
             ac.admit()
         assert excinfo.value.retry_after > 1.0
+
+    def test_release_without_a_sample_keeps_the_ewma(self):
+        """A shed returns its slot but must not feed ~0 s 'service time'
+        into the EWMA — that would collapse the Retry-After hint toward
+        its floor exactly when backpressure matters."""
+        ac = AdmissionController(max_inflight=2, workers=1)
+        ac.admit()
+        ac.release(2.0)
+        avg = ac.stats()["avg_service_seconds"]
+        ac.admit()
+        ac.release(None)
+        assert ac.stats()["avg_service_seconds"] == avg
+        assert ac.inflight == 0
 
     def test_drain_wait(self):
         ac = AdmissionController(max_inflight=4)
@@ -180,6 +201,32 @@ class TestQuarantineBreakerUnit:
         with pytest.raises(Quarantined):
             qb.check("k")
         assert qb.stats()["reopens"] == 1
+
+    def test_probe_abort_returns_the_probe_slot(self):
+        """A probe shed before execution must not reserve the slot
+        forever: probe_aborted restores open-awaiting-probe, so the
+        next check is admitted as a fresh probe."""
+        clock = _Clock()
+        qb = QuarantineBreaker(threshold=1, cooldown=5.0, clock=clock)
+        assert qb.check("k") is False  # closed keys hold no probe
+        qb.record("k", "WorkerCrashed")
+        clock.now += 5.1
+        assert qb.check("k") is True  # probe admitted
+        with pytest.raises(Quarantined):
+            qb.check("k")  # duplicate while the probe is reserved
+        qb.probe_aborted("k")
+        assert qb.check("k") is True  # slot returned: probes again
+        qb.record("k", None)
+        qb.check("k")  # recovered; closed again
+        stats = qb.stats()
+        assert stats["probes"] == 2
+        assert stats["probe_aborts"] == 1
+        assert stats["recoveries"] == 1
+        assert stats["open_keys"] == 0
+        # Aborting when no probe is reserved is a harmless no-op.
+        qb.probe_aborted("k")
+        qb.probe_aborted("never-seen")
+        assert qb.stats()["probe_aborts"] == 1
 
     def test_non_poison_outcomes_never_trip(self):
         qb = QuarantineBreaker(threshold=1, cooldown=5.0)
@@ -297,6 +344,151 @@ class TestBrokerOverload:
             t.join(timeout=10)
         # The in-flight batch still completed for its own waiter.
         assert results["stuck"][0] == "done:A"
+
+
+# ----------------------------------------------------------------------
+# Unit: the service's guard pipeline (no daemon, no HTTP, no pool work)
+# ----------------------------------------------------------------------
+
+
+def _service(**config_kwargs):
+    config_kwargs.setdefault("workers", 1)
+    config_kwargs.setdefault("obs_enabled", False)
+    return PartitionService(ServiceConfig(**config_kwargs))
+
+
+class TestHandleRequestGuards:
+    """``handle_request`` driven directly against an unstarted service."""
+
+    def test_cache_hits_bypass_the_draining_guard(self, h):
+        svc = _service()
+        raw = json.dumps(_body(h)).encode()
+        request = parse_request(raw)
+        svc.cache.put(request.cache_key, canonical_bytes({"cutsize": 1}))
+        svc._draining.set()
+        status, body, _ = svc.handle_request(raw)
+        assert status == 200
+        assert json.loads(body)["served"]["cache"] == "hit"
+        # An uncached request is still shed, typed.
+        status2, body2, _ = svc.handle_request(
+            json.dumps(_body(h, seed=99)).encode()
+        )
+        assert status2 == 503
+        assert json.loads(body2)["error"]["type"] == "Draining"
+
+    def test_shed_probe_slot_is_returned(self, h, monkeypatch):
+        """Regression (high): a half-open probe shed before it reaches
+        an execution must not quarantine its key permanently."""
+        svc = _service(max_inflight=1)
+        clock = _Clock()
+        svc.breaker = QuarantineBreaker(threshold=1, cooldown=5.0, clock=clock)
+        raw = json.dumps(_body(h)).encode()
+        key = parse_request(raw).cache_key
+        svc.breaker.record(key, "WorkerCrashed")  # trips (threshold 1)
+        clock.now += 5.1  # cooldown over: the next check admits a probe
+
+        # Path 1: the probe is shed by the admission controller.
+        svc.admission.admit()  # occupy the only slot
+        status, body, _ = svc.handle_request(raw)
+        assert status == 429
+        assert json.loads(body)["error"]["type"] == "Overloaded"
+        svc.admission.release(None)
+
+        # Path 2: the probe is shed by the broker (queue full).
+        def shed(key_, payload):
+            raise Overloaded("dispatch queue is full")
+
+        monkeypatch.setattr(svc.broker, "submit", shed)
+        status, body, _ = svc.handle_request(raw)
+        assert status == 429
+        assert json.loads(body)["error"]["type"] == "Overloaded"
+
+        # Path 3: broker.stop() raced us — the waiter receives the
+        # typed draining outcome as an object, not a raise.
+        monkeypatch.setattr(
+            svc.broker,
+            "submit",
+            lambda key_, payload: (Draining("stopped", retry_after=1.0), False),
+        )
+        status, body, _ = svc.handle_request(raw)
+        assert status == 503
+        assert json.loads(body)["error"]["type"] == "Draining"
+
+        # Every shed returned the probe slot: the key is still open and
+        # still probeable — not stuck on "probe already in flight".
+        assert svc.breaker.stats()["probe_aborts"] == 3
+        assert svc.breaker.check(key) is True
+
+    def test_broker_shed_does_not_feed_the_service_time_ewma(
+        self, h, monkeypatch
+    ):
+        svc = _service()
+        avg = svc.admission.stats()["avg_service_seconds"]
+
+        def shed(key, payload):
+            raise Overloaded("dispatch queue is full")
+
+        monkeypatch.setattr(svc.broker, "submit", shed)
+        status, _, _ = svc.handle_request(json.dumps(_body(h)).encode())
+        assert status == 429
+        assert svc.admission.stats()["avg_service_seconds"] == avg
+        assert svc.admission.inflight == 0
+
+    def test_drain_cut_execution_is_typed_without_a_breaker_vote(
+        self, h, monkeypatch
+    ):
+        """An execution cut by pool.abort() is recognized structurally
+        (TaskResult.aborted, not message text), maps to the 503 family,
+        and neither forgives nor blames the key."""
+        svc = _service()
+        clock = _Clock()
+        svc.breaker = QuarantineBreaker(threshold=1, cooldown=5.0, clock=clock)
+        raw = json.dumps(_body(h)).encode()
+        request = parse_request(raw)
+        key = request.cache_key
+        svc.breaker.record(key, "WorkerCrashed")
+        clock.now += 5.1
+        assert svc.breaker.check(key) is True  # the probe rides this batch
+
+        def cut_map(tasks):
+            return (
+                [
+                    TaskResult(
+                        key=k,
+                        attempts=1,
+                        error="service is draining mid-execution",
+                        aborted=True,
+                    )
+                    for k, _ in tasks
+                ],
+                SupervisionReport(),
+            )
+
+        monkeypatch.setattr(svc.pool, "map", cut_map)
+        outcomes = svc._execute_batch([(key, request)])
+        assert outcomes[key].error_type == "Draining"
+        stats = svc.breaker.stats()
+        assert stats["probe_aborts"] == 1  # the probe slot came back ...
+        assert stats["recoveries"] == 0  # ... but the key was NOT forgiven
+        assert svc.breaker.open_keys() == 1
+        assert svc.breaker.check(key) is True  # probeable again
+
+    def test_worker_error_text_mentioning_draining_is_not_a_drain(self):
+        """Classification is structural now: a worker whose own error
+        message contains 'draining' stays a 500 ExecutionFailed, never
+        a safe-to-retry 503."""
+        assert (
+            _classify_failure("ValueError: draining the tank failed")
+            == "ExecutionFailed"
+        )
+        assert (
+            _classify_failure("worker hung past the 5s task timeout")
+            == "WorkerHung"
+        )
+        assert (
+            _classify_failure("deadline expired mid-execution")
+            == "DeadlineExpired"
+        )
 
 
 # ----------------------------------------------------------------------

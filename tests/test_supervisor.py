@@ -10,6 +10,7 @@ and hangs must still produce a valid bipartition and a *truthful*
 from __future__ import annotations
 
 import os
+import threading
 import time
 
 import pytest
@@ -220,6 +221,38 @@ class TestSupervisedPool:
         assert results[0].ok
         assert results[0].value == advance_seed(original, 1)
         assert report.crashes == 1
+
+    def test_abort_sets_the_structured_aborted_flag(self):
+        """abort() marks cut tasks via TaskResult.aborted — callers (the
+        daemon's drain path above all) branch on the flag, never on the
+        abort message text."""
+        pool = SupervisedPool(_crash_if_flagged, max_workers=1, max_retries=3)
+        aborter = threading.Timer(0.3, pool.abort, args=("drain cutoff",))
+        aborter.start()
+        try:
+            results, report = pool.map(
+                [("running", ("hang", 1)), ("queued", ("ok", 2))]
+            )
+        finally:
+            aborter.cancel()
+        by_key = {r.key: r for r in results}
+        assert not by_key["running"].ok
+        assert by_key["running"].aborted is True
+        assert by_key["running"].error == "drain cutoff mid-execution"
+        assert not by_key["queued"].ok
+        assert by_key["queued"].aborted is True
+        assert by_key["queued"].error == "drain cutoff before execution"
+
+    def test_ordinary_failures_are_not_flagged_aborted(self):
+        pool = SupervisedPool(
+            _crash_if_flagged,
+            max_workers=1,
+            max_retries=0,
+            sequential_fallback=False,
+        )
+        results, _report = pool.map([("x", ("crash", 1))])
+        assert not results[0].ok
+        assert results[0].aborted is False
 
 
 # ----------------------------------------------------------------------
