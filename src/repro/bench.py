@@ -58,7 +58,7 @@ from pathlib import Path
 
 from repro import obs
 from repro.core.hypergraph import Hypergraph
-from repro.engines import ALL_ENGINES, DEFAULT_ENGINES, run_engine
+from repro.engines import ALL_ENGINES, DEFAULT_ENGINES, REFINERS, run_engine
 from repro.generators.difficult import planted_bisection
 from repro.generators.netlists import clustered_netlist
 from repro.generators.random_hypergraph import random_hypergraph
@@ -88,12 +88,18 @@ class BenchCase:
     10k-module case to exclude the engines whose asymptotics cannot pay
     for that size (KL's O(n²) passes, spectral's minute-scale
     eigensolve).
+
+    ``engine_notes`` documents *why* an engine is excluded, as
+    ``(engine, reason)`` pairs; the reasons are surfaced in the bench
+    payload's ``instances`` records so an exclusion is a logged
+    decision, never a silent omission.
     """
 
     name: str
     kind: str  # "difficult" | "random" | "netlist"
     params: dict = field(default_factory=dict)
     engines: tuple[str, ...] | None = None
+    engine_notes: tuple[tuple[str, str], ...] = ()
 
     def materialize(self) -> tuple[Hypergraph, dict]:
         """Build the instance; returns ``(hypergraph, metadata)``."""
@@ -149,13 +155,27 @@ LARGE_SUITE: tuple[BenchCase, ...] = PINNED_SUITE + (
         "random10k",
         "random",
         {"modules": 10_000, "signals": 16_000, "seed": 23},
-        engines=("algorithm1", "fm", "sa", "random"),
+        engines=("algorithm1", "fm", "sa", "random", "flow"),
+        engine_notes=(
+            ("kl", "O(n^2) swap passes cost minutes at 10k modules"),
+            ("spectral", "dense eigensolve costs ~60s at 10k modules"),
+        ),
     ),
     BenchCase(
         "random100k",
         "random",
         {"modules": 100_000, "signals": 160_000, "seed": 29},
         engines=("algorithm1", "sa", "random"),
+        engine_notes=(
+            ("fm", "python bucket walk costs minutes per run at 100k modules"),
+            (
+                "flow",
+                "seeded by algorithm1 then pays FM-scale python corridor "
+                "solves per round; minutes-scale at 100k modules",
+            ),
+            ("kl", "O(n^2) swap passes are hours-scale at 100k modules"),
+            ("spectral", "dense eigensolve is not feasible at 100k modules"),
+        ),
     ),
 )
 
@@ -175,6 +195,7 @@ def _bench_entry(
     starts: int,
     repeats: int,
     deadline_seconds: float | None,
+    refine: str | None = None,
 ) -> dict:
     """Build one (instance, engine) result record.
 
@@ -191,7 +212,9 @@ def _bench_entry(
         )
         with obs.scoped() as reg:
             t0 = time.perf_counter()
-            bipartition, extras = run_engine(engine, h, seed, starts, deadline)
+            bipartition, extras = run_engine(
+                engine, h, seed, starts, deadline, refine=refine
+            )
             elapsed = time.perf_counter() - t0
             snapshot = reg.snapshot()
         if seconds is None or elapsed < seconds:
@@ -247,6 +270,7 @@ def _bench_worker(payload: dict) -> dict:
         payload["starts"],
         payload["repeats"],
         payload["deadline_seconds"],
+        payload.get("refine"),
     )
 
 
@@ -258,6 +282,7 @@ def _server_entry(
     seed: int,
     starts: int,
     deadline_seconds: float | None,
+    refine: str | None = None,
 ) -> tuple[dict, bool]:
     """One (instance, engine) pair replayed through a partition daemon.
 
@@ -273,6 +298,8 @@ def _server_entry(
     settings = {"starts": starts, "seed": seed}
     if deadline_seconds is not None:
         settings["deadline_seconds"] = deadline_seconds
+    if refine is not None:
+        settings["refine"] = refine
     try:
         response = client.partition(h, engine=engine, settings=settings)
     except ServiceResponseError as exc:
@@ -331,6 +358,7 @@ def _journal_settings(
     repeats: int,
     deadline_seconds: float | None,
     memory_limit_mb: float | None,
+    refine: str | None,
 ) -> dict:
     """The *result-affecting* settings a bench journal fingerprints.
 
@@ -350,6 +378,7 @@ def _journal_settings(
         "repeats": repeats,
         "deadline_seconds": deadline_seconds,
         "memory_limit_mb": memory_limit_mb,
+        "refine": refine,
         "engines": list(engines),
         "cases": [
             {
@@ -380,6 +409,7 @@ def run_bench(
     memory_limit_mb: float | None = None,
     on_resume=None,
     server: str | None = None,
+    refine: str | None = None,
 ) -> dict:
     """Execute the suite and return the JSON-ready payload.
 
@@ -441,6 +471,8 @@ def run_bench(
     unknown = [e for e in engines if e not in ALL_ENGINES]
     if unknown:
         raise BenchError(f"unknown engines {unknown}; choose from {ALL_ENGINES}")
+    if refine is not None and refine not in REFINERS:
+        raise BenchError(f"unknown refiner {refine!r}; choose from {REFINERS}")
     if repeats < 1:
         raise BenchError(f"repeats must be >= 1, got {repeats}")
     if deadline_seconds is not None and deadline_seconds <= 0:
@@ -491,16 +523,34 @@ def run_bench(
         h, meta = case.materialize()
         materialized[case.name] = h
         case_engines = _case_engines(case, engines)
-        instances.append(
-            {"name": case.name, "kind": case.kind, "engines": list(case_engines), **meta}
-        )
+        instance_record = {
+            "name": case.name,
+            "kind": case.kind,
+            "engines": list(case_engines),
+            **meta,
+        }
+        excluded_notes = {
+            eng: reason
+            for eng, reason in case.engine_notes
+            if eng in engines and eng not in case_engines
+        }
+        if excluded_notes:
+            instance_record["engine_notes"] = excluded_notes
+        instances.append(instance_record)
         pair_list.extend((case.name, engine) for engine in case_engines)
 
     journal: RunJournal | None = None
     entries: dict[tuple[str, str], dict] = {}
     if resume_path is not None:
         fingerprint_settings = _journal_settings(
-            cases, engines, seed, starts, repeats, deadline_seconds, memory_limit_mb
+            cases,
+            engines,
+            seed,
+            starts,
+            repeats,
+            deadline_seconds,
+            memory_limit_mb,
+            refine,
         )
         journal, recorded = RunJournal.resume(
             resume_path, "bench", fingerprint_settings
@@ -516,7 +566,14 @@ def run_bench(
             journal_path,
             "bench",
             _journal_settings(
-                cases, engines, seed, starts, repeats, deadline_seconds, memory_limit_mb
+                cases,
+                engines,
+                seed,
+                starts,
+                repeats,
+                deadline_seconds,
+                memory_limit_mb,
+                refine,
             ),
         )
 
@@ -561,6 +618,7 @@ def run_bench(
                     seed,
                     starts,
                     deadline_seconds,
+                    refine,
                 )
                 checkpoint((case_name, engine), entry, ok)
         elif parallel is not None:
@@ -573,6 +631,7 @@ def run_bench(
                         "starts": starts,
                         "repeats": repeats,
                         "deadline_seconds": deadline_seconds,
+                        "refine": refine,
                     },
                 )
                 for pair in pending
@@ -640,6 +699,7 @@ def run_bench(
                         starts,
                         repeats,
                         deadline_seconds,
+                        refine,
                     ),
                     True,
                 )
@@ -669,6 +729,7 @@ def run_bench(
             "max_retries": max_retries,
             "memory_limit_mb": memory_limit_mb,
             "server": server,
+            "refine": refine,
             "engines": list(engines),
             "cases": [case.name for case in cases],
         },

@@ -61,6 +61,8 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     h = _load_hypergraph(args.file, args.format)
     if (args.journal or args.resume) and (args.k > 2 or args.algorithm != "algorithm1"):
         raise SystemExit("--journal/--resume support algorithm1 bisection only")
+    if args.refine and args.k > 2:
+        raise SystemExit("--refine applies to bipartitions only (k = 2)")
     if args.k > 2:
         from repro.core.kway import recursive_bisection
 
@@ -119,6 +121,22 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             workers = result.counters.get("parallel_workers", 0)
             if workers:
                 print(f"parallel workers   : {workers}")
+    elif args.algorithm == "flow":
+        from repro.engines import run_engine
+
+        bp, extras = run_engine(
+            "flow",
+            h,
+            seed=args.seed,
+            starts=args.starts,
+            deadline=args.deadline,
+            balance_tolerance=args.balance_tolerance,
+        )
+        _check_degraded(
+            bool(extras.get("degraded")), extras.get("degrade_reason"), args.on_error
+        )
+        print(f"flow rounds        : {extras.get('flow_rounds', 0)}")
+        print(f"seed cutsize       : {extras.get('seed_cutsize')}")
     else:
         from repro.baselines import (
             fiduccia_mattheyses,
@@ -141,6 +159,24 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         base_result = runners[args.algorithm]()
         bp = base_result.bipartition
         _check_degraded(base_result.degraded, base_result.degrade_reason, args.on_error)
+
+    if args.refine:
+        from repro.engines import apply_refine
+
+        unrefined = bp.cutsize
+        bp, refine_extras = apply_refine(
+            args.refine,
+            h,
+            bp,
+            seed=args.seed,
+            balance_tolerance=args.balance_tolerance,
+            deadline=args.deadline,
+        )
+        if refine_extras.get("refine_degraded"):
+            _check_degraded(
+                True, refine_extras.get("refine_degrade_reason"), args.on_error
+            )
+        print(f"refine ({args.refine:<4})      : cutsize {unrefined} -> {bp.cutsize}")
 
     print(f"cutsize            : {bp.cutsize}")
     print(f"weighted cutsize   : {bp.weighted_cutsize:g}")
@@ -247,6 +283,7 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
         seed=args.seed,
         deadline=args.deadline,
         on_error=args.on_error,
+        refine=args.refine,
     )
     print(
         f"{'method':<12} {'cutsize':>8} {'imbalance':>10} {'feasible':>9} "
@@ -263,6 +300,11 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
             f"{entry.method:<12} {entry.cutsize:>8} "
             f"{entry.weight_imbalance_fraction:>10.3f} "
             f"{str(entry.feasible):>9} {entry.seconds:>8.2f}  {status}"
+        )
+    if result.refined is not None:
+        print(
+            f"\nrefine ({result.refined}): cutsize "
+            f"{result.unrefined_cutsize} -> {result.cutsize}"
         )
     print(f"\nwinner: {result.winner} (cutsize {result.cutsize})")
     if result.degraded:
@@ -311,6 +353,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 task_timeout=args.task_timeout,
                 max_retries=args.max_retries,
                 total_deadline_seconds=args.total_deadline,
+                refine=settings.get("refine"),
             )
         regressions = compare_bench(
             baseline,
@@ -343,6 +386,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"resume: {replayed} pair(s) replayed, {pending} remaining"
         ),
         server=args.server,
+        refine=args.refine,
     )
     # Resume progress goes to stderr: --json promises the payload is the
     # entire stdout, and the payload itself must stay resume-agnostic.
@@ -476,6 +520,8 @@ def _cmd_client(args: argparse.Namespace) -> int:
                 settings.setdefault("seed", args.seed)
                 if args.deadline is not None:
                     settings.setdefault("deadline_seconds", args.deadline)
+                if args.refine is not None:
+                    settings.setdefault("refine", args.refine)
                 response = client.partition(h, engine=args.engine, settings=settings)
             else:
                 settings.setdefault("seed", args.seed)
@@ -546,8 +592,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=["hgr", "netlist", "json"], default=None)
     p.add_argument(
         "--algorithm",
-        choices=["algorithm1", "fm", "kl", "sa", "random", "spectral"],
+        choices=["algorithm1", "fm", "kl", "sa", "random", "spectral", "flow"],
         default="algorithm1",
+    )
+    p.add_argument(
+        "--refine",
+        choices=["flow", "fm"],
+        default=None,
+        help="apply a never-worse refinement post-pass to the bipartition "
+        "(flow = exact corridor min-cut solves, see docs/FLOW.md)",
     )
     p.add_argument("--starts", type=int, default=50, help="multi-start count")
     p.add_argument("--k", type=int, default=2, help="k-way via recursive bisection (k > 2)")
@@ -691,6 +744,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="'degrade' (default) records engine failures on the scoreboard; "
         "'raise' propagates the first engine exception",
     )
+    pf.add_argument(
+        "--refine",
+        choices=["flow", "fm"],
+        default=None,
+        help="apply a never-worse refinement post-pass to the winning cut",
+    )
     pf.add_argument("--parts", help="write the winning cut as a .part file")
     pf.set_defaults(fn=_cmd_portfolio)
 
@@ -701,6 +760,13 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--label", default="local", help="written to BENCH_<label>.json")
     b.add_argument("--out", default=None, help="output path (default ./BENCH_<label>.json)")
     b.add_argument("--engines", default=None, help="comma-separated engine list")
+    b.add_argument(
+        "--refine",
+        choices=["flow", "fm"],
+        default=None,
+        help="apply a refinement post-pass to every engine run (recorded "
+        "in the payload settings and the journal fingerprint)",
+    )
     b.add_argument("--starts", type=int, default=10, help="multi-start count for algorithm1/random")
     b.add_argument(
         "--repeats",
@@ -983,8 +1049,14 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--socket", metavar="PATH", default=None, help="daemon AF_UNIX socket")
     c.add_argument(
         "--engine",
-        choices=["algorithm1", "fm", "kl", "sa", "random", "spectral"],
+        choices=["algorithm1", "fm", "kl", "sa", "random", "spectral", "flow"],
         default="algorithm1",
+    )
+    c.add_argument(
+        "--refine",
+        choices=["flow", "fm"],
+        default=None,
+        help="request a refinement post-pass (partition op only)",
     )
     c.add_argument(
         "--placer", choices=["mincut", "annealing", "quadratic"], default="mincut"

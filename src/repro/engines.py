@@ -12,6 +12,13 @@ place, and every front end imports it.
 Every engine is a deterministic function of ``(hypergraph, seed,
 starts)``; ``deadline`` only ever *truncates* work (best-so-far result,
 ``degraded=True``), never changes the fault-free answer.
+
+Besides full engines, the registry exposes *refiners*
+(:data:`REFINERS`): post-passes applied to an already-computed
+bipartition via ``run_engine(..., refine=...)`` or
+:func:`apply_refine`.  A refiner never worsens the weighted cut and is
+part of the service settings fingerprint, so cached daemon results
+stay keyed by the exact computation that produced them.
 """
 
 from __future__ import annotations
@@ -26,17 +33,41 @@ from repro.baselines import (
 from repro.baselines.simulated_annealing import AnnealingSchedule
 from repro.core.algorithm1 import algorithm1
 from repro.core.hypergraph import Hypergraph
+from repro.core.partition import Bipartition
+from repro.core.refinement import fm_refine
 from repro.runtime import Deadline
 
-__all__ = ["ALL_ENGINES", "DEFAULT_ENGINES", "EngineError", "run_engine"]
+__all__ = [
+    "ALL_ENGINES",
+    "DEFAULT_ENGINES",
+    "REFINERS",
+    "EngineError",
+    "apply_refine",
+    "run_engine",
+]
 
 #: Engines in the default sweep.  ``spectral`` joined once its Fiedler
 #: order was canonicalized (quantize + sign fix + vertex-index
 #: tie-break, see ``repro.baselines.spectral``) — its cut is now a
 #: deterministic function of the hypergraph, safe for the exact gate.
-DEFAULT_ENGINES = ("algorithm1", "fm", "kl", "sa", "random", "spectral")
+#: ``flow`` is Algorithm I's best start refined by the exact corridor
+#: solver (``repro.flow``), the strongest cut engine in the registry.
+#:
+#: NOTE: keep this and :data:`ALL_ENGINES` as *separate* tuple literals.
+#: They used to alias the same object, so adding a name to one silently
+#: changed the other (and every front end validating against it).
+DEFAULT_ENGINES = ("algorithm1", "fm", "kl", "sa", "random", "spectral", "flow")
 
-ALL_ENGINES = DEFAULT_ENGINES
+#: Every dispatchable engine name — the validation surface for bench
+#: ``--engines`` and the service protocol.  A superset of (but never
+#: the same object as) :data:`DEFAULT_ENGINES`.  Built via a generator
+#: on purpose: two equal tuple *literals* are constant-folded into one
+#: shared object by CPython, which is exactly the aliasing this guards
+#: against.
+ALL_ENGINES = tuple(name for name in ("algorithm1", "fm", "kl", "sa", "random", "spectral", "flow"))
+
+#: Post-pass refiners accepted by ``run_engine(..., refine=...)``.
+REFINERS = ("flow", "fm")
 
 #: Bounded SA schedule so repeat-invocation runs stay minutes-free and
 #: each engine run sits well under a second (keeping the bench runtime
@@ -46,13 +77,68 @@ BOUNDED_SA_SCHEDULE = AnnealingSchedule(
     alpha=0.9, max_total_moves=20_000, min_temperature=1e-2, frozen_after=2
 )
 
+#: Corridor radius for the ``flow`` engine and the ``flow`` refiner.
+#: Radius 2 keeps corridor networks a small fraction of the hypergraph
+#: on the bench instances while still letting whole boundary clusters
+#: change sides in one exact solve.
+FLOW_CORRIDOR_RADIUS = 2
+
+#: Round budget for one refine_flow invocation in engine context.
+FLOW_MAX_ROUNDS = 8
+
 
 class EngineError(ValueError):
-    """Raised when an unknown engine name is dispatched."""
+    """Raised when an unknown engine or refiner name is dispatched."""
 
 
 def _base_extras(result) -> dict:
     return {"degraded": result.degraded, "degrade_reason": result.degrade_reason}
+
+
+def apply_refine(
+    refine: str,
+    h: Hypergraph,
+    bipartition: Bipartition,
+    seed: int,
+    balance_tolerance: float = 0.1,
+    deadline: Deadline | None = None,
+) -> tuple:
+    """Apply one named refiner; returns ``(bipartition, extras)``.
+
+    Both refiners are never-worse: the returned cut is at most the
+    input cut, and an expired deadline yields the input back (flagged
+    ``degraded`` for ``flow``, which threads the deadline through the
+    solve; ``fm`` refinement is bounded by its pass budget instead).
+    """
+    from repro.flow import refine_flow  # deferred: keep engine import light
+
+    if refine == "flow":
+        result = refine_flow(
+            h,
+            bipartition,
+            corridor_radius=FLOW_CORRIDOR_RADIUS,
+            balance_tolerance=balance_tolerance,
+            max_rounds=FLOW_MAX_ROUNDS,
+            deadline=deadline,
+        )
+        return result.bipartition, {
+            "refine": "flow",
+            "refine_improved": result.improved,
+            "refine_rounds": result.rounds,
+            "refine_degraded": result.degraded,
+            "refine_degrade_reason": result.degrade_reason,
+            "refine_cut_trajectory": list(result.cut_trajectory),
+        }
+    if refine == "fm":
+        refined = fm_refine(
+            bipartition, balance_tolerance=balance_tolerance, seed=seed
+        )
+        return refined, {
+            "refine": "fm",
+            "refine_improved": refined.weighted_cutsize
+            < bipartition.weighted_cutsize,
+        }
+    raise EngineError(f"unknown refiner {refine!r}; choose from {REFINERS}")
 
 
 def run_engine(
@@ -62,12 +148,48 @@ def run_engine(
     starts: int,
     deadline: Deadline | None = None,
     balance_tolerance: float = 0.1,
+    refine: str | None = None,
 ) -> tuple:
     """Run one engine by name; returns ``(bipartition, extras)``.
 
     ``extras`` is a JSON-ready dict always carrying ``degraded`` (and,
     for ``algorithm1``, the per-phase timings and work counters).
+    ``refine`` optionally applies a :data:`REFINERS` post-pass to the
+    engine's answer with whatever deadline budget remains.
     """
+    if refine is not None and refine not in REFINERS:
+        raise EngineError(f"unknown refiner {refine!r}; choose from {REFINERS}")
+    bipartition, extras = _dispatch(
+        engine, h, seed, starts, deadline, balance_tolerance
+    )
+    if refine is not None:
+        bipartition, refine_extras = apply_refine(
+            refine,
+            h,
+            bipartition,
+            seed=seed,
+            balance_tolerance=balance_tolerance,
+            deadline=deadline,
+        )
+        extras = dict(extras)
+        extras.update(refine_extras)
+        if refine_extras.get("refine_degraded"):
+            extras["degraded"] = True
+            if not extras.get("degrade_reason"):
+                extras["degrade_reason"] = refine_extras.get(
+                    "refine_degrade_reason"
+                )
+    return bipartition, extras
+
+
+def _dispatch(
+    engine: str,
+    h: Hypergraph,
+    seed: int,
+    starts: int,
+    deadline: Deadline | None,
+    balance_tolerance: float,
+) -> tuple:
     if engine == "algorithm1":
         result = algorithm1(
             h,
@@ -99,4 +221,28 @@ def run_engine(
     if engine == "spectral":
         result = spectral_bisection(h, seed=seed, deadline=deadline)
         return result.bipartition, _base_extras(result)
+    if engine == "flow":
+        seed_bp, seed_extras = _dispatch(
+            "algorithm1", h, seed, starts, deadline, balance_tolerance
+        )
+        refined, refine_extras = apply_refine(
+            "flow",
+            h,
+            seed_bp,
+            seed=seed,
+            balance_tolerance=balance_tolerance,
+            deadline=deadline,
+        )
+        extras = {
+            "degraded": bool(seed_extras.get("degraded"))
+            or bool(refine_extras.get("refine_degraded")),
+            "degrade_reason": seed_extras.get("degrade_reason")
+            or refine_extras.get("refine_degrade_reason"),
+            "seed_engine": "algorithm1",
+            "seed_cutsize": seed_bp.cutsize,
+            "flow_rounds": refine_extras["refine_rounds"],
+            "flow_improved": refine_extras["refine_improved"],
+            "flow_cut_trajectory": refine_extras["refine_cut_trajectory"],
+        }
+        return refined, extras
     raise EngineError(f"unknown engine {engine!r}; choose from {ALL_ENGINES}")

@@ -1,0 +1,46 @@
+"""Flow-based min-cut refinement (FlowCutter / HyperFlowCutter style).
+
+The package implements ROADMAP item 3: a max-flow min-cut refinement
+pass that carves a corridor around an existing cut and solves that
+corridor *exactly*.
+
+* :mod:`repro.flow.network` — the Lawler expansion: every signal becomes
+  a bridging node pair with capacity equal to the signal weight, and the
+  fixed sides of the partition are contracted into the source/sink.
+* :mod:`repro.flow.dinic` — a pure-python BFS/Dinic max-flow solver over
+  CSR-style arc arrays with cooperative :class:`repro.runtime.Deadline`
+  checkpoints, residual-reachability cut extraction, and the
+  most-balanced-minimum-cut sweep (piercing loose residual components
+  into the source side while the balance objective improves).
+* :mod:`repro.flow.refine` — :func:`refine_flow`: corridor extraction
+  around the cut boundary, exact corridor solve, and acceptance of only
+  cut-improving, balance-feasible moves.
+
+Unlike every heuristic engine in the library, a corridor solve has an
+exact oracle — max-flow equals min-cut on the extracted network — which
+is what ``tests/test_flow_oracle.py`` exercises differentially against
+the branch-and-bound solver.  See ``docs/FLOW.md``.
+"""
+
+from repro.flow.dinic import FlowSolverError, max_flow
+from repro.flow.network import FlowNetwork, FlowNetworkError, lawler_network
+from repro.flow.refine import (
+    CorridorSolution,
+    FlowRefineError,
+    FlowRefineResult,
+    refine_flow,
+    solve_corridor,
+)
+
+__all__ = [
+    "CorridorSolution",
+    "FlowNetwork",
+    "FlowNetworkError",
+    "FlowRefineError",
+    "FlowRefineResult",
+    "FlowSolverError",
+    "lawler_network",
+    "max_flow",
+    "refine_flow",
+    "solve_corridor",
+]

@@ -1,0 +1,320 @@
+"""Pure-python Dinic max-flow with most-balanced-minimum-cut extraction.
+
+The solver works on the paired arc arrays of
+:class:`repro.flow.network.FlowNetwork`: level-graph BFS phases
+followed by iterative blocking-flow DFS (no recursion — corridor
+networks can be thousands of nodes deep).  ``arc_cap`` is mutated in
+place into residual capacities; callers that need the original
+capacities should rebuild the network (construction is cheap relative
+to the solve).
+
+Cut extraction follows FlowCutter: after max flow,
+
+* ``S0`` = nodes residual-reachable from the source — the *source-side*
+  minimal min cut,
+* ``T0`` = nodes that residual-reach the sink — the sink-side minimal
+  min cut's complement,
+* everything else is *loose*: the min-cut lattice is exactly the family
+  of residual-closed sets ``S0 ⊆ S ⊆ V \\ T0`` (no residual arc may
+  leave ``S``).
+
+The most-balanced sweep condenses the loose nodes into residual SCCs
+(iterative Tarjan) and greedily pierces whole components into the
+source side — in reverse topological order so closure is maintained —
+whenever doing so improves the weight balance of the full partition.
+Every intermediate assignment is a true minimum cut, so balance never
+costs cut quality.
+
+Fault site: ``flow.solve`` (``REPRO_FAULTS="flow.solve=kill"`` etc.)
+fires once per :func:`max_flow` call, before any work.  Deadline
+checkpoints run once per BFS phase and every few thousand DFS steps;
+an expired deadline raises :class:`repro.runtime.DeadlineExpired` with
+site ``flow.solve`` and leaves the network partially solved.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Sequence, Set, Tuple
+
+from repro import obs
+from repro.runtime import Deadline, faults
+
+from repro.flow.network import FlowNetwork
+
+__all__ = [
+    "FlowSolverError",
+    "max_flow",
+    "source_side_nodes",
+    "sink_side_nodes",
+    "most_balanced_source_side",
+]
+
+# How many blocking-flow DFS steps between cooperative deadline checks.
+_DFS_CHECK_INTERVAL = 4096
+
+
+class FlowSolverError(ValueError):
+    """Raised on structurally invalid solver inputs."""
+
+
+def max_flow(net: FlowNetwork, deadline: object = None) -> float:
+    """Run Dinic to completion; returns the max-flow value.
+
+    Mutates ``net.arc_cap`` into residual capacities.  Raises
+    ``DeadlineExpired`` (site ``flow.solve``) if the budget runs out
+    mid-solve.
+    """
+    faults.inject("flow.solve")
+    dl = Deadline.coerce(deadline) or Deadline.unlimited()
+    if net.source == net.sink:
+        raise FlowSolverError("source and sink coincide")
+
+    arc_to = net.arc_to
+    arc_cap = net.arc_cap
+    adj = net.adj
+    source = net.source
+    sink = net.sink
+    n = net.num_nodes
+
+    total = 0.0
+    level = [0] * n
+    iter_state = [0] * n
+    steps = 0
+
+    with obs.span("flow.solve"):
+        while True:
+            dl.check("flow.solve")
+            # --- level BFS over residual arcs ---------------------------
+            for i in range(n):
+                level[i] = -1
+            level[source] = 0
+            queue = deque([source])
+            while queue:
+                u = queue.popleft()
+                for a in adj[u]:
+                    v = arc_to[a]
+                    if arc_cap[a] > 0 and level[v] < 0:
+                        level[v] = level[u] + 1
+                        queue.append(v)
+            obs.count("flow.bfs_phases")
+            if level[sink] < 0:
+                break
+
+            # --- blocking flow: iterative DFS with per-node arc cursors -
+            for i in range(n):
+                iter_state[i] = 0
+            path: List[int] = []  # arc indices from source to current node
+            u = source
+            while True:
+                steps += 1
+                if steps % _DFS_CHECK_INTERVAL == 0:
+                    dl.check("flow.solve")
+                if u == sink:
+                    bottleneck = min(arc_cap[a] for a in path)
+                    for a in path:
+                        arc_cap[a] -= bottleneck
+                        arc_cap[a ^ 1] += bottleneck
+                    total += bottleneck
+                    obs.count("flow.augmentations")
+                    # Retreat to the first saturated arc on the path.
+                    retreat = 0
+                    while retreat < len(path) and arc_cap[path[retreat]] > 0:
+                        retreat += 1
+                    del path[retreat + 1 :]
+                    if path:
+                        last = path.pop()
+                        u = arc_to[last ^ 1]
+                    else:
+                        u = source
+                    continue
+                advanced = False
+                arcs = adj[u]
+                while iter_state[u] < len(arcs):
+                    a = arcs[iter_state[u]]
+                    v = arc_to[a]
+                    if arc_cap[a] > 0 and level[v] == level[u] + 1:
+                        path.append(a)
+                        u = v
+                        advanced = True
+                        break
+                    iter_state[u] += 1
+                if advanced:
+                    continue
+                # Dead end: prune this node from the level graph.
+                level[u] = -1
+                if not path:
+                    break
+                last = path.pop()
+                u = arc_to[last ^ 1]
+                iter_state[u] += 1
+
+    obs.count("flow.solves")
+    return total
+
+
+def source_side_nodes(net: FlowNetwork) -> Set[int]:
+    """Nodes residual-reachable from the source (call after max_flow)."""
+    seen = {net.source}
+    queue = deque(seen)
+    arc_to, arc_cap, adj = net.arc_to, net.arc_cap, net.adj
+    while queue:
+        u = queue.popleft()
+        for a in adj[u]:
+            v = arc_to[a]
+            if arc_cap[a] > 0 and v not in seen:
+                seen.add(v)
+                queue.append(v)
+    if net.sink in seen:
+        raise FlowSolverError("sink residual-reachable: flow not maximum")
+    return seen
+
+
+def sink_side_nodes(net: FlowNetwork) -> Set[int]:
+    """Nodes that residual-reach the sink (call after max_flow)."""
+    seen = {net.sink}
+    queue = deque(seen)
+    arc_to, arc_cap, adj = net.arc_to, net.arc_cap, net.adj
+    while queue:
+        v = queue.popleft()
+        for a in adj[v]:
+            # Arc a is v -> arc_to[a]; its pair is arc_to[a] -> v with
+            # residual arc_cap[a ^ 1]: that is the incoming residual arc.
+            u = arc_to[a]
+            if arc_cap[a ^ 1] > 0 and u not in seen:
+                seen.add(u)
+                queue.append(u)
+    if net.source in seen:
+        raise FlowSolverError("source residual-reaches sink: flow not maximum")
+    return seen
+
+
+def _loose_sccs(
+    net: FlowNetwork, loose: Sequence[int]
+) -> Tuple[List[List[int]], List[Set[int]]]:
+    """Residual SCCs of the loose nodes, emitted successors-first.
+
+    Returns ``(components, successors)`` where ``successors[i]`` holds
+    component indices reachable from component ``i`` via residual arcs
+    (within the loose subgraph).  Tarjan emits an SCC only after every
+    SCC reachable from it, so the component list is already in the
+    processing order the balance sweep needs.
+    """
+    loose_set = set(loose)
+    arc_to, arc_cap, adj = net.arc_to, net.arc_cap, net.adj
+
+    index = {}
+    lowlink = {}
+    on_stack = set()
+    stack: List[int] = []
+    components: List[List[int]] = []
+    comp_of = {}
+    counter = 0
+
+    for root in loose:
+        if root in index:
+            continue
+        # Iterative Tarjan: (node, arc cursor) frames.
+        work = [(root, 0)]
+        while work:
+            u, cursor = work.pop()
+            if cursor == 0:
+                index[u] = lowlink[u] = counter
+                counter += 1
+                stack.append(u)
+                on_stack.add(u)
+            recurse = False
+            arcs = adj[u]
+            while cursor < len(arcs):
+                a = arcs[cursor]
+                cursor += 1
+                if arc_cap[a] <= 0:
+                    continue
+                v = arc_to[a]
+                if v not in loose_set:
+                    continue
+                if v not in index:
+                    work.append((u, cursor))
+                    work.append((v, 0))
+                    recurse = True
+                    break
+                if v in on_stack:
+                    lowlink[u] = min(lowlink[u], index[v])
+            if recurse:
+                continue
+            if lowlink[u] == index[u]:
+                comp: List[int] = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp_of[w] = len(components)
+                    comp.append(w)
+                    if w == u:
+                        break
+                components.append(comp)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[u])
+
+    successors: List[Set[int]] = [set() for _ in components]
+    for u in loose:
+        cu = comp_of[u]
+        for a in adj[u]:
+            if arc_cap[a] <= 0:
+                continue
+            v = arc_to[a]
+            if v in loose_set:
+                cv = comp_of[v]
+                if cv != cu:
+                    successors[cu].add(cv)
+    return components, successors
+
+
+def most_balanced_source_side(
+    net: FlowNetwork,
+    left_anchor_weight: float,
+    total_weight: float,
+) -> Set[int]:
+    """Pick the min cut of best weight balance from the min-cut lattice.
+
+    ``left_anchor_weight`` is the weight already committed to the left
+    side outside the network (the contracted fixed-left vertices);
+    ``total_weight`` is the full partition weight.  Returns the set of
+    network nodes assigned to the source side.  Must be called after
+    :func:`max_flow` on the same (now residual) network.
+
+    Every returned set is residual-closed and sandwiched between the
+    source-side and sink-side minimal cuts, hence a true minimum cut —
+    the sweep trades balance only, never cut weight.
+    """
+    s_side = source_side_nodes(net)
+    t_side = sink_side_nodes(net)
+    loose = [u for u in range(net.num_nodes) if u not in s_side and u not in t_side]
+
+    weights = net.node_weight
+    left_weight = left_anchor_weight + sum(weights[u] for u in s_side)
+    chosen = set(s_side)
+    if not loose:
+        return chosen
+
+    components, successors = _loose_sccs(net, loose)
+    taken = [False] * len(components)
+    for ci, comp in enumerate(components):
+        # Closure: a component may only join the source side if every
+        # residual successor already did (no residual arc may leave S).
+        if any(not taken[cj] for cj in successors[ci]):
+            continue
+        comp_weight = sum(weights[u] for u in comp)
+        if comp_weight == 0.0:
+            # Pure bridge-node component: free closure enabler.
+            taken[ci] = True
+            chosen.update(comp)
+            continue
+        before = abs(2.0 * left_weight - total_weight)
+        after = abs(2.0 * (left_weight + comp_weight) - total_weight)
+        if after < before:
+            taken[ci] = True
+            chosen.update(comp)
+            left_weight += comp_weight
+    obs.count("flow.balance_sweeps")
+    return chosen

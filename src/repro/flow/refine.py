@@ -1,0 +1,312 @@
+"""Corridor extraction + exact corridor solves around an existing cut.
+
+``refine_flow`` is the FlowCutter-style refinement pass (ROADMAP item
+3): carve a BFS corridor of radius ``corridor_radius`` around the
+current cut boundary, contract everything outside the corridor into
+the source/sink, solve the corridor *exactly* with Dinic, and accept
+the move only when it improves the weighted cut (or keeps it equal and
+strictly improves balance) without violating the balance bound.
+Rounds repeat on the refreshed boundary until a round is rejected, the
+round budget is exhausted, or the deadline expires.
+
+Guarantees (exercised by ``tests/test_flow_oracle.py`` /
+``tests/test_flow_properties.py``):
+
+* the returned partition's weighted cut is never worse than the input,
+* its imbalance never exceeds ``max(balance_tolerance, input
+  imbalance)``,
+* an expired deadline returns the best partition found so far (the
+  untouched input when round one never finished) flagged ``degraded``,
+* results are a deterministic function of the inputs — no RNG anywhere
+  in the pass, and no iteration over hash-ordered sets feeds ordering
+  into the solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro import obs
+from repro.core.hypergraph import Hypergraph
+from repro.core.partition import Bipartition
+from repro.runtime import Deadline, DeadlineExpired
+
+from repro.flow.dinic import max_flow, most_balanced_source_side
+from repro.flow.network import lawler_network
+
+__all__ = [
+    "CorridorSolution",
+    "FlowRefineError",
+    "FlowRefineResult",
+    "refine_flow",
+    "solve_corridor",
+]
+
+# Float-comparison slack for "strictly better" acceptance tests.
+_EPS = 1e-9
+
+
+class FlowRefineError(ValueError):
+    """Raised on invalid refinement parameters or corridor specs."""
+
+
+@dataclass(frozen=True)
+class CorridorSolution:
+    """Result of one exact corridor solve.
+
+    ``cut_weight`` is the full weighted signal cut of ``left | right``
+    (flow value over the bridged signals plus the weight of signals
+    fixed across both sides); ``free_left`` / ``free_right`` split the
+    movable vertices.
+    """
+
+    left: FrozenSet[object]
+    right: FrozenSet[object]
+    free_left: FrozenSet[object]
+    free_right: FrozenSet[object]
+    flow_value: float
+    base_cut_weight: float
+
+    @property
+    def cut_weight(self) -> float:
+        return self.flow_value + self.base_cut_weight
+
+
+@dataclass(frozen=True)
+class FlowRefineResult:
+    """Outcome of :func:`refine_flow`.
+
+    ``rounds`` counts corridor solves attempted; ``cut_trajectory``
+    starts at the input cut and appends the cut after every *accepted*
+    round, so ``improved == (cut_trajectory[-1] < cut_trajectory[0])``.
+    """
+
+    bipartition: Bipartition
+    rounds: int
+    accepted_rounds: int
+    improved: bool
+    degraded: bool
+    degrade_reason: str | None
+    corridor_sizes: Tuple[int, ...]
+    cut_trajectory: Tuple[float, ...]
+
+
+def solve_corridor(
+    h: Hypergraph,
+    fixed_left: Iterable[object],
+    fixed_right: Iterable[object],
+    free: Sequence[object],
+    deadline: object = None,
+) -> CorridorSolution:
+    """Exactly solve one corridor: minimum cut separating the fixed sides.
+
+    Among all minimum cuts the most weight-balanced one (relative to the
+    full partition ``fixed_left | fixed_right | free``) is returned.
+    Raises ``DeadlineExpired`` if the budget runs out mid-solve.
+    """
+    fixed_left_set = frozenset(fixed_left)
+    fixed_right_set = frozenset(fixed_right)
+    net = lawler_network(h, fixed_left_set, fixed_right_set, free)
+    anchor = sum(float(h.vertex_weight(v)) for v in fixed_left_set)
+    total = anchor + sum(float(h.vertex_weight(v)) for v in fixed_right_set)
+    total += sum(float(h.vertex_weight(v)) for v in net.free_vertices)
+
+    flow_value = max_flow(net, deadline=deadline)
+    source_side = most_balanced_source_side(net, anchor, total)
+
+    free_left = frozenset(
+        v for i, v in enumerate(net.free_vertices) if (2 + i) in source_side
+    )
+    free_right = frozenset(net.free_vertices) - free_left
+    return CorridorSolution(
+        left=fixed_left_set | free_left,
+        right=fixed_right_set | free_right,
+        free_left=free_left,
+        free_right=free_right,
+        flow_value=flow_value,
+        base_cut_weight=net.base_cut_weight,
+    )
+
+
+def _carve_side(
+    h: Hypergraph,
+    side: FrozenSet[object],
+    seeds: Set[object],
+    radius: int,
+    weight_budget: float,
+    vindex: dict,
+) -> Tuple[Set[object], Set[object]]:
+    """BFS within ``side`` from the boundary ``seeds`` out to ``radius``.
+
+    The corridor's total vertex weight never exceeds ``weight_budget``
+    (the HyperFlowCutter trick: the budget is chosen so that *any*
+    corridor assignment stays balance-feasible, which is what lets an
+    exact-but-lopsided min cut through the acceptance gate).  Layers
+    are consumed in hypergraph insertion order (``vindex``), greedily
+    skipping vertices that no longer fit, so carving is deterministic
+    across processes.
+
+    Returns ``(corridor, fixed)`` with ``fixed`` guaranteed non-empty
+    for a non-empty side: when the corridor would swallow the whole
+    side, the deepest corridor vertex (insertion-order tie-break) is
+    demoted back to fixed so the side keeps an anchor to contract into
+    the terminal.
+    """
+    corridor: Set[object] = set()
+    visited = set(seeds)
+    weight = 0.0
+    layer = sorted(seeds, key=vindex.__getitem__)
+    depth_of: dict = {}
+    d = 0
+    while layer:
+        taken = []
+        for v in layer:
+            w = float(h.vertex_weight(v))
+            if weight + w <= weight_budget + _EPS:
+                weight += w
+                corridor.add(v)
+                depth_of[v] = d
+                taken.append(v)
+        if d >= radius or not taken:
+            break
+        nxt: Set[object] = set()
+        for v in taken:
+            for name in h.incident_edges_view(v):
+                for u in h.edge_members(name):
+                    if u in side and u not in visited:
+                        visited.add(u)
+                        nxt.add(u)
+        layer = sorted(nxt, key=vindex.__getitem__)
+        d += 1
+    fixed = set(side) - corridor
+    if not fixed and corridor:
+        max_d = max(depth_of.values())
+        anchor = next(
+            v
+            for v in sorted(depth_of, key=vindex.__getitem__)
+            if depth_of[v] == max_d
+        )
+        corridor.discard(anchor)
+        fixed = {anchor}
+    return corridor, fixed
+
+
+def refine_flow(
+    h: Hypergraph,
+    partition: Bipartition,
+    corridor_radius: int = 2,
+    *,
+    balance_tolerance: float = 0.1,
+    max_rounds: int = 8,
+    deadline: object = None,
+) -> FlowRefineResult:
+    """Flow-based refinement of ``partition`` (never worse, see module doc).
+
+    ``corridor_radius`` bounds the per-side BFS depth around the cut
+    boundary; ``max_rounds`` bounds the number of corridor solves.  A
+    candidate is accepted when it is balance-feasible (imbalance within
+    ``max(balance_tolerance, input imbalance)``) and either strictly
+    cheaper or equally cheap with strictly better balance.
+    """
+    if corridor_radius < 0:
+        raise FlowRefineError(f"corridor_radius must be >= 0, got {corridor_radius}")
+    if max_rounds < 1:
+        raise FlowRefineError(f"max_rounds must be >= 1, got {max_rounds}")
+    if balance_tolerance < 0:
+        raise FlowRefineError(
+            f"balance_tolerance must be >= 0, got {balance_tolerance}"
+        )
+    dl = Deadline.coerce(deadline) or Deadline.unlimited()
+
+    current = partition
+    trajectory: List[float] = [current.weighted_cutsize]
+    corridor_sizes: List[int] = []
+    rounds = 0
+    accepted = 0
+    degraded = False
+    degrade_reason: str | None = None
+    # Feasibility never demands more balance than the input already has.
+    imbalance_bound = max(balance_tolerance, partition.weight_imbalance_fraction)
+    vindex = {v: i for i, v in enumerate(h.vertices)}
+
+    with obs.span("flow.refine"):
+        while rounds < max_rounds:
+            if dl.expired():
+                degraded = True
+                degrade_reason = "deadline expired before corridor solve"
+                break
+            if not current.left or not current.right:
+                break  # degenerate (<2 vertices): nothing to move
+            crossing = current.crossing_edges
+            if not crossing:
+                break  # already optimal
+            boundary_left: Set[object] = set()
+            boundary_right: Set[object] = set()
+            for name in crossing:
+                for v in h.edge_members(name):
+                    if v in current.left:
+                        boundary_left.add(v)
+                    else:
+                        boundary_right.add(v)
+            # Per-side corridor weight budgets: moving the *entire* left
+            # corridor right shifts the signed weight difference by
+            # -2·w(corridor_l) (and symmetrically), so these bounds make
+            # every corridor assignment balance-feasible a priori —
+            # without them the exact min cut is usually lopsided and the
+            # acceptance gate would reject every round.
+            diff = current.left_weight - current.right_weight
+            total_weight = current.left_weight + current.right_weight
+            slack = imbalance_bound * total_weight
+            budget_l = max(0.0, (slack + diff) / 2.0)
+            budget_r = max(0.0, (slack - diff) / 2.0)
+            corridor_l, fixed_l = _carve_side(
+                h, current.left, boundary_left, corridor_radius, budget_l, vindex
+            )
+            corridor_r, fixed_r = _carve_side(
+                h, current.right, boundary_right, corridor_radius, budget_r, vindex
+            )
+            free = [v for v in h.vertices if v in corridor_l or v in corridor_r]
+            if not free:
+                break
+            corridor_sizes.append(len(free))
+            rounds += 1
+            try:
+                solution = solve_corridor(h, fixed_l, fixed_r, free, deadline=dl)
+            except DeadlineExpired:
+                degraded = True
+                degrade_reason = "deadline expired inside corridor solve"
+                break
+            candidate = Bipartition(h, solution.left, solution.right)
+            feasible = (
+                candidate.weight_imbalance_fraction <= imbalance_bound + _EPS
+            )
+            cheaper = candidate.weighted_cutsize < current.weighted_cutsize - _EPS
+            same_cost = (
+                abs(candidate.weighted_cutsize - current.weighted_cutsize) <= _EPS
+            )
+            rebalances = (
+                candidate.weight_imbalance_fraction
+                < current.weight_imbalance_fraction - _EPS
+            )
+            if feasible and (cheaper or (same_cost and rebalances)):
+                current = candidate
+                trajectory.append(current.weighted_cutsize)
+                accepted += 1
+                obs.count("flow.refine.accepted_rounds")
+            else:
+                obs.count("flow.refine.rejected_rounds")
+                break
+
+    obs.count("flow.refine.runs")
+    obs.count("flow.refine.rounds", rounds)
+    return FlowRefineResult(
+        bipartition=current,
+        rounds=rounds,
+        accepted_rounds=accepted,
+        improved=trajectory[-1] < trajectory[0] - _EPS,
+        degraded=degraded,
+        degrade_reason=degrade_reason,
+        corridor_sizes=tuple(corridor_sizes),
+        cut_trajectory=tuple(trajectory),
+    )

@@ -32,7 +32,7 @@ from repro.core.partition import Bipartition
 from repro.runtime import Deadline, faults
 
 #: Engines available to the portfolio, in default running order.
-DEFAULT_METHODS = ("algorithm1", "multilevel", "fm", "kl", "sa", "spectral")
+DEFAULT_METHODS = ("algorithm1", "multilevel", "fm", "kl", "sa", "spectral", "flow")
 
 ON_ERROR_MODES = ("raise", "degrade")
 
@@ -72,6 +72,10 @@ class PortfolioResult:
     bipartition: Bipartition
     winner: str
     entries: tuple[PortfolioEntry, ...]
+    #: Refiner applied to the winner (``None`` when no post-pass ran).
+    refined: str | None = None
+    #: The winner's cutsize before the refinement post-pass.
+    unrefined_cutsize: int | None = None
 
     @property
     def cutsize(self) -> int:
@@ -91,6 +95,7 @@ def best_partition(
     seed: int | random.Random | None = None,
     deadline: Deadline | float | None = None,
     on_error: str = "degrade",
+    refine: str | None = None,
 ) -> PortfolioResult:
     """Run a portfolio of partitioners and return the best feasible cut.
 
@@ -114,6 +119,10 @@ def best_partition(
     on_error:
         ``'degrade'`` (default) records engine exceptions on the
         scoreboard and continues; ``'raise'`` propagates the first one.
+    refine:
+        Optional never-worse post-pass (:data:`repro.engines.REFINERS`)
+        applied to the winning bipartition with whatever deadline
+        budget remains.
     """
     unknown = set(methods) - set(DEFAULT_METHODS)
     if unknown:
@@ -122,6 +131,10 @@ def best_partition(
         raise ValueError("need at least one method")
     if on_error not in ON_ERROR_MODES:
         raise ValueError(f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}")
+    from repro.engines import REFINERS, apply_refine, run_engine
+
+    if refine is not None and refine not in REFINERS:
+        raise ValueError(f"unknown refiner {refine!r}; choose from {REFINERS}")
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
     deadline = Deadline.coerce(deadline)
 
@@ -153,6 +166,9 @@ def best_partition(
             hypergraph, balance_tolerance=balance_tolerance, seed=s, deadline=d
         ),
         "spectral": lambda s, d: spectral_bisection(hypergraph, seed=s, deadline=d),
+        "flow": lambda s, d: _engine_result(
+            "flow", hypergraph, s, num_starts, d, balance_tolerance, run_engine
+        ),
     }
 
     entries: list[PortfolioEntry] = []
@@ -206,7 +222,53 @@ def best_partition(
     if best is None:
         failures = "; ".join(f"{e.method}: {e.error}" for e in entries)
         raise PortfolioError(f"all {len(entries)} portfolio engines failed ({failures})")
-    return PortfolioResult(bipartition=best[2], winner=best[1], entries=tuple(entries))
+
+    winner_bp = best[2]
+    refined = None
+    unrefined_cutsize = None
+    # Drawn unconditionally (like engine seeds) so the stream is stable
+    # whether or not the post-pass runs.
+    refine_seed = rng.randrange(2**31)
+    if refine is not None:
+        unrefined_cutsize = winner_bp.cutsize
+        winner_bp, _refine_extras = apply_refine(
+            refine,
+            hypergraph,
+            winner_bp,
+            seed=refine_seed,
+            balance_tolerance=balance_tolerance,
+            deadline=deadline,
+        )
+        refined = refine
+        obs.count("portfolio.refined")
+    return PortfolioResult(
+        bipartition=winner_bp,
+        winner=best[1],
+        entries=tuple(entries),
+        refined=refined,
+        unrefined_cutsize=unrefined_cutsize,
+    )
+
+
+def _engine_result(engine, hypergraph, seed, num_starts, deadline, balance_tolerance, run):
+    """Adapt :func:`repro.engines.run_engine` to the runner protocol."""
+
+    class _Result:
+        pass
+
+    bp, extras = run(
+        engine,
+        hypergraph,
+        seed=seed,
+        starts=num_starts,
+        deadline=deadline,
+        balance_tolerance=balance_tolerance,
+    )
+    result = _Result()
+    result.bipartition = bp
+    result.degraded = bool(extras.get("degraded"))
+    result.degrade_reason = extras.get("degrade_reason")
+    return result
 
 
 def _failed_entry(method: str, seconds: float, error: str) -> PortfolioEntry:

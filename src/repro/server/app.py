@@ -122,6 +122,7 @@ def _partition_body(request: ServiceRequest, deadline: Deadline | None) -> dict:
         starts=settings["starts"],
         deadline=deadline,
         balance_tolerance=settings["balance_tolerance"],
+        refine=settings["refine"],
     )
     return {
         "op": "partition",

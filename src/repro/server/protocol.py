@@ -38,7 +38,7 @@ from typing import Any
 
 from repro.core.digest import hypergraph_digest
 from repro.core.hypergraph import Hypergraph
-from repro.engines import ALL_ENGINES
+from repro.engines import ALL_ENGINES, REFINERS
 from repro.io.errors import ParseError
 from repro.io.json_io import JsonFormatError, hypergraph_from_payload
 from repro.runtime import settings_fingerprint
@@ -215,11 +215,26 @@ def _choice(options: tuple[str, ...]):
     return check
 
 
+def _optional_refiner(key: str, value: Any):
+    if value is None:
+        return None
+    if value not in REFINERS:
+        raise RequestError(
+            f"settings.{key} must be one of {list(REFINERS)} or null, got {value!r}",
+            source=_SOURCE,
+        )
+    return value
+
+
+# ``refine`` is part of this schema (and therefore of the normalized
+# settings dict the cache fingerprints) so a refined result can never be
+# served from an unrefined cache entry or vice versa.
 _PARTITION_SETTINGS = {
     "starts": (10, _int_at_least(1)),
     "seed": (0, _seed),
     "balance_tolerance": (0.1, _balance_tolerance),
     "deadline_seconds": (None, _optional_positive_number),
+    "refine": (None, _optional_refiner),
 }
 
 _PLACE_SETTINGS = {

@@ -1,0 +1,213 @@
+"""Exact-oracle differential suite for the flow engine.
+
+Two independent oracles pin the flow stack to ground truth:
+
+1. ``branch_and_bound_min_cut`` (``core/exact.py``) — exact *unweighted*
+   global min cut.  On every hypothesis hypergraph up to 12 modules the
+   flow global min cut (minimum over sink choices of an s-t corridor
+   solve) must match it bit for bit, and the returned bipartition must
+   realize that value.
+2. Exhaustive enumeration — weighted, with fixed sides.  On seeded
+   random instances ``solve_corridor`` must equal the brute-force
+   optimum over all 2^|free| corridor assignments exactly (all weights
+   are multiples of 0.5, so float sums are exact and ``==`` is fair).
+
+Plus the refinement contract: ``refine_flow`` never increases the cut
+and never violates the balance bound — on generated instances, after
+each production engine on the pinned bench suite, and through the bench
+``--compare`` equal-or-better gate.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import PINNED_SUITE, compare_bench, run_bench
+from repro.core.exact import branch_and_bound_min_cut
+from repro.core.hypergraph import Hypergraph
+from repro.core.partition import Bipartition
+from repro.engines import run_engine
+from repro.flow import refine_flow, solve_corridor
+from tests.conftest import hypergraphs
+
+#: Seeded-instance count, matching tests/test_differential_oracle.py.
+NUM_SEEDS = 24
+
+_EPS = 1e-9
+
+
+def _flow_global_min_cut(h: Hypergraph):
+    """Global min cut via flow: fix the first module, sweep all sinks.
+
+    Any global minimum cut separates ``s`` from *some* other module, so
+    the minimum over sinks of the s-t corridor solve is the global
+    optimum.  This is the textbook reduction the oracle relies on.
+    """
+    verts = list(h.vertices)
+    s = verts[0]
+    best = None
+    for t in verts[1:]:
+        free = [v for v in verts if v != s and v != t]
+        sol = solve_corridor(h, [s], [t], free)
+        if best is None or sol.cut_weight < best.cut_weight:
+            best = sol
+    return best
+
+
+def _random_weighted_instance(seed: int) -> Hypergraph:
+    """Weighted random instance; every weight is a multiple of 0.5 so
+    all flow arithmetic is exact in binary floating point."""
+    rng = random.Random(seed)
+    n = rng.randint(4, 10)
+    h = Hypergraph(vertices=range(n))
+    for v in range(n):
+        h.set_vertex_weight(v, rng.choice([0.5, 1.0, 1.5, 2.0, 3.0]))
+    for _ in range(rng.randint(n - 1, 2 * n)):
+        size = rng.randint(2, min(4, n))
+        h.add_edge(rng.sample(range(n), size), weight=rng.choice([0.5, 1.0, 2.0, 2.5, 4.0]))
+    return h
+
+
+def _brute_force_corridor(h, fixed_left, fixed_right, free) -> float:
+    free = list(free)
+    best = None
+    for bits in itertools.product((0, 1), repeat=len(free)):
+        left = set(fixed_left) | {v for v, b in zip(free, bits) if not b}
+        right = set(fixed_right) | {v for v, b in zip(free, bits) if b}
+        cut = Bipartition(h, left, right).weighted_cutsize
+        if best is None or cut < best:
+            best = cut
+    return best
+
+
+class TestGlobalMinCutOracle:
+    """Flow vs branch and bound on every instance up to 12 modules."""
+
+    @given(hypergraphs(min_vertices=2, max_vertices=12))
+    @settings(max_examples=60, deadline=None)
+    def test_flow_matches_branch_and_bound_bit_for_bit(self, h):
+        exact = branch_and_bound_min_cut(h)
+        sol = _flow_global_min_cut(h)
+        # Unit weights: the max flow is integral, so == is bit-for-bit.
+        assert sol.cut_weight == exact.cutsize
+        realized = Bipartition(h, sol.left, sol.right)
+        assert realized.cutsize == exact.cutsize
+        assert realized.weighted_cutsize == sol.cut_weight
+
+    @given(hypergraphs(min_vertices=2, max_vertices=12))
+    @settings(max_examples=40, deadline=None)
+    def test_flow_engine_never_beats_the_exact_optimum(self, h):
+        """Sanity on the full engine: ``flow`` can never return a cut
+        below the unconstrained exact minimum (that would mean the
+        transform dropped an edge)."""
+        exact = branch_and_bound_min_cut(h)
+        bp, extras = run_engine("flow", h, seed=0, starts=4)
+        assert bp.cutsize >= exact.cutsize
+        assert not extras.get("degraded")
+
+
+class TestCorridorOracleWeighted:
+    """``solve_corridor`` vs exhaustive enumeration, weighted."""
+
+    @pytest.mark.parametrize("seed", range(NUM_SEEDS))
+    def test_solve_corridor_matches_exhaustive_enumeration(self, seed):
+        h = _random_weighted_instance(seed)
+        rng = random.Random(seed + 1000)
+        verts = list(h.vertices)
+        rng.shuffle(verts)
+        a, b = rng.randint(1, 2), rng.randint(1, 2)
+        fixed_left, fixed_right = verts[:a], verts[a : a + b]
+        free = verts[a + b :]
+
+        sol = solve_corridor(h, fixed_left, fixed_right, free)
+        best = _brute_force_corridor(h, fixed_left, fixed_right, free)
+        assert sol.cut_weight == best
+        realized = Bipartition(h, sol.left, sol.right)
+        assert realized.weighted_cutsize == best
+        assert set(fixed_left) <= set(sol.left)
+        assert set(fixed_right) <= set(sol.right)
+        assert set(sol.left) | set(sol.right) == set(h.vertices)
+        assert not set(sol.left) & set(sol.right)
+
+    @pytest.mark.parametrize("seed", range(NUM_SEEDS))
+    def test_cut_weight_decomposes_into_flow_plus_base(self, seed):
+        """The reported optimum is exactly max-flow + fixed-fixed cut."""
+        h = _random_weighted_instance(seed)
+        verts = list(h.vertices)
+        sol = solve_corridor(h, [verts[0]], [verts[-1]], verts[1:-1])
+        assert sol.cut_weight == sol.flow_value + sol.base_cut_weight
+        assert sol.flow_value >= 0.0
+        assert sol.base_cut_weight >= 0.0
+
+
+class TestRefineContract:
+    """``refine_flow`` never worsens the cut, never breaks balance."""
+
+    @given(hypergraphs(min_vertices=2, max_vertices=12), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_never_increases_cut_never_violates_balance(self, h, data):
+        n = h.num_vertices
+        mask = data.draw(st.integers(1, 2**n - 2), label="partition mask")
+        left = {v for i, v in enumerate(h.vertices) if (mask >> i) & 1}
+        right = set(h.vertices) - left
+        part = Bipartition(h, left, right)
+        tol = data.draw(st.sampled_from([0.0, 0.1, 0.3, 1.0]), label="tolerance")
+        radius = data.draw(st.integers(0, 3), label="corridor radius")
+
+        res = refine_flow(h, part, corridor_radius=radius, balance_tolerance=tol)
+        bound = max(tol, part.weight_imbalance_fraction)
+        assert res.bipartition.cutsize <= part.cutsize
+        assert res.bipartition.weight_imbalance_fraction <= bound + _EPS
+        assert res.improved == (res.bipartition.cutsize < part.cutsize)
+        assert not res.degraded
+
+    @pytest.mark.parametrize("seed", range(NUM_SEEDS))
+    def test_weighted_instances_contract(self, seed):
+        h = _random_weighted_instance(seed)
+        rng = random.Random(seed * 7 + 3)
+        verts = list(h.vertices)
+        k = rng.randint(1, len(verts) - 1)
+        part = Bipartition(h, verts[:k], verts[k:])
+
+        res = refine_flow(h, part, corridor_radius=2, balance_tolerance=0.1)
+        assert res.bipartition.weighted_cutsize <= part.weighted_cutsize + _EPS
+        bound = max(0.1, part.weight_imbalance_fraction)
+        assert res.bipartition.weight_imbalance_fraction <= bound + _EPS
+        # Trajectory: the input cut plus one entry per accepted round.
+        assert len(res.cut_trajectory) == res.accepted_rounds + 1
+        assert all(
+            later <= earlier + _EPS
+            for earlier, later in zip(res.cut_trajectory, res.cut_trajectory[1:])
+        )
+
+
+class TestPinnedSuiteRefinement:
+    """On the pinned bench instances, flow refinement after each
+    production engine is equal-or-better — the PR's acceptance gate."""
+
+    @pytest.mark.parametrize("engine", ["algorithm1", "fm", "sa"])
+    def test_refine_after_engine_never_worsens(self, engine):
+        for case in PINNED_SUITE:
+            h, _meta = case.materialize()
+            bp, _ = run_engine(engine, h, seed=7, starts=3)
+            res = refine_flow(h, bp, corridor_radius=2, balance_tolerance=0.1)
+            assert res.bipartition.cutsize <= bp.cutsize, (case.name, engine)
+            bound = max(0.1, bp.weight_imbalance_fraction)
+            assert res.bipartition.weight_imbalance_fraction <= bound + _EPS
+
+    def test_bench_compare_gate_is_equal_or_better(self, tmp_path):
+        """``run_bench(refine='flow')`` vs the unrefined baseline must
+        show no cut or coverage regressions under ``compare_bench`` —
+        the machine-checkable form of the equal-or-better promise."""
+        engines = ("algorithm1", "fm", "sa")
+        baseline = run_bench("baseline", engines=engines, starts=3, repeats=1)
+        refined = run_bench("refined", engines=engines, starts=3, repeats=1, refine="flow")
+        assert refined["settings"]["refine"] == "flow"
+        regressions = compare_bench(baseline, refined, runtime_tolerance=1000.0)
+        bad = [r for r in regressions if r.kind in ("cut", "coverage")]
+        assert bad == [], bad
