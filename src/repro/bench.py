@@ -283,6 +283,7 @@ def _server_entry(
     starts: int,
     deadline_seconds: float | None,
     refine: str | None = None,
+    verify: bool = False,
 ) -> tuple[dict, bool]:
     """One (instance, engine) pair replayed through a partition daemon.
 
@@ -314,6 +315,20 @@ def _server_entry(
     except ServiceClientError as exc:
         return _failed_entry(case_name, engine, f"service unreachable: {exc}"), False
     body = response["result"]
+    if verify:
+        # The client-side end of the integrity contract: re-verify the
+        # served body against the hypergraph *we* hold, so a daemon that
+        # serves a wrong answer (or a transport that mangled one) shows
+        # up as an explicit failed entry, not a silently wrong baseline.
+        from repro.metrics import IntegrityError, verify_partition_body
+
+        try:
+            verify_partition_body(h, body)
+        except IntegrityError as exc:
+            return (
+                _failed_entry(case_name, engine, f"[IntegrityError] {exc}"),
+                False,
+            )
     entry = {
         "instance": case_name,
         "engine": engine,
@@ -327,6 +342,8 @@ def _server_entry(
         "degrade_reason": body["degrade_reason"],
         "served": response["served"],
     }
+    if verify:
+        entry["verified"] = True
     return entry, True
 
 
@@ -410,6 +427,7 @@ def run_bench(
     on_resume=None,
     server: str | None = None,
     refine: str | None = None,
+    verify: bool = False,
 ) -> dict:
     """Execute the suite and return the JSON-ready payload.
 
@@ -509,6 +527,11 @@ def run_bench(
                 "configure the local pool; the daemon owns execution in "
                 "server mode"
             )
+    elif verify:
+        raise BenchError(
+            "verify=True needs server mode: the local path computes results "
+            "in-process, so there is nothing independent to re-verify"
+        )
     if journal_path is not None and resume_path is not None:
         if Path(journal_path) != Path(resume_path):
             raise BenchError(
@@ -619,6 +642,7 @@ def run_bench(
                     starts,
                     deadline_seconds,
                     refine,
+                    verify=verify,
                 )
                 checkpoint((case_name, engine), entry, ok)
         elif parallel is not None:
@@ -729,6 +753,7 @@ def run_bench(
             "max_retries": max_retries,
             "memory_limit_mb": memory_limit_mb,
             "server": server,
+            "verify": verify,
             "refine": refine,
             "engines": list(engines),
             "cases": [case.name for case in cases],
@@ -743,6 +768,15 @@ def run_bench(
     }
     if supervision is not None:
         payload["supervision"] = supervision
+    if verify:
+        payload["verification"] = {
+            "verified": sum(1 for e in results if e.get("verified")),
+            "failed": sum(
+                1
+                for e in results
+                if e.get("failed") and "[IntegrityError]" in (e.get("error") or "")
+            ),
+        }
     return payload
 
 

@@ -387,6 +387,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         ),
         server=args.server,
         refine=args.refine,
+        verify=args.verify,
     )
     # Resume progress goes to stderr: --json promises the payload is the
     # entire stdout, and the payload itself must stay resume-agnostic.
@@ -420,11 +421,122 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_argv(args: argparse.Namespace) -> list[str]:
+    """Rebuild the child's ``serve`` argv from the parsed watchdog args.
+
+    Everything except ``--autorestart`` itself is passed through, so the
+    supervised daemon runs with exactly the knobs the operator gave the
+    watchdog (including ``--state-dir`` — which is what makes a restart
+    a *recovery* instead of a cold start).
+    """
+    argv = [
+        "serve",
+        "--host", args.host,
+        "--port", str(args.port),
+        "--workers", str(args.workers),
+        "--max-retries", str(args.max_retries),
+        "--cache-max-bytes", str(args.cache_max_bytes),
+        "--cache-max-entries", str(args.cache_max_entries),
+        "--batch-window", str(args.batch_window),
+        "--max-inflight", str(args.max_inflight),
+        "--max-queue", str(args.max_queue),
+        "--drain-timeout", str(args.drain_timeout),
+        "--breaker-threshold", str(args.breaker_threshold),
+        "--breaker-cooldown", str(args.breaker_cooldown),
+    ]
+    if args.socket is not None:
+        argv += ["--socket", args.socket]
+    if args.task_timeout is not None:
+        argv += ["--task-timeout", str(args.task_timeout)]
+    if args.memory_limit is not None:
+        argv += ["--memory-limit", str(args.memory_limit)]
+    if args.state_dir is not None:
+        argv += ["--state-dir", args.state_dir]
+    if args.no_obs:
+        argv.append("--no-obs")
+    if args.no_verify:
+        argv.append("--no-verify")
+    return argv
+
+
+def _serve_watchdog(args: argparse.Namespace) -> int:
+    """``serve --autorestart``: supervise the daemon as a child process.
+
+    The child inherits stdout (its ``serving on ...`` banner flows
+    through) and the environment; SIGTERM/SIGINT are forwarded so the
+    child drains gracefully and the watchdog exits with its code.  An
+    *unexpected* death restarts the child after a decorrelated-jitter
+    backoff; ``--restart-limit`` consecutive fast crashes (uptime under
+    ``--restart-window`` seconds) end the loop with exit 1 instead of
+    flapping forever — a daemon that cannot survive startup needs an
+    operator, not a supervisor.
+    """
+    import random
+    import signal
+    import subprocess
+    import time
+
+    argv = [sys.executable, "-m", "repro.cli"] + _serve_argv(args)
+    rng = random.Random()
+    state = {"stopping": False, "child": None}
+
+    def forward(signum, _frame):
+        state["stopping"] = True
+        child = state["child"]
+        if child is not None and child.poll() is None:
+            child.send_signal(signal.SIGTERM)
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, forward)
+
+    fast_crashes = 0
+    delay = 0.1
+    while True:
+        t0 = time.monotonic()
+        child = subprocess.Popen(argv)
+        state["child"] = child
+        if state["stopping"] and child.poll() is None:
+            # The stop signal landed between Popen and the handler
+            # having a child to forward to.
+            child.send_signal(signal.SIGTERM)
+        code = child.wait()
+        uptime = time.monotonic() - t0
+        if state["stopping"]:
+            return code
+        if uptime < args.restart_window:
+            fast_crashes += 1
+            if fast_crashes >= args.restart_limit:
+                print(
+                    f"daemon crash-looping ({fast_crashes} exits under "
+                    f"{args.restart_window}s); giving up",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                return 1
+        else:
+            fast_crashes = 0
+            delay = 0.1
+        delay = min(10.0, rng.uniform(0.1, delay * 3))
+        print(
+            f"daemon exited (code {code}, uptime {uptime:.1f}s); "
+            f"restarting in {delay:.2f}s",
+            flush=True,
+        )
+        deadline = time.monotonic() + delay
+        while not state["stopping"] and time.monotonic() < deadline:
+            time.sleep(0.05)
+        if state["stopping"]:
+            return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
     import threading
 
     from repro.server import PartitionService, ServiceConfig, ServiceError
+
+    if args.autorestart:
+        return _serve_watchdog(args)
 
     config = ServiceConfig(
         host=args.host,
@@ -443,6 +555,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         drain_timeout=args.drain_timeout,
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown=args.breaker_cooldown,
+        state_dir=args.state_dir,
+        verify_results=not args.no_verify,
     )
     try:
         service = PartitionService(config).start()
@@ -468,6 +582,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _soak_violations(args: argparse.Namespace, report) -> list[str]:
+    """Evaluate the soak budgets; each violated one becomes a sentence."""
+    violations: list[str] = []
+    if report.total_requests == 0:
+        violations.append("soak made zero requests — is the daemon up?")
+        return violations
+    if report.healthz_failures:
+        violations.append(
+            f"healthz violated its {args.healthz_budget}s budget "
+            f"{report.healthz_failures} time(s) under load"
+        )
+    p95 = report.request_latency.get("p95")
+    if args.latency_budget is not None and p95 is not None and p95 > args.latency_budget:
+        violations.append(
+            f"request p95 latency {p95:.3f}s exceeds the "
+            f"--latency-budget {args.latency_budget}s"
+        )
+    shed_fraction = report.shed_total / report.total_requests
+    if args.shed_budget is not None and shed_fraction > args.shed_budget:
+        violations.append(
+            f"shed fraction {shed_fraction:.3f} "
+            f"({report.shed_total}/{report.total_requests}) exceeds the "
+            f"--shed-budget {args.shed_budget}"
+        )
+    if (
+        args.rss_budget_mb is not None
+        and report.rss_peak_bytes is not None
+        and report.rss_peak_bytes > args.rss_budget_mb * (1 << 20)
+    ):
+        violations.append(
+            f"server RSS peaked at {report.rss_peak_bytes / (1 << 20):.1f} MiB, "
+            f"over the --rss-budget-mb {args.rss_budget_mb}"
+        )
+    return violations
+
+
 def _cmd_soak(args: argparse.Namespace) -> int:
     from repro.server.loadgen import run_load
 
@@ -486,19 +636,29 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         healthz_budget=args.healthz_budget,
         server_pid=args.server_pid,
     )
+    violations = _soak_violations(args, report)
+    if args.json:
+        # Machine-only mode: one schema'd summary object is the entire
+        # stdout — budgets, verdicts and the report in one parseable
+        # place, exit code mirroring `ok`.
+        summary = {
+            "soak": 1,
+            "report": report.to_dict(),
+            "budgets": {
+                "healthz_seconds": args.healthz_budget,
+                "latency_p95_seconds": args.latency_budget,
+                "shed_fraction": args.shed_budget,
+                "rss_mb": args.rss_budget_mb,
+            },
+            "violations": violations,
+            "ok": not violations,
+        }
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 1 if violations else 0
     print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
-    failures = report.healthz_failures
-    if report.total_requests == 0:
-        print("soak made zero requests — is the daemon up?", file=sys.stderr)
-        return 1
-    if failures:
-        print(
-            f"healthz violated its {args.healthz_budget}s budget "
-            f"{failures} time(s) under load",
-            file=sys.stderr,
-        )
-        return 1
-    return 0
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    return 1 if violations else 0
 
 
 def _cmd_client(args: argparse.Namespace) -> int:
@@ -864,6 +1024,14 @@ def build_parser() -> argparse.ArgumentParser:
         "incompatible with --parallel/--journal/--resume/--memory-limit",
     )
     b.add_argument(
+        "--verify",
+        action="store_true",
+        help="with --server: independently re-verify every served result "
+        "(recomputed cut, balance, assignment coverage) against the local "
+        "hypergraph; a failed check becomes an explicit [IntegrityError] "
+        "entry, and verification counts land in the payload",
+    )
+    b.add_argument(
         "--compare",
         nargs="+",
         metavar="BENCH_JSON",
@@ -993,6 +1161,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="how long a quarantined request key is shed before one "
         "half-open probe is admitted (default 30)",
     )
+    sv.add_argument(
+        "--state-dir",
+        metavar="DIR",
+        default=None,
+        help="spill cache entries and quarantine records to an append-only "
+        "log under DIR and rehydrate them on restart — a crashed daemon "
+        "comes back with its warm cache (byte-identical hits) and its "
+        "quarantined keys still cooling",
+    )
+    sv.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="disable the boundary integrity gate (results are normally "
+        "re-verified — cut, balance, identity — before being cached, "
+        "persisted, or served)",
+    )
+    sv.add_argument(
+        "--autorestart",
+        action="store_true",
+        help="run the daemon as a supervised child and restart it after an "
+        "unexpected death (decorrelated backoff; pair with --state-dir so "
+        "the restart recovers state, and with --socket or a fixed --port "
+        "so the address survives)",
+    )
+    sv.add_argument(
+        "--restart-limit",
+        type=int,
+        default=5,
+        help="with --autorestart: consecutive fast crashes before the "
+        "watchdog gives up (default 5)",
+    )
+    sv.add_argument(
+        "--restart-window",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="with --autorestart: a child living less than this counts as "
+        "a fast crash toward --restart-limit (default 5)",
+    )
     sv.set_defaults(fn=_cmd_serve)
 
     sk = sub.add_parser(
@@ -1030,6 +1237,36 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="sample this PID's RSS during the run (reported as rss_peak_bytes)",
+    )
+    sk.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-only mode: print one summary object (report + budgets "
+        "+ violations) as the entire stdout; exit 1 when any budget is "
+        "violated",
+    )
+    sk.add_argument(
+        "--latency-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fail the soak if request p95 latency exceeds this",
+    )
+    sk.add_argument(
+        "--shed-budget",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="fail the soak if more than this fraction of requests were "
+        "shed (0.2 = 20%%)",
+    )
+    sk.add_argument(
+        "--rss-budget-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="with --server-pid: fail the soak if the daemon's RSS peaks "
+        "above this",
     )
     sk.set_defaults(fn=_cmd_soak)
 

@@ -21,8 +21,16 @@ from repro.metrics.balance import (
     weight_imbalance_fraction,
 )
 from repro.metrics.quotient import quotient_cut, ratio_cut, scaled_cost
+from repro.metrics.verify import (
+    IntegrityError,
+    verify_partition_body,
+    verify_place_body,
+)
 
 __all__ = [
+    "IntegrityError",
+    "verify_partition_body",
+    "verify_place_body",
     "cutsize",
     "weighted_cutsize",
     "crossing_edges",

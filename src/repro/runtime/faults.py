@@ -56,6 +56,7 @@ __all__ = [
     "FaultRule",
     "FaultSpecError",
     "configure",
+    "corrupt_bytes",
     "current_plan",
     "inject",
     "is_active",
@@ -207,6 +208,46 @@ def inject(site: str) -> None:
         seconds = rule.seconds if rule.seconds is not None else _DEFAULT_SECONDS[rule.mode]
         time.sleep(seconds)
         return  # slow/hang: at most one sleep per inject call
+
+
+def corrupt_bytes(data: bytes, site: str) -> bytes:
+    """Maybe flip one byte of ``data`` at a corruption site.
+
+    The integrity-chaos companion to :func:`inject`: an ``error``-mode
+    rule matching ``site`` (e.g. ``server.verify=error:1``) does not
+    raise here — it silently flips one digit byte of ``data`` and
+    returns the damaged copy, simulating the bit-rot an end-to-end
+    verification layer exists to catch.  Digits are targeted (XOR
+    ``0x01``, so a digit stays a digit) because in canonical result
+    bytes and persisted state records every digit is load-bearing —
+    cut values, checksums, content digests, vertex labels — while
+    keeping the line valid JSON, which exercises the *semantic*
+    detection path rather than the trivial parse failure.
+
+    With no armed plan (or inside :func:`suppressed`, or for data with
+    no digit bytes) the input is returned unchanged.  Non-``error``
+    modes are ignored at corruption sites — killing or hanging the
+    serving process is :func:`inject`'s job.
+    """
+    plan = _plan
+    if plan is None or _suppress_depth:
+        return data
+    rng = _decision_rng(plan)
+    for rule in plan.rules:
+        if not rule.matches(site) or rule.mode != "error":
+            continue
+        if rule.probability < 1.0 and rng.random() >= rule.probability:
+            continue
+        digit_positions = [
+            i for i, byte in enumerate(data) if 0x30 <= byte <= 0x39
+        ]
+        if not digit_positions:
+            return data
+        index = digit_positions[rng.randrange(len(digit_positions))]
+        obs.count("runtime.faults.injected")
+        obs.count("runtime.faults.corrupt")
+        return data[:index] + bytes([data[index] ^ 0x01]) + data[index + 1:]
+    return data
 
 
 # Arm from the environment at import time: forked and spawned workers,

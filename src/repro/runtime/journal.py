@@ -29,6 +29,12 @@ File format (one JSON object per line)::
   durable record.  A malformed line anywhere *else* is corruption and
   raises.
 
+The line encoding, fsync-per-append, and truncated-tail-tolerant read
+are the shared :mod:`repro.runtime.recordlog` core (the daemon's state
+store reuses the same discipline); this module owns the journal
+*semantics* — the header schema, the fingerprint refusal, and the
+``(key, value)`` record shape.
+
 Errors extend the typed, context-carrying style of
 :class:`repro.io.errors.ParseError` (PR 3): :class:`JournalError` is a
 ``ValueError`` with subclasses per failure class, each message carrying
@@ -43,6 +49,8 @@ import os
 from pathlib import Path
 from typing import Any
 
+from repro.runtime.recordlog import RecordLog, RecordLogError, read_log
+
 __all__ = [
     "JournalError",
     "JournalFingerprintError",
@@ -56,7 +64,7 @@ __all__ = [
 JOURNAL_SCHEMA_VERSION = 1
 
 
-class JournalError(ValueError):
+class JournalError(RecordLogError):
     """Base class for run-journal failures (a ``ValueError``, like ParseError).
 
     Attributes
@@ -66,12 +74,6 @@ class JournalError(ValueError):
     path:
         The journal file involved, when known.
     """
-
-    def __init__(self, message: str, *, path: str | os.PathLike | None = None) -> None:
-        self.message = message
-        self.path = str(path) if path is not None else None
-        prefix = f"{self.path}: " if self.path is not None else ""
-        super().__init__(prefix + message)
 
 
 class JournalFormatError(JournalError):
@@ -95,10 +97,6 @@ def settings_fingerprint(settings: dict) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def _encode_line(obj: dict) -> bytes:
-    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode("utf-8") + b"\n"
-
-
 class RunJournal:
     """An open, append-only run journal.
 
@@ -108,9 +106,9 @@ class RunJournal:
     it as a context manager) when the run ends.
     """
 
-    def __init__(self, path: Path, fh, task: str, fingerprint: str) -> None:
+    def __init__(self, path: Path, log: RecordLog, task: str, fingerprint: str) -> None:
         self.path = path
-        self._fh = fh
+        self._log = log
         self.task = task
         self.fingerprint = fingerprint
 
@@ -129,13 +127,12 @@ class RunJournal:
             "settings": settings,
         }
         try:
-            fh = open(path, "wb")
-            fh.write(_encode_line(header))
-            fh.flush()
-            os.fsync(fh.fileno())
-        except OSError as exc:
-            raise JournalError(f"cannot create journal: {exc}", path=path) from exc
-        return cls(path, fh, task, fingerprint)
+            log = RecordLog.create(path, header, error=JournalError)
+        except JournalError as exc:
+            raise JournalError(
+                f"cannot create journal: {exc.message}", path=path
+            ) from exc
+        return cls(path, log, task, fingerprint)
 
     @classmethod
     def resume(
@@ -173,12 +170,12 @@ class RunJournal:
                 path=path,
             )
         try:
-            fh = open(path, "r+b")
-            fh.truncate(valid_bytes)  # drop the partial tail before appending
-            fh.seek(valid_bytes)
-        except OSError as exc:
-            raise JournalError(f"cannot reopen journal: {exc}", path=path) from exc
-        return cls(path, fh, task, fingerprint), records
+            log = RecordLog.reopen(path, valid_bytes, error=JournalError)
+        except JournalError as exc:
+            raise JournalError(
+                f"cannot reopen journal: {exc.message}", path=path
+            ) from exc
+        return cls(path, log, task, fingerprint), records
 
     @staticmethod
     def _read(path: Path) -> tuple[dict, list[tuple[Any, Any]], int]:
@@ -189,53 +186,37 @@ class RunJournal:
         :class:`JournalFormatError` with its 1-based line number.
         """
         try:
-            raw = path.read_bytes()
-        except OSError as exc:
-            raise JournalError(f"cannot read journal: {exc}", path=path) from exc
-        if not raw:
-            raise JournalFormatError("empty journal (no header line)", path=path)
-
-        header: dict | None = None
-        records: list[tuple[Any, Any]] = []
-        offset = 0
-        lineno = 0
-        while offset < len(raw):
-            newline = raw.find(b"\n", offset)
-            final = newline < 0
-            end = len(raw) if final else newline
-            line = raw[offset:end]
-            lineno += 1
-            try:
-                obj = json.loads(line)
-                if not isinstance(obj, dict):
-                    raise ValueError("journal lines must be JSON objects")
-            except ValueError as exc:
-                if final or newline == len(raw) - 1:
-                    # The last line (with or without its newline) is the
-                    # one record a mid-append crash can corrupt: drop it.
-                    break
+            header, raw_records, valid_bytes, _corrupt = read_log(
+                path, error=JournalError, format_error=JournalFormatError
+            )
+        except JournalFormatError as exc:
+            if "empty log" in exc.message:
+                raise JournalFormatError("empty journal (no header line)", path=path)
+            if "no durable header" in exc.message:
                 raise JournalFormatError(
-                    f"line {lineno}: malformed journal record: {exc}", path=path
-                ) from exc
-            if header is None:
-                if "journal" not in obj:
-                    raise JournalFormatError(
-                        "line 1: first line is not a journal header", path=path
-                    )
-                header = obj
-            elif "key" not in obj:
+                    "no durable header line (journal truncated at birth)", path=path
+                )
+            raise JournalFormatError(
+                exc.message.replace("malformed record", "malformed journal record"),
+                path=path,
+            ) from exc
+        except JournalError as exc:
+            raise JournalError(
+                exc.message.replace("cannot read log", "cannot read journal"),
+                path=path,
+            ) from exc
+        if "journal" not in header:
+            raise JournalFormatError(
+                "line 1: first line is not a journal header", path=path
+            )
+        records: list[tuple[Any, Any]] = []
+        for lineno, obj in raw_records:
+            if "key" not in obj:
                 raise JournalFormatError(
                     f"line {lineno}: record without a 'key' field", path=path
                 )
-            else:
-                records.append((obj["key"], obj.get("value")))
-            offset = end + 1  # durable through this line's newline
-
-        if header is None:
-            raise JournalFormatError(
-                "no durable header line (journal truncated at birth)", path=path
-            )
-        return header, records, min(offset, len(raw))
+            records.append((obj["key"], obj.get("value")))
+        return header, records, valid_bytes
 
     # ------------------------------------------------------------------
     # Appending
@@ -243,24 +224,18 @@ class RunJournal:
     def record(self, key: Any, value: Any) -> None:
         """Append one ``(key, value)`` record durably (write+flush+fsync)."""
         try:
-            line = _encode_line({"key": key, "value": value})
-        except (TypeError, ValueError) as exc:
-            raise JournalError(
-                f"record for key {key!r} is not JSON-serializable: {exc}",
-                path=self.path,
-            ) from exc
-        try:
-            self._fh.write(line)
-            self._fh.flush()
-            os.fsync(self._fh.fileno())
-        except OSError as exc:  # pragma: no cover - disk-level failures
-            raise JournalError(f"cannot append record: {exc}", path=self.path) from exc
+            self._log.append({"key": key, "value": value})
+        except JournalError as exc:
+            if "not JSON-serializable" in exc.message:
+                raise JournalError(
+                    f"record for key {key!r} is not JSON-serializable: "
+                    f"{exc.message.split(': ', 1)[-1]}",
+                    path=self.path,
+                ) from exc
+            raise
 
     def close(self) -> None:
-        try:
-            self._fh.close()
-        except OSError:  # pragma: no cover
-            pass
+        self._log.close()
 
     def __enter__(self) -> "RunJournal":
         return self

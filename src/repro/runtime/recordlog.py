@@ -1,0 +1,246 @@
+"""The append-only record-log core shared by journals and state stores.
+
+:class:`repro.runtime.journal.RunJournal` (PR 5) established a durable
+log discipline that more than one subsystem now needs — the bench/run
+journal and the partition daemon's crash-recoverable state store
+(:mod:`repro.server.persist`) both write:
+
+* one JSON object per line (canonical encoding: sorted keys, tight
+  separators), the first line being a **header** that identifies the
+  log;
+* every append made durable *before* the caller moves on
+  (``write`` + ``flush`` + ``os.fsync``), so a crash loses at most the
+  record being written;
+* a **truncated final line tolerated** on read — the one partial record
+  a mid-``write`` crash can leave is detected and not counted as
+  durable, while malformed lines anywhere else are real corruption.
+
+This module is that discipline, factored out.  Callers own the record
+*semantics* (what a header must contain, what shape records take, and
+whether mid-file corruption is fatal or skippable) and pass their own
+typed error classes in, so :class:`~repro.runtime.journal.JournalError`
+and friends keep their exact types and messages.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = [
+    "RecordLog",
+    "RecordLogError",
+    "RecordLogFormatError",
+    "encode_line",
+    "read_log",
+]
+
+
+class RecordLogError(ValueError):
+    """Base class for record-log failures (a ``ValueError``).
+
+    Attributes
+    ----------
+    message:
+        The bare problem description (no location prefix).
+    path:
+        The log file involved, when known.
+    """
+
+    def __init__(self, message: str, *, path: str | os.PathLike | None = None) -> None:
+        self.message = message
+        self.path = str(path) if path is not None else None
+        prefix = f"{self.path}: " if self.path is not None else ""
+        super().__init__(prefix + message)
+
+
+class RecordLogFormatError(RecordLogError):
+    """The log file is malformed beyond the tolerated truncated tail."""
+
+
+def encode_line(obj: dict) -> bytes:
+    """One canonical JSONL line (sorted keys, tight separators)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def read_log(
+    path: Path,
+    *,
+    error: type[RecordLogError] = RecordLogError,
+    format_error: type[RecordLogFormatError] = RecordLogFormatError,
+    on_corrupt: str = "raise",
+) -> tuple[dict, list[tuple[int, dict]], int, list[int]]:
+    """Parse ``path``; returns ``(header, records, durable_bytes, corrupt)``.
+
+    ``records`` are ``(lineno, obj)`` pairs in append order (the header
+    line excluded); ``durable_bytes`` is the byte count through the last
+    durable line — reopening for append should truncate to it.  The
+    final line is allowed to be truncated/corrupt (a mid-append crash
+    leaves exactly one such line); it is simply not counted as durable.
+
+    A malformed line anywhere *else* is corruption.  With the default
+    ``on_corrupt="raise"`` it raises ``format_error`` with its 1-based
+    line number (the journal discipline: settings-fingerprinted replay
+    data must be perfect or refused).  With ``on_corrupt="skip"`` the
+    line is dropped and its number collected into the returned
+    ``corrupt`` list — the state-store discipline, where each record is
+    independently checksummed and a damaged one is skipped-and-logged
+    rather than poisoning every record after it.
+    """
+    if on_corrupt not in ("raise", "skip"):
+        raise ValueError(f"on_corrupt must be 'raise' or 'skip', got {on_corrupt!r}")
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise error(f"cannot read log: {exc}", path=path) from exc
+    if not raw:
+        raise format_error("empty log (no header line)", path=path)
+
+    header: dict | None = None
+    records: list[tuple[int, dict]] = []
+    corrupt: list[int] = []
+    offset = 0
+    lineno = 0
+    truncated = False
+    while offset < len(raw):
+        newline = raw.find(b"\n", offset)
+        final = newline < 0
+        end = len(raw) if final else newline
+        line = raw[offset:end]
+        lineno += 1
+        try:
+            obj = json.loads(line)
+            if not isinstance(obj, dict):
+                raise ValueError("log lines must be JSON objects")
+        except ValueError as exc:
+            if final or newline == len(raw) - 1:
+                # The last line (with or without its newline) is the one
+                # record a mid-append crash can corrupt: drop it.
+                truncated = True
+                break
+            if on_corrupt == "skip":
+                corrupt.append(lineno)
+                offset = end + 1
+                continue
+            raise format_error(
+                f"line {lineno}: malformed record: {exc}", path=path
+            ) from exc
+        if header is None:
+            header = obj
+        else:
+            records.append((lineno, obj))
+        offset = end + 1  # durable through this line's newline
+
+    if header is None:
+        raise format_error(
+            "no durable header line (log truncated at birth)", path=path
+        )
+    durable = min(offset, len(raw)) if not truncated else offset
+    return header, records, min(durable, len(raw)), corrupt
+
+
+class RecordLog:
+    """An open, append-only, per-record-fsynced JSONL log.
+
+    Use :meth:`create` for a fresh log (header written and fsynced
+    before returning) and :meth:`reopen` to continue one whose durable
+    byte count a :func:`read_log` call established.  The log owns its
+    file handle — :meth:`close` it (or use it as a context manager).
+    """
+
+    def __init__(
+        self, path: Path, fh, *, error: type[RecordLogError] = RecordLogError
+    ) -> None:
+        self.path = path
+        self._fh = fh
+        self._error = error
+
+    @classmethod
+    def create(
+        cls,
+        path: str | os.PathLike,
+        header: dict,
+        *,
+        error: type[RecordLogError] = RecordLogError,
+    ) -> "RecordLog":
+        """Start a fresh log at ``path`` (truncating any existing file)."""
+        path = Path(path)
+        try:
+            line = encode_line(header)
+        except (TypeError, ValueError) as exc:
+            raise error(f"header is not JSON-serializable: {exc}", path=path) from exc
+        try:
+            fh = open(path, "wb")
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+        except OSError as exc:
+            raise error(f"cannot create log: {exc}", path=path) from exc
+        return cls(path, fh, error=error)
+
+    @classmethod
+    def reopen(
+        cls,
+        path: str | os.PathLike,
+        durable_bytes: int,
+        *,
+        error: type[RecordLogError] = RecordLogError,
+    ) -> "RecordLog":
+        """Reopen ``path`` for appending after its durable prefix.
+
+        Truncates away the partial tail a mid-append crash may have
+        left (everything past ``durable_bytes``) before the first new
+        append, so the file only ever contains whole lines.
+        """
+        path = Path(path)
+        try:
+            fh = open(path, "r+b")
+            fh.truncate(durable_bytes)
+            fh.seek(durable_bytes)
+        except OSError as exc:
+            raise error(f"cannot reopen log: {exc}", path=path) from exc
+        return cls(path, fh, error=error)
+
+    def append(self, obj: dict) -> None:
+        """Append one record durably (write + flush + fsync)."""
+        try:
+            line = encode_line(obj)
+        except (TypeError, ValueError) as exc:
+            raise self._error(
+                f"record is not JSON-serializable: {exc}", path=self.path
+            ) from exc
+        try:
+            self._fh.write(line)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        except OSError as exc:  # pragma: no cover - disk-level failures
+            raise self._error(f"cannot append record: {exc}", path=self.path) from exc
+
+    def append_bytes(self, line: bytes) -> None:
+        """Append one pre-encoded line durably (write + flush + fsync).
+
+        The caller owns the line's shape (one newline-terminated JSON
+        object).  Exists for writers that transform the encoded bytes
+        before they hit the disk — in practice the state store's
+        corruption-chaos hook, which deliberately damages a record to
+        prove the read side catches it.
+        """
+        try:
+            self._fh.write(line)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        except OSError as exc:  # pragma: no cover - disk-level failures
+            raise self._error(f"cannot append record: {exc}", path=self.path) from exc
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "RecordLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -20,19 +20,27 @@ Pieces:
   in-flight :class:`~repro.server.admission.AdmissionController` and
   the poisoned-request
   :class:`~repro.server.admission.QuarantineBreaker`.
+* :mod:`repro.server.persist` — the crash-recoverable state store
+  (:class:`~repro.server.persist.StateStore`): cache entries and
+  quarantine records spilled to an append-only log under
+  ``--state-dir`` and rehydrated on restart.
 * :mod:`repro.server.app` — the daemon itself
-  (:class:`~repro.server.app.PartitionService`).
+  (:class:`~repro.server.app.PartitionService`), including the boundary
+  integrity gate (results re-verified before being cached, persisted,
+  or served).
 * :mod:`repro.server.client` — a small blocking client
-  (:class:`~repro.server.client.ServiceClient`).
+  (:class:`~repro.server.client.ServiceClient`), single daemon or a
+  health-checked failover set (``endpoints=[...]``).
 
 See ``docs/SERVICE.md`` for the protocol, cache-key semantics, degraded
-responses, and deployment knobs.
+responses, persistence/failover, and deployment knobs.
 """
 
 from repro.server.admission import AdmissionController, QuarantineBreaker
 from repro.server.app import PartitionService, ServiceConfig, ServiceError
 from repro.server.batching import RequestBroker
 from repro.server.cache import ResultCache
+from repro.server.persist import StateStore, StateStoreError
 from repro.server.client import (
     ServiceClient,
     ServiceClientError,
@@ -69,6 +77,8 @@ __all__ = [
     "ServiceRequest",
     "ServiceResponseError",
     "ServiceUnavailable",
+    "StateStore",
+    "StateStoreError",
     "canonical_bytes",
     "error_payload",
     "parse_request",

@@ -49,9 +49,13 @@ __all__ = ["AdmissionController", "POISON_ERROR_TYPES", "QuarantineBreaker"]
 #: was killed) rather than reporting an ordinary error.  Deterministic
 #: in-worker exceptions (``ExecutionFailed``) fail fast without burning
 #: a worker, and ``DeadlineExpired`` is the client's own budget — neither
-#: grinds the pool, so neither trips the breaker.
+#: grinds the pool, so neither trips the breaker.  ``IntegrityError`` is
+#: poison of a different kind: the worker *lied* (the result body failed
+#: independent re-verification), and a request that reliably produces
+#: corrupt results deserves quarantine exactly as much as one that
+#: reliably kills workers.
 POISON_ERROR_TYPES = frozenset(
-    {"WorkerCrashed", "WorkerHung", "MemoryBudgetExceeded"}
+    {"WorkerCrashed", "WorkerHung", "MemoryBudgetExceeded", "IntegrityError"}
 )
 
 
@@ -277,11 +281,14 @@ class QuarantineBreaker:
             self._probe_aborts += 1
             obs.count("server.breaker.probe_aborts")
 
-    def record(self, key: str, error_type: str | None) -> None:
+    def record(self, key: str, error_type: str | None) -> bool:
         """Feed one *execution* outcome back (``None`` = success).
 
         Called once per pool execution — coalesced waiters share a
-        single execution and therefore a single breaker vote.
+        single execution and therefore a single breaker vote.  Returns
+        True when a previously tracked key was cleared by this outcome
+        (so a persistent store knows to tombstone it) and False
+        otherwise.
         """
         with self._lock:
             if error_type not in POISON_ERROR_TYPES:
@@ -289,7 +296,7 @@ class QuarantineBreaker:
                 if record is not None and record.opened_at is not None:
                     self._recoveries += 1
                     obs.count("server.breaker.recoveries")
-                return
+                return record is not None
             record = self._records.get(key)
             if record is None:
                 record = _BreakerRecord()
@@ -310,6 +317,54 @@ class QuarantineBreaker:
                 record.opened_at = now
                 self._trips += 1
                 obs.count("server.breaker.trips")
+            self._prune_locked()
+            return False
+
+    def export_key(self, key: str) -> dict | None:
+        """Snapshot ``key``'s failure history for a persistent store.
+
+        Returns ``{"failures": n, "open_elapsed": secs | None}`` —
+        ``open_elapsed`` is how long the key has been open (``None``
+        while still closed), which is the only clock-safe way to
+        persist a ``time.monotonic`` timestamp: the store pairs it with
+        the wall clock at write time and re-derives a monotonic
+        ``opened_at`` on :meth:`restore_key` after a restart.  Returns
+        ``None`` for untracked keys.
+        """
+        with self._lock:
+            record = self._records.get(key)
+            if record is None:
+                return None
+            open_elapsed = (
+                None
+                if record.opened_at is None
+                else max(0.0, self._clock() - record.opened_at)
+            )
+            return {"failures": record.failures, "open_elapsed": open_elapsed}
+
+    def restore_key(
+        self, key: str, failures: int, open_elapsed: float | None
+    ) -> None:
+        """Rehydrate ``key``'s failure history from a persistent store.
+
+        ``open_elapsed`` is the total time the key has been open —
+        including daemon downtime, which the store folds in — so a key
+        whose cooldown expired while the daemon was dead comes back
+        *open with an expired cooldown*: the next :meth:`check` admits
+        the single half-open probe, rather than the key being forgotten
+        (immediately re-poisonable at full threshold) or re-quarantined
+        for a fresh cooldown it already served.
+        """
+        if failures < 1:
+            raise ValueError(f"failures must be >= 1, got {failures}")
+        with self._lock:
+            record = _BreakerRecord(failures=failures)
+            now = self._clock()
+            record.last_failure = now
+            if open_elapsed is not None:
+                record.opened_at = now - max(0.0, open_elapsed)
+            self._records[key] = record
+            self._records.move_to_end(key)
             self._prune_locked()
 
     def _prune_locked(self) -> None:

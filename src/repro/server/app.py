@@ -45,6 +45,7 @@ must not deadlock the child).
 
 from __future__ import annotations
 
+import json
 import math
 import os
 import socket
@@ -55,8 +56,14 @@ from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro import obs
+from repro import __version__
 from repro.engines import run_engine
 from repro.io.json_io import _encode_label
+from repro.metrics import (
+    IntegrityError,
+    verify_partition_body,
+    verify_place_body,
+)
 from repro.placement import (
     SlotGrid,
     annealing_place,
@@ -67,6 +74,7 @@ from repro.runtime import Deadline, SupervisedPool, faults
 from repro.server.admission import AdmissionController, QuarantineBreaker
 from repro.server.batching import RequestBroker
 from repro.server.cache import ResultCache
+from repro.server.persist import CORRUPTION_SITE, StateStore
 from repro.server.protocol import (
     MAX_REQUEST_BYTES,
     Draining,
@@ -106,6 +114,11 @@ class ServiceConfig:
     drain_timeout: float = 5.0  # SIGTERM: seconds in-flight work may finish
     breaker_threshold: int = 3  # worker deaths per key before quarantine
     breaker_cooldown: float = 30.0  # seconds a quarantined key stays shed
+    # Durability & integrity knobs (docs/SERVICE.md § State persistence)
+    state_dir: str | None = None  # set -> spill cache + breaker state here
+    verify_results: bool = True  # re-verify result bodies before serving
+    compact_ratio: float = 0.5  # dead-record fraction that triggers compaction
+    compact_min_records: int = 64  # records before compaction is considered
 
 
 # ----------------------------------------------------------------------
@@ -391,6 +404,7 @@ class PartitionService:
             "shed_overloaded": 0,
             "shed_draining": 0,
             "shed_quarantined": 0,
+            "verify_failures": 0,
         }
         cfg = self.config
         self._draining = threading.Event()
@@ -407,6 +421,7 @@ class PartitionService:
         self.breaker = QuarantineBreaker(
             threshold=cfg.breaker_threshold, cooldown=cfg.breaker_cooldown
         )
+        self.store: StateStore | None = None
         self.pool = SupervisedPool(
             _service_worker,
             max_workers=cfg.workers,
@@ -435,6 +450,29 @@ class PartitionService:
         cfg = self.config
         if cfg.obs_enabled and not obs.is_enabled():
             obs.enable()
+        if cfg.state_dir is not None and self.store is None:
+            self.store = StateStore.open(
+                cfg.state_dir,
+                compact_ratio=cfg.compact_ratio,
+                compact_min_records=cfg.compact_min_records,
+            )
+            # Warm the cache oldest-entry-first so LRU order survives the
+            # restart too; these puts go straight to the in-memory cache —
+            # the records backing them are already durable.
+            for key, value in self.store.cache_entries:
+                self.cache.put(key, value)
+            # Quarantined keys come back open/cooling (downtime already
+            # folded in), never silently forgotten.
+            for key, failures, open_elapsed in self.store.breaker_entries:
+                self.breaker.restore_key(key, failures, open_elapsed)
+            rehydrated = self.store.stats()
+            obs.count(
+                "server.persist.rehydrated.cache", rehydrated["rehydrated_cache"]
+            )
+            obs.count(
+                "server.persist.rehydrated.breaker",
+                rehydrated["rehydrated_breaker"],
+            )
         if cfg.socket_path is not None:
             if not hasattr(socket, "AF_UNIX"):
                 raise ServiceError(
@@ -499,6 +537,8 @@ class PartitionService:
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=30.0)
             self._serve_thread = None
+        if self.store is not None:
+            self.store.close()
         self._drain_seconds = time.monotonic() - t0
         obs.gauge("server.drain.seconds", round(self._drain_seconds, 6))
         if not drained:
@@ -712,7 +752,58 @@ class PartitionService:
 
     # -- executor (called from the broker dispatch thread) -------------
 
+    def _verify_result(self, request: ServiceRequest, body_bytes: bytes) -> None:
+        """The boundary integrity gate: distrust the bytes about to leave.
+
+        Decodes the canonical result bytes *as the client will* and
+        re-verifies them against the original request — identity fields,
+        assignment validity, independently recomputed cut and balance
+        (:mod:`repro.metrics.verify`).  Runs after the corruption chaos
+        hook, so an armed ``server.verify`` rule proves corrupt bytes
+        die here (typed ``IntegrityError`` 500) instead of reaching the
+        cache, the state log, or a client.
+        """
+        try:
+            body = json.loads(body_bytes)
+        except ValueError as exc:
+            raise IntegrityError(
+                f"result bytes are not valid JSON: {exc}"
+            ) from exc
+        if request.op == "partition":
+            verify_partition_body(
+                request.hypergraph,
+                body,
+                digest=request.digest,
+                fingerprint=request.fingerprint,
+                settings=request.settings,
+            )
+        else:
+            verify_place_body(
+                request.hypergraph,
+                body,
+                digest=request.digest,
+                fingerprint=request.fingerprint,
+                settings=request.settings,
+            )
+
+    def _record_poison(self, key: str, error_type: str) -> None:
+        """One breaker vote + its durable mirror (when persisting)."""
+        cleared = self.breaker.record(key, error_type)
+        if self.store is None:
+            return
+        if cleared:
+            # A non-poison typed failure (deadline, in-worker error)
+            # resets the key; the store must forget it too.
+            self.store.record_breaker_clear(key)
+            return
+        snapshot = self.breaker.export_key(key)
+        if snapshot is not None:
+            self.store.record_breaker(
+                key, snapshot["failures"], snapshot["open_elapsed"]
+            )
+
     def _execute_batch(self, tasks: list) -> dict:
+        requests = dict(tasks)
         pool_tasks = [
             (key, {"request": request, "obs": self.config.obs_enabled})
             for key, request in tasks
@@ -724,7 +815,33 @@ class PartitionService:
         for task_result in results:
             if task_result.ok:
                 body = task_result.value["body"]
-                body_bytes = canonical_bytes(body)
+                # The corruption chaos hook sits between the worker and
+                # everything downstream: an armed ``server.verify`` rule
+                # flips one byte here, and the gate below must catch it.
+                body_bytes = faults.corrupt_bytes(
+                    canonical_bytes(body), CORRUPTION_SITE
+                )
+                snapshot = task_result.value.get("obs")
+                if snapshot and obs.is_enabled():
+                    obs.registry().merge(snapshot)
+                if self.config.verify_results:
+                    try:
+                        self._verify_result(requests[task_result.key], body_bytes)
+                    except IntegrityError as exc:
+                        # Corrupt results are failures with a poison
+                        # vote: they never reach the cache, the state
+                        # log, or a client.
+                        self._tally("failures")
+                        self._tally("verify_failures")
+                        obs.count("server.errors")
+                        obs.count("server.verify.failures")
+                        self._record_poison(task_result.key, "IntegrityError")
+                        outcomes[task_result.key] = _Failure(
+                            error_type="IntegrityError",
+                            message=f"result failed verification: {exc}",
+                            attempts=task_result.attempts,
+                        )
+                        continue
                 degraded = bool(body.get("degraded"))
                 if degraded:
                     # A deadline-cut answer reflects wall-clock luck,
@@ -733,12 +850,15 @@ class PartitionService:
                     obs.count("server.cache.uncacheable")
                 else:
                     self.cache.put(task_result.key, body_bytes)
-                snapshot = task_result.value.get("obs")
-                if snapshot and obs.is_enabled():
-                    obs.registry().merge(snapshot)
+                    if self.store is not None:
+                        # Spill the verified bytes: what rehydrates is
+                        # exactly what a warm hit serves today.
+                        self.store.record_cache(task_result.key, body_bytes)
                 # One breaker vote per *execution*: coalesced waiters
                 # share this result and therefore this vote.
-                self.breaker.record(task_result.key, None)
+                cleared = self.breaker.record(task_result.key, None)
+                if cleared and self.store is not None:
+                    self.store.record_breaker_clear(task_result.key)
                 outcomes[task_result.key] = _Success(
                     body_bytes=body_bytes,
                     attempts=task_result.attempts,
@@ -757,7 +877,7 @@ class PartitionService:
                     self.breaker.probe_aborted(task_result.key)
                 else:
                     error_type = _classify_failure(message)
-                    self.breaker.record(task_result.key, error_type)
+                    self._record_poison(task_result.key, error_type)
                 outcomes[task_result.key] = _Failure(
                     error_type=error_type,
                     message=message,
@@ -768,8 +888,14 @@ class PartitionService:
     # -- introspection endpoints ---------------------------------------
 
     def health(self) -> dict:
+        # pid + absolute started_at let a watchdog (or a failover
+        # client) tell a restarted daemon from the one it last spoke
+        # to; version pins which build is answering.
         return {
             "status": "draining" if self._draining.is_set() else "ok",
+            "pid": os.getpid(),
+            "version": __version__,
+            "started_at": round(self._started_at, 3) if self._started_at else None,
             "uptime_seconds": round(time.time() - (self._started_at or time.time()), 3),
             "workers": self.config.workers,
             "transport": "unix" if self.config.socket_path else "tcp",
@@ -785,6 +911,7 @@ class PartitionService:
             "broker": self.broker.stats(),
             "admission": self.admission.stats(),
             "breaker": self.breaker.stats(),
+            "persist": self.store.stats() if self.store is not None else None,
             "drain": {
                 "draining": self._draining.is_set(),
                 "drain_timeout": self.config.drain_timeout,

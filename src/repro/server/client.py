@@ -1,4 +1,4 @@
-"""A small blocking client for the partition daemon.
+"""A small blocking client for the partition daemon (or a fleet of them).
 
 Speaks the :mod:`repro.server.protocol` JSON over TCP or an ``AF_UNIX``
 socket (one connection per request, ``Connection: close`` — the daemon
@@ -25,6 +25,19 @@ Backoff between retries is decorrelated jitter
 (``delay = uniform(base, prev * 3)``, capped), and a ``Retry-After``
 hint from the daemon overrides the jitter when present (still capped by
 ``backoff_cap`` so a 30 s server hint cannot stall a test-scale client).
+
+Failover (``endpoints=[...]``): the client can hold several equivalent
+daemons.  Exactly the two outcomes that mean "this daemon is gone or
+going" — connection refused, and a typed ``Draining`` shed — trigger a
+**health-checked rotation**: the other endpoints are probed via
+``/healthz`` and traffic moves to the first one answering ``"ok"``,
+skipping the backoff sleep (the replacement is known healthy, so waiting
+out the dead daemon's hint would be pure loss).  When no probe finds a
+healthy replacement the client stays put and backs off as usual.
+``Overloaded`` does *not* rotate — a 429 is the daemon managing a queue
+it fully intends to serve, and honoring its ``Retry-After`` beats
+stampeding the next instance.  Mid-flight deaths still never retry
+anywhere: work that may have executed must not execute twice.
 """
 
 from __future__ import annotations
@@ -52,6 +65,10 @@ __all__ = [
 RETRYABLE_ERROR_TYPES = frozenset(
     {"Overloaded", "Draining", "ServiceUnavailable"}
 )
+
+#: The retryable subset that also means "move": the daemon is shutting
+#: down (or already gone), so a healthy sibling should take the traffic.
+FAILOVER_ERROR_TYPES = frozenset({"Draining"})
 
 
 class ServiceClientError(RuntimeError):
@@ -108,8 +125,54 @@ class _UnixHTTPConnection(http.client.HTTPConnection):
         self.sock = sock
 
 
+class _Endpoint:
+    """One daemon address: a TCP ``host:port`` or a UNIX socket path."""
+
+    def __init__(
+        self,
+        socket_path: str | None = None,
+        host: str | None = None,
+        port: int | None = None,
+    ) -> None:
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+
+    @classmethod
+    def parse(cls, spec: str) -> "_Endpoint":
+        """``unix:/path``, ``http://host:port``, or bare ``host:port``."""
+        if spec.startswith("unix:"):
+            path = spec[len("unix:"):]
+            if not path:
+                raise ServiceClientError(f"empty socket path in endpoint {spec!r}")
+            return cls(socket_path=path)
+        parts = urlsplit(spec if "//" in spec else f"http://{spec}")
+        if parts.scheme not in ("", "http") or parts.hostname is None:
+            raise ServiceClientError(f"unsupported service endpoint {spec!r}")
+        return cls(host=parts.hostname, port=parts.port or 80)
+
+    def connection(self, timeout: float) -> http.client.HTTPConnection:
+        if self.socket_path is not None:
+            return _UnixHTTPConnection(self.socket_path, timeout)
+        return http.client.HTTPConnection(self.host, self.port, timeout=timeout)
+
+    def __str__(self) -> str:
+        if self.socket_path is not None:
+            return f"unix:{self.socket_path}"
+        return f"http://{self.host}:{self.port}"
+
+
 class ServiceClient:
-    """Blocking JSON client for one daemon (TCP URL or UNIX socket path)."""
+    """Blocking JSON client for one daemon or a failover set of them.
+
+    Address the client one of three ways (exactly one):
+
+    * ``url="http://host:port"`` — a single TCP daemon;
+    * ``socket_path="/run/repro.sock"`` — a single UNIX-socket daemon;
+    * ``endpoints=["http://a:9000", "unix:/run/b.sock", ...]`` — a
+      failover set; the first entry is preferred, rotation is by the
+      policy in the module docstring.
+    """
 
     def __init__(
         self,
@@ -120,10 +183,14 @@ class ServiceClient:
         backoff_base: float = 0.05,
         backoff_cap: float = 2.0,
         retry_seed: int | None = None,
+        endpoints: list[str] | tuple[str, ...] | None = None,
+        probe_timeout: float = 1.0,
     ) -> None:
-        if (url is None) == (socket_path is None):
+        given = sum(x is not None for x in (url, socket_path, endpoints))
+        if given != 1:
             raise ServiceClientError(
-                "give exactly one of url= (TCP) or socket_path= (AF_UNIX)"
+                "give exactly one of url= (TCP), socket_path= (AF_UNIX), "
+                "or endpoints= (failover set)"
             )
         if max_retries < 0:
             raise ServiceClientError(
@@ -133,28 +200,58 @@ class ServiceClient:
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
+        self.probe_timeout = probe_timeout
         self._rng = random.Random(retry_seed)
-        self.socket_path = socket_path
-        self.host = self.port = None
-        if url is not None:
-            parts = urlsplit(url if "//" in url else f"http://{url}")
-            if parts.scheme not in ("", "http") or parts.hostname is None:
-                raise ServiceClientError(f"unsupported service URL {url!r}")
-            self.host = parts.hostname
-            self.port = parts.port or 80
+        if endpoints is not None:
+            if not endpoints:
+                raise ServiceClientError("endpoints= must name at least one daemon")
+            self._endpoints = [_Endpoint.parse(spec) for spec in endpoints]
+        elif socket_path is not None:
+            self._endpoints = [_Endpoint(socket_path=socket_path)]
+        else:
+            self._endpoints = [_Endpoint.parse(url)]
+        self._active = 0
+        self.failovers = 0  # completed health-checked rotations
+
+    # -- endpoint bookkeeping ------------------------------------------
+
+    @property
+    def active_endpoint(self) -> str:
+        """The endpoint currently taking this client's traffic."""
+        return str(self._endpoints[self._active])
+
+    @property
+    def endpoints(self) -> list[str]:
+        return [str(endpoint) for endpoint in self._endpoints]
+
+    # Back-compat accessors: code written against the single-endpoint
+    # client reads these off instances (bench, loadgen, tests).
+    @property
+    def socket_path(self) -> str | None:
+        return self._endpoints[self._active].socket_path
+
+    @property
+    def host(self) -> str | None:
+        return self._endpoints[self._active].host
+
+    @property
+    def port(self) -> int | None:
+        return self._endpoints[self._active].port
 
     # -- transport -----------------------------------------------------
 
-    def _connection(self) -> http.client.HTTPConnection:
-        if self.socket_path is not None:
-            return _UnixHTTPConnection(self.socket_path, self.timeout)
-        return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
-
     def _request_once(
-        self, method: str, path: str, body: bytes | None = None
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        endpoint: _Endpoint | None = None,
+        timeout: float | None = None,
     ) -> tuple[int, bytes, float | None]:
         """One HTTP round trip: ``(status, body_bytes, retry_after)``."""
-        conn = self._connection()
+        if endpoint is None:
+            endpoint = self._endpoints[self._active]
+        conn = endpoint.connection(self.timeout if timeout is None else timeout)
         connected = False
         try:
             conn.connect()
@@ -172,11 +269,14 @@ class ServiceClient:
                 # Nobody listening: the request never left this process.
                 refused = isinstance(exc, (ConnectionRefusedError, FileNotFoundError))
                 raise ServiceConnectionError(
-                    f"{method} {path}: cannot connect: {exc}", refused=refused
+                    f"{method} {path} @ {endpoint}: cannot connect: {exc}",
+                    refused=refused,
                 ) from exc
             # Mid-flight failure — the daemon may have executed the
             # request; the caller must not blindly retry.
-            raise ServiceClientError(f"{method} {path} failed: {exc}") from exc
+            raise ServiceClientError(
+                f"{method} {path} @ {endpoint} failed: {exc}"
+            ) from exc
         finally:
             conn.close()
 
@@ -186,6 +286,35 @@ class ServiceClient:
         """One HTTP round trip (no retries); ``(status, body_bytes)``."""
         status, raw, _ = self._request_once(method, path, body)
         return status, raw
+
+    def _probe(self, endpoint: _Endpoint) -> bool:
+        """Is ``endpoint`` up and answering ``"ok"`` on ``/healthz``?"""
+        try:
+            status, raw, _ = self._request_once(
+                "GET", "/healthz", endpoint=endpoint, timeout=self.probe_timeout
+            )
+            if status != 200:
+                return False
+            return json.loads(raw.decode("utf-8")).get("status") == "ok"
+        except (ServiceClientError, ValueError):
+            return False
+
+    def _failover(self) -> bool:
+        """Health-checked rotation away from the active endpoint.
+
+        Probes the other endpoints in ring order and moves traffic to
+        the first healthy one; returns True on a completed rotation.
+        With one endpoint (or no healthy sibling) nothing moves and the
+        caller falls back to backing off in place.
+        """
+        total = len(self._endpoints)
+        for step in range(1, total):
+            candidate = (self._active + step) % total
+            if self._probe(self._endpoints[candidate]):
+                self._active = candidate
+                self.failovers += 1
+                return True
+        return False
 
     def request(
         self,
@@ -216,7 +345,10 @@ class ServiceClient:
             except ServiceConnectionError as exc:
                 if not exc.refused or attempt > retries:
                     raise
-                delay = self._backoff(delay, None)
+                # The request never executed; a healthy sibling can take
+                # it immediately, otherwise wait out the backoff here.
+                if not self._failover():
+                    delay = self._backoff(delay, None)
                 continue
             try:
                 decoded = json.loads(raw.decode("utf-8"))
@@ -237,6 +369,14 @@ class ServiceClient:
             hint = retry_after
             if hint is None:
                 hint = error.get("retry_after")
+            if (
+                response_error.error_type in FAILOVER_ERROR_TYPES
+                and self._failover()
+            ):
+                # The shed daemon is going away and a healthy sibling
+                # answered the probe: its Retry-After describes the
+                # *draining* daemon, so go now instead of sleeping.
+                continue
             delay = self._backoff(delay, hint)
 
     def _backoff(self, previous: float, hint: float | None) -> float:
@@ -259,29 +399,47 @@ class ServiceClient:
     # -- readiness -----------------------------------------------------
 
     def wait_ready(self, timeout: float = 10.0, interval: float = 0.02) -> dict:
-        """Poll ``/healthz`` until the daemon answers (no sleeps-and-hope).
+        """Poll ``/healthz`` until a daemon answers (no sleeps-and-hope).
 
-        Connection-refused means "not up *yet*" and keeps polling with a
-        capped exponential interval; any other failure — an HTTP error
-        body, an undecodable response, a mid-flight transport death —
-        means something is listening but broken, and fails fast with
-        that context instead of burning the whole timeout.
+        Connection-refused means "not up *yet*": with one endpoint the
+        poll keeps trying it with a capped exponential interval; with a
+        failover set every endpoint is tried each cycle and the first
+        one answering becomes the active endpoint.  Any other failure —
+        an HTTP error body, an undecodable response, a mid-flight
+        transport death — means something is listening but broken, and
+        fails fast with that context instead of burning the timeout.
 
         Returns the health payload; raises :class:`ServiceClientError`
-        if the daemon is not up within ``timeout`` seconds.
+        if no daemon is up within ``timeout`` seconds.
         """
         t0 = time.monotonic()
         last_error: Exception | None = None
         poll = max(0.001, interval)
+        total = len(self._endpoints)
         while time.monotonic() - t0 < timeout:
-            try:
-                return self.request("GET", "/healthz", max_retries=0)
-            except ServiceConnectionError as exc:
-                if not exc.refused:
-                    raise
-                last_error = exc
-                time.sleep(min(poll, max(0.0, timeout - (time.monotonic() - t0))))
-                poll = min(poll * 2, 0.5)  # capped exponential
+            for step in range(total):
+                candidate = (self._active + step) % total
+                try:
+                    status, raw, _ = self._request_once(
+                        "GET", "/healthz", endpoint=self._endpoints[candidate]
+                    )
+                except ServiceConnectionError as exc:
+                    if not exc.refused:
+                        raise
+                    last_error = exc
+                    continue
+                try:
+                    payload = json.loads(raw.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    raise ServiceClientError(
+                        f"GET /healthz: daemon sent undecodable body ({exc})"
+                    ) from None
+                if status != 200:
+                    raise ServiceResponseError(status, payload.get("error", {}))
+                self._active = candidate
+                return payload
+            time.sleep(min(poll, max(0.0, timeout - (time.monotonic() - t0))))
+            poll = min(poll * 2, 0.5)  # capped exponential
         raise ServiceClientError(
             f"daemon not ready after {timeout}s (last error: {last_error})"
         )

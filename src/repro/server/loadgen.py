@@ -144,6 +144,8 @@ def run_load(
     shed_pause: float = 0.05,
     server_pid: int | None = None,
     stop_event: threading.Event | None = None,
+    endpoints: list[str] | None = None,
+    max_retries: int = 0,
 ) -> LoadReport:
     """Hammer a daemon for ``duration`` seconds; return a :class:`LoadReport`.
 
@@ -151,8 +153,23 @@ def run_load(
     round trip slower than it (or failing outright while load clients
     still get answers) is counted under ``healthz_failures``.
     ``stop_event`` lets a caller (e.g. a drain test) end the run early.
+
+    ``endpoints`` switches the clients to the failover set form (the
+    recovery suites kill one daemon mid-run and assert the workload
+    completes against its sibling); pair it with ``max_retries > 0`` —
+    with retries disabled a failover client observes the shed exactly
+    like a single-endpoint one.
     """
     bodies = _make_bodies(distinct, vertices, seed, starts)
+
+    def make_client(timeout: float, retries: int = max_retries) -> ServiceClient:
+        if endpoints is not None:
+            return ServiceClient(
+                endpoints=endpoints, timeout=timeout, max_retries=retries
+            )
+        return ServiceClient(
+            url=url, socket_path=socket_path, timeout=timeout, max_retries=retries
+        )
     stop = stop_event or threading.Event()
     deadline = time.monotonic() + duration
     lock = threading.Lock()
@@ -167,12 +184,8 @@ def run_load(
             outcomes[name] = outcomes.get(name, 0) + 1
 
     def client_loop(index: int) -> None:
-        client = ServiceClient(
-            url=url,
-            socket_path=socket_path,
-            timeout=request_timeout,
-            max_retries=0,  # observe sheds; do not paper over them
-        )
+        # Default max_retries=0: observe sheds, do not paper over them.
+        client = make_client(request_timeout)
         i = index
         while not stop.is_set() and time.monotonic() < deadline:
             body = bodies[i % len(bodies)]
@@ -200,12 +213,7 @@ def run_load(
 
     def prober_loop() -> None:
         nonlocal healthz_failures, rss_peak
-        client = ServiceClient(
-            url=url,
-            socket_path=socket_path,
-            timeout=max(healthz_budget * 2, 2.0),
-            max_retries=0,
-        )
+        client = make_client(max(healthz_budget * 2, 2.0), retries=0)
         while not stop.is_set() and time.monotonic() < deadline:
             t0 = time.monotonic()
             try:
@@ -226,9 +234,7 @@ def run_load(
                         rss_peak = rss if rss_peak is None else max(rss_peak, rss)
             stop.wait(healthz_interval)
 
-    probe_client = ServiceClient(
-        url=url, socket_path=socket_path, timeout=10.0, max_retries=0
-    )
+    probe_client = make_client(10.0, retries=0)
     report = LoadReport(clients=clients)
     try:
         report.metrics_before = probe_client.metrics()

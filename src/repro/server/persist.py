@@ -1,0 +1,462 @@
+"""Crash-recoverable daemon state: the ``--state-dir`` store.
+
+Everything the daemon learns at runtime — the content-addressed result
+cache, the quarantine breaker's poison records — used to live only in
+memory, so any restart turned repeat traffic back into cold O(run) work
+and re-exposed the pool to keys already known to kill workers.  A
+:class:`StateStore` spills both to disk as they happen and rehydrates
+them on the next start:
+
+* every **cache insert** appends a record carrying the cache key, the
+  canonical result bytes, and a SHA-256 checksum of those bytes —
+  rehydrated hits are byte-identical to pre-crash hits *by
+  construction*, because the same stored bytes are spliced back into
+  the response envelope;
+* every **breaker poison vote** appends the key's failure streak and,
+  when open, how long it has been open (plus the wall clock, so the
+  cooldown keeps counting down across the restart); a recovery appends
+  a clear tombstone.
+
+The on-disk format is one append-only JSONL log
+(``<state-dir>/state.jsonl``) under the :mod:`repro.runtime.recordlog`
+discipline: canonical line encoding, a fingerprinted header, fsync per
+record, truncated-final-line tolerance.  Where it deliberately departs
+from the journal is corruption handling — each record is independently
+checksummed and self-describing, so a damaged record (bit-rot, or an
+armed ``server.verify`` chaos rule) is **skipped and counted** on
+rehydrate, never served and never allowed to poison the records around
+it.  Schema::
+
+    {"statelog": 1, "store": "partition-server", "fingerprint": ..., "settings": {...}}
+    {"kind": "cache", "key": "<digest>:<fp>", "sha256": "...", "value": "<canonical result JSON>"}
+    {"kind": "breaker", "key": "...", "failures": 2, "open_elapsed": null, "wall": ...}
+    {"kind": "breaker", "key": "...", "failures": 3, "open_elapsed": 0.0, "wall": ...}
+    {"kind": "breaker_clear", "key": "..."}
+
+Later records supersede earlier ones for the same ``(kind, key)``; a
+superseded or cleared record is **dead**.  Once dead records exceed
+``compact_ratio`` of the log (and the log holds at least
+``compact_min_records``), a background thread rewrites the log with
+only the live records — bounded disk without ever blocking the request
+path on a rewrite.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.runtime import faults
+from repro.runtime.journal import settings_fingerprint
+from repro.runtime.recordlog import (
+    RecordLog,
+    RecordLogError,
+    RecordLogFormatError,
+    encode_line,
+    read_log,
+)
+
+__all__ = ["StateStore", "StateStoreError", "STATE_SCHEMA_VERSION"]
+
+#: Bumped when the on-disk record shapes change incompatibly; a store
+#: written by a different schema is refused (not silently reinterpreted).
+STATE_SCHEMA_VERSION = 1
+
+#: The chaos site whose ``error``-mode rules flip a byte in records on
+#: their way to disk (and in result bytes at the service boundary) —
+#: see :func:`repro.runtime.faults.corrupt_bytes`.
+CORRUPTION_SITE = "server.verify"
+
+_STORE_NAME = "partition-server"
+
+
+class StateStoreError(RecordLogError):
+    """A state-store failure (bad directory, wrong schema, disk error)."""
+
+
+class _StateLogFormatError(StateStoreError, RecordLogFormatError):
+    """The log file itself is unreadable as a record log (recoverable)."""
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _header_settings() -> dict:
+    return {"store": _STORE_NAME, "schema": STATE_SCHEMA_VERSION}
+
+
+class StateStore:
+    """The daemon's durable state log: open, rehydrate, append, compact.
+
+    Use :meth:`open`: it creates a fresh log when none exists, or reads
+    an existing one (lenient per-record validation; corrupt records
+    skipped and counted) and reopens it for appending.  The loaded
+    state is exposed as :attr:`cache_entries` (``(key, value_bytes)``
+    in append order — replay them through ``ResultCache.put`` oldest
+    first so LRU order survives too) and :attr:`breaker_entries`
+    (``(key, failures, open_elapsed)`` with the crash downtime already
+    folded into ``open_elapsed``).
+
+    All appends are thread-safe; compaction runs on a background thread
+    and atomically replaces the log file (write-temp + fsync +
+    ``os.replace``), so a crash mid-compaction leaves either the old
+    log or the new one, never a hybrid.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        log: RecordLog,
+        *,
+        compact_ratio: float,
+        compact_min_records: int,
+    ) -> None:
+        self.path = path
+        self._log = log
+        self.compact_ratio = compact_ratio
+        self.compact_min_records = compact_min_records
+        self._lock = threading.Lock()
+        self._live: set[tuple[str, str]] = set()
+        self._records = 0  # durable records (header excluded)
+        self._corrupt_skipped = 0
+        self._compactions = 0
+        self._compact_thread: threading.Thread | None = None
+        self._closed = False
+        self.cache_entries: list[tuple[str, bytes]] = []
+        self.breaker_entries: list[tuple[str, int, float | None]] = []
+
+    # ------------------------------------------------------------------
+    # Construction / rehydration
+
+    @classmethod
+    def open(
+        cls,
+        state_dir: str | os.PathLike,
+        *,
+        compact_ratio: float = 0.5,
+        compact_min_records: int = 64,
+    ) -> "StateStore":
+        """Open (creating if needed) the state log under ``state_dir``."""
+        if not 0.0 < compact_ratio <= 1.0:
+            raise StateStoreError(
+                f"compact_ratio must be in (0, 1], got {compact_ratio}"
+            )
+        if compact_min_records < 1:
+            raise StateStoreError(
+                f"compact_min_records must be >= 1, got {compact_min_records}"
+            )
+        state_dir = Path(state_dir)
+        try:
+            state_dir.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise StateStoreError(
+                f"cannot create state dir: {exc}", path=state_dir
+            ) from exc
+        path = state_dir / "state.jsonl"
+        if not path.exists():
+            log = RecordLog.create(path, cls._header(), error=StateStoreError)
+            return cls(
+                path,
+                log,
+                compact_ratio=compact_ratio,
+                compact_min_records=compact_min_records,
+            )
+
+        store = cls(
+            Path(path),
+            None,  # attached below, after the read establishes durable bytes
+            compact_ratio=compact_ratio,
+            compact_min_records=compact_min_records,
+        )
+        durable = store._load(path)
+        store._log = RecordLog.reopen(path, durable, error=StateStoreError)
+        return store
+
+    @staticmethod
+    def _header() -> dict:
+        settings = _header_settings()
+        return {
+            "statelog": STATE_SCHEMA_VERSION,
+            "store": _STORE_NAME,
+            "fingerprint": settings_fingerprint(settings),
+            "settings": settings,
+        }
+
+    def _load(self, path: Path) -> int:
+        """Read the existing log into this store; returns durable bytes."""
+        try:
+            header, records, durable, corrupt_lines = read_log(
+                path,
+                error=StateStoreError,
+                format_error=_StateLogFormatError,
+                on_corrupt="skip",
+            )
+        except _StateLogFormatError:
+            # An empty or headerless file is not worth refusing a daemon
+            # start over: recreate it and start cold.
+            log = RecordLog.create(path, self._header(), error=StateStoreError)
+            log.close()
+            obs.count("server.persist.reset")
+            return len(encode_line(self._header()))
+        if (
+            header.get("statelog") != STATE_SCHEMA_VERSION
+            or header.get("store") != _STORE_NAME
+            or header.get("fingerprint")
+            != settings_fingerprint(_header_settings())
+        ):
+            raise StateStoreError(
+                f"state log schema {header.get('statelog')!r}/"
+                f"{header.get('store')!r} is not this daemon's "
+                f"(schema {STATE_SCHEMA_VERSION}, store {_STORE_NAME!r}); "
+                "refusing to reinterpret foreign state",
+                path=path,
+            )
+        self._corrupt_skipped = len(corrupt_lines)
+
+        cache: dict[str, bytes] = {}
+        breaker: dict[str, tuple[int, float | None, float]] = {}
+        total = 0
+        for _lineno, record in records:
+            total += 1
+            kind = record.get("kind")
+            if kind == "cache":
+                parsed = self._validate_cache_record(record)
+                if parsed is None:
+                    self._corrupt_skipped += 1
+                    continue
+                key, value = parsed
+                cache.pop(key, None)  # re-append keeps insertion order fresh
+                cache[key] = value
+            elif kind == "breaker":
+                parsed = self._validate_breaker_record(record)
+                if parsed is None:
+                    self._corrupt_skipped += 1
+                    continue
+                key, failures, open_elapsed = parsed
+                breaker[key] = (failures, open_elapsed, record["wall"])
+            elif kind == "breaker_clear":
+                key = record.get("key")
+                if not isinstance(key, str):
+                    self._corrupt_skipped += 1
+                    continue
+                breaker.pop(key, None)
+            else:
+                self._corrupt_skipped += 1
+
+        if self._corrupt_skipped:
+            obs.count("server.persist.corrupt", self._corrupt_skipped)
+        self._records = total
+        self.cache_entries = list(cache.items())
+        now = time.time()
+        for key, (failures, open_elapsed, wall) in breaker.items():
+            if open_elapsed is not None:
+                # The cooldown kept counting down while the daemon was
+                # dead: fold the wall-clock downtime into the elapsed
+                # open time (clamped — a skewed clock must not produce
+                # a key that cools for longer than it would have).
+                open_elapsed += max(0.0, now - wall)
+            self.breaker_entries.append((key, failures, open_elapsed))
+        self._live = {("cache", key) for key in cache}
+        self._live.update(("breaker", key) for key in breaker)
+        return durable
+
+    @staticmethod
+    def _validate_cache_record(record: dict) -> tuple[str, bytes] | None:
+        """Checksum-check one cache record; ``None`` = corrupt, skip it."""
+        key = record.get("key")
+        value = record.get("value")
+        sha = record.get("sha256")
+        if not (
+            isinstance(key, str) and isinstance(value, str) and isinstance(sha, str)
+        ):
+            return None
+        value_bytes = value.encode("utf-8")
+        if _sha256(value_bytes) != sha:
+            return None
+        return key, value_bytes
+
+    @staticmethod
+    def _validate_breaker_record(
+        record: dict,
+    ) -> tuple[str, int, float | None] | None:
+        key = record.get("key")
+        failures = record.get("failures")
+        open_elapsed = record.get("open_elapsed")
+        wall = record.get("wall")
+        if not isinstance(key, str):
+            return None
+        if not isinstance(failures, int) or isinstance(failures, bool) or failures < 1:
+            return None
+        if open_elapsed is not None and not isinstance(open_elapsed, (int, float)):
+            return None
+        if not isinstance(wall, (int, float)):
+            return None
+        return key, failures, None if open_elapsed is None else float(open_elapsed)
+
+    # ------------------------------------------------------------------
+    # Appending (the daemon's spill path)
+
+    def record_cache(self, key: str, value: bytes) -> None:
+        """Durably spill one cache insert (checksummed canonical bytes)."""
+        record = {
+            "kind": "cache",
+            "key": key,
+            "sha256": _sha256(value),
+            "value": value.decode("utf-8"),
+        }
+        self._append(record, ("cache", key))
+        obs.count("server.persist.cache_records")
+
+    def record_breaker(
+        self, key: str, failures: int, open_elapsed: float | None
+    ) -> None:
+        """Durably spill one breaker poison vote for ``key``."""
+        record = {
+            "kind": "breaker",
+            "key": key,
+            "failures": int(failures),
+            "open_elapsed": open_elapsed,
+            "wall": time.time(),
+        }
+        self._append(record, ("breaker", key))
+        obs.count("server.persist.breaker_records")
+
+    def record_breaker_clear(self, key: str) -> None:
+        """Durably record that ``key``'s breaker state was dropped."""
+        self._append({"kind": "breaker_clear", "key": key}, None)
+        with self._lock:
+            self._live.discard(("breaker", key))
+        obs.count("server.persist.breaker_records")
+
+    def _append(self, record: dict, live_key: tuple[str, str] | None) -> None:
+        line = encode_line(record)
+        # The corruption-chaos hook: an armed ``server.verify`` rule
+        # flips a byte here, and the checksum/validation on the *read*
+        # side must catch it (tested, never assumed).
+        line = faults.corrupt_bytes(line, CORRUPTION_SITE)
+        with self._lock:
+            if self._closed:
+                return
+            self._log.append_bytes(line)
+            self._records += 1
+            if live_key is not None:
+                self._live.add(live_key)
+        self._maybe_compact()
+
+    # ------------------------------------------------------------------
+    # Compaction
+
+    def _dead_ratio_locked(self) -> float:
+        if self._records == 0:
+            return 0.0
+        return (self._records - len(self._live)) / self._records
+
+    def _maybe_compact(self) -> None:
+        with self._lock:
+            if (
+                self._closed
+                or self._records < self.compact_min_records
+                or self._dead_ratio_locked() <= self.compact_ratio
+                or (
+                    self._compact_thread is not None
+                    and self._compact_thread.is_alive()
+                )
+            ):
+                return
+            self._compact_thread = threading.Thread(
+                target=self.compact, name="repro-state-compact", daemon=True
+            )
+            self._compact_thread.start()
+
+    def compact(self) -> None:
+        """Rewrite the log with only the live records (atomic replace).
+
+        Reads the current log back (the same lenient read rehydration
+        uses), keeps the last record per ``(kind, key)`` — dropping
+        cleared breaker keys and corrupt lines — and atomically swaps
+        the rewritten file in.  Safe to call directly; the append path
+        triggers it on a background thread once the dead ratio trips.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._log.close()
+            try:
+                _header, records, _durable, _corrupt = read_log(
+                    self.path,
+                    error=StateStoreError,
+                    format_error=StateStoreError,
+                    on_corrupt="skip",
+                )
+                cache: dict[str, dict] = {}
+                breaker: dict[str, dict] = {}
+                for _lineno, record in records:
+                    kind = record.get("kind")
+                    if kind == "cache":
+                        if self._validate_cache_record(record) is not None:
+                            cache.pop(record["key"], None)
+                            cache[record["key"]] = record
+                    elif kind == "breaker":
+                        if self._validate_breaker_record(record) is not None:
+                            breaker[record["key"]] = record
+                    elif kind == "breaker_clear":
+                        breaker.pop(record.get("key"), None)
+                tmp_path = self.path.with_suffix(".jsonl.compact")
+                with open(tmp_path, "wb") as fh:
+                    fh.write(encode_line(self._header()))
+                    for record in cache.values():
+                        fh.write(encode_line(record))
+                    for record in breaker.values():
+                        fh.write(encode_line(record))
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp_path, self.path)
+                self._records = len(cache) + len(breaker)
+                self._live = {("cache", key) for key in cache}
+                self._live.update(("breaker", key) for key in breaker)
+                self._compactions += 1
+                obs.count("server.persist.compactions")
+            finally:
+                self._log = RecordLog.reopen(
+                    self.path,
+                    self.path.stat().st_size,
+                    error=StateStoreError,
+                )
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Always-on tallies for ``/metrics`` (independent of obs)."""
+        with self._lock:
+            return {
+                "path": str(self.path),
+                "records": self._records,
+                "live": len(self._live),
+                "dead": self._records - len(self._live),
+                "corrupt_skipped": self._corrupt_skipped,
+                "compactions": self._compactions,
+                "compact_ratio": self.compact_ratio,
+                "rehydrated_cache": len(self.cache_entries),
+                "rehydrated_breaker": len(self.breaker_entries),
+            }
+
+    def close(self) -> None:
+        thread = self._compact_thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=10.0)
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._log.close()
+
+    def __enter__(self) -> "StateStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -26,14 +26,17 @@ tear the daemon down, so ``-x -q`` stays deterministic.
 from __future__ import annotations
 
 import json
+import os
 import socket as socket_module
 import threading
+import time
 
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro import obs
+from repro.runtime import faults
 from repro.core.hypergraph import Hypergraph
 from repro.engines import run_engine
 from repro.io.json_io import hypergraph_to_payload
@@ -606,6 +609,113 @@ class TestUnixSocket:
                 PartitionService(ServiceConfig(socket_path=path, workers=1)).start()
         finally:
             svc.stop()
+
+
+class TestPersistenceVerifyFailover:
+    """Tier-1 halves of the crash-recovery PR: the in-process state
+    round trip, the boundary integrity gate, and client failover
+    mechanics — the SIGKILL/subprocess halves live in
+    ``tests/test_server_recovery.py`` (chaos-marked)."""
+
+    @pytest.fixture(autouse=True)
+    def _no_faults(self):
+        faults.configure(None)
+        yield
+        faults.configure(None)
+
+    def test_healthz_reports_identity(self, service):
+        _, client = service
+        health = client.healthz()
+        assert health["pid"] == os.getpid()  # in-process daemon
+        assert isinstance(health["version"], str) and health["version"]
+        # started_at is absolute wall time consistent with the uptime.
+        assert 0 < health["started_at"] <= time.time()
+        assert time.time() - health["started_at"] >= health["uptime_seconds"] - 1.0
+
+    def test_metrics_persist_is_none_without_state_dir(self, service):
+        _, client = service
+        assert client.metrics()["persist"] is None
+
+    def test_state_round_trips_across_a_graceful_restart(self, tmp_path, h):
+        cfg = dict(port=0, workers=1, batch_window=0.0, state_dir=str(tmp_path))
+        svc = PartitionService(ServiceConfig(**cfg)).start()
+        client = ServiceClient(url=svc.url, timeout=60.0)
+        client.wait_ready(timeout=10.0)
+        try:
+            cold = client.partition(h, engine="fm", settings={"seed": 3})
+            assert cold["served"]["cache"] == "miss"
+            assert client.metrics()["persist"]["records"] >= 1
+        finally:
+            svc.stop()
+
+        svc = PartitionService(ServiceConfig(**cfg)).start()
+        client = ServiceClient(url=svc.url, timeout=60.0)
+        client.wait_ready(timeout=10.0)
+        try:
+            assert client.metrics()["persist"]["rehydrated_cache"] == 1
+            warm = client.partition(h, engine="fm", settings={"seed": 3})
+            assert warm["served"]["cache"] == "hit"
+            assert json.dumps(warm["result"], sort_keys=True) == json.dumps(
+                cold["result"], sort_keys=True
+            )
+        finally:
+            svc.stop()
+
+    def test_verify_gate_turns_corruption_into_a_typed_500(self, service, h):
+        svc, client = service
+        faults.configure("server.verify=error:1", seed=5)
+        with pytest.raises(ServiceResponseError) as excinfo:
+            client.partition(h, engine="fm", settings={"seed": 0})
+        assert excinfo.value.status == 500
+        assert excinfo.value.error_type == "IntegrityError"
+        metrics = client.metrics()
+        assert metrics["service"]["verify_failures"] == 1
+        assert metrics["cache"]["insertions"] == 0
+
+        # Disarmed, the same request executes and serves clean.
+        faults.configure(None)
+        response = client.partition(h, engine="fm", settings={"seed": 0})
+        assert response["served"]["cache"] == "miss"
+
+    def test_no_verify_serves_the_corrupt_result(self, h):
+        # What --no-verify buys (and costs): the gate is off, so the
+        # damaged body sails through as a 200 — documented escape
+        # hatch, not a recommendation.
+        svc = PartitionService(
+            ServiceConfig(port=0, workers=1, batch_window=0.0, verify_results=False)
+        ).start()
+        client = ServiceClient(url=svc.url, timeout=60.0)
+        client.wait_ready(timeout=10.0)
+        try:
+            faults.configure("server.verify=error:1", seed=5)
+            response = client.partition(h, engine="fm", settings={"seed": 0})
+            assert response["served"]["cache"] == "miss"
+            assert client.metrics()["service"]["verify_failures"] == 0
+        finally:
+            faults.configure(None)
+            svc.stop()
+
+    def test_client_endpoint_validation(self):
+        with pytest.raises(ServiceClientError):
+            ServiceClient(endpoints=[])
+        with pytest.raises(ServiceClientError):
+            ServiceClient(url="http://x:1", endpoints=["http://y:2"])
+
+    def test_refused_connection_fails_over_in_process(self, service, h):
+        svc, _ = service
+        # Endpoint one is a port nothing listens on; the client must
+        # rotate to the live sibling instead of surfacing the refusal.
+        probe = socket_module.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead = f"http://127.0.0.1:{probe.getsockname()[1]}"
+        probe.close()
+        client = ServiceClient(
+            endpoints=[dead, svc.url], timeout=60.0, max_retries=1
+        )
+        response = client.partition(h, engine="fm", settings={"seed": 0})
+        assert response["served"]["cache"] == "miss"
+        assert client.failovers == 1
+        assert client.active_endpoint == svc.url
 
 
 class TestInterleavingProperty:
